@@ -1,0 +1,37 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench bench-csv examples doc clean reproduce
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# Dump every experiment table as CSV into bench-csv/ for plotting.
+bench-csv:
+	XMORPH_BENCH_CSV=bench-csv dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/query_guard.exe
+	dune exec examples/schema_evolution.exe
+	dune exec examples/info_loss.exe
+	dune exec examples/dblp_reshape.exe
+	dune exec examples/live_view.exe
+	dune exec examples/integration.exe
+	dune exec examples/xslt_vs_guard.exe
+
+# The full reproduction: build, run the test suite, regenerate every table
+# and figure, and leave the transcripts at the repository root.
+reproduce: build
+	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+clean:
+	dune clean
