@@ -1,0 +1,1 @@
+bench/ablations.ml: Array Buffer Exp_common Gc Guarded List Printf Store String Sys Unix Workloads Xml Xmorph Xmutil Xquery

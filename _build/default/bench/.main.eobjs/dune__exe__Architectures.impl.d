@@ -1,0 +1,1 @@
+bench/architectures.ml: Exp_common Guarded List Printf Store Sys Unix Workloads Xml Xmorph Xquery

@@ -1,0 +1,1 @@
+bench/exp_common.ml: Buffer Filename Gc Hashtbl List Option Printf Store String Sys Unix Xmorph

@@ -1,0 +1,1 @@
+bench/fig10.ml: Baseline Buffer Exp_common Lazy List Printf Store Unix Workloads Xml

@@ -1,0 +1,1 @@
+bench/fig11.ml: Exp_common Fig10 Lazy List Printf Store Unix

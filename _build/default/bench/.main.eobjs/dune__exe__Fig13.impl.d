@@ -1,0 +1,1 @@
+bench/fig13.ml: Exp_common Fig10 Gc Lazy List Printf Store Unix

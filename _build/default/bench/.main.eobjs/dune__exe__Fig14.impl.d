@@ -1,0 +1,1 @@
+bench/fig14.ml: Baseline Buffer Exp_common List Printf Store Sys Unix Workloads Xml

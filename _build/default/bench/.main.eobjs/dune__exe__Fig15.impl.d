@@ -1,0 +1,1 @@
+bench/fig15.ml: Exp_common Lazy List Option Printf Store Unix Workloads Xmorph

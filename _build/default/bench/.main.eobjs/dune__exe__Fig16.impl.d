@@ -1,0 +1,1 @@
+bench/fig16.ml: Exp_common List Option Printf Store Workloads Xmorph

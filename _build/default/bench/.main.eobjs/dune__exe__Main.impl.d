@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Architectures Array Exp_common Fig10 Fig11 Fig12 Fig13 Fig14 Fig15 Fig16 List Micro Printf String Sys Table1 Unix

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Baseline Bechamel Benchmark Buffer Exp_common Float Hashtbl Instance List Measure Printf Staged Store Sys Test Time Toolkit Workloads Xml

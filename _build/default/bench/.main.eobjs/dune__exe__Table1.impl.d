@@ -1,0 +1,1 @@
+bench/table1.ml: Exp_common List Workloads Xml Xmutil

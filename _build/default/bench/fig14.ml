@@ -1,0 +1,89 @@
+(* Fig. 14: DBLP slices x three transformation sizes, vs. eXist.
+
+   The paper sliced DBLP.xml at 134/268/402/518 MB and ran three morphs:
+     small   MORPH author
+     medium  MORPH author [title [year]]
+     large   MORPH dblp [author [title [year [pages] url]]]
+   against equivalent eXist XQuery queries, finding that "as the
+   transformations become larger XMorph outperforms eXist".
+
+   The eXist equivalents must rebuild the nested target shape with
+   constructors — one variable binding per type — which is exactly why the
+   paper calls rendering a guard as XQuery "long [and] complex" (Sec. VIII).
+   Our baseline evaluates those queries by scanning the stored document, as
+   a navigational engine does.
+
+   Slice sizes are scaled down ~25x (entries instead of megabytes). *)
+
+let entry_counts = [ 5_000; 10_000; 15_000; 20_000 ]
+
+let morphs =
+  [
+    ("small", "MORPH author");
+    ("medium", "MORPH author [title [year]]");
+    ("large", "MORPH dblp [author [title [year [pages] url]]]");
+  ]
+
+(* Per-publication-kind FLWOR equivalents; [/dblp/*] covers all kinds. *)
+let exist_queries =
+  [
+    ("small", "//author");
+    ( "medium",
+      "for $e in /dblp/* for $a in $e/author return \
+       <author>{$a/text()}<title>{$e/title/text()}<year>{$e/year/text()}</year></title></author>" );
+    ( "large",
+      "<dblp>{for $e in /dblp/* for $a in $e/author return \
+       <author>{$a/text()}<title>{$e/title/text()}<year>{$e/year/text()}<pages>{$e/pages/text()}</pages></year><url>{$e/url/text()}</url></title></author>}</dblp>" );
+  ]
+
+let median_runs = 3
+
+let median f =
+  let times =
+    List.init median_runs (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        ignore (Sys.opaque_identity (f ()));
+        Unix.gettimeofday () -. t0)
+  in
+  List.nth (List.sort compare times) (median_runs / 2)
+
+let run () =
+  Exp_common.header "Fig. 14: DBLP slices x morph size, XMorph vs eXist";
+  let rows =
+    List.concat_map
+      (fun entries ->
+        let tree = Workloads.Dblp.generate ~entries () in
+        let doc = Xml.Doc.of_tree tree in
+        let bytes = Xml.Printer.serialized_size tree in
+        let store = Store.Shredded.shred doc in
+        let ex = Baseline.Exist_sim.store tree in
+        List.map
+          (fun (label, guard) ->
+            let xm = median (fun () -> Exp_common.render_guard store guard) in
+            let eq = List.assoc label exist_queries in
+            let et =
+              median (fun () ->
+                  let buf = Buffer.create (1 lsl 20) in
+                  Baseline.Exist_sim.query_to_buffer ex eq buf)
+            in
+            [
+              string_of_int entries;
+              Printf.sprintf "%.1f" (Exp_common.mb bytes);
+              label;
+              Exp_common.fmt_s xm;
+              Exp_common.fmt_s et;
+              Printf.sprintf "%.2fx" (et /. xm);
+            ])
+          morphs)
+      entry_counts
+  in
+  Exp_common.print_table
+    ~columns:
+      [ ("entries", `R); ("MB", `R); ("morph", `L); ("xmorph (s)", `R);
+        ("exist (s)", `R); ("exist/xmorph", `R) ]
+    rows;
+  print_endline
+    "expected shape: both grow linearly with slice size, and the eXist/xmorph\n\
+     ratio grows with transformation size: the indexed //author lookup is\n\
+     eXist's best case, while the nested reconstructions close the gap -\n\
+     XMorph catches up as the transformation grows, as in the paper."

@@ -1,0 +1,59 @@
+(* Fig. 15: effect of the target shape.
+
+   Three datasets (NASA astronomy, DBLP conference papers, XMark 0.5) were
+   transformed into deep (skinny) and bushy target shapes at two sizes
+   (4-6 vs. 10-12 labels).  Since the renderer makes a single pass over
+   per-type node lists, only the output size should matter: the paper plots
+   throughput (elements/second) and finds it steady across shapes within a
+   dataset, with variation across datasets due to text content size. *)
+
+let datasets =
+  [
+    ("nasa", Workloads.Shapes.Nasa_data,
+     lazy (Workloads.Nasa.to_doc ~datasets:600 ()));
+    ("dblp", Workloads.Shapes.Dblp_data,
+     lazy (Workloads.Dblp.to_doc ~entries:8000 ()));
+    ("xmark", Workloads.Shapes.Xmark_data,
+     lazy (Workloads.Xmark.to_doc ~factor:0.05 ()));
+  ]
+
+let median_runs = 3
+
+let run () =
+  Exp_common.header "Fig. 15: throughput vs target shape (deep/bushy x small/large)";
+  let rows =
+    List.concat_map
+      (fun (name, ds, doc) ->
+        let doc = Lazy.force doc in
+        let store = Store.Shredded.shred doc in
+        List.map
+          (fun kind ->
+            let guard = Workloads.Shapes.guard ds kind in
+            let stats = ref None in
+            let times =
+              List.init median_runs (fun _ ->
+                  let t0 = Unix.gettimeofday () in
+                  let s = Exp_common.render_guard store guard in
+                  stats := Some s;
+                  Unix.gettimeofday () -. t0)
+            in
+            let t = List.nth (List.sort compare times) (median_runs / 2) in
+            let s = Option.get !stats in
+            [
+              name;
+              Workloads.Shapes.kind_name kind;
+              string_of_int s.Xmorph.Render.elements;
+              Exp_common.fmt_s t;
+              Printf.sprintf "%.0f" (float_of_int s.Xmorph.Render.elements /. t);
+            ])
+          Workloads.Shapes.kinds)
+      datasets
+  in
+  Exp_common.print_table
+    ~columns:
+      [ ("dataset", `L); ("target shape", `L); ("output elements", `R);
+        ("time (s)", `R); ("elements/s", `R) ]
+    rows;
+  print_endline
+    "expected shape: throughput roughly steady across the four target shapes\n\
+     within each dataset; differences between datasets track text size."

@@ -1,0 +1,38 @@
+(* Table I: the path cardinality for every pair of types in the adorned
+   shape of the normalized instance (Fig. 5(c)/(e) in the paper).
+
+   This is an analytical table — no timing — regenerated directly from
+   Def. 6 over the instance's adorned shape. *)
+
+let run () =
+  Exp_common.header "Table I: path cardinality for every pair of types (instance (c))";
+  let doc = Xml.Doc.of_string Workloads.Figures.instance_c in
+  let guide = Xml.Dataguide.of_doc doc in
+  let tt = Xml.Dataguide.types guide in
+  let types = Xml.Dataguide.all_types guide in
+  let label ty =
+    (* Shorten with the qualified name only when ambiguous. *)
+    let l = Xml.Type_table.label tt ty in
+    let same =
+      List.filter (fun t -> Xml.Type_table.label tt t = l) types
+    in
+    if List.length same > 1 then Xml.Type_table.qname tt ty else l
+  in
+  print_endline "source shape:";
+  print_string (Xml.Dataguide.to_string guide);
+  print_newline ();
+  let columns =
+    ("from \\ to", `L) :: List.map (fun ty -> (label ty, `R)) types
+  in
+  let rows =
+    List.map
+      (fun from_ty ->
+        label from_ty
+        :: List.map
+             (fun to_ty ->
+               if from_ty = to_ty then "-"
+               else Xmutil.Card.to_string (Xml.Dataguide.path_card guide from_ty to_ty))
+             types)
+      types
+  in
+  Exp_common.print_table ~columns rows

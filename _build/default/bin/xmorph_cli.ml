@@ -1,0 +1,579 @@
+(* The xmorph command-line tool.
+
+   Subcommands mirror the architecture of Fig. 8: [shred] builds the store,
+   [shape] prints a document's adorned shape, [check] runs the data-free
+   compilation (type analysis + information-loss report), [run] transforms,
+   [query] runs a guarded XQuery query, and [gen] emits the synthetic
+   workload documents used by the benchmarks. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_doc path =
+  try Ok (Xml.Doc.of_string (read_file path)) with
+  | Sys_error m -> Error m
+  | Xml.Parser.Error _ as e ->
+      Error (Option.get (Xml.Parser.error_message e))
+
+let load_store input =
+  (* Accept either a saved store (made by [xmorph shred]) or raw XML. *)
+  match Store.Shredded.load input with
+  | store -> Ok store
+  | exception _ -> (
+      match load_doc input with
+      | Ok doc -> Ok (Store.Shredded.shred doc)
+      | Error m -> Error m)
+
+let exit_err m =
+  Printf.eprintf "xmorph: %s\n" m;
+  exit 1
+
+(* ---------- shred ---------- *)
+
+let shred_cmd =
+  let doc =
+    "Shred one or more XML documents (a collection) into an xmorph store file."
+  in
+  let inputs =
+    Arg.(non_empty & pos_right 0 file [] & info [] ~docv:"XML" ~doc:"Input XML document(s).")
+  in
+  let output =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"STORE" ~doc:"Output store path.")
+  in
+  let run output inputs =
+    let trees =
+      List.map
+        (fun path ->
+          match read_file path with
+          | exception Sys_error m -> exit_err m
+          | text -> (
+              match Xml.Parser.parse text with
+              | tree -> tree
+              | exception (Xml.Parser.Error _ as e) ->
+                  exit_err (path ^ ": " ^ Option.get (Xml.Parser.error_message e))))
+        inputs
+    in
+    let t0 = Unix.gettimeofday () in
+    let store = Store.Shredded.shred (Xml.Doc.of_forest trees) in
+    Store.Shredded.save store output;
+    Printf.printf "shredded %d document(s): %d nodes (%d types, %d KiB) in %.3fs\n"
+      (List.length inputs)
+      (Store.Shredded.node_count store)
+      (Xml.Type_table.count (Store.Shredded.types store))
+      (Store.Shredded.data_bytes store / 1024)
+      (Unix.gettimeofday () -. t0)
+  in
+  Cmd.v (Cmd.info "shred" ~doc) Term.(const run $ output $ inputs)
+
+(* ---------- shape ---------- *)
+
+let shape_cmd =
+  let doc = "Print the adorned shape (DataGuide with cardinalities) of a document or store." in
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT" ~doc:"XML document or store.") in
+  let run input =
+    match load_store input with
+    | Error m -> exit_err m
+    | Ok store -> print_string (Xml.Dataguide.to_string (Store.Shredded.guide store))
+  in
+  Cmd.v (Cmd.info "shape" ~doc) Term.(const run $ input)
+
+(* ---------- shape-diff ---------- *)
+
+let shape_diff_cmd =
+  let doc =
+    "Diff the adorned shapes of two documents or stores: which types were      added, removed, moved, or changed cardinality — the schema evolution a      guard has to survive."
+  in
+  let a = Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD" ~doc:"Old document or store.") in
+  let b = Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW" ~doc:"New document or store.") in
+  let run a b =
+    let guide input =
+      match load_store input with
+      | Error m -> exit_err m
+      | Ok store -> Store.Shredded.guide store
+    in
+    let d = Xml.Shape_diff.diff (guide a) (guide b) in
+    print_string (Xml.Shape_diff.to_string d);
+    if not (Xml.Shape_diff.is_empty d) then exit 4
+  in
+  Cmd.v (Cmd.info "shape-diff" ~doc) Term.(const run $ a $ b)
+
+(* ---------- check ---------- *)
+
+let guard_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"GUARD" ~doc:"XMorph guard text.")
+
+let check_cmd =
+  let doc =
+    "Compile a guard against a document's shape: print the algebra, the \
+     label-to-type report, the target shape, and the information-loss report \
+     (no data is transformed unless --quantify is given)."
+  in
+  let input = Arg.(required & pos 1 (some file) None & info [] ~docv:"INPUT" ~doc:"XML document or store.") in
+  let quantify =
+    Arg.(value & flag
+         & info [ "q"; "quantify" ]
+             ~doc:"Also measure the loss exactly on the data: closest edges preserved / manufactured / discarded.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the reports as JSON.")
+  in
+  let run guard input quantify json =
+    match load_store input with
+    | Error m -> exit_err m
+    | Ok store -> (
+        let guide = Store.Shredded.guide store in
+        match Xmorph.Interp.compile ~enforce:false guide guard with
+        | exception Xmorph.Interp.Error m -> exit_err m
+        | compiled ->
+            if json then begin
+              let fields =
+                [
+                  ("guard", Xmutil.Json.String guard);
+                  ("labels", Xmorph.Report.label_to_json compiled.Xmorph.Interp.labels);
+                  ("loss", Xmorph.Report.loss_to_json compiled.Xmorph.Interp.loss);
+                ]
+                @
+                if quantify then
+                  [ ("measured",
+                     Xmorph.Quantify.to_json
+                       (Xmorph.Quantify.measure store compiled.Xmorph.Interp.shape)) ]
+                else []
+              in
+              print_endline (Xmutil.Json.to_string (Xmutil.Json.Obj fields))
+            end
+            else begin
+              print_endline "== algebra ==";
+              print_string (Xmorph.Algebra.to_string compiled.Xmorph.Interp.algebra);
+              print_endline "== label-to-type report ==";
+              print_string (Xmorph.Report.label_to_string compiled.Xmorph.Interp.labels);
+              print_endline "== target shape ==";
+              print_string (Xmorph.Tshape.to_string compiled.Xmorph.Interp.shape);
+              print_endline "== information loss report (static, Thms. 1-2) ==";
+              print_string (Xmorph.Report.loss_to_string compiled.Xmorph.Interp.loss);
+              if quantify then begin
+                print_endline "== measured information loss ==";
+                print_string
+                  (Xmorph.Quantify.to_string
+                     (Xmorph.Quantify.measure store compiled.Xmorph.Interp.shape))
+              end
+            end)
+  in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ guard_arg $ input $ quantify $ json)
+
+(* ---------- run ---------- *)
+
+let run_cmd =
+  let doc = "Evaluate a guard: transform the data to the guard's shape and print the XML." in
+  let input = Arg.(required & pos 1 (some file) None & info [] ~docv:"INPUT" ~doc:"XML document or store.") in
+  let force =
+    Arg.(value & flag & info [ "f"; "force" ] ~doc:"Transform even when type enforcement rejects the guard.")
+  in
+  let compact = Arg.(value & flag & info [ "compact" ] ~doc:"No indentation.") in
+  let run guard input force compact =
+    match load_store input with
+    | Error m -> exit_err m
+    | Ok store -> (
+        match Xmorph.Interp.transform ~enforce:(not force) store guard with
+        | exception Xmorph.Interp.Error m -> exit_err m
+        | exception Xmorph.Loss.Rejected r ->
+            Printf.eprintf
+              "xmorph: guard rejected by type enforcement (use --force or a CAST):\n%s"
+              (Xmorph.Report.loss_to_string r);
+            exit 2
+        | tree, compiled ->
+            List.iter
+              (fun w -> Printf.eprintf "warning: %s\n" w)
+              compiled.Xmorph.Interp.loss.Xmorph.Report.warnings;
+            if compact then print_endline (Xml.Printer.to_string tree)
+            else print_string (Xml.Printer.to_string_indented tree))
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ guard_arg $ input $ force $ compact)
+
+(* ---------- query ---------- *)
+
+let query_cmd =
+  let doc = "Run a guarded XQuery query: the guard reshapes the data, then the query runs on the result." in
+  let guard =
+    Arg.(required & opt (some string) None & info [ "g"; "guard" ] ~docv:"GUARD" ~doc:"Query guard.")
+  in
+  let query =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"XQuery text.")
+  in
+  let input = Arg.(required & pos 1 (some file) None & info [] ~docv:"INPUT" ~doc:"XML document or store.") in
+  let force = Arg.(value & flag & info [ "f"; "force" ] ~doc:"Skip type enforcement.") in
+  let logical =
+    Arg.(value & flag
+         & info [ "logical" ]
+             ~doc:"Architecture 3: evaluate in situ against the virtual shape instead of physically transforming first.")
+  in
+  let run query input guard force logical =
+    match load_store input with
+    | Error m -> exit_err m
+    | Ok store ->
+        if logical then begin
+          match Guarded.Logical.create ~enforce:(not force) store ~guard with
+          | exception Xmorph.Loss.Rejected r ->
+              Printf.eprintf "xmorph: guard rejected:\n%s" (Xmorph.Report.loss_to_string r);
+              exit 2
+          | exception Xmorph.Interp.Error m -> exit_err m
+          | lg -> (
+              match Guarded.Logical.query_to_xml lg query with
+              | exception Xquery.Eval.Error m -> exit_err m
+              | trees ->
+                  List.iter (fun t -> print_endline (Xml.Printer.to_string t)) trees)
+        end
+        else begin
+          let gq = { Guarded.Guarded_query.guard; query } in
+          match Guarded.Guarded_query.run_on_store ~enforce:(not force) store gq with
+          | exception Guarded.Guarded_query.Guard_rejected r ->
+              Printf.eprintf "xmorph: guard rejected:\n%s" (Xmorph.Report.loss_to_string r);
+              exit 2
+          | exception Guarded.Guarded_query.Query_failed m -> exit_err m
+          | exception Xmorph.Interp.Error m -> exit_err m
+          | outcome ->
+              List.iter
+                (fun t -> print_endline (Xml.Printer.to_string t))
+                outcome.Guarded.Guarded_query.result_xml
+        end
+  in
+  Cmd.v (Cmd.info "query" ~doc) Term.(const run $ query $ input $ guard $ force $ logical)
+
+(* ---------- explain ---------- *)
+
+let explain_cmd =
+  let doc =
+    "Explain how a guard will join this data: per target edge, the type      distance, join level, instance counts, closest-pair count, and any      children left without a closest parent."
+  in
+  let input = Arg.(required & pos 1 (some file) None & info [] ~docv:"INPUT" ~doc:"XML document or store.") in
+  let run guard input =
+    match load_store input with
+    | Error m -> exit_err m
+    | Ok store -> (
+        match Xmorph.Interp.compile ~enforce:false (Store.Shredded.guide store) guard with
+        | exception Xmorph.Interp.Error m -> exit_err m
+        | compiled ->
+            Format.printf "%a@?" Xmorph.Render.pp_explanation
+              (Xmorph.Render.explain store compiled.Xmorph.Interp.shape))
+  in
+  Cmd.v (Cmd.info "explain" ~doc) Term.(const run $ guard_arg $ input)
+
+(* ---------- view ---------- *)
+
+let view_cmd =
+  let doc =
+    "Render a guard as an equivalent XQuery program (architecture 2 of the \
+     paper): the printed query, evaluated against the source document, \
+     produces the transformed XML."
+  in
+  let input = Arg.(required & pos 1 (some file) None & info [] ~docv:"INPUT" ~doc:"XML document or store.") in
+  let eval_flag =
+    Arg.(value & flag & info [ "eval" ] ~doc:"Also evaluate the generated view and print the result.")
+  in
+  let run guard input eval_flag =
+    match load_store input with
+    | Error m -> exit_err m
+    | Ok store -> (
+        let guide = Store.Shredded.guide store in
+        match Guarded.View_gen.generate_guard guide guard with
+        | exception Guarded.View_gen.Unsupported m ->
+            exit_err ("cannot render this guard as an XQuery view: " ^ m)
+        | exception Xmorph.Interp.Error m -> exit_err m
+        | view ->
+            print_endline view;
+            if eval_flag then begin
+              match load_doc input with
+              | Error m -> exit_err m
+              | Ok doc ->
+                  print_endline "";
+                  print_string
+                    (Xml.Printer.to_string_indented
+                       (Guarded.View_gen.run_view doc guard))
+            end)
+  in
+  Cmd.v (Cmd.info "view" ~doc) Term.(const run $ guard_arg $ input $ eval_flag)
+
+(* ---------- infer ---------- *)
+
+let infer_cmd =
+  let doc =
+    "Infer a query guard from an XQuery query (the shape the query \
+     navigates), optionally checking it against a document."
+  in
+  let query =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"XQuery text.")
+  in
+  let input =
+    Arg.(value & pos 1 (some file) None & info [] ~docv:"INPUT" ~doc:"Optional XML document or store to check the guard against.")
+  in
+  let run query input =
+    match Guarded.Infer.guard_of_query query with
+    | exception Failure m -> exit_err m
+    | exception (Xquery.Qparse.Error _ as e) ->
+        exit_err (Option.get (Xquery.Qparse.error_message query e))
+    | guard -> (
+        print_endline guard;
+        match input with
+        | None -> ()
+        | Some input -> (
+            match load_store input with
+            | Error m -> exit_err m
+            | Ok store -> (
+                let guide = Store.Shredded.guide store in
+                match Xmorph.Interp.compile ~enforce:false guide guard with
+                | exception Xmorph.Interp.Error m -> exit_err m
+                | compiled ->
+                    print_string
+                      (Xmorph.Report.loss_to_string compiled.Xmorph.Interp.loss))))
+  in
+  Cmd.v (Cmd.info "infer" ~doc) Term.(const run $ query $ input)
+
+(* ---------- gen ---------- *)
+
+let gen_cmd =
+  let doc = "Generate a synthetic workload document (xmark, dblp, nasa)." in
+  let kind =
+    Arg.(required & pos 0 (some (enum [ ("xmark", `Xmark); ("dblp", `Dblp); ("nasa", `Nasa) ])) None
+         & info [] ~docv:"KIND" ~doc:"One of xmark, dblp, nasa.")
+  in
+  let scale =
+    Arg.(value & opt float 0.01
+         & info [ "s"; "scale" ] ~docv:"S"
+             ~doc:"XMark benchmark factor, or entry count scale for dblp (x1000) and nasa (x100).")
+  in
+  let seed = Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.") in
+  let output = Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE" ~doc:"Output path (stdout by default).") in
+  let run kind scale seed output =
+    let tree =
+      match kind with
+      | `Xmark -> Workloads.Xmark.generate ?seed ~factor:scale ()
+      | `Dblp -> Workloads.Dblp.generate ?seed ~entries:(int_of_float (scale *. 1000.)) ()
+      | `Nasa -> Workloads.Nasa.generate ?seed ~datasets:(int_of_float (scale *. 100.)) ()
+    in
+    let text = Xml.Printer.to_string tree in
+    match output with
+    | None -> print_endline text
+    | Some path ->
+        let oc = open_out_bin path in
+        output_string oc text;
+        close_out oc;
+        Printf.printf "wrote %d bytes to %s\n" (String.length text) path
+  in
+  Cmd.v (Cmd.info "gen" ~doc) Term.(const run $ kind $ scale $ seed $ output)
+
+(* ---------- fmt ---------- *)
+
+let fmt_cmd =
+  let doc = "Parse a guard and print its canonical form." in
+  let run guard =
+    match Xmorph.Parse.guard guard with
+    | ast -> print_endline (Xmorph.Ast.to_string ast)
+    | exception e -> (
+        match Xmorph.Parse.error_message guard e with
+        | Some m -> exit_err m
+        | None -> raise e)
+  in
+  Cmd.v (Cmd.info "fmt" ~doc) Term.(const run $ guard_arg)
+
+(* ---------- equiv ---------- *)
+
+let equiv_cmd =
+  let doc =
+    "Do two differently shaped documents hold the same data?  Transform both      with the same guard and compare the results up to sibling order (shapes      are unordered)."
+  in
+  let a = Arg.(required & pos 1 (some file) None & info [] ~docv:"A" ~doc:"First document.") in
+  let b = Arg.(required & pos 2 (some file) None & info [] ~docv:"B" ~doc:"Second document.") in
+  let run guard a b =
+    let transform input =
+      match load_store input with
+      | Error m -> exit_err m
+      | Ok store -> (
+          match Xmorph.Interp.transform ~enforce:false store guard with
+          | exception Xmorph.Interp.Error m -> exit_err (input ^ ": " ^ m)
+          | tree, _ -> tree)
+    in
+    let ta = transform a and tb = transform b in
+    if Xml.Tree.equal_unordered ta tb then begin
+      Printf.printf "equivalent under %s\n" guard;
+      exit 0
+    end
+    else begin
+      Printf.printf "NOT equivalent under %s\n" guard;
+      exit 3
+    end
+  in
+  Cmd.v (Cmd.info "equiv" ~doc) Term.(const run $ guard_arg $ a $ b)
+
+(* ---------- shell ---------- *)
+
+let shell_cmd =
+  let doc =
+    "Interactive shell over a document or store: type a guard to transform, \
+     or :commands for reports and guarded queries."
+  in
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT" ~doc:"XML document or store.") in
+  let run input =
+    match load_store input with
+    | Error m -> exit_err m
+    | Ok store ->
+        let guide = Store.Shredded.guide store in
+        let current_guard = ref "" in
+        (match Xml.Dataguide.roots guide with
+        | root :: _ ->
+            current_guard :=
+              "MUTATE " ^ Xml.Type_table.label (Store.Shredded.types store) root
+        | [] -> ());
+        let interactive = Unix.isatty Unix.stdin in
+        let help () =
+          print_string
+            "commands:\n\
+            \  :shape            print the adorned shape\n\
+            \  :guard GUARD      set the current guard\n\
+            \  :check [GUARD]    label/loss reports (current guard by default)\n\
+            \  :explain [GUARD]  join diagnostics\n\
+            \  :quantify [GUARD] measured information loss\n\
+            \  :query QUERY      guarded query (physical)\n\
+            \  :logical QUERY    guarded query (in-situ, architecture 3)\n\
+            \  :quit             exit\n\
+            \  GUARD             transform and print\n"
+        in
+        let compile_or_report g =
+          match Xmorph.Interp.compile ~enforce:false guide g with
+          | compiled -> Some compiled
+          | exception Xmorph.Interp.Error m ->
+              print_endline m;
+              None
+        in
+        let strip_prefix line p =
+          let n = String.length p in
+          if String.length line >= n && String.sub line 0 n = p then
+            Some (String.trim (String.sub line n (String.length line - n)))
+          else None
+        in
+        let arg_or_current rest = if rest = "" then !current_guard else rest in
+        let handle line =
+          let line = String.trim line in
+          if line = "" then ()
+          else if line = ":quit" || line = ":q" then raise Exit
+          else if line = ":help" || line = ":h" then help ()
+          else if line = ":shape" then print_string (Xml.Dataguide.to_string guide)
+          else
+            match strip_prefix line ":guard" with
+            | Some g when g <> "" -> (
+                match compile_or_report g with
+                | Some _ ->
+                    current_guard := g;
+                    Printf.printf "guard set: %s\n" g
+                | None -> ())
+            | _ -> (
+                match strip_prefix line ":quantify" with
+                | Some rest -> (
+                    match compile_or_report (arg_or_current rest) with
+                    | Some compiled ->
+                        print_string
+                          (Xmorph.Quantify.to_string
+                             (Xmorph.Quantify.measure store compiled.Xmorph.Interp.shape))
+                    | None -> ())
+                | None -> (
+                    match strip_prefix line ":explain" with
+                    | Some rest -> (
+                        match compile_or_report (arg_or_current rest) with
+                        | Some compiled ->
+                            Format.printf "%a@?" Xmorph.Render.pp_explanation
+                              (Xmorph.Render.explain store compiled.Xmorph.Interp.shape)
+                        | None -> ())
+                    | None -> (
+                        match strip_prefix line ":check" with
+                        | Some rest -> (
+                            match compile_or_report (arg_or_current rest) with
+                            | Some compiled ->
+                                print_string
+                                  (Xmorph.Report.label_to_string
+                                     compiled.Xmorph.Interp.labels);
+                                print_string
+                                  (Xmorph.Report.loss_to_string
+                                     compiled.Xmorph.Interp.loss)
+                            | None -> ())
+                        | None -> (
+                            match strip_prefix line ":query" with
+                            | Some q -> (
+                                match
+                                  Guarded.Guarded_query.run_on_store ~enforce:false
+                                    store
+                                    { Guarded.Guarded_query.guard = !current_guard;
+                                      query = q }
+                                with
+                                | outcome ->
+                                    List.iter
+                                      (fun t ->
+                                        print_endline (Xml.Printer.to_string t))
+                                      outcome.Guarded.Guarded_query.result_xml
+                                | exception Guarded.Guarded_query.Query_failed m ->
+                                    print_endline m
+                                | exception Xmorph.Interp.Error m -> print_endline m)
+                            | None -> (
+                                match strip_prefix line ":logical" with
+                                | Some q -> (
+                                    match
+                                      Guarded.Logical.create ~enforce:false store
+                                        ~guard:!current_guard
+                                    with
+                                    | exception Xmorph.Interp.Error m ->
+                                        print_endline m
+                                    | lg -> (
+                                        match Guarded.Logical.query_to_xml lg q with
+                                        | trees ->
+                                            List.iter
+                                              (fun t ->
+                                                print_endline
+                                                  (Xml.Printer.to_string t))
+                                              trees
+                                        | exception Xquery.Eval.Error m ->
+                                            print_endline m
+                                        | exception (Xquery.Qparse.Error _ as e) ->
+                                            print_endline
+                                              (Option.value
+                                                 ~default:"query syntax error"
+                                                 (Xquery.Qparse.error_message q e))))
+                                | None -> (
+                                    match compile_or_report line with
+                                    | Some compiled ->
+                                        print_string
+                                          (Xml.Printer.to_string_indented
+                                             (Xmorph.Interp.render store compiled))
+                                    | None -> ()))))))
+        in
+        if interactive then
+          print_endline "xmorph shell - :help for commands, :quit to exit";
+        (try
+           while true do
+             if interactive then (print_string "xmorph> "; flush stdout);
+             match input_line stdin with
+             | line -> handle line
+             | exception End_of_file -> raise Exit
+           done
+         with Exit -> ())
+  in
+  Cmd.v (Cmd.info "shell" ~doc) Term.(const run $ input)
+
+let setup_logs () =
+  (* XMORPH_DEBUG=1 turns on per-phase debug timing on stderr. *)
+  if Sys.getenv_opt "XMORPH_DEBUG" <> None then begin
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end
+
+let main =
+  setup_logs ();
+  let doc = "shape-polymorphic XML transformations (XMorph 2.0)" in
+  let info = Cmd.info "xmorph" ~version:"2.0" ~doc in
+  Cmd.group info
+    [ shred_cmd; shape_cmd; shape_diff_cmd; check_cmd; explain_cmd; run_cmd; query_cmd;
+      infer_cmd; view_cmd; shell_cmd; equiv_cmd; fmt_cmd; gen_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/dblp_reshape.ml: Baseline Buffer List Printf Store Unix Workloads Xml Xmorph

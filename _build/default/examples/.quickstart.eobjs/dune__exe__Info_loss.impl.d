@@ -1,0 +1,1 @@
+examples/info_loss.ml: Printf Store Workloads Xml Xmorph

@@ -1,0 +1,1 @@
+examples/integration.ml: Guarded List Printf Xml Xmorph Xquery

@@ -1,0 +1,1 @@
+examples/live_view.ml: Guarded List Printf Xml Xquery

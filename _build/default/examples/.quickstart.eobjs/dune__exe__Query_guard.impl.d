@@ -1,0 +1,1 @@
+examples/query_guard.ml: Guarded List Printf Workloads Xml Xmorph

@@ -1,0 +1,1 @@
+examples/schema_evolution.ml: Guarded List Printf String Xml

@@ -1,0 +1,1 @@
+examples/xslt_vs_guard.ml: Baseline List Printf Workloads Xml Xmorph

@@ -1,0 +1,1 @@
+examples/xslt_vs_guard.mli:

@@ -1,0 +1,53 @@
+(* Reshaping a bibliography at scale (the Fig. 14 scenario, laptop-sized).
+
+   Generates a DBLP-like document, shreds it once, then runs the paper's
+   three transformation sizes, reporting time, output size, throughput, and
+   the store's block-I/O accounting.
+
+   Run with: dune exec examples/dblp_reshape.exe *)
+
+let morphs =
+  [
+    ("small", "MORPH author");
+    ("medium", "MORPH author [title [year]]");
+    ("large", "MORPH dblp [author [title [year [pages] url]]]");
+  ]
+
+let () =
+  let entries = 5_000 in
+  Printf.printf "generating a DBLP-like document with %d entries...\n%!" entries;
+  let doc = Workloads.Dblp.to_doc ~entries () in
+  Printf.printf "  %d nodes, %d bytes serialized\n%!" (Xml.Doc.node_count doc)
+    (Xml.Printer.serialized_size (Xml.Doc.to_tree doc));
+
+  let t0 = Unix.gettimeofday () in
+  let store = Store.Shredded.shred doc in
+  Printf.printf "  shredded in %.3fs\n\n%!" (Unix.gettimeofday () -. t0);
+
+  Printf.printf "%-8s %-45s %10s %12s %14s %12s\n" "size" "guard" "time(s)"
+    "elements" "elems/s" "blocks I/O";
+  List.iter
+    (fun (label, guard) ->
+      Store.Io_stats.reset (Store.Shredded.stats store);
+      let t0 = Unix.gettimeofday () in
+      let compiled =
+        Xmorph.Interp.compile ~enforce:false (Store.Shredded.guide store) guard
+      in
+      let buf = Buffer.create (1 lsl 20) in
+      let stats = Xmorph.Interp.render_to_buffer store compiled buf in
+      let dt = Unix.gettimeofday () -. t0 in
+      let io = Store.Io_stats.snapshot (Store.Shredded.stats store) in
+      Printf.printf "%-8s %-45s %10.3f %12d %14.0f %12d\n%!" label guard dt
+        stats.Xmorph.Render.elements
+        (float_of_int stats.Xmorph.Render.elements /. dt)
+        (Store.Io_stats.blocks_total io))
+    morphs;
+
+  (* The eXist-style baseline for scale: dump the whole stored document. *)
+  let ex = Baseline.Exist_sim.of_doc doc in
+  Store.Io_stats.reset (Baseline.Exist_sim.stats ex);
+  let t0 = Unix.gettimeofday () in
+  let buf = Buffer.create (1 lsl 20) in
+  let bytes = Baseline.Exist_sim.dump ex buf in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "\neXist-style dump: %.3fs for %d bytes\n" dt bytes

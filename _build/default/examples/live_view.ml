@@ -1,0 +1,69 @@
+(* Materialized transformations and inferred guards working together
+   (Sec. VIII's update-mapping mitigation + Sec. X's guard inference).
+
+   A catalog application queries a reshaped view of a bookstore.  The guard
+   is inferred from the query; the view is materialized once; updates to the
+   source are mapped onto the view — value updates take the fast path,
+   structural updates refresh.
+
+   Run with: dune exec examples/live_view.exe *)
+
+let source =
+  {|<store>
+      <shelf region="fiction">
+        <book><title>Orlando</title><price>12</price><writer>Woolf</writer></book>
+        <book><title>Ficciones</title><price>15</price><writer>Borges</writer></book>
+      </shelf>
+      <shelf region="science">
+        <book><title>Relativity</title><price>18</price><writer>Einstein</writer></book>
+      </shelf>
+    </store>|}
+
+let query =
+  {|for $w in //writer
+    order by $w
+    return <entry>{$w/text()}: {$w/book/title/text()} (${$w/book/price/text()})</entry>|}
+
+let show_view label view =
+  Printf.printf "== %s (full refreshes so far: %d) ==\n" label
+    (Guarded.Materialized.full_refreshes view);
+  List.iter
+    (fun it -> Printf.printf "  %s\n" (Xquery.Value.string_value it))
+    (Guarded.Materialized.query view query);
+  print_newline ()
+
+let () =
+  (* 1. Infer the guard from the query: it navigates writer/book/title and
+     writer/book/price, so the needed shape is writers on top. *)
+  let guard = Guarded.Infer.guard_of_query query in
+  Printf.printf "inferred guard: %s\n\n" guard;
+
+  (* 2. Materialize the transformation once. *)
+  let doc = Xml.Doc.of_string source in
+  let view = Guarded.Materialized.create ~enforce:false doc ~guard in
+  show_view "initial view" view;
+
+  (* 3. A price correction: a value update, mapped onto the view without
+     re-shredding or recompiling the guard. *)
+  let view =
+    Guarded.Materialized.apply view
+      (Guarded.Materialized.Replace_value
+         { select = "/store/shelf[1]/book[2]/price"; value = "11" })
+  in
+  show_view "after price correction (fast path)" view;
+
+  (* 4. A new book arrives: structural, so the view refreshes fully. *)
+  let new_book =
+    Xml.Tree.element "book"
+      [
+        Xml.Tree.element "title" [ Xml.Tree.text "Cosmos" ];
+        Xml.Tree.element "price" [ Xml.Tree.text "14" ];
+        Xml.Tree.element "writer" [ Xml.Tree.text "Sagan" ];
+      ]
+  in
+  let view =
+    Guarded.Materialized.apply view
+      (Guarded.Materialized.Insert_child
+         { select = "/store/shelf[2]"; child = new_book })
+  in
+  show_view "after new arrival (full refresh)" view

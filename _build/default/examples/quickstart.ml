@@ -1,0 +1,41 @@
+(* Quickstart: reshape a document with a one-line guard.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let source =
+  {|<library>
+      <shelf>
+        <book isbn="1-55860-438-3">
+          <title>Principles of Transaction Processing</title>
+          <writer>Bernstein</writer>
+          <writer>Newcomer</writer>
+        </book>
+        <book isbn="0-201-53771-0">
+          <title>Principles of Database Systems</title>
+          <writer>Ullman</writer>
+        </book>
+      </shelf>
+    </library>|}
+
+let () =
+  (* 1. Parse and index the document. *)
+  let doc = Xml.Doc.of_string source in
+
+  (* 2. Look at its shape: a DataGuide adorned with cardinalities. *)
+  let guide = Xml.Dataguide.of_doc doc in
+  print_endline "Source shape:";
+  print_string (Xml.Dataguide.to_string guide);
+
+  (* 3. Declare the shape we want: writers on top, their books below.  The
+     guard is independent of where writers currently live. *)
+  let guard = "MORPH writer [ book [ title @isbn ] ]" in
+
+  (* 4. Transform.  [transform_doc] shreds, compiles the guard (including
+     the information-loss analysis), and renders. *)
+  let tree, compiled = Xmorph.Interp.transform_doc ~enforce:false doc guard in
+
+  Printf.printf "\nGuard: %s\n" guard;
+  Printf.printf "Classification: %s\n\n"
+    (Xmorph.Report.classification_to_string
+       compiled.Xmorph.Interp.loss.Xmorph.Report.classification);
+  print_string (Xml.Printer.to_string_indented tree)

@@ -1,0 +1,1 @@
+lib/baseline/exist_sim.ml: Buffer Hashtbl List Option Store String Xml Xquery

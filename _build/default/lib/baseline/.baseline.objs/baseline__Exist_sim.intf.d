@@ -1,0 +1,1 @@
+lib/baseline/exist_sim.mli: Buffer Store Xml Xquery

@@ -1,0 +1,1 @@
+lib/baseline/xslt_lite.ml: Format List Option String Xml

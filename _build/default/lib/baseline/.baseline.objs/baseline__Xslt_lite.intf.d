@@ -1,0 +1,1 @@
+lib/baseline/xslt_lite.mli: Xml

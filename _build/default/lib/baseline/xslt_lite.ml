@@ -1,0 +1,149 @@
+type rule = { matches : string list; template : Xml.Tree.t list }
+
+type program = rule list
+
+exception Error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+(* ---------------- program parsing ---------------- *)
+
+let parse_program src =
+  (* Split on the keyword "match" at the start of a (trimmed) line. *)
+  let lines = String.split_on_char '\n' src in
+  let chunks = ref [] and current = ref [] in
+  List.iter
+    (fun line ->
+      let t = String.trim line in
+      if String.length t >= 6 && String.sub t 0 6 = "match " then begin
+        if !current <> [] then chunks := List.rev !current :: !chunks;
+        current := [ t ]
+      end
+      else if t <> "" then current := t :: !current)
+    lines;
+  if !current <> [] then chunks := List.rev !current :: !chunks;
+  let chunks = List.rev !chunks in
+  if chunks = [] then err "empty program";
+  List.map
+    (fun chunk ->
+      match chunk with
+      | [] -> err "empty rule"
+      | header :: body ->
+          let after_match = String.sub header 6 (String.length header - 6) in
+          let path, inline_tail =
+            match String.index_opt after_match ' ' with
+            | None -> (String.trim after_match, "")
+            | Some i ->
+                let p = String.sub after_match 0 i in
+                let rest = String.sub after_match i (String.length after_match - i) in
+                (p, String.trim rest)
+          in
+          let tail =
+            if inline_tail = "" then String.concat "\n" body
+            else inline_tail ^ "\n" ^ String.concat "\n" body
+          in
+          let tail = String.trim tail in
+          let tmpl_src =
+            if String.length tail >= 7 && String.sub tail 0 7 = "produce" then
+              String.sub tail 7 (String.length tail - 7)
+            else err "expected 'produce' after the match path"
+          in
+          let wrapped = "<template-root>" ^ tmpl_src ^ "</template-root>" in
+          let template =
+            match Xml.Parser.parse wrapped with
+            | Xml.Tree.Element { children; _ } -> children
+            | _ -> err "bad template"
+            | exception (Xml.Parser.Error _ as e) ->
+                err "template XML: %s" (Option.get (Xml.Parser.error_message e))
+          in
+          let matches =
+            List.filter (fun s -> s <> "") (String.split_on_char '/' path)
+          in
+          if matches = [] then err "empty match path";
+          { matches; template })
+    chunks
+
+(* ---------------- evaluation ---------------- *)
+
+(* A focused node: the node plus its ancestors, nearest first. *)
+type ctx = { node : Xml.Tree.t; ancestors : Xml.Tree.t list }
+
+let name_of (t : Xml.Tree.t) = Xml.Tree.name t
+
+(* Does the rule's path match the context?  The path must be a suffix of the
+   ancestor chain ending at the node, XSLT-style. *)
+let rule_matches rule ctx =
+  let rec check rev_path chain =
+    match (rev_path, chain) with
+    | [], _ -> true
+    | p :: ps, node :: rest -> name_of node = p && check ps rest
+    | _ :: _, [] -> false
+  in
+  check (List.rev rule.matches) (ctx.node :: ctx.ancestors)
+
+let find_rule program ctx = List.find_opt (fun r -> rule_matches r ctx) program
+
+(* Resolve a select path from a context: child names and '..'. *)
+let select ctx path =
+  let steps = List.filter (fun s -> s <> "") (String.split_on_char '/' path) in
+  let rec go ctxs = function
+    | [] -> ctxs
+    | ".." :: rest ->
+        let ups =
+          List.filter_map
+            (fun c ->
+              match c.ancestors with
+              | p :: anc -> Some { node = p; ancestors = anc }
+              | [] -> None)
+            ctxs
+        in
+        go ups rest
+    | step :: rest ->
+        let kids =
+          List.concat_map
+            (fun c ->
+              List.filter_map
+                (fun child ->
+                  match child with
+                  | Xml.Tree.Element { name; _ } when step = "*" || name = step ->
+                      Some { node = child; ancestors = c.node :: c.ancestors }
+                  | _ -> None)
+                (Xml.Tree.children c.node))
+            ctxs
+        in
+        go kids rest
+  in
+  go [ ctx ] steps
+
+let rec instantiate program ctx (tmpl : Xml.Tree.t) : Xml.Tree.t list =
+  match tmpl with
+  | Xml.Tree.Text _ -> [ tmpl ]
+  | Xml.Tree.Element { name = "apply"; attrs; _ } ->
+      let path = Option.value ~default:"." (List.assoc_opt "select" attrs) in
+      let selected = if path = "." then [ ctx ] else select ctx path in
+      List.concat_map
+        (fun c ->
+          match find_rule program c with
+          | Some rule -> List.concat_map (instantiate program c) rule.template
+          | None -> [ c.node ])
+        selected
+  | Xml.Tree.Element { name = "copy"; attrs; _ } ->
+      let path = Option.value ~default:"." (List.assoc_opt "select" attrs) in
+      List.map (fun c -> c.node) (if path = "." then [ ctx ] else select ctx path)
+  | Xml.Tree.Element { name = "value-of"; attrs; _ } ->
+      let path = Option.value ~default:"." (List.assoc_opt "select" attrs) in
+      let selected = if path = "." then [ ctx ] else select ctx path in
+      [ Xml.Tree.Text
+          (String.concat "" (List.map (fun c -> Xml.Tree.deep_text c.node) selected)) ]
+  | Xml.Tree.Element e ->
+      [ Xml.Tree.Element
+          { e with children = List.concat_map (instantiate program ctx) e.children } ]
+
+let apply program doc =
+  let ctx = { node = doc; ancestors = [] } in
+  match find_rule program ctx with
+  | Some rule -> List.concat_map (instantiate program ctx) rule.template
+  | None -> []
+
+let apply_string program_src xml =
+  apply (parse_program program_src) (Xml.Parser.parse xml)

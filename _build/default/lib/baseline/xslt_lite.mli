@@ -1,0 +1,45 @@
+(** A small template-rule transformation language, standing in for the XML
+    transformation languages of the paper's related work (Sec. II): "The
+    data could be transformed with a program in an XML transformation
+    language [19], [22].  However, each transformation depends on the shape
+    of the input and would have to be re-programmed for a different shape."
+
+    Programs are lists of template rules in document order of declaration:
+
+    {v
+    match data/book/author produce
+      <author>
+        <apply select="name"/>
+        <copy select="../title"/>
+      </author>
+    v}
+
+    - [match] patterns are slash paths matched against the node's ancestor
+      chain (shape-coupled, as the paper argues);
+    - templates are literal XML with three instructions: [<apply select=P/>]
+      applies matching rules to the nodes selected by the relative path [P]
+      (falling back to deep-copying them), [<copy select=P/>] deep-copies
+      them, and [<value-of select=P/>] inserts their text content; [select]
+      paths step through child names and [..].
+
+    The [xslt_vs_guard] example shows two different programs being needed
+    for Figs. 1(a) and 1(b) where one guard suffices. *)
+
+type rule = { matches : string list; template : Xml.Tree.t list }
+
+type program = rule list
+
+exception Error of string
+
+val parse_program : string -> program
+(** Parse the concrete syntax above.
+    @raise Error on malformed programs. *)
+
+val apply : program -> Xml.Tree.t -> Xml.Tree.t list
+(** Apply the program to a document: the first rule whose match path ends at
+    the root is instantiated; [<apply/>] recurses.  Nodes matched by no rule
+    produce nothing (as in XSLT with empty default templates for elements
+    under explicit control). *)
+
+val apply_string : string -> string -> Xml.Tree.t list
+(** [apply_string program xml]. *)

@@ -1,0 +1,1 @@
+lib/core/algebra.ml: Ast Format List Printf String Xml

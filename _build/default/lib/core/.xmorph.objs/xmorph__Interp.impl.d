@@ -1,0 +1,1 @@
+lib/core/interp.ml: Algebra Ast Logs Loss Parse Render Report Semantics Store Tshape Unix

@@ -1,0 +1,1 @@
+lib/core/interp.mli: Algebra Ast Buffer Render Report Store Tshape Xml

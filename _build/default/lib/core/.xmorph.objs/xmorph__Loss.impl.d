@@ -1,0 +1,1 @@
+lib/core/loss.ml: Array Ast Card Hashtbl List Printf Report Tshape Xml Xmutil

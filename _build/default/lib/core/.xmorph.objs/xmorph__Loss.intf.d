@@ -1,0 +1,1 @@
+lib/core/loss.mli: Ast Report Tshape Xml Xmutil

@@ -1,0 +1,1 @@
+lib/core/parse.ml: Array Ast Lexer List Printf String

@@ -1,0 +1,1 @@
+lib/core/quantify.ml: Array Dewey Format Hashtbl List Option Render Set Store Tshape Xml Xmutil

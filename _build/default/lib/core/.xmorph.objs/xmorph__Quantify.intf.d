@@ -1,0 +1,1 @@
+lib/core/quantify.mli: Format Store Tshape Xmutil

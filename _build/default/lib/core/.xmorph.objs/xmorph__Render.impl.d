@@ -1,0 +1,1 @@
+lib/core/render.ml: Array Buffer Dewey Format Hashtbl List Option Printf Stdlib Store String Tshape Vec Xml Xmutil

@@ -1,0 +1,1 @@
+lib/core/render.mli: Buffer Format Store Tshape Xml Xmutil

@@ -1,0 +1,1 @@
+lib/core/semantics.ml: Algebra Format Hashtbl List Option Report String Tshape Xml

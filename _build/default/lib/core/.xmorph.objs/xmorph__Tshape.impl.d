@@ -1,0 +1,1 @@
+lib/core/tshape.ml: Format Hashtbl List Printf String Xml

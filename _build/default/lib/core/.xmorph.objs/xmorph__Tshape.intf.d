@@ -1,0 +1,1 @@
+lib/core/tshape.mli: Format Xml

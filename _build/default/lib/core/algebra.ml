@@ -1,0 +1,99 @@
+type t = { desc : desc; mutable inferred : Xml.Type_table.id list }
+
+and desc =
+  | Compose of t * t
+  | Morph of t list
+  | Mutate of t list
+  | Translate of (string * string) list
+  | Type_sel of { label : string; bang : bool }
+  | Closest of t * t list
+  | Star_children
+  | Star_descendants
+  | Children_of of t
+  | Descendants_of of t
+  | Drop of t
+  | Clone of t
+  | New_label of string
+  | Restrict of t
+  | Value_eq of t * string
+  | Order_by of t * string
+  | Cast of Ast.cast * t
+  | Type_fill of t
+
+let mk desc = { desc; inferred = [] }
+
+let rec of_pattern (p : Ast.pattern) =
+  match p with
+  | Ast.Label { label; bang } -> mk (Type_sel { label; bang })
+  | Ast.Tree (p0, items) -> mk (Closest (of_pattern p0, List.map of_pattern items))
+  | Ast.Star -> mk Star_children
+  | Ast.Dbl_star -> mk Star_descendants
+  | Ast.Children p -> mk (Children_of (of_pattern p))
+  | Ast.Descendants p -> mk (Descendants_of (of_pattern p))
+  | Ast.Drop p -> mk (Drop (of_pattern p))
+  | Ast.Clone p -> mk (Clone (of_pattern p))
+  | Ast.New l -> mk (New_label l)
+  | Ast.Restrict p -> mk (Restrict (of_pattern p))
+  | Ast.Value_eq (p, v) -> mk (Value_eq (of_pattern p, v))
+  | Ast.Order_by (p, k) -> mk (Order_by (of_pattern p, k))
+
+let rec of_ast (g : Ast.t) =
+  match g with
+  | Ast.Stage (Ast.Morph ps) -> mk (Morph (List.map of_pattern ps))
+  | Ast.Stage (Ast.Mutate ps) -> mk (Mutate (List.map of_pattern ps))
+  | Ast.Stage (Ast.Translate rs) -> mk (Translate rs)
+  | Ast.Compose (a, b) -> mk (Compose (of_ast a, of_ast b))
+  | Ast.Cast (c, g) -> mk (Cast (c, of_ast g))
+  | Ast.Type_fill g -> mk (Type_fill (of_ast g))
+
+let pp fmt t =
+  let types_suffix n =
+    match n.inferred with
+    | [] -> ""
+    | tys -> Printf.sprintf "  {types: %s}" (String.concat "," (List.map string_of_int tys))
+  in
+  let rec go indent n =
+    let line s = Format.fprintf fmt "%s%s%s@." indent s (types_suffix n) in
+    let sub = indent ^ "  " in
+    match n.desc with
+    | Compose (a, b) -> line "compose"; go sub a; go sub b
+    | Morph items -> line "morph"; List.iter (go sub) items
+    | Mutate items -> line "mutate"; List.iter (go sub) items
+    | Translate rs ->
+        line
+          (Printf.sprintf "translate {%s}"
+             (String.concat ", " (List.map (fun (a, b) -> a ^ " -> " ^ b) rs)))
+    | Type_sel { label; bang } ->
+        line (Printf.sprintf "type(%s%s)" (if bang then "!" else "") label)
+    | Closest (p, items) -> line "closest"; go sub p; List.iter (go sub) items
+    | Star_children -> line "children(*)"
+    | Star_descendants -> line "descendants(**)"
+    | Children_of p -> line "children"; go sub p
+    | Descendants_of p -> line "descendants"; go sub p
+    | Drop p -> line "drop"; go sub p
+    | Clone p -> line "clone"; go sub p
+    | New_label l -> line (Printf.sprintf "new(%s)" l)
+    | Restrict p -> line "restrict"; go sub p
+    | Value_eq (p, v) -> line (Printf.sprintf "value(= %S)" v); go sub p
+    | Order_by (p, k) -> line (Printf.sprintf "order-by(%s)" k); go sub p
+    | Cast (Ast.Cast_weak, g) -> line "cast"; go sub g
+    | Cast (Ast.Cast_narrowing, g) -> line "cast-narrowing"; go sub g
+    | Cast (Ast.Cast_widening, g) -> line "cast-widening"; go sub g
+    | Type_fill g -> line "type-fill"; go sub g
+  in
+  go "" t
+
+let to_string t = Format.asprintf "%a" pp t
+
+let rec cast_mode t =
+  match t.desc with
+  | Cast (c, _) -> Some c
+  | Type_fill g -> cast_mode g
+  | _ -> None
+
+let rec has_type_fill t =
+  match t.desc with
+  | Type_fill _ -> true
+  | Cast (_, g) -> has_type_fill g
+  | Compose (a, b) -> has_type_fill a || has_type_fill b
+  | _ -> false

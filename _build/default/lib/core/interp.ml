@@ -1,0 +1,58 @@
+let src = Logs.Src.create "xmorph" ~doc:"XMorph interpreter"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type t = {
+  source : string;
+  ast : Ast.t;
+  algebra : Algebra.t;
+  shape : Tshape.t;
+  labels : Report.label_report;
+  loss : Report.loss_report;
+}
+
+exception Error of string
+
+let compile ?(enforce = true) guide source =
+  let t0 = Unix.gettimeofday () in
+  let ast =
+    try Parse.guard source
+    with e -> (
+      match Parse.error_message source e with
+      | Some msg -> raise (Error msg)
+      | None -> raise e)
+  in
+  let algebra = Algebra.of_ast ast in
+  let sem =
+    try Semantics.eval guide algebra
+    with Tshape.Error msg -> raise (Error msg)
+  in
+  let cast = Algebra.cast_mode algebra in
+  let loss =
+    if enforce then Loss.check ~cast guide sem.shape
+    else Loss.analyze ~warnings:sem.warnings guide sem.shape
+  in
+  let loss = { loss with Report.warnings = sem.warnings @ loss.Report.warnings } in
+  Log.debug (fun m ->
+      m "compiled %S in %.1fms: %s" source
+        (1000. *. (Unix.gettimeofday () -. t0))
+        (Report.classification_to_string loss.Report.classification));
+  { source; ast; algebra; shape = sem.shape; labels = sem.labels; loss }
+
+let render store t =
+  let t0 = Unix.gettimeofday () in
+  let tree = Render.to_tree store t.shape in
+  Log.debug (fun m ->
+      m "rendered %S in %.1fms" t.source (1000. *. (Unix.gettimeofday () -. t0)));
+  tree
+
+let render_to_buffer store t buf = Render.to_buffer store t.shape buf
+
+let transform ?enforce store source =
+  let guide = Store.Shredded.guide store in
+  let t = compile ?enforce guide source in
+  (render store t, t)
+
+let transform_doc ?enforce doc source =
+  let store = Store.Shredded.shred doc in
+  transform ?enforce store source

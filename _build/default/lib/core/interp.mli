@@ -1,0 +1,42 @@
+(** The XMorph interpreter (Sec. VIII, Fig. 8): the public entry point of the
+    library.
+
+    [compile] runs the data-free pipeline — parse, translate to the algebra,
+    type-analyze, build the target shape, and produce the label-to-type and
+    information-loss reports; it needs only the source's adorned shape, which
+    is tiny compared to the data.  [render] then streams the actual
+    transformation from a shredded store.
+
+    Type enforcement: by default only strongly-typed guards may render; the
+    guard's own [CAST] / [CAST-NARROWING] / [CAST-WIDENING] wrapper widens
+    what is admissible (Sec. III), and [~enforce:false] disables rejection
+    entirely (the report is still produced). *)
+
+type t = {
+  source : string;  (** guard text *)
+  ast : Ast.t;
+  algebra : Algebra.t;
+  shape : Tshape.t;  (** the target shape the guard denotes *)
+  labels : Report.label_report;
+  loss : Report.loss_report;
+}
+
+exception Error of string
+(** Parse and semantic errors, rendered human-readably. *)
+
+val compile : ?enforce:bool -> Xml.Dataguide.t -> string -> t
+(** @raise Error on parse or semantic failure.
+    @raise Loss.Rejected when enforcement rejects the classification. *)
+
+val render : Store.Shredded.t -> t -> Xml.Tree.t
+(** Render the compiled guard against a store (single root; a forest is
+    wrapped in [<result>]). *)
+
+val render_to_buffer : Store.Shredded.t -> t -> Buffer.t -> Render.stats
+
+val transform : ?enforce:bool -> Store.Shredded.t -> string -> Xml.Tree.t * t
+(** [compile] against the store's shape, then [render]. *)
+
+val transform_doc : ?enforce:bool -> Xml.Doc.t -> string -> Xml.Tree.t * t
+(** Convenience for tests and examples: shred the document into a fresh
+    store, then [transform]. *)

@@ -1,0 +1,204 @@
+open Xmutil
+
+type pair_delta = {
+  from_type : string;
+  to_type : string;
+  source_edges : int;
+  preserved : int;
+  added : int;
+  lost : int;
+}
+
+type t = {
+  source_edges : int;
+  preserved : int;
+  added : int;
+  lost : int;
+  added_pct : float;
+  lost_pct : float;
+  reversible : bool;
+  deltas : pair_delta list;
+}
+
+module Pair_set = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+(* Closest pairs between two instance arrays of the output document, mapped
+   to source-node pairs.  Both arrays are in output document order; all
+   instances of a target node share its depth, so the closest level is the
+   maximal common Dewey prefix over cross pairs (as in the renderer). *)
+let output_closest (a : Render.instance array) (b : Render.instance array) =
+  if Array.length a = 0 || Array.length b = 0 then Pair_set.empty
+  else begin
+    (* ORDER-BY may have permuted the arrays; the merge needs Dewey order. *)
+    let a = Array.copy a and b = Array.copy b in
+    Array.sort (fun (x : Render.instance) y -> Dewey.compare x.dewey y.dewey) a;
+    Array.sort (fun (x : Render.instance) y -> Dewey.compare x.dewey y.dewey) b;
+    let best = ref 0 in
+    let consider (x : Render.instance) (y : Render.instance) =
+      let cp = Dewey.common_prefix_len x.dewey y.dewey in
+      if cp > !best then best := cp
+    in
+    let i = ref 0 and j = ref 0 in
+    while !i < Array.length a && !j < Array.length b do
+      consider a.(!i) b.(!j);
+      if Dewey.compare a.(!i).dewey b.(!j).dewey <= 0 then incr i else incr j
+    done;
+    if !i < Array.length a && !j > 0 then consider a.(!i) b.(!j - 1);
+    if !j < Array.length b && !i > 0 then consider a.(!i - 1) b.(!j);
+    let l = !best in
+    if l = 0 then Pair_set.empty
+    else begin
+      (* Group by l-prefix with two pointers over the sorted arrays. *)
+      let edges = ref Pair_set.empty in
+      let prefix (x : Render.instance) = Array.sub x.dewey 0 l in
+      let j = ref 0 in
+      Array.iter
+        (fun (x : Render.instance) ->
+          if Array.length x.dewey >= l then begin
+            let px = prefix x in
+            while
+              !j < Array.length b
+              && Array.length b.(!j).dewey >= l
+              && compare (prefix b.(!j)) px < 0
+            do
+              incr j
+            done;
+            let k = ref !j in
+            while
+              !k < Array.length b
+              && Array.length b.(!k).dewey >= l
+              && prefix b.(!k) = px
+            do
+              if x.source >= 0 && b.(!k).source >= 0 then
+                edges := Pair_set.add (x.source, b.(!k).source) !edges;
+              incr k
+            done
+          end)
+        a;
+      !edges
+    end
+  end
+
+let source_closest store s1 s2 =
+  List.fold_left
+    (fun acc pair -> Pair_set.add pair acc)
+    Pair_set.empty
+    (Render.closest_pairs store s1 s2)
+
+let measure store (shape : Tshape.t) : t =
+  let tt = Store.Shredded.types store in
+  let insts = Render.instances store shape in
+  (* Sourced target nodes only; group instance arrays by source type so a
+     clone contributes to the same source pair. *)
+  let by_source : (int, Render.instance array list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun ((tn : Tshape.node), arr) ->
+      match tn.source with
+      | Some s ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt by_source s) in
+          Hashtbl.replace by_source s (arr :: prev)
+      | None -> ())
+    insts;
+  let kept = List.of_seq (Hashtbl.to_seq_keys by_source) in
+  let kept = List.sort_uniq compare kept in
+  let totals = ref (0, 0, 0, 0) in
+  let deltas = ref [] in
+  List.iter
+    (fun s1 ->
+      List.iter
+        (fun s2 ->
+          if s1 < s2 then begin
+            let src = source_closest store s1 s2 in
+            let out = ref Pair_set.empty in
+            List.iter
+              (fun a1 ->
+                List.iter
+                  (fun a2 -> out := Pair_set.union !out (output_closest a1 a2))
+                  (Hashtbl.find by_source s2))
+              (Hashtbl.find by_source s1);
+            let out = !out in
+            let preserved = Pair_set.cardinal (Pair_set.inter src out) in
+            let added = Pair_set.cardinal (Pair_set.diff out src) in
+            let lost = Pair_set.cardinal (Pair_set.diff src out) in
+            let se, pr, ad, lo = !totals in
+            totals :=
+              (se + Pair_set.cardinal src, pr + preserved, ad + added, lo + lost);
+            if added > 0 || lost > 0 then
+              deltas :=
+                {
+                  from_type = Xml.Type_table.qname tt s1;
+                  to_type = Xml.Type_table.qname tt s2;
+                  source_edges = Pair_set.cardinal src;
+                  preserved;
+                  added;
+                  lost;
+                }
+                :: !deltas
+          end)
+        kept)
+    kept;
+  let source_edges, preserved, added, lost = !totals in
+  let pct n =
+    if source_edges = 0 then 0.0
+    else 100.0 *. float_of_int n /. float_of_int source_edges
+  in
+  {
+    source_edges;
+    preserved;
+    added;
+    lost;
+    added_pct = pct added;
+    lost_pct = pct lost;
+    reversible = added = 0 && lost = 0;
+    deltas = List.rev !deltas;
+  }
+
+let pp fmt m =
+  Format.fprintf fmt
+    "closest edges among kept types: %d source, %d preserved, %d added \
+     (%.1f%%), %d lost (%.1f%%)@."
+    m.source_edges m.preserved m.added m.added_pct m.lost m.lost_pct;
+  Format.fprintf fmt "the transformation is %s@."
+    (if m.reversible then "reversible"
+     else if m.lost = 0 then "inclusive but additive"
+     else if m.added = 0 then "non-additive but non-inclusive"
+     else "both additive and non-inclusive");
+  List.iter
+    (fun d ->
+      Format.fprintf fmt "  %s <-> %s: %d source edges, %d preserved, +%d, -%d@."
+        d.from_type d.to_type d.source_edges d.preserved d.added d.lost)
+    m.deltas
+
+let to_string m = Format.asprintf "%a" pp m
+
+let to_json (m : t) : Xmutil.Json.t =
+  Xmutil.Json.Obj
+    [
+      ("source_edges", Xmutil.Json.Int m.source_edges);
+      ("preserved", Xmutil.Json.Int m.preserved);
+      ("added", Xmutil.Json.Int m.added);
+      ("lost", Xmutil.Json.Int m.lost);
+      ("added_pct", Xmutil.Json.Float m.added_pct);
+      ("lost_pct", Xmutil.Json.Float m.lost_pct);
+      ("reversible", Xmutil.Json.Bool m.reversible);
+      ("deltas",
+       Xmutil.Json.List
+         (List.map
+            (fun d ->
+              Xmutil.Json.Obj
+                [
+                  ("from", Xmutil.Json.String d.from_type);
+                  ("to", Xmutil.Json.String d.to_type);
+                  ("source_edges", Xmutil.Json.Int d.source_edges);
+                  ("preserved", Xmutil.Json.Int d.preserved);
+                  ("added", Xmutil.Json.Int d.added);
+                  ("lost", Xmutil.Json.Int d.lost);
+                ])
+            m.deltas));
+    ]

@@ -1,0 +1,110 @@
+type label_binding = {
+  label : string;
+  bound_to : string list;
+  ambiguous : bool;
+  filled : bool;
+}
+
+type label_report = label_binding list
+
+type violation_kind = Min_raised | Max_increased
+
+type violation = {
+  kind : violation_kind;
+  from_type : string;
+  to_type : string;
+  source_card : Xmutil.Card.t;
+  target_card : Xmutil.Card.t;
+}
+
+type classification = Strongly_typed | Narrowing | Widening | Weakly_typed
+
+type loss_report = {
+  classification : classification;
+  violations : violation list;
+  omitted_types : string list;
+  warnings : string list;
+}
+
+let classification_to_string = function
+  | Strongly_typed -> "strongly-typed"
+  | Narrowing -> "narrowing"
+  | Widening -> "widening"
+  | Weakly_typed -> "weakly-typed"
+
+let pp_violation fmt v =
+  match v.kind with
+  | Min_raised ->
+      Format.fprintf fmt
+        "non-inclusive: path %s -> %s has minimum cardinality 0 in the source \
+         (%a) but %a in the target; %s instances without a closest %s will be \
+         discarded"
+        v.from_type v.to_type Xmutil.Card.pp v.source_card Xmutil.Card.pp
+        v.target_card v.from_type v.to_type
+  | Max_increased ->
+      Format.fprintf fmt
+        "additive: path %s -> %s has cardinality %a in the source but %a in \
+         the target; closest relationships not present in the source will be \
+         manufactured"
+        v.from_type v.to_type Xmutil.Card.pp v.source_card Xmutil.Card.pp
+        v.target_card
+
+let pp_label_report fmt (r : label_report) =
+  List.iter
+    (fun b ->
+      if b.filled then
+        Format.fprintf fmt "label %-20s -> (new type, filled)@." b.label
+      else
+        Format.fprintf fmt "label %-20s -> %s%s@." b.label
+          (String.concat ", " b.bound_to)
+          (if b.ambiguous then "  (ambiguous)" else ""))
+    r
+
+let pp_loss_report fmt r =
+  Format.fprintf fmt "classification: %s@."
+    (classification_to_string r.classification);
+  List.iter (fun v -> Format.fprintf fmt "  %a@." pp_violation v) r.violations;
+  (match r.omitted_types with
+  | [] -> ()
+  | ts -> Format.fprintf fmt "  omitted source types: %s@." (String.concat ", " ts));
+  List.iter (fun w -> Format.fprintf fmt "  warning: %s@." w) r.warnings
+
+let loss_to_string r = Format.asprintf "%a" pp_loss_report r
+let label_to_string r = Format.asprintf "%a" pp_label_report r
+
+let label_to_json (r : label_report) : Xmutil.Json.t =
+  Xmutil.Json.List
+    (List.map
+       (fun b ->
+         Xmutil.Json.Obj
+           [
+             ("label", Xmutil.Json.String b.label);
+             ("bound_to", Xmutil.Json.List (List.map (fun t -> Xmutil.Json.String t) b.bound_to));
+             ("ambiguous", Xmutil.Json.Bool b.ambiguous);
+             ("filled", Xmutil.Json.Bool b.filled);
+           ])
+       r)
+
+let violation_to_json v : Xmutil.Json.t =
+  Xmutil.Json.Obj
+    [
+      ("kind",
+       Xmutil.Json.String
+         (match v.kind with
+          | Min_raised -> "non-inclusive"
+          | Max_increased -> "additive"));
+      ("from", Xmutil.Json.String v.from_type);
+      ("to", Xmutil.Json.String v.to_type);
+      ("source_card", Xmutil.Json.String (Xmutil.Card.to_string v.source_card));
+      ("target_card", Xmutil.Json.String (Xmutil.Card.to_string v.target_card));
+    ]
+
+let loss_to_json (r : loss_report) : Xmutil.Json.t =
+  Xmutil.Json.Obj
+    [
+      ("classification", Xmutil.Json.String (classification_to_string r.classification));
+      ("violations", Xmutil.Json.List (List.map violation_to_json r.violations));
+      ("omitted_types",
+       Xmutil.Json.List (List.map (fun t -> Xmutil.Json.String t) r.omitted_types));
+      ("warnings", Xmutil.Json.List (List.map (fun w -> Xmutil.Json.String w) r.warnings));
+    ]

@@ -1,0 +1,50 @@
+(** Reports produced while evaluating a guard (Sec. VIII: the interpreter
+    emits a label-to-type report and an information-loss report). *)
+
+type label_binding = {
+  label : string;  (** label as written in the guard *)
+  bound_to : string list;  (** qualified names of the matched types *)
+  ambiguous : bool;  (** more than one match *)
+  filled : bool;  (** no match; TYPE-FILL created a new type *)
+}
+
+type label_report = label_binding list
+
+type violation_kind =
+  | Min_raised  (** Theorem 1 violated: a minimum path cardinality rose from
+                    zero to non-zero — instances may be discarded. *)
+  | Max_increased  (** Theorem 2 violated: a maximum path cardinality grew —
+                       closest relationships may be manufactured. *)
+
+type violation = {
+  kind : violation_kind;
+  from_type : string;  (** qualified source type the path starts at *)
+  to_type : string;
+  source_card : Xmutil.Card.t;  (** path cardinality in the source shape *)
+  target_card : Xmutil.Card.t;  (** predicted path cardinality (Def. 7) *)
+}
+
+type classification =
+  | Strongly_typed  (** neither manufactures nor discards data *)
+  | Narrowing  (** may discard, never manufactures *)
+  | Widening  (** may manufacture, never discards *)
+  | Weakly_typed  (** may do both *)
+
+type loss_report = {
+  classification : classification;
+  violations : violation list;
+  omitted_types : string list;
+      (** source types absent from the target shape (informational; the
+          theorems treat the kept-type projection) *)
+  warnings : string list;
+}
+
+val classification_to_string : classification -> string
+val pp_violation : Format.formatter -> violation -> unit
+val pp_label_report : Format.formatter -> label_report -> unit
+val pp_loss_report : Format.formatter -> loss_report -> unit
+val loss_to_string : loss_report -> string
+val label_to_string : label_report -> string
+
+val loss_to_json : loss_report -> Xmutil.Json.t
+val label_to_json : label_report -> Xmutil.Json.t

@@ -1,0 +1,1 @@
+lib/guarded/guarded_query.ml: Store Xml Xmorph Xquery

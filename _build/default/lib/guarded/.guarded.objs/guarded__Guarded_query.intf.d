@@ -1,0 +1,1 @@
+lib/guarded/guarded_query.mli: Store Xml Xmorph Xquery

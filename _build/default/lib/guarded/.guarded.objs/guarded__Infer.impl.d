@@ -1,0 +1,1 @@
+lib/guarded/infer.ml: Guarded_query List Option Xmorph Xquery

@@ -1,0 +1,1 @@
+lib/guarded/infer.mli: Guarded_query Xml Xmorph Xquery

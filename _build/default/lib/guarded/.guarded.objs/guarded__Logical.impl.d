@@ -1,0 +1,1 @@
+lib/guarded/logical.ml: Array Float Format Hashtbl List Option Store String Xml Xmorph Xquery

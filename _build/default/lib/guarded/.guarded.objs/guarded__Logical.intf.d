@@ -1,0 +1,1 @@
+lib/guarded/logical.mli: Store Xml Xmorph Xquery

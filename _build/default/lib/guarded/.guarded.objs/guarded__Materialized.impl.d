@@ -1,0 +1,1 @@
+lib/guarded/materialized.ml: Array Hashtbl List Option Printf Store String Xml Xmorph Xquery

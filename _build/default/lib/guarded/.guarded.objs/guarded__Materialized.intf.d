@@ -1,0 +1,1 @@
+lib/guarded/materialized.mli: Xml Xquery

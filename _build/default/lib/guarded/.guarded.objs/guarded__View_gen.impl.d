@@ -1,0 +1,1 @@
+lib/guarded/view_gen.ml: Buffer Format List Printf Store String Xml Xmorph Xmutil Xquery

@@ -1,0 +1,1 @@
+lib/guarded/view_gen.mli: Xml Xmorph

@@ -1,0 +1,31 @@
+type t = { guard : string; query : string }
+
+type outcome = {
+  transformed : Xml.Tree.t;
+  result : Xquery.Value.t;
+  result_xml : Xml.Tree.t list;
+  compiled : Xmorph.Interp.t;
+}
+
+exception Guard_rejected of Xmorph.Report.loss_report
+
+exception Query_failed of string
+
+let run_on_store ?enforce store gq =
+  let transformed, compiled =
+    try Xmorph.Interp.transform ?enforce store gq.guard
+    with Xmorph.Loss.Rejected r -> raise (Guard_rejected r)
+  in
+  let result =
+    try Xquery.Eval.run transformed gq.query with
+    | Xquery.Eval.Error msg -> raise (Query_failed msg)
+    | Xquery.Qparse.Error _ as e -> (
+        match Xquery.Qparse.error_message gq.query e with
+        | Some msg -> raise (Query_failed msg)
+        | None -> raise e)
+  in
+  { transformed; result; result_xml = Xquery.Value.to_trees result; compiled }
+
+let run ?enforce doc gq = run_on_store ?enforce (Store.Shredded.shred doc) gq
+
+let query_unguarded doc query = Xquery.Eval.run (Xml.Doc.to_tree doc) query

@@ -1,0 +1,31 @@
+(** Architecture 3 (Sec. VIII): logically transform the data in situ.
+
+    The first two architectures physically produce the transformed document
+    before any query runs.  This evaluator instead runs XQuery-lite queries
+    against the {e virtual} transformed document: each navigation step
+    performs one closest join for one instance ({!Xmorph.Render.Nav}), and a
+    subtree is physically materialized only when the query returns it.  A
+    query that touches a fraction of the data pays for that fraction — the
+    paper's motivation for making this architecture "the focus of our
+    near-term development".
+
+    Results are ordinary {!Xquery.Value} sequences, so guarded queries
+    produce identical answers whichever architecture evaluates them (the
+    test suite checks this equivalence). *)
+
+type t
+
+val of_compiled : Store.Shredded.t -> Xmorph.Interp.t -> t
+(** Wrap an already-compiled guard. *)
+
+val create : ?enforce:bool -> Store.Shredded.t -> guard:string -> t
+(** Compile the guard against the store's shape; nothing is transformed.
+    @raise Xmorph.Interp.Error / Xmorph.Loss.Rejected as usual. *)
+
+val query : t -> string -> Xquery.Value.t
+(** Evaluate a query against the virtual transformed document.
+    @raise Xquery.Qparse.Error on syntax errors, {!Xquery.Eval.Error} on
+    runtime errors. *)
+
+val query_to_xml : t -> string -> Xml.Tree.t list
+(** [query] materialized as XML content. *)

@@ -1,0 +1,208 @@
+exception Unsupported of string
+
+let unsupported fmt = Format.kasprintf (fun s -> raise (Unsupported s)) fmt
+
+let strip_at s =
+  if String.length s > 0 && s.[0] = '@' then String.sub s 1 (String.length s - 1)
+  else s
+
+(* Path components (Type_table spelling, so attributes are "@a") from the
+   ancestor type at depth [from_depth] (exclusive) down to [ty]. *)
+let rel_components tt ty ~from_depth =
+  let rec go ty acc =
+    if Xml.Type_table.depth tt ty <= from_depth then acc
+    else
+      match Xml.Type_table.parent tt ty with
+      | None -> Xml.Type_table.component tt ty :: acc
+      | Some p -> go p (Xml.Type_table.component tt ty :: acc)
+  in
+  go ty []
+
+type gctx = {
+  guide : Xml.Dataguide.t;
+  mutable counter : int;
+  (* bindings along the current node's source path: depth -> variable *)
+  mutable bindings : (int * string) list;
+}
+
+let fresh g =
+  g.counter <- g.counter + 1;
+  Printf.sprintf "v%d" g.counter
+
+let tt_of g = Xml.Dataguide.types g.guide
+
+let source_of (tn : Xmorph.Tshape.node) =
+  match tn.Xmorph.Tshape.source with
+  | Some s -> s
+  | None -> unsupported "NEW/TYPE-FILL types cannot be rendered as an XQuery view"
+
+(* The variable chain iterating from [anchor_var] down [comps], returning
+   (for-clauses text, innermost variable, bindings for the new depths). *)
+let chain g anchor_var comps ~start_depth =
+  let clauses = Buffer.create 32 in
+  let var = ref anchor_var in
+  let binds = ref [] in
+  List.iteri
+    (fun i comp ->
+      let v = fresh g in
+      Buffer.add_string clauses
+        (Printf.sprintf "for $%s in $%s/%s " v !var comp);
+      var := v;
+      binds := (start_depth + i + 1, v) :: !binds)
+    comps;
+  (Buffer.contents clauses, !var, List.rev !binds)
+
+(* A pure existence path for RESTRICT children: only chains that descend
+   from the restricted node are expressible without node identity. *)
+let rec restrict_condition g parent_var (parent_src : int) (rn : Xmorph.Tshape.node) =
+  let tt = tt_of g in
+  let src = source_of rn in
+  let l = Xml.Type_table.lca_depth tt parent_src src in
+  if l < Xml.Type_table.depth tt parent_src then
+    unsupported "RESTRICT across non-descendant types in an XQuery view";
+  let comps = rel_components tt src ~from_depth:(Xml.Type_table.depth tt parent_src) in
+  let path =
+    if comps = [] then Printf.sprintf "$%s" parent_var
+    else Printf.sprintf "$%s/%s" parent_var (String.concat "/" comps)
+  in
+  let base = Printf.sprintf "exists(%s)" path in
+  let deeper =
+    List.map
+      (fun sub ->
+        (* Nested restricts re-anchor at the child; approximate with a
+           second existence test from the same parent. *)
+        restrict_condition g parent_var parent_src sub)
+      (rn.Xmorph.Tshape.restrict_children @ rn.Xmorph.Tshape.children)
+  in
+  String.concat " and " (base :: deeper)
+
+let conditions g var (tn : Xmorph.Tshape.node) =
+  let src = source_of tn in
+  let value_cond =
+    match tn.Xmorph.Tshape.value_filter with
+    | Some v -> [ Printf.sprintf "$%s/text() = \"%s\"" var v ]
+    | None -> []
+  in
+  let restrict_conds =
+    List.map (restrict_condition g var src) tn.Xmorph.Tshape.restrict_children
+  in
+  match value_cond @ restrict_conds with
+  | [] -> ""
+  | cs -> Printf.sprintf "where %s " (String.concat " and " cs)
+
+(* Can this child render as an XML attribute in the constructor?  Mirror of
+   Render: attribute-sourced leaf that is a direct source child. *)
+let renders_as_attribute g (parent_src : int) (c : Xmorph.Tshape.node) =
+  match c.Xmorph.Tshape.source with
+  | Some s ->
+      c.Xmorph.Tshape.children = []
+      && Xml.Type_table.is_attribute (tt_of g) s
+      && Xml.Type_table.parent (tt_of g) s = Some parent_src
+  | None -> false
+
+let rec element_text g var (tn : Xmorph.Tshape.node) =
+  if tn.Xmorph.Tshape.clone then
+    unsupported "CLONE types cannot be rendered as an XQuery view";
+  let src = source_of tn in
+  let attrs, elems =
+    List.partition (renders_as_attribute g src) tn.Xmorph.Tshape.children
+  in
+  let attr_text =
+    String.concat ""
+      (List.map
+         (fun (c : Xmorph.Tshape.node) ->
+           let s = source_of c in
+           (* A constructor must always emit the attribute, so only
+              mandatory attributes (min cardinality >= 1) are expressible;
+              an optional one would come out as name="" where the physical
+              renderer emits nothing. *)
+           if (Xml.Dataguide.card g.guide s).Xmutil.Card.lo < 1 then
+             unsupported "optional attribute %s cannot be rendered as an XQuery view"
+               (Xml.Type_table.qname (tt_of g) s);
+           Printf.sprintf " %s=\"{$%s/%s}\""
+             (strip_at c.Xmorph.Tshape.out_name)
+             var
+             (Xml.Type_table.component (tt_of g) s))
+         attrs)
+  in
+  let children_text =
+    String.concat "" (List.map (child_text g var src) elems)
+  in
+  Printf.sprintf "<%s%s>{$%s/text()}%s</%s>"
+    (strip_at tn.Xmorph.Tshape.out_name)
+    attr_text var children_text
+    (strip_at tn.Xmorph.Tshape.out_name)
+
+and child_text g parent_var parent_src (c : Xmorph.Tshape.node) =
+  let tt = tt_of g in
+  let src = source_of c in
+  let l = Xml.Type_table.lca_depth tt parent_src src in
+  let saved = g.bindings in
+  let anchor_var, start_depth =
+    if l >= Xml.Type_table.depth tt parent_src then (parent_var, Xml.Type_table.depth tt parent_src)
+    else
+      (* Correlate through the least common ancestor binding. *)
+      match List.assoc_opt l g.bindings with
+      | Some v -> (v, l)
+      | None ->
+          unsupported
+            "no binding for the least common ancestor of %s (the source \
+             path was not iterated stepwise)"
+            (Xml.Type_table.qname tt src)
+  in
+  let comps = rel_components tt src ~from_depth:start_depth in
+  if comps = [] then begin
+    (* The child is (an ancestor) the anchor itself: exactly one instance. *)
+    let body = element_text g anchor_var c in
+    Printf.sprintf "%s" body
+  end
+  else begin
+    let clauses, inner_var, binds = chain g anchor_var comps ~start_depth in
+    (* Extend the binding environment for this child's subtree: its own
+       path's deeper depths shadow the parent's. *)
+    g.bindings <-
+      binds @ List.filter (fun (d, _) -> d <= start_depth) g.bindings;
+    let conds = conditions g inner_var c in
+    let body = element_text g inner_var c in
+    g.bindings <- saved;
+    Printf.sprintf "{%s%sreturn %s}" clauses conds body
+  end
+
+let generate guide (shape : Xmorph.Tshape.t) =
+  let g = { guide; counter = 0; bindings = [] } in
+  let tt = tt_of g in
+  let root_query (tn : Xmorph.Tshape.node) =
+    let src = source_of tn in
+    let comps = rel_components tt src ~from_depth:0 in
+    match comps with
+    | [] -> unsupported "empty source path"
+    | first :: rest ->
+        let v0 = fresh g in
+        let clauses0 = Printf.sprintf "for $%s in /%s " v0 first in
+        let clauses, var, binds = chain g v0 rest ~start_depth:1 in
+        g.bindings <- (1, v0) :: binds;
+        let conds = conditions g var tn in
+        let q =
+          Printf.sprintf "%s%s%sreturn %s" clauses0 clauses conds
+            (element_text g var tn)
+        in
+        g.bindings <- [];
+        q
+  in
+  match shape.Xmorph.Tshape.roots with
+  | [] -> unsupported "empty target shape"
+  | [ r ] -> root_query r
+  | rs -> "(" ^ String.concat ", " (List.map root_query rs) ^ ")"
+
+let generate_guard ?(enforce = false) guide guard =
+  let compiled = Xmorph.Interp.compile ~enforce guide guard in
+  generate guide compiled.Xmorph.Interp.shape
+
+let run_view doc guard =
+  let store = Store.Shredded.shred doc in
+  let guide = Store.Shredded.guide store in
+  let view = generate_guard guide guard in
+  let result = Xquery.Eval.run (Xml.Doc.to_tree doc) view in
+  match Xquery.Value.to_trees result with
+  | [ t ] -> t
+  | ts -> Xml.Tree.Element { name = "result"; attrs = []; children = ts }

@@ -1,0 +1,35 @@
+(** Rendering a query guard as an XQuery view — architecture 2 of Sec. VIII.
+
+    The paper's second architecture evaluates guards by rewriting them into
+    XQuery: "Rendering to XQuery often creates a long, complex XQuery
+    program since ... the source values must be teased apart and
+    reconstructed to the target shape ... piece-by-piece."  This module
+    performs that rewriting: a compiled guard becomes an XQuery-lite program
+    that, evaluated against the source document, produces the transformed
+    XML.
+
+    The generated program makes the closest join explicit the only way plain
+    XQuery can: it iterates instances of the {e least common ancestor} type
+    of each target edge and correlates parent and child within it.  Closest
+    pairs per Def. 2 coincide with LCA-correlation whenever some instance
+    pair realizes the shape-level distance (the overwhelmingly common case);
+    the generated view uses shape-level joins and is therefore documented as
+    shape-level, where {!Xmorph.Render} refines to the data-level join.
+
+    Supported target shapes: sourced nodes, [RESTRICT] children (compiled to
+    [where exists(...)]) and value filters (compiled to [where ... = "lit"]).
+    [NEW]/[TYPE-FILL] nodes and [CLONE]s raise {!Unsupported} — the paper's
+    architecture 1 (physical transformation) handles those. *)
+
+exception Unsupported of string
+
+val generate : Xml.Dataguide.t -> Xmorph.Tshape.t -> string
+(** The XQuery-lite text of the view.  @raise Unsupported as described. *)
+
+val generate_guard : ?enforce:bool -> Xml.Dataguide.t -> string -> string
+(** Compile a guard against a shape, then {!generate}. *)
+
+val run_view : Xml.Doc.t -> string -> Xml.Tree.t
+(** Convenience: compile the guard against the document, generate the view,
+    evaluate it with {!Xquery.Eval}, and wrap the resulting sequence exactly
+    as {!Xmorph.Render.to_tree} would. *)

@@ -1,0 +1,1 @@
+lib/store/codec.ml: Array Buffer Char String Sys

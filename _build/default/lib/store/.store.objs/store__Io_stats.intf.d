@@ -1,0 +1,1 @@
+lib/store/io_stats.mli: Format

@@ -1,0 +1,1 @@
+lib/store/shredded.ml: Array Buffer Card Codec Dewey Hashtbl Io_stats List String Xml Xmutil

@@ -1,0 +1,1 @@
+lib/store/shredded.mli: Io_stats Xml Xmutil

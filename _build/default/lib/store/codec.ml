@@ -1,0 +1,64 @@
+exception Corrupt of string
+
+(* Emit an int's bit pattern as an unsigned base-128 varint; [lsr] makes the
+   loop terminate for negative patterns too. *)
+let add_varint b n =
+  let rec go n =
+    if n land lnot 0x7F = 0 then Buffer.add_char b (Char.chr n)
+    else begin
+      Buffer.add_char b (Char.chr (0x80 lor (n land 0x7F)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let add_uint b n =
+  assert (n >= 0);
+  add_varint b n
+
+let add_int b n =
+  (* Zig-zag: map ..., -2, -1, 0, 1, ... to 3, 1, 0, 2, ...; the result is
+     interpreted as a bit pattern, so extremes survive the shift. *)
+  add_varint b ((n lsl 1) lxor (n asr (Sys.int_size - 1)))
+
+let add_string b s =
+  add_uint b (String.length s);
+  Buffer.add_string b s
+
+let add_int_array b a =
+  add_uint b (Array.length a);
+  Array.iter (add_int b) a
+
+type cursor = { data : string; mutable pos : int }
+
+let cursor ?(pos = 0) data = { data; pos }
+
+let read_byte c =
+  if c.pos >= String.length c.data then raise (Corrupt "truncated input");
+  let v = Char.code c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let read_uint c =
+  let rec go shift acc =
+    if shift >= Sys.int_size then raise (Corrupt "varint too long");
+    let byte = read_byte c in
+    let acc = acc lor ((byte land 0x7F) lsl shift) in
+    if byte land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let read_int c =
+  let z = read_uint c in
+  (z lsr 1) lxor (-(z land 1))
+
+let read_string c =
+  let n = read_uint c in
+  if c.pos + n > String.length c.data then raise (Corrupt "truncated string");
+  let s = String.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let read_int_array c =
+  let n = read_uint c in
+  Array.init n (fun _ -> read_int c)

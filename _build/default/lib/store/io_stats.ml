@@ -1,0 +1,71 @@
+type snapshot = {
+  bytes_read : int;
+  bytes_written : int;
+  blocks_read : int;
+  blocks_written : int;
+  read_ops : int;
+  write_ops : int;
+}
+
+type t = {
+  mutable c_bytes_read : int;
+  mutable c_bytes_written : int;
+  mutable c_read_ops : int;
+  mutable c_write_ops : int;
+  mutable observer : (snapshot -> unit) option;
+}
+
+let block_size = 4096
+
+let create () : t =
+  { c_bytes_read = 0; c_bytes_written = 0; c_read_ops = 0; c_write_ops = 0;
+    observer = None }
+
+let reset (t : t) =
+  t.c_bytes_read <- 0;
+  t.c_bytes_written <- 0;
+  t.c_read_ops <- 0;
+  t.c_write_ops <- 0
+
+(* Blocks are derived from cumulative bytes, modelling the page locality of
+   document-ordered scans: many small sequential record reads share a page,
+   as they do under BerkeleyDB's page cache. *)
+let blocks_of bytes = (bytes + block_size - 1) / block_size
+
+let snapshot (t : t) : snapshot =
+  {
+    bytes_read = t.c_bytes_read;
+    bytes_written = t.c_bytes_written;
+    blocks_read = blocks_of t.c_bytes_read;
+    blocks_written = blocks_of t.c_bytes_written;
+    read_ops = t.c_read_ops;
+    write_ops = t.c_write_ops;
+  }
+
+let notify (t : t) =
+  match t.observer with None -> () | Some f -> f (snapshot t)
+
+let charge_read (t : t) bytes =
+  t.c_bytes_read <- t.c_bytes_read + bytes;
+  t.c_read_ops <- t.c_read_ops + 1;
+  notify t
+
+let charge_write (t : t) bytes =
+  t.c_bytes_written <- t.c_bytes_written + bytes;
+  t.c_write_ops <- t.c_write_ops + 1;
+  notify t
+
+let set_observer (t : t) obs = t.observer <- obs
+
+let blocks_total s = s.blocks_read + s.blocks_written
+
+(* ~100 MB/s sequential throughput => ~40 microseconds per 4 KiB block. *)
+let seconds_per_block = 4.0e-5
+
+let simulated_io_seconds s = float_of_int (blocks_total s) *. seconds_per_block
+
+let pp fmt s =
+  Format.fprintf fmt
+    "read %d B (%d blk, %d ops); wrote %d B (%d blk, %d ops)"
+    s.bytes_read s.blocks_read s.read_ops s.bytes_written s.blocks_written
+    s.write_ops

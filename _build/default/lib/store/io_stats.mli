@@ -1,0 +1,52 @@
+(** I/O accounting.
+
+    The paper's evaluation shows that block I/O drives the cost of a
+    transformation (Figs. 11–12: steady cumulative block I/O, ~40% CPU wait).
+    The original system measured this with vmstat; running on arbitrary
+    hardware we substitute explicit accounting: every byte that crosses the
+    store boundary (node-record reads, sequence reads, output writes) is
+    charged here, in {!block_size}-byte blocks, along with a simulated I/O
+    latency so a wait-percentage can be derived.
+
+    Counters are per-instance; a store owns one and shares it with the
+    renderer that reads from it. *)
+
+type t
+
+val block_size : int
+(** 4096 bytes, matching the Linux block accounting the paper sampled. *)
+
+type snapshot = {
+  bytes_read : int;
+  bytes_written : int;
+  blocks_read : int;  (** derived from cumulative bytes read — sequential
+                          record reads share pages, as under a page cache *)
+  blocks_written : int;
+  read_ops : int;
+  write_ops : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+val charge_read : t -> int -> unit
+(** [charge_read t bytes] records a read of [bytes] bytes. *)
+
+val charge_write : t -> int -> unit
+
+val set_observer : t -> (snapshot -> unit) option -> unit
+(** Install a callback invoked after every charge.  The benchmark harness
+    uses this to sample cumulative-I/O and memory series during a
+    transformation, the way the paper sampled vmstat while the experiment
+    ran (Figs. 11–13). *)
+
+val snapshot : t -> snapshot
+
+val blocks_total : snapshot -> int
+
+val simulated_io_seconds : snapshot -> float
+(** Simulated time spent in I/O, using a fixed per-block latency model
+    (sequential-read throughput of a 2012-era mirrored disk pair).  Used to
+    reproduce the Fig. 12 wait-percentage series. *)
+
+val pp : Format.formatter -> snapshot -> unit

@@ -1,0 +1,223 @@
+open Xmutil
+
+type node = {
+  id : int;
+  dewey : Dewey.t;
+  kind : Xml.Doc.kind;
+  name : string;
+  type_id : Xml.Type_table.id;
+  parent : int;
+  value : string;
+}
+
+type t = {
+  blob : string;
+  offsets : int array; (* node id -> offset of its record in [blob] *)
+  seqs : int array array; (* type id -> node ids, document order *)
+  seq_bytes : int array; (* serialized size of each sequence row *)
+  guide : Xml.Dataguide.t;
+  stats : Io_stats.t;
+  groups : (int * int, (int * int) array) Hashtbl.t;
+      (* GroupedSequence cache: (type, level) -> runs of the sequence
+         sharing a Dewey prefix of that length *)
+}
+
+let encode_record b (n : Xml.Doc.node) =
+  Codec.add_int_array b n.dewey;
+  Buffer.add_char b (match n.kind with Xml.Doc.Element -> 'E' | Xml.Doc.Attribute -> 'A');
+  Codec.add_string b n.name;
+  Codec.add_uint b n.type_id;
+  Codec.add_int b n.parent;
+  Codec.add_string b n.value
+
+let decode_record blob off id =
+  let c = Codec.cursor ~pos:off blob in
+  let dewey = Codec.read_int_array c in
+  let kind =
+    match c.data.[c.pos] with
+    | 'E' -> Xml.Doc.Element
+    | 'A' -> Xml.Doc.Attribute
+    | _ -> raise (Codec.Corrupt "bad node kind")
+  in
+  c.pos <- c.pos + 1;
+  let name = Codec.read_string c in
+  let type_id = Codec.read_uint c in
+  let parent = Codec.read_int c in
+  let value = Codec.read_string c in
+  ({ id; dewey; kind; name; type_id; parent; value }, c.pos - off)
+
+let shred doc =
+  let count = Xml.Doc.node_count doc in
+  let b = Buffer.create (count * 32) in
+  let offsets = Array.make count 0 in
+  for i = 0 to count - 1 do
+    offsets.(i) <- Buffer.length b;
+    encode_record b (Xml.Doc.node doc i)
+  done;
+  let tt = Xml.Doc.types doc in
+  let ntypes = Xml.Type_table.count tt in
+  let seqs = Array.init ntypes (fun ty -> Xml.Doc.nodes_of_type doc ty) in
+  let seq_bytes =
+    Array.map
+      (fun seq ->
+        let sb = Buffer.create 64 in
+        Codec.add_int_array sb seq;
+        Buffer.length sb)
+      seqs
+  in
+  {
+    blob = Buffer.contents b;
+    offsets;
+    seqs;
+    seq_bytes;
+    guide = Xml.Dataguide.of_doc doc;
+    stats = Io_stats.create ();
+    groups = Hashtbl.create 16;
+  }
+
+let stats t = t.stats
+let guide t = t.guide
+let types t = Xml.Dataguide.types t.guide
+let node_count t = Array.length t.offsets
+let data_bytes t = String.length t.blob
+
+let node t i =
+  let rec_, size = decode_record t.blob t.offsets.(i) i in
+  Io_stats.charge_read t.stats size;
+  rec_
+
+let node_quiet t i =
+  (* Internal decode without an I/O charge (callers charge in bulk). *)
+  fst (decode_record t.blob t.offsets.(i) i)
+
+let grouped_sequence t ty ~level =
+  match Hashtbl.find_opt t.groups (ty, level) with
+  | Some g -> g
+  | None ->
+      let seq = if ty < 0 || ty >= Array.length t.seqs then [||] else t.seqs.(ty) in
+      (* Building the row reads every record of the type once. *)
+      let deweys = Array.map (fun id -> (node_quiet t id).dewey) seq in
+      Array.iter
+        (fun id ->
+          let off = t.offsets.(id) in
+          let next =
+            if id + 1 < Array.length t.offsets then t.offsets.(id + 1)
+            else String.length t.blob
+          in
+          Io_stats.charge_read t.stats (next - off))
+        seq;
+      let runs = ref [] in
+      let n = Array.length seq in
+      let same_prefix a b =
+        Array.length a >= level
+        && Array.length b >= level
+        && Array.sub a 0 level = Array.sub b 0 level
+      in
+      let start = ref 0 in
+      for i = 1 to n do
+        if i = n || not (same_prefix deweys.(i - 1) deweys.(i)) then begin
+          runs := (!start, i) :: !runs;
+          start := i
+        end
+      done;
+      let g = Array.of_list (List.rev !runs) in
+      let g = if n = 0 then [||] else g in
+      Hashtbl.replace t.groups (ty, level) g;
+      g
+
+let sequence t ty =
+  if ty < 0 || ty >= Array.length t.seqs then [||]
+  else begin
+    Io_stats.charge_read t.stats t.seq_bytes.(ty);
+    t.seqs.(ty)
+  end
+
+let update_value t id value =
+  if id < 0 || id >= Array.length t.offsets then invalid_arg "Shredded.update_value";
+  let record, old_size = decode_record t.blob t.offsets.(id) id in
+  let b = Buffer.create (String.length t.blob + String.length value) in
+  Buffer.add_substring b t.blob 0 t.offsets.(id);
+  let patched : Xml.Doc.node =
+    { id; dewey = record.dewey; kind = record.kind; name = record.name;
+      type_id = record.type_id; parent = record.parent; children = [||]; value }
+  in
+  encode_record b patched;
+  let new_size = Buffer.length b - t.offsets.(id) in
+  let tail_start = t.offsets.(id) + old_size in
+  Buffer.add_substring b t.blob tail_start (String.length t.blob - tail_start);
+  let delta = new_size - old_size in
+  let offsets =
+    Array.mapi (fun i off -> if i > id then off + delta else off) t.offsets
+  in
+  Io_stats.charge_write t.stats new_size;
+  { t with blob = Buffer.contents b; offsets; groups = Hashtbl.create 16 }
+
+let magic = "XMORPH-STORE-1\n"
+
+let save t path =
+  let b = Buffer.create (String.length t.blob + 1024) in
+  Buffer.add_string b magic;
+  (* Type table, in id order so re-interning reproduces the ids. *)
+  let tt = types t in
+  Codec.add_uint b (Xml.Type_table.count tt);
+  Xml.Type_table.iter tt (fun ty ->
+      Codec.add_int b (match Xml.Type_table.parent tt ty with None -> -1 | Some p -> p);
+      Codec.add_string b (Xml.Type_table.component tt ty));
+  (* Adorned shape. *)
+  Codec.add_int_array b (Array.of_list (Xml.Dataguide.roots t.guide));
+  Xml.Type_table.iter tt (fun ty ->
+      let card = Xml.Dataguide.card t.guide ty in
+      Codec.add_uint b card.Card.lo;
+      Codec.add_int b (match card.Card.hi with Card.Many -> -1 | Card.Bounded m -> m);
+      Codec.add_uint b (Xml.Dataguide.instance_count t.guide ty));
+  (* Sequences. *)
+  Array.iter (Codec.add_int_array b) t.seqs;
+  (* Node blob. *)
+  Codec.add_uint b (Array.length t.offsets);
+  Codec.add_int_array b t.offsets;
+  Codec.add_string b t.blob;
+  let oc = open_out_bin path in
+  Buffer.output_buffer oc b;
+  close_out oc
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let data = really_input_string ic n in
+  close_in ic;
+  if String.length data < String.length magic
+     || String.sub data 0 (String.length magic) <> magic
+  then raise (Codec.Corrupt "bad magic");
+  let c = Codec.cursor ~pos:(String.length magic) data in
+  let tt = Xml.Type_table.create () in
+  let ntypes = Codec.read_uint c in
+  for _ = 1 to ntypes do
+    let p = Codec.read_int c in
+    let comp = Codec.read_string c in
+    ignore (Xml.Type_table.intern tt ~parent:(if p = -1 then None else Some p) comp)
+  done;
+  let roots = Array.to_list (Codec.read_int_array c) in
+  let cards = Array.make ntypes Card.one in
+  let counts = Array.make ntypes 0 in
+  for ty = 0 to ntypes - 1 do
+    let lo = Codec.read_uint c in
+    let hi = Codec.read_int c in
+    cards.(ty) <- { Card.lo; hi = (if hi = -1 then Card.Many else Card.Bounded hi) };
+    counts.(ty) <- Codec.read_uint c
+  done;
+  let guide = Xml.Dataguide.make ~types:tt ~roots ~cards ~counts in
+  let seqs = Array.init ntypes (fun _ -> Codec.read_int_array c) in
+  let seq_bytes =
+    Array.map
+      (fun seq ->
+        let sb = Buffer.create 64 in
+        Codec.add_int_array sb seq;
+        Buffer.length sb)
+      seqs
+  in
+  let nnodes = Codec.read_uint c in
+  let offsets = Codec.read_int_array c in
+  if Array.length offsets <> nnodes then raise (Codec.Corrupt "offset table size");
+  let blob = Codec.read_string c in
+  { blob; offsets; seqs; seq_bytes; guide; stats = Io_stats.create ();
+    groups = Hashtbl.create 16 }

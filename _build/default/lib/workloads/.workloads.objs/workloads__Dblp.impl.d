@@ -1,0 +1,1 @@
+lib/workloads/dblp.ml: List Printf Prng String Words Xml Xmutil

@@ -1,0 +1,1 @@
+lib/workloads/nasa.ml: Char List Printf Prng String Words Xml Xmutil

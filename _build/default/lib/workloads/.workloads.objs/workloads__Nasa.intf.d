@@ -1,0 +1,1 @@
+lib/workloads/nasa.mli: Xml

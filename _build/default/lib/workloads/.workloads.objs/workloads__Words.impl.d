@@ -1,0 +1,1 @@
+lib/workloads/words.ml: Buffer Printf Prng String Xmutil

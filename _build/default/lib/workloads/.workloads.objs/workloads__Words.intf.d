@@ -1,0 +1,1 @@
+lib/workloads/words.mli: Xmutil

@@ -1,0 +1,1 @@
+lib/workloads/xmark.ml: Array List Printf Prng Words Xml Xmutil

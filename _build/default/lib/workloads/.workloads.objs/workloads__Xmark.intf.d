@@ -1,0 +1,1 @@
+lib/workloads/xmark.mli: Xml

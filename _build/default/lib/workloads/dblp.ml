@@ -1,0 +1,76 @@
+open Xmutil
+
+let default_seed = 19360126
+
+let el = Xml.Tree.element
+let txt s = Xml.Tree.text s
+let leaf name s = el name [ txt s ]
+
+let authors rng =
+  List.init (Prng.int_in rng 1 4) (fun _ -> leaf "author" (Words.name rng))
+
+let pages rng =
+  let lo = Prng.int_in rng 1 990 in
+  Printf.sprintf "%d-%d" lo (lo + Prng.int_in rng 2 30)
+
+let common rng kind key =
+  ( [ ("key", Printf.sprintf "%s/%s/%d" kind (Words.word rng) key);
+      ("mdate", Words.date rng) ],
+    authors rng
+    @ [ leaf "title" (Words.sentence rng); leaf "year" (Words.year rng) ] )
+
+let article rng key =
+  let attrs, front = common rng "journals" key in
+  el "article" ~attrs
+    (front
+    @ [
+        leaf "journal" (String.capitalize_ascii (Words.words rng 2));
+        leaf "volume" (string_of_int (Prng.int_in rng 1 60));
+        leaf "pages" (pages rng);
+        leaf "url" (Printf.sprintf "db/journals/%s.html" (Words.word rng));
+      ]
+    @ if Prng.bool rng then [ leaf "ee" (Printf.sprintf "https://doi.org/10.0/%d" key) ] else [])
+
+let inproceedings rng key =
+  let attrs, front = common rng "conf" key in
+  el "inproceedings" ~attrs
+    (front
+    @ [
+        leaf "booktitle" (String.uppercase_ascii (Words.word rng));
+        leaf "pages" (pages rng);
+        leaf "url" (Printf.sprintf "db/conf/%s.html" (Words.word rng));
+      ]
+    @ if Prng.int rng 3 = 0 then [ leaf "crossref" (Printf.sprintf "conf/%s/%d" (Words.word rng) key) ] else [])
+
+let book rng key =
+  let attrs, front = common rng "books" key in
+  el "book" ~attrs
+    (front
+    @ [
+        leaf "publisher" (String.capitalize_ascii (Words.word rng) ^ " Press");
+        leaf "isbn" (Printf.sprintf "%d-%d" (Prng.int_in rng 100 999) (Prng.int_in rng 100000 999999));
+      ])
+
+let phdthesis rng key =
+  let attrs, front = common rng "phd" key in
+  el "phdthesis" ~attrs
+    (front @ [ leaf "school" (String.capitalize_ascii (Words.word rng) ^ " University") ])
+
+let www rng key =
+  let attrs, front = common rng "www" key in
+  el "www" ~attrs (front @ [ leaf "url" (Printf.sprintf "http://www.example.org/%d" key) ])
+
+let generate ?(seed = default_seed) ~entries () =
+  let rng = Prng.create seed in
+  let make key =
+    let r = Prng.split rng in
+    match Prng.pick_weighted r [ (45, `A); (40, `I); (8, `B); (4, `P); (3, `W) ] with
+    | `A -> article r key
+    | `I -> inproceedings r key
+    | `B -> book r key
+    | `P -> phdthesis r key
+    | `W -> www r key
+  in
+  el "dblp" (List.init (max 1 entries) make)
+
+let to_doc ?seed ~entries () = Xml.Doc.of_tree (generate ?seed ~entries ())

@@ -1,0 +1,15 @@
+(** DBLP-like bibliography slices (the paper's Fig. 14 ran MORPHs over
+    134–518 MB slices of DBLP.xml, whose shape "roughly" matches the paper's
+    Fig. 1).
+
+    A flat [<dblp>] root with publication records — [article],
+    [inproceedings], [book], [phdthesis], [www] — each carrying [author]+,
+    [title], [year], [pages], [url], [ee], venue fields, and [key]/[mdate]
+    attributes.  Scaled by the number of records; deterministic in
+    [(seed, entries)]. *)
+
+val generate : ?seed:int -> entries:int -> unit -> Xml.Tree.t
+
+val to_doc : ?seed:int -> entries:int -> unit -> Xml.Doc.t
+
+val default_seed : int

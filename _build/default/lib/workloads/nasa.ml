@@ -1,0 +1,72 @@
+open Xmutil
+
+let default_seed = 19580729
+
+let el = Xml.Tree.element
+let txt s = Xml.Tree.text s
+let leaf name s = el name [ txt s ]
+
+let author rng =
+  el "author"
+    [
+      el "initial" [ txt (String.make 1 (Char.chr (Char.code 'A' + Prng.int rng 26))) ];
+      leaf "lastname" (Words.name rng);
+    ]
+
+let para rng =
+  leaf "para" (String.concat " " (List.init (Prng.int_in rng 3 8) (fun _ -> Words.sentence rng)))
+
+let field rng =
+  el "field"
+    [
+      leaf "name" (Words.word rng);
+      leaf "units" (Prng.choose rng [| "mag"; "deg"; "arcsec"; "km/s"; "Jy" |]);
+      el "definition" [ txt (Words.sentence rng) ];
+    ]
+
+let reference rng =
+  el "reference"
+    [
+      el "source"
+        [
+          el "other"
+            ([ leaf "name" (String.capitalize_ascii (Words.words rng 2)) ]
+            @ List.init (Prng.int_in rng 1 3) (fun _ -> author rng)
+            @ [ leaf "year" (Words.year rng) ]);
+        ];
+    ]
+
+let dataset rng ~id =
+  el "dataset"
+    ~attrs:[ ("subject", Prng.choose rng [| "astronomy"; "astrophysics"; "radio"; "optical" |]) ]
+    ([
+       leaf "title" (String.capitalize_ascii (Words.words rng 4));
+       leaf "altname" (Printf.sprintf "ADC_%04d" id);
+       el "abstract" (List.init (Prng.int_in rng 1 3) (fun _ -> para rng));
+       el "keywords"
+         (List.init (Prng.int_in rng 2 5) (fun _ -> leaf "keyword" (Words.word rng)));
+       el "history"
+         [
+           el "ingest" [ leaf "date" (Words.date rng); leaf "creator" (Words.name rng) ];
+           el "revision" [ leaf "date" (Words.date rng); leaf "comment" (Words.sentence rng) ];
+         ];
+       leaf "identifier" (Printf.sprintf "J/ApJ/%d/%d" (Prng.int_in rng 300 900) (Prng.int_in rng 1 99));
+     ]
+    @ List.init (Prng.int_in rng 1 4) (fun _ -> author rng)
+    @ [
+        el "journal"
+          ([ leaf "name" "Astrophysical Journal";
+             leaf "volume" (string_of_int (Prng.int_in rng 100 900)) ]
+          @ List.init (Prng.int_in rng 0 2) (fun _ -> author rng));
+        el "tableHead"
+          ([ leaf "tableLinks" (Words.word rng) ]
+          @ List.init (Prng.int_in rng 2 6) (fun _ -> field rng));
+      ]
+    @ List.init (Prng.int_in rng 0 3) (fun _ -> reference rng))
+
+let generate ?(seed = default_seed) ~datasets () =
+  let rng = Prng.create seed in
+  el "datasets"
+    (List.init (max 1 datasets) (fun id -> dataset (Prng.split rng) ~id))
+
+let to_doc ?seed ~datasets () = Xml.Doc.of_tree (generate ?seed ~datasets ())

@@ -1,0 +1,13 @@
+(** NASA-like astronomy datasets (the paper's Fig. 15 used 23 MB of NASA
+    ADC XML).
+
+    Nested [<dataset>] records with titles, abstracts of [para]s (long text
+    content — the NASA data is text-heavy, which Fig. 15 calls out), author
+    lists, journal references, table heads with field definitions, and
+    revision history.  Deterministic in [(seed, datasets)]. *)
+
+val generate : ?seed:int -> datasets:int -> unit -> Xml.Tree.t
+
+val to_doc : ?seed:int -> datasets:int -> unit -> Xml.Doc.t
+
+val default_seed : int

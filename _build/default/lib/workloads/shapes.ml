@@ -1,0 +1,39 @@
+type kind = Deep_small | Deep_large | Bushy_small | Bushy_large
+
+type dataset = Xmark_data | Dblp_data | Nasa_data
+
+let kinds = [ Deep_small; Deep_large; Bushy_small; Bushy_large ]
+
+let kind_name = function
+  | Deep_small -> "deep-small"
+  | Deep_large -> "deep-large"
+  | Bushy_small -> "bushy-small"
+  | Bushy_large -> "bushy-large"
+
+let guard dataset kind =
+  match (dataset, kind) with
+  | Xmark_data, Deep_small ->
+      "MORPH site [ people [ person [ address [ city ] ] ] ]"
+  | Xmark_data, Deep_large ->
+      "MORPH site [ people [ person [ person.name [ emailaddress [ address [ \
+       street [ city [ country [ zipcode ] ] ] ] ] ] ] ] ]"
+  | Xmark_data, Bushy_small -> "MORPH person [ person.name emailaddress city ]"
+  | Xmark_data, Bushy_large ->
+      "MORPH person [ person.name emailaddress street city country zipcode \
+       age gender business education ]"
+  | Dblp_data, Deep_small -> "MORPH dblp [ article [ title [ year ] ] ]"
+  | Dblp_data, Deep_large ->
+      "MORPH dblp [ article [ article.author [ title [ journal [ volume [ \
+       year [ pages [ url [ ee ] ] ] ] ] ] ] ] ]"
+  | Dblp_data, Bushy_small -> "MORPH article [ title year pages ]"
+  | Dblp_data, Bushy_large ->
+      "MORPH article [ article.author title journal volume year pages url ee \
+       @mdate @key ]"
+  | Nasa_data, Deep_small -> "MORPH datasets [ dataset [ title [ identifier ] ] ]"
+  | Nasa_data, Deep_large ->
+      "MORPH datasets [ dataset [ title [ altname [ identifier [ tableHead [ \
+       field [ field.name [ units [ definition ] ] ] ] ] ] ] ] ]"
+  | Nasa_data, Bushy_small -> "MORPH dataset [ title altname identifier ]"
+  | Nasa_data, Bushy_large ->
+      "MORPH dataset [ title altname identifier @subject keyword lastname \
+       volume units para abstract ]"

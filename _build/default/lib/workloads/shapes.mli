@@ -1,0 +1,16 @@
+(** Target-shape families for the Fig. 15 experiment ("Effect of target
+    shape"): for each dataset, XMorph guards producing a deep (skinny) tree
+    and a bushy tree, each in a small (4–6 labels) and a large (10–12 labels)
+    size.  Fig. 15 shows throughput is flat across these — the renderer's
+    single pass depends on output size, not target shape. *)
+
+type kind = Deep_small | Deep_large | Bushy_small | Bushy_large
+
+type dataset = Xmark_data | Dblp_data | Nasa_data
+
+val kinds : kind list
+val kind_name : kind -> string
+
+val guard : dataset -> kind -> string
+(** The guard text for a dataset/shape pair.  Guards are written against the
+    generators in this library and are validated by the test suite. *)

@@ -1,0 +1,52 @@
+open Xmutil
+
+let vocabulary =
+  [|
+    "data"; "shape"; "query"; "auction"; "bidder"; "reserve"; "gold"; "silver";
+    "river"; "mountain"; "quantum"; "stellar"; "orbit"; "galaxy"; "nebula";
+    "catalog"; "survey"; "index"; "ledger"; "market"; "trade"; "vintage";
+    "copper"; "velvet"; "carbon"; "meadow"; "harbor"; "lantern"; "compass";
+    "anchor"; "garden"; "castle"; "bridge"; "forest"; "desert"; "island";
+    "piano"; "violin"; "thunder"; "crystal"; "marble"; "granite"; "amber";
+    "cedar"; "willow"; "falcon"; "sparrow"; "salmon"; "otter"; "badger";
+    "glacier"; "canyon"; "prairie"; "tundra"; "lagoon"; "estuary"; "delta";
+    "merchant"; "voyage"; "caravan"; "bazaar"; "parchment"; "scroll"; "quill";
+  |]
+
+let first_names =
+  [|
+    "Ada"; "Alan"; "Grace"; "Edsger"; "Barbara"; "Donald"; "Edgar"; "Leslie";
+    "Tony"; "John"; "Niklaus"; "Robin"; "Dana"; "Frances"; "Kurt"; "Rosalind";
+    "Maurice"; "Ole"; "Kristen"; "Peter"; "Radia"; "Lynn"; "Shafi"; "Silvio";
+  |]
+
+let last_names =
+  [|
+    "Lovelace"; "Turing"; "Hopper"; "Dijkstra"; "Liskov"; "Knuth"; "Codd";
+    "Lamport"; "Hoare"; "McCarthy"; "Wirth"; "Milner"; "Scott"; "Allen";
+    "Goedel"; "Franklin"; "Wilkes"; "Dahl"; "Nygaard"; "Naur"; "Perlman";
+    "Conway"; "Goldwasser"; "Micali";
+  |]
+
+let word rng = Prng.choose rng vocabulary
+
+let words rng n =
+  let b = Buffer.create (n * 7) in
+  for i = 0 to n - 1 do
+    if i > 0 then Buffer.add_char b ' ';
+    Buffer.add_string b (word rng)
+  done;
+  Buffer.contents b
+
+let sentence rng =
+  let n = Prng.int_in rng 6 14 in
+  let s = words rng n in
+  String.capitalize_ascii s ^ "."
+
+let name rng = Prng.choose rng first_names ^ " " ^ Prng.choose rng last_names
+
+let date rng =
+  Printf.sprintf "%02d/%02d/%04d" (Prng.int_in rng 1 12) (Prng.int_in rng 1 28)
+    (Prng.int_in rng 1998 2012)
+
+let year rng = string_of_int (Prng.int_in rng 1980 2012)

@@ -1,0 +1,22 @@
+(** Deterministic fake text for the synthetic workloads.
+
+    XMark and the paper's other datasets carry substantial text content, and
+    Fig. 15 observes that "larger text content leads to slower times" — so
+    the generators need realistic, size-controllable text. *)
+
+val word : Xmutil.Prng.t -> string
+
+val words : Xmutil.Prng.t -> int -> string
+(** [words rng n] is [n] space-separated words. *)
+
+val sentence : Xmutil.Prng.t -> string
+(** A capitalized sentence of 6–14 words. *)
+
+val name : Xmutil.Prng.t -> string
+(** A two-part person name. *)
+
+val date : Xmutil.Prng.t -> string
+(** [MM/DD/YYYY] in 1998–2012. *)
+
+val year : Xmutil.Prng.t -> string
+(** A year between 1980 and 2012, as text. *)

@@ -1,0 +1,203 @@
+open Xmutil
+
+let default_seed = 20120401
+
+let el = Xml.Tree.element
+let txt s = Xml.Tree.text s
+let leaf name s = el name [ txt s ]
+
+let scaled factor base = max 1 (int_of_float (float_of_int base *. factor))
+
+(* Nested description markup: text with <bold>/<keyword>/<emph> runs and an
+   optional <parlist> of <listitem>s.  Recursion is capped so the path-type
+   vocabulary stays finite. *)
+let rec description rng depth =
+  let markup () =
+    match Prng.int rng 4 with
+    | 0 -> el "bold" [ txt (Words.words rng 3) ]
+    | 1 -> el "keyword" [ txt (Words.words rng 2) ]
+    | 2 -> el "emph" [ txt (Words.words rng 2) ]
+    | _ -> txt (Words.sentence rng)
+  in
+  let pieces = List.init (Prng.int_in rng 1 3) (fun _ -> markup ()) in
+  let pieces =
+    if depth > 0 && Prng.int rng 3 = 0 then
+      pieces
+      @ [ el "parlist"
+            (List.init (Prng.int_in rng 1 3) (fun _ ->
+                 el "listitem" [ description rng (depth - 1) ])) ]
+    else pieces
+  in
+  el "text" pieces
+
+let item rng ~id ~n_categories =
+  el "item"
+    ~attrs:[ ("id", Printf.sprintf "item%d" id) ]
+    ([
+       leaf "location" (Words.word rng);
+       leaf "quantity" (string_of_int (Prng.int_in rng 1 5));
+       leaf "name" (Words.words rng 2);
+       el "payment" [ txt "Creditcard" ];
+       el "description" [ description rng 2 ];
+       el "shipping" [ txt "Will ship internationally" ];
+     ]
+    @ List.init (Prng.int_in rng 1 3) (fun _ ->
+          el "incategory"
+            ~attrs:[ ("category", Printf.sprintf "category%d" (Prng.int rng n_categories)) ]
+            [])
+    @
+    if Prng.int rng 4 = 0 then
+      [ el "mailbox"
+          (List.init (Prng.int_in rng 1 2) (fun _ ->
+               el "mail"
+                 [
+                   leaf "from" (Words.name rng);
+                   leaf "to" (Words.name rng);
+                   leaf "date" (Words.date rng);
+                   el "text" [ txt (Words.sentence rng) ];
+                 ])) ]
+    else [])
+
+let region rng name ~first_id ~count ~n_categories =
+  el name (List.init count (fun i -> item rng ~id:(first_id + i) ~n_categories))
+
+let person rng ~id ~n_categories =
+  el "person"
+    ~attrs:[ ("id", Printf.sprintf "person%d" id) ]
+    ([
+       leaf "name" (Words.name rng);
+       leaf "emailaddress" (Printf.sprintf "mailto:%s%d@example.org" (Words.word rng) id);
+     ]
+    @ (if Prng.int rng 2 = 0 then [ leaf "phone" (Printf.sprintf "+1 (%d) %d" (Prng.int_in rng 100 999) (Prng.int_in rng 1000000 9999999)) ] else [])
+    @ (if Prng.int rng 2 = 0 then
+         [ el "address"
+             [
+               leaf "street" (Printf.sprintf "%d %s St" (Prng.int_in rng 1 99) (Words.word rng));
+               leaf "city" (Words.word rng);
+               leaf "country" "United States";
+               leaf "zipcode" (string_of_int (Prng.int_in rng 10000 99999));
+             ] ]
+       else [])
+    @ (if Prng.int rng 3 = 0 then [ leaf "homepage" (Printf.sprintf "http://www.example.org/~%s%d" (Words.word rng) id) ] else [])
+    @ (if Prng.int rng 3 = 0 then [ leaf "creditcard" (Printf.sprintf "%d %d %d %d" (Prng.int_in rng 1000 9999) (Prng.int_in rng 1000 9999) (Prng.int_in rng 1000 9999) (Prng.int_in rng 1000 9999)) ] else [])
+    @
+    if Prng.int rng 2 = 0 then
+      [ el "profile"
+          ~attrs:[ ("income", Printf.sprintf "%.2f" (Prng.float rng 100000.0)) ]
+          (List.init (Prng.int_in rng 1 3) (fun _ ->
+               el "interest"
+                 ~attrs:[ ("category", Printf.sprintf "category%d" (Prng.int rng n_categories)) ]
+                 [])
+          @ [
+              el "education" [ txt "Graduate School" ];
+              leaf "gender" (if Prng.bool rng then "male" else "female");
+              leaf "business" (if Prng.bool rng then "Yes" else "No");
+              leaf "age" (string_of_int (Prng.int_in rng 18 80));
+            ]) ]
+    else [])
+
+let bidder rng ~n_people =
+  el "bidder"
+    [
+      leaf "date" (Words.date rng);
+      leaf "time" (Printf.sprintf "%02d:%02d:%02d" (Prng.int rng 24) (Prng.int rng 60) (Prng.int rng 60));
+      el "personref" ~attrs:[ ("person", Printf.sprintf "person%d" (Prng.int rng n_people)) ] [];
+      leaf "increase" (Printf.sprintf "%.2f" (Prng.float rng 50.0));
+    ]
+
+let open_auction rng ~id ~n_people ~n_items =
+  el "open_auction"
+    ~attrs:[ ("id", Printf.sprintf "open_auction%d" id) ]
+    ([
+       leaf "initial" (Printf.sprintf "%.2f" (Prng.float rng 300.0));
+     ]
+    @ (if Prng.bool rng then [ leaf "reserve" (Printf.sprintf "%.2f" (Prng.float rng 500.0)) ] else [])
+    @ List.init (Prng.int_in rng 0 3) (fun _ -> bidder rng ~n_people)
+    @ [
+        leaf "current" (Printf.sprintf "%.2f" (Prng.float rng 1000.0));
+        el "itemref" ~attrs:[ ("item", Printf.sprintf "item%d" (Prng.int rng n_items)) ] [];
+        el "seller" ~attrs:[ ("person", Printf.sprintf "person%d" (Prng.int rng n_people)) ] [];
+        el "annotation"
+          [
+            el "author" ~attrs:[ ("person", Printf.sprintf "person%d" (Prng.int rng n_people)) ] [];
+            el "description" [ txt (Words.sentence rng) ];
+          ];
+        leaf "quantity" (string_of_int (Prng.int_in rng 1 3));
+        leaf "type" "Regular";
+        el "interval" [ leaf "start" (Words.date rng); leaf "end" (Words.date rng) ];
+      ])
+
+let closed_auction rng ~n_people ~n_items =
+  el "closed_auction"
+    [
+      el "seller" ~attrs:[ ("person", Printf.sprintf "person%d" (Prng.int rng n_people)) ] [];
+      el "buyer" ~attrs:[ ("person", Printf.sprintf "person%d" (Prng.int rng n_people)) ] [];
+      el "itemref" ~attrs:[ ("item", Printf.sprintf "item%d" (Prng.int rng n_items)) ] [];
+      leaf "price" (Printf.sprintf "%.2f" (Prng.float rng 1000.0));
+      leaf "date" (Words.date rng);
+      leaf "quantity" (string_of_int (Prng.int_in rng 1 3));
+      leaf "type" "Regular";
+      el "annotation"
+        [
+          el "author" ~attrs:[ ("person", Printf.sprintf "person%d" (Prng.int rng n_people)) ] [];
+          el "description" [ txt (Words.sentence rng) ];
+        ];
+    ]
+
+let category rng ~id =
+  el "category"
+    ~attrs:[ ("id", Printf.sprintf "category%d" id) ]
+    [ leaf "name" (Words.words rng 2); el "description" [ description rng 1 ] ]
+
+let generate ?(seed = default_seed) ~factor () =
+  let rng = Prng.create seed in
+  let n_items = scaled factor 21750 in
+  let n_people = scaled factor 25500 in
+  let n_open = scaled factor 12000 in
+  let n_closed = scaled factor 9750 in
+  let n_categories = scaled factor 1000 in
+  let region_names =
+    [| "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" |]
+  in
+  let per_region = max 1 (n_items / Array.length region_names) in
+  let regions =
+    el "regions"
+      (List.mapi
+         (fun i name ->
+           region (Prng.split rng) name ~first_id:(i * per_region)
+             ~count:per_region ~n_categories)
+         (Array.to_list region_names))
+  in
+  let categories =
+    el "categories"
+      (List.init n_categories (fun id -> category (Prng.split rng) ~id))
+  in
+  let catgraph =
+    el "catgraph"
+      (List.init (max 1 (n_categories / 2)) (fun _ ->
+           el "edge"
+             ~attrs:
+               [
+                 ("from", Printf.sprintf "category%d" (Prng.int rng n_categories));
+                 ("to", Printf.sprintf "category%d" (Prng.int rng n_categories));
+               ]
+             []))
+  in
+  let people =
+    el "people"
+      (List.init n_people (fun id -> person (Prng.split rng) ~id ~n_categories))
+  in
+  let open_auctions =
+    el "open_auctions"
+      (List.init n_open (fun id ->
+           open_auction (Prng.split rng) ~id ~n_people ~n_items))
+  in
+  let closed_auctions =
+    el "closed_auctions"
+      (List.init n_closed (fun _ ->
+           closed_auction (Prng.split rng) ~n_people ~n_items))
+  in
+  el "site"
+    [ regions; categories; catgraph; people; open_auctions; closed_auctions ]
+
+let to_doc ?seed ~factor () = Xml.Doc.of_tree (generate ?seed ~factor ())

@@ -1,0 +1,21 @@
+(** XMark-like auction documents (the paper's Figs. 10–13 and 15–16 use the
+    XMark benchmark at factors 0.1–0.5).
+
+    The original XMark generator is a C program we cannot run offline; this
+    generator emits an auction [<site>] document with the same schema family
+    — regions with items (nested description markup), categories, a category
+    graph, people with addresses and profiles, and open/closed auctions with
+    bidders — using the original entity ratios (21750 items, 25500 people,
+    12000 open and 9750 closed auctions per unit factor), scaled linearly by
+    [factor].  Shape and type-richness drive the paper's results, not the
+    exact tag vocabulary, so this substitution preserves the experiments'
+    behaviour (DESIGN.md).
+
+    Documents are deterministic in [(seed, factor)]. *)
+
+val generate : ?seed:int -> factor:float -> unit -> Xml.Tree.t
+
+val to_doc : ?seed:int -> factor:float -> unit -> Xml.Doc.t
+(** [generate] then index. *)
+
+val default_seed : int

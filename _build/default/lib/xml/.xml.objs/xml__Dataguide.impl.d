@@ -1,0 +1,1 @@
+lib/xml/dataguide.ml: Array Card Doc Format Fun Hashtbl List Option String Type_table Xmutil

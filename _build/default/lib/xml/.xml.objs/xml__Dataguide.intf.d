@@ -1,0 +1,1 @@
+lib/xml/dataguide.mli: Doc Format Type_table Xmutil

@@ -1,0 +1,1 @@
+lib/xml/doc.ml: Array Buffer Dewey Hashtbl List Parser Tree Type_table Vec Xmutil

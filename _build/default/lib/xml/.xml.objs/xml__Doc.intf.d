@@ -1,0 +1,1 @@
+lib/xml/doc.mli: Tree Type_table Xmutil

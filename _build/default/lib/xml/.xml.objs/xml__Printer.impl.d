@@ -1,0 +1,1 @@
+lib/xml/printer.ml: Buffer Format List String Tree

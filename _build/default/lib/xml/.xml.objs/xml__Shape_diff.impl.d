@@ -1,0 +1,1 @@
+lib/xml/shape_diff.ml: Dataguide Format Hashtbl List String Type_table Xmutil

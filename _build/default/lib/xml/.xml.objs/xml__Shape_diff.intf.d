@@ -1,0 +1,1 @@
+lib/xml/shape_diff.mli: Dataguide Format Xmutil

@@ -1,0 +1,1 @@
+lib/xml/type_table.ml: Hashtbl List String Xmutil

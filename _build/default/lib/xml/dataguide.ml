@@ -1,0 +1,108 @@
+open Xmutil
+
+type t = {
+  types : Type_table.t;
+  roots : Type_table.id list;
+  cards : Card.t array;
+  counts : int array;
+}
+
+let of_doc doc =
+  let types = Doc.types doc in
+  let n_types = Type_table.count types in
+  let counts = Array.make n_types 0 in
+  let acc : Card.t option array = Array.make n_types None in
+  let tally = Hashtbl.create 16 in
+  for i = 0 to Doc.node_count doc - 1 do
+    let node = Doc.node doc i in
+    counts.(node.type_id) <- counts.(node.type_id) + 1;
+    Hashtbl.reset tally;
+    Array.iter
+      (fun ci ->
+        let cty = (Doc.node doc ci).type_id in
+        let c = Option.value ~default:0 (Hashtbl.find_opt tally cty) in
+        Hashtbl.replace tally cty (c + 1))
+      node.children;
+    List.iter
+      (fun cty ->
+        let c = Option.value ~default:0 (Hashtbl.find_opt tally cty) in
+        acc.(cty) <- Card.observe acc.(cty) c)
+      (Type_table.children types node.type_id)
+  done;
+  let cards =
+    Array.mapi (fun _ty o -> match o with None -> Card.one | Some c -> c) acc
+  in
+  let roots =
+    List.sort_uniq compare
+      (List.map (fun (n : Doc.node) -> n.Doc.type_id) (Doc.roots doc))
+  in
+  List.iter (fun r -> cards.(r) <- Card.one) roots;
+  { types; roots; cards; counts }
+
+let make ~types ~roots ~cards ~counts = { types; roots; cards; counts }
+
+let types s = s.types
+let root s = List.hd s.roots
+let roots s = s.roots
+
+let all_types s = List.init (Type_table.count s.types) Fun.id
+
+let children s ty = Type_table.children s.types ty
+
+let card s ty = s.cards.(ty)
+
+let instance_count s ty = s.counts.(ty)
+
+let lowercase = String.lowercase_ascii
+
+let strip_at c =
+  if String.length c > 0 && c.[0] = '@' then String.sub c 1 (String.length c - 1)
+  else c
+
+let match_label s lbl =
+  let parts =
+    List.map
+      (fun p -> lowercase (strip_at p))
+      (String.split_on_char '.' (String.trim lbl))
+  in
+  let matches ty =
+    (* Compare the label's components against the tail of the type path. *)
+    let rec check ty = function
+      | [] -> true
+      | comp :: rest_rev -> (
+          if lowercase (Type_table.label s.types ty) <> comp then false
+          else
+            match (rest_rev, Type_table.parent s.types ty) with
+            | [], _ -> true
+            | _, None -> false
+            | _, Some p -> check p rest_rev)
+    in
+    check ty (List.rev parts)
+  in
+  List.filter matches (all_types s)
+
+let type_distance s a b = Type_table.type_distance s.types a b
+
+let path_card s t u =
+  let l = Type_table.lca_depth s.types t u in
+  (* Walk from u up to depth l, multiplying edge adornments (Def. 6); the
+     upward half of the path from t contributes 1..1 at every step. *)
+  let rec go ty acc =
+    if Type_table.depth s.types ty <= l then acc
+    else
+      match Type_table.parent s.types ty with
+      | None -> Card.mul acc s.cards.(ty)
+      | Some p -> go p (Card.mul acc s.cards.(ty))
+  in
+  if t = u then Card.one else go u Card.one
+
+let pp fmt s =
+  let rec go indent ty =
+    Format.fprintf fmt "%s%s %a (x%d)@." indent
+      (Type_table.component s.types ty)
+      Card.pp s.cards.(ty) s.counts.(ty);
+    List.iter (go (indent ^ "  ")) (children s ty)
+  in
+  List.iter (go "") s.roots
+
+let to_string s = Format.asprintf "%a" pp s

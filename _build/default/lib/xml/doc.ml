@@ -1,0 +1,154 @@
+open Xmutil
+
+type kind = Element | Attribute
+
+type node = {
+  id : int;
+  dewey : Dewey.t;
+  kind : kind;
+  name : string;
+  type_id : Type_table.id;
+  parent : int;
+  children : int array;
+  value : string;
+}
+
+type t = {
+  types : Type_table.t;
+  nodes : node array;
+  by_type : int array array;
+  roots : int list;
+  tdist_cache : (int * int, int) Hashtbl.t;
+}
+
+let of_forest trees =
+  let types = Type_table.create () in
+  let nodes : node Vec.t = Vec.create ~capacity:1024 () in
+  let rec index_element parent_id parent_ty dewey el =
+    match el with
+    | Tree.Text _ -> assert false
+    | Tree.Element { name; attrs; children } ->
+        let ty = Type_table.intern types ~parent:parent_ty name in
+        let value =
+          let b = Buffer.create 8 in
+          List.iter
+            (function Tree.Text s -> Buffer.add_string b s | Tree.Element _ -> ())
+            children;
+          Buffer.contents b
+        in
+        let id =
+          Vec.push nodes
+            { id = 0; dewey; kind = Element; name; type_id = ty;
+              parent = parent_id; children = [||]; value }
+        in
+        let kid_ids = ref [] in
+        let next = ref 0 in
+        List.iter
+          (fun (aname, avalue) ->
+            incr next;
+            let aty = Type_table.intern types ~parent:(Some ty) ("@" ^ aname) in
+            let aid =
+              Vec.push nodes
+                { id = 0; dewey = Dewey.child dewey !next; kind = Attribute;
+                  name = aname; type_id = aty; parent = id; children = [||];
+                  value = avalue }
+            in
+            let a = Vec.get nodes aid in
+            Vec.set nodes aid { a with id = aid };
+            kid_ids := aid :: !kid_ids)
+          attrs;
+        List.iter
+          (function
+            | Tree.Text _ -> ()
+            | Tree.Element _ as child ->
+                incr next;
+                let cid = index_element id (Some ty) (Dewey.child dewey !next) child in
+                kid_ids := cid :: !kid_ids)
+          children;
+        let n = Vec.get nodes id in
+        Vec.set nodes id
+          { n with id; children = Array.of_list (List.rev !kid_ids) };
+        id
+  in
+  let roots =
+    List.mapi
+      (fun i tree -> index_element (-1) None [| i + 1 |] tree)
+      trees
+  in
+  let nodes = Vec.to_array nodes in
+  let counts = Array.make (Type_table.count types) 0 in
+  Array.iter (fun n -> counts.(n.type_id) <- counts.(n.type_id) + 1) nodes;
+  let by_type = Array.map (fun c -> Array.make c 0) counts in
+  let fill = Array.make (Type_table.count types) 0 in
+  Array.iter
+    (fun n ->
+      by_type.(n.type_id).(fill.(n.type_id)) <- n.id;
+      fill.(n.type_id) <- fill.(n.type_id) + 1)
+    nodes;
+  { types; nodes; by_type; roots; tdist_cache = Hashtbl.create 64 }
+
+let of_tree tree = of_forest [ tree ]
+
+let of_string s = of_tree (Parser.parse s)
+
+let types t = t.types
+let node t i = t.nodes.(i)
+let node_count t = Array.length t.nodes
+let root t = t.nodes.(List.hd t.roots)
+let roots t = List.map (fun i -> t.nodes.(i)) t.roots
+
+let nodes_of_type t ty =
+  if ty < 0 || ty >= Array.length t.by_type then [||] else t.by_type.(ty)
+
+let type_count t ty = Array.length (nodes_of_type t ty)
+
+let rec subtree t i =
+  let n = t.nodes.(i) in
+  let attrs, elems =
+    Array.fold_left
+      (fun (attrs, elems) ci ->
+        let c = t.nodes.(ci) in
+        match c.kind with
+        | Attribute -> ((c.name, c.value) :: attrs, elems)
+        | Element -> (attrs, subtree t ci :: elems))
+      ([], []) n.children
+  in
+  let kids = List.rev elems in
+  let kids = if n.value = "" then kids else Tree.Text n.value :: kids in
+  Tree.Element { name = n.name; attrs = List.rev attrs; children = kids }
+
+let to_tree t = subtree t (List.hd t.roots)
+
+let to_trees t = List.map (subtree t) t.roots
+
+let distance t a b = Dewey.distance t.nodes.(a).dewey t.nodes.(b).dewey
+
+(* Exact data-level typeDistance (Def. 2).  Both sequences are Dewey-sorted;
+   the maximum common-prefix length between any cross pair is achieved at
+   some pair adjacent in the merged Dewey order, so one merge pass finds it. *)
+let type_distance t t1 t2 =
+  let key = if t1 <= t2 then (t1, t2) else (t2, t1) in
+  match Hashtbl.find_opt t.tdist_cache key with
+  | Some d -> d
+  | None ->
+      let a = nodes_of_type t t1 and b = nodes_of_type t t2 in
+      if Array.length a = 0 || Array.length b = 0 then
+        invalid_arg "Doc.type_distance: type has no instances";
+      let da = Type_table.depth t.types t1 and db = Type_table.depth t.types t2 in
+      let best = ref 0 in
+      let i = ref 0 and j = ref 0 in
+      let consider x y =
+        let cp = Dewey.common_prefix_len t.nodes.(x).dewey t.nodes.(y).dewey in
+        if cp > !best then best := cp
+      in
+      while !i < Array.length a && !j < Array.length b do
+        consider a.(!i) b.(!j);
+        let c = Dewey.compare t.nodes.(a.(!i)).dewey t.nodes.(b.(!j)).dewey in
+        if c <= 0 then incr i else incr j
+      done;
+      (* Tail elements against the last element of the other side. *)
+      if !i < Array.length a && !j > 0 then consider a.(!i) b.(!j - 1);
+      if !j < Array.length b && !i > 0 then consider a.(!i - 1) b.(!j);
+      let d = da + db - (2 * !best) in
+      Hashtbl.add t.tdist_cache key d;
+      d

@@ -1,0 +1,73 @@
+(** Indexed XML documents.
+
+    [Doc.of_tree] turns a parsed {!Tree.t} into the vertex set of the paper's
+    data model (Def. 1): one node per element or attribute, each carrying a
+    Dewey number, a path type, its parent, its children, and its direct text
+    content ([value] in the paper).  Text is not a vertex; it is folded into
+    its parent's [value].
+
+    Nodes are stored in document (preorder) order and node ids coincide with
+    preorder ranks, so the per-type sequences returned by {!nodes_of_type}
+    are automatically sorted in both id order and Dewey order — the property
+    the sort-merge closest join relies on. *)
+
+type kind = Element | Attribute
+
+type node = {
+  id : int;
+  dewey : Xmutil.Dewey.t;
+  kind : kind;
+  name : string;  (** element or attribute name, without ["@"] *)
+  type_id : Type_table.id;
+  parent : int;  (** node id; [-1] for the root *)
+  children : int array;  (** node ids in document order (attributes first) *)
+  value : string;  (** direct text content *)
+}
+
+type t
+
+val of_tree : Tree.t -> t
+
+val of_forest : Tree.t list -> t
+(** Index a {e collection} of documents (the paper's data model is an "XML
+    data collection D").  Document [i] is rooted at Dewey number [i+1], so
+    nodes of different documents share no Dewey prefix: no path connects
+    them, and the closest relation never crosses documents. *)
+
+val of_string : string -> t
+(** Parse then index.  @raise Parser.Error on malformed input. *)
+
+val types : t -> Type_table.t
+val node : t -> int -> node
+val node_count : t -> int
+val root : t -> node
+(** The first document's root. *)
+
+val roots : t -> node list
+(** All document roots of the collection (a single element for [of_tree]). *)
+
+val nodes_of_type : t -> Type_table.id -> int array
+(** All node ids of the given type, in document order. The paper's
+    TypeToSequence table. *)
+
+val type_count : t -> Type_table.id -> int
+
+val subtree : t -> int -> Tree.t
+(** Reconstruct the XML subtree rooted at a node (inverse of indexing, up to
+    whitespace). *)
+
+val to_tree : t -> Tree.t
+(** The first document (inverse of [of_tree]). *)
+
+val to_trees : t -> Tree.t list
+(** Every document of the collection. *)
+
+val distance : t -> int -> int -> int
+(** Tree distance between two nodes, computed from Dewey numbers. *)
+
+val type_distance : t -> Type_table.id -> Type_table.id -> int
+(** The paper's data-level [typeDistance] (Def. 2): the minimum distance
+    between any pair of instance nodes with the given types.  Computed
+    exactly (and memoized) by scanning the two per-type sequences for the
+    deepest shared ancestor level.  Raises [Invalid_argument] if either type
+    has no instances. *)

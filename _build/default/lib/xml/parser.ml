@@ -1,0 +1,279 @@
+exception Error of { line : int; col : int; msg : string }
+
+type state = { src : string; len : int; mutable pos : int }
+
+let position st =
+  (* Recompute line/col lazily: only on error paths. *)
+  let line = ref 1 and col = ref 1 in
+  for i = 0 to min st.pos (st.len - 1) - 1 do
+    if st.src.[i] = '\n' then (incr line; col := 1) else incr col
+  done;
+  (!line, !col)
+
+let fail st msg =
+  let line, col = position st in
+  raise (Error { line; col; msg })
+
+let eof st = st.pos >= st.len
+
+let peek st = if eof st then '\000' else st.src.[st.pos]
+
+let peek2 st = if st.pos + 1 >= st.len then '\000' else st.src.[st.pos + 1]
+
+let advance st = st.pos <- st.pos + 1
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= st.len && String.sub st.src st.pos n = s
+
+let expect st s =
+  if looking_at st s then st.pos <- st.pos + String.length s
+  else fail st (Printf.sprintf "expected %S" s)
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_space st =
+  while (not (eof st)) && is_space (peek st) do
+    advance st
+  done
+
+let is_name_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+  | c -> Char.code c >= 0x80
+
+let is_name_char c =
+  is_name_start c || (match c with '0' .. '9' | '-' | '.' -> true | _ -> false)
+
+let parse_name st =
+  if not (is_name_start (peek st)) then fail st "expected a name";
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+(* Decode one entity or character reference; [st.pos] is at ['&']. *)
+let parse_reference st b =
+  advance st;
+  if peek st = '#' then begin
+    advance st;
+    let hex = peek st = 'x' || peek st = 'X' in
+    if hex then advance st;
+    let start = st.pos in
+    let ok c =
+      match c with
+      | '0' .. '9' -> true
+      | 'a' .. 'f' | 'A' .. 'F' -> hex
+      | _ -> false
+    in
+    while (not (eof st)) && ok (peek st) do
+      advance st
+    done;
+    if st.pos = start then fail st "empty character reference";
+    let digits = String.sub st.src start (st.pos - start) in
+    expect st ";";
+    let code =
+      try int_of_string ((if hex then "0x" else "") ^ digits)
+      with _ -> fail st "bad character reference"
+    in
+    if code < 0 || code > 0x10FFFF then fail st "character reference out of range";
+    (* UTF-8 encode. *)
+    if code < 0x80 then Buffer.add_char b (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else if code < 0x10000 then begin
+      Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char b (Char.chr (0xF0 lor (code lsr 18)));
+      Buffer.add_char b (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  end
+  else begin
+    let name = parse_name st in
+    expect st ";";
+    match name with
+    | "lt" -> Buffer.add_char b '<'
+    | "gt" -> Buffer.add_char b '>'
+    | "amp" -> Buffer.add_char b '&'
+    | "apos" -> Buffer.add_char b '\''
+    | "quot" -> Buffer.add_char b '"'
+    | other -> fail st (Printf.sprintf "unknown entity &%s;" other)
+  end
+
+let parse_attr_value st =
+  let quote = peek st in
+  if quote <> '"' && quote <> '\'' then fail st "expected quoted attribute value";
+  advance st;
+  let b = Buffer.create 16 in
+  let rec go () =
+    if eof st then fail st "unterminated attribute value";
+    let c = peek st in
+    if c = quote then advance st
+    else if c = '&' then (parse_reference st b; go ())
+    else if c = '<' then fail st "'<' in attribute value"
+    else (Buffer.add_char b c; advance st; go ())
+  in
+  go ();
+  Buffer.contents b
+
+let skip_comment st =
+  expect st "<!--";
+  let rec go () =
+    if eof st then fail st "unterminated comment"
+    else if looking_at st "-->" then st.pos <- st.pos + 3
+    else (advance st; go ())
+  in
+  go ()
+
+let skip_pi st =
+  expect st "<?";
+  let rec go () =
+    if eof st then fail st "unterminated processing instruction"
+    else if looking_at st "?>" then st.pos <- st.pos + 2
+    else (advance st; go ())
+  in
+  go ()
+
+let skip_doctype st =
+  expect st "<!DOCTYPE";
+  (* Skip to the matching '>' allowing one level of '[' ... ']' internal subset. *)
+  let depth = ref 0 in
+  let rec go () =
+    if eof st then fail st "unterminated DOCTYPE"
+    else begin
+      let c = peek st in
+      advance st;
+      match c with
+      | '[' -> incr depth; go ()
+      | ']' -> decr depth; go ()
+      | '>' when !depth = 0 -> ()
+      | _ -> go ()
+    end
+  in
+  go ()
+
+let parse_cdata st b =
+  expect st "<![CDATA[";
+  let rec go () =
+    if eof st then fail st "unterminated CDATA section"
+    else if looking_at st "]]>" then st.pos <- st.pos + 3
+    else (Buffer.add_char b (peek st); advance st; go ())
+  in
+  go ()
+
+let is_blank s =
+  let n = String.length s in
+  let rec go i = i >= n || (is_space s.[i] && go (i + 1)) in
+  go 0
+
+let rec parse_element st =
+  expect st "<";
+  let name = parse_name st in
+  let rec attrs acc =
+    skip_space st;
+    if looking_at st "/>" then begin
+      st.pos <- st.pos + 2;
+      Tree.Element { name; attrs = List.rev acc; children = [] }
+    end
+    else if peek st = '>' then begin
+      advance st;
+      let children = parse_content st name in
+      Tree.Element { name; attrs = List.rev acc; children }
+    end
+    else begin
+      let aname = parse_name st in
+      skip_space st;
+      expect st "=";
+      skip_space st;
+      let v = parse_attr_value st in
+      if List.mem_assoc aname acc then fail st (Printf.sprintf "duplicate attribute %s" aname);
+      attrs ((aname, v) :: acc)
+    end
+  in
+  attrs []
+
+and parse_content st parent_name =
+  let items = ref [] in
+  let textbuf = Buffer.create 16 in
+  let flush_text () =
+    if Buffer.length textbuf > 0 then begin
+      let s = Buffer.contents textbuf in
+      Buffer.clear textbuf;
+      if not (is_blank s) then items := Tree.Text s :: !items
+    end
+  in
+  let rec go () =
+    if eof st then fail st (Printf.sprintf "unterminated element <%s>" parent_name)
+    else if looking_at st "</" then begin
+      flush_text ();
+      st.pos <- st.pos + 2;
+      let cname = parse_name st in
+      if cname <> parent_name then
+        fail st (Printf.sprintf "mismatched close tag </%s> for <%s>" cname parent_name);
+      skip_space st;
+      expect st ">"
+    end
+    else if looking_at st "<!--" then (skip_comment st; go ())
+    else if looking_at st "<![CDATA[" then (parse_cdata st textbuf; go ())
+    else if looking_at st "<?" then (skip_pi st; go ())
+    else if peek st = '<' && (is_name_start (peek2 st)) then begin
+      flush_text ();
+      let child = parse_element st in
+      items := child :: !items;
+      go ()
+    end
+    else if peek st = '<' then fail st "malformed markup"
+    else if peek st = '&' then (parse_reference st textbuf; go ())
+    else begin
+      Buffer.add_char textbuf (peek st);
+      advance st;
+      go ()
+    end
+  in
+  go ();
+  List.rev !items
+
+let parse_prolog st =
+  skip_space st;
+  if looking_at st "<?xml" then skip_pi st;
+  let rec go () =
+    skip_space st;
+    if looking_at st "<!--" then (skip_comment st; go ())
+    else if looking_at st "<!DOCTYPE" then (skip_doctype st; go ())
+    else if looking_at st "<?" then (skip_pi st; go ())
+  in
+  go ()
+
+let parse src =
+  let st = { src; len = String.length src; pos = 0 } in
+  parse_prolog st;
+  if not (peek st = '<' && is_name_start (peek2 st)) then fail st "expected root element";
+  let root = parse_element st in
+  (* Trailing misc. *)
+  let rec trail () =
+    skip_space st;
+    if looking_at st "<!--" then (skip_comment st; trail ())
+    else if looking_at st "<?" then (skip_pi st; trail ())
+    else if not (eof st) then fail st "content after root element"
+  in
+  trail ();
+  root
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse s
+
+let error_message = function
+  | Error { line; col; msg } ->
+      Some (Printf.sprintf "XML parse error at line %d, column %d: %s" line col msg)
+  | _ -> None

@@ -1,0 +1,135 @@
+let add_escaped_text b s =
+  String.iter
+    (function
+      | '&' -> Buffer.add_string b "&amp;"
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | c -> Buffer.add_char b c)
+    s
+
+let add_escaped_attr b s =
+  String.iter
+    (function
+      | '&' -> Buffer.add_string b "&amp;"
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | '"' -> Buffer.add_string b "&quot;"
+      | c -> Buffer.add_char b c)
+    s
+
+let escape_text s =
+  let b = Buffer.create (String.length s + 8) in
+  add_escaped_text b s;
+  Buffer.contents b
+
+let escape_attr s =
+  let b = Buffer.create (String.length s + 8) in
+  add_escaped_attr b s;
+  Buffer.contents b
+
+let add_attrs b attrs =
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char b ' ';
+      Buffer.add_string b k;
+      Buffer.add_string b "=\"";
+      add_escaped_attr b v;
+      Buffer.add_char b '"')
+    attrs
+
+let rec to_buffer b t =
+  match t with
+  | Tree.Text s -> add_escaped_text b s
+  | Tree.Element { name; attrs; children } ->
+      Buffer.add_char b '<';
+      Buffer.add_string b name;
+      add_attrs b attrs;
+      if children = [] then Buffer.add_string b "/>"
+      else begin
+        Buffer.add_char b '>';
+        List.iter (to_buffer b) children;
+        Buffer.add_string b "</";
+        Buffer.add_string b name;
+        Buffer.add_char b '>'
+      end
+
+let to_string t =
+  let b = Buffer.create 1024 in
+  to_buffer b t;
+  Buffer.contents b
+
+let only_text children =
+  List.for_all (function Tree.Text _ -> true | Tree.Element _ -> false) children
+
+let to_string_indented t =
+  let b = Buffer.create 1024 in
+  let rec go indent t =
+    match t with
+    | Tree.Text s ->
+        Buffer.add_string b indent;
+        add_escaped_text b s;
+        Buffer.add_char b '\n'
+    | Tree.Element { name; attrs; children } ->
+        Buffer.add_string b indent;
+        Buffer.add_char b '<';
+        Buffer.add_string b name;
+        add_attrs b attrs;
+        if children = [] then Buffer.add_string b "/>\n"
+        else if only_text children then begin
+          Buffer.add_char b '>';
+          List.iter (function Tree.Text s -> add_escaped_text b s | _ -> ()) children;
+          Buffer.add_string b "</";
+          Buffer.add_string b name;
+          Buffer.add_string b ">\n"
+        end
+        else begin
+          Buffer.add_string b ">\n";
+          List.iter (go (indent ^ "  ")) children;
+          Buffer.add_string b indent;
+          Buffer.add_string b "</";
+          Buffer.add_string b name;
+          Buffer.add_string b ">\n"
+        end
+  in
+  go "" t;
+  Buffer.contents b
+
+let serialized_size t =
+  (* Count without materializing: mirror [to_buffer]. *)
+  let text_len s =
+    let n = ref 0 in
+    String.iter
+      (function
+        | '&' -> n := !n + 5
+        | '<' | '>' -> n := !n + 4
+        | _ -> incr n)
+      s;
+    !n
+  in
+  let attr_text_len s =
+    let n = ref 0 in
+    String.iter
+      (function
+        | '&' -> n := !n + 5
+        | '"' -> n := !n + 6
+        | '<' | '>' -> n := !n + 4
+        | _ -> incr n)
+      s;
+    !n
+  in
+  let attr_len (k, v) = 4 + String.length k + attr_text_len v in
+  let rec go t =
+    match t with
+    | Tree.Text s -> text_len s
+    | Tree.Element { name; attrs; children } ->
+        let a = List.fold_left (fun acc kv -> acc + attr_len kv) 0 attrs in
+        if children = [] then 3 + String.length name + a
+        else
+          List.fold_left
+            (fun acc c -> acc + go c)
+            ((2 * String.length name) + 5 + a)
+            children
+  in
+  go t
+
+let pp fmt t = Format.pp_print_string fmt (to_string_indented t)

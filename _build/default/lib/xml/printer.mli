@@ -1,0 +1,26 @@
+(** XML serialization.
+
+    Two renderings: [to_string] (compact, no inserted whitespace — safe to
+    re-parse into an equal tree) and [to_string_indented] (two-space
+    indentation for human eyes; elements with only text content stay on one
+    line).  All text and attribute values are escaped. *)
+
+val escape_text : string -> string
+(** Escape [& < >] for character data. *)
+
+val escape_attr : string -> string
+(** Escape ampersand, angle brackets, and double quote for double-quoted
+    attribute values. *)
+
+val to_string : Tree.t -> string
+
+val to_string_indented : Tree.t -> string
+
+val to_buffer : Buffer.t -> Tree.t -> unit
+(** Compact serialization appended to an existing buffer. *)
+
+val serialized_size : Tree.t -> int
+(** Byte length of [to_string t] without building the string. *)
+
+val pp : Format.formatter -> Tree.t -> unit
+(** Indented rendering on a formatter. *)

@@ -1,0 +1,80 @@
+type change =
+  | Added of string
+  | Removed of string
+  | Moved of { label : string; from_path : string; to_path : string }
+  | Card_changed of {
+      qname : string;
+      from_card : Xmutil.Card.t;
+      to_card : Xmutil.Card.t;
+    }
+
+type t = change list
+
+let qnames guide =
+  let tt = Dataguide.types guide in
+  List.map (fun ty -> (Type_table.qname tt ty, ty)) (Dataguide.all_types guide)
+
+let diff old_g new_g =
+  let old_names = qnames old_g and new_names = qnames new_g in
+  let old_set = List.map fst old_names and new_set = List.map fst new_names in
+  let removed = List.filter (fun q -> not (List.mem q new_set)) old_set in
+  let added = List.filter (fun q -> not (List.mem q old_set)) new_set in
+  (* Pair up removed/added types sharing a last label: moves. *)
+  let label_of q =
+    match List.rev (String.split_on_char '.' q) with
+    | last :: _ -> last
+    | [] -> q
+  in
+  let moves = ref [] and used_added = Hashtbl.create 8 in
+  let removed =
+    List.filter
+      (fun rq ->
+        let l = label_of rq in
+        match
+          List.find_opt
+            (fun aq -> label_of aq = l && not (Hashtbl.mem used_added aq))
+            added
+        with
+        | Some aq ->
+            Hashtbl.add used_added aq ();
+            moves := Moved { label = l; from_path = rq; to_path = aq } :: !moves;
+            false
+        | None -> true)
+      removed
+  in
+  let added = List.filter (fun aq -> not (Hashtbl.mem used_added aq)) added in
+  (* Cardinality changes on types present in both. *)
+  let card_changes =
+    List.filter_map
+      (fun (q, old_ty) ->
+        match List.assoc_opt q new_names with
+        | None -> None
+        | Some new_ty ->
+            let oc = Dataguide.card old_g old_ty
+            and nc = Dataguide.card new_g new_ty in
+            if Xmutil.Card.equal oc nc then None
+            else Some (Card_changed { qname = q; from_card = oc; to_card = nc }))
+      old_names
+  in
+  List.map (fun q -> Removed q) removed
+  @ List.map (fun q -> Added q) added
+  @ List.rev !moves @ card_changes
+
+let is_empty t = t = []
+
+let pp fmt t =
+  if t = [] then Format.fprintf fmt "shapes are identical@."
+  else
+    List.iter
+      (fun change ->
+        match change with
+        | Added q -> Format.fprintf fmt "+ %s@." q
+        | Removed q -> Format.fprintf fmt "- %s@." q
+        | Moved { label; from_path; to_path } ->
+            Format.fprintf fmt "~ %s moved: %s -> %s@." label from_path to_path
+        | Card_changed { qname; from_card; to_card } ->
+            Format.fprintf fmt "* %s cardinality: %a -> %a@." qname
+              Xmutil.Card.pp from_card Xmutil.Card.pp to_card)
+      t
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,33 @@
+(** Diffing adorned shapes.
+
+    The paper motivates query guards with schema evolution (Sec. I:
+    "database administrators may revise the design over time").  This module
+    makes the evolution itself visible: given two shapes, it reports which
+    types appeared, disappeared, moved to a different parent, or changed
+    cardinality — the information an administrator needs to predict which
+    guards and queries a redesign can affect.
+
+    Types are matched by qualified name for add/remove, and by (label,
+    subtree) heuristics for moves: a type counts as {e moved} when a type
+    with the same last label exists in both shapes but under different
+    parent paths and is not otherwise matched. *)
+
+type change =
+  | Added of string  (** qualified type only in the new shape *)
+  | Removed of string  (** qualified type only in the old shape *)
+  | Moved of { label : string; from_path : string; to_path : string }
+  | Card_changed of {
+      qname : string;
+      from_card : Xmutil.Card.t;
+      to_card : Xmutil.Card.t;
+    }
+
+type t = change list
+
+val diff : Dataguide.t -> Dataguide.t -> t
+(** [diff old_shape new_shape]. *)
+
+val is_empty : t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

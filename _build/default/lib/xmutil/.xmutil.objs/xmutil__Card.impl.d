@@ -1,0 +1,1 @@
+lib/xmutil/card.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/xmutil/card.mli: Format

@@ -1,0 +1,1 @@
+lib/xmutil/dewey.ml: Array Format List Stdlib String

@@ -1,0 +1,1 @@
+lib/xmutil/dewey.mli: Format

@@ -1,0 +1,1 @@
+lib/xmutil/json.ml: Buffer Char Float List Printf String

@@ -1,0 +1,1 @@
+lib/xmutil/prng.ml: Array Int64 List

@@ -1,0 +1,1 @@
+lib/xmutil/vec.ml: Array

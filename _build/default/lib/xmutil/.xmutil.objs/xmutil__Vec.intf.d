@@ -1,0 +1,1 @@
+lib/xmutil/vec.mli:

@@ -1,0 +1,54 @@
+type max = Bounded of int | Many
+
+type t = { lo : int; hi : max }
+
+let v n m =
+  if n < 0 || m < n then invalid_arg "Card.v";
+  { lo = n; hi = Bounded m }
+
+let unbounded n =
+  if n < 0 then invalid_arg "Card.unbounded";
+  { lo = n; hi = Many }
+
+let zero = { lo = 0; hi = Bounded 0 }
+let one = { lo = 1; hi = Bounded 1 }
+
+let mul_max a b =
+  match (a, b) with
+  | Bounded 0, _ | _, Bounded 0 -> Bounded 0
+  | Many, _ | _, Many -> Many
+  | Bounded x, Bounded y ->
+      (* Saturate on overflow; counts this large behave as unbounded. *)
+      if x > 0 && y > max_int / x then Many else Bounded (x * y)
+
+let mul a b = { lo = a.lo * b.lo; hi = mul_max a.hi b.hi }
+
+let max_join a b =
+  match (a, b) with
+  | Many, _ | _, Many -> Many
+  | Bounded x, Bounded y -> Bounded (max x y)
+
+let join a b = { lo = min a.lo b.lo; hi = max_join a.hi b.hi }
+
+let observe acc n =
+  let c = { lo = n; hi = Bounded n } in
+  match acc with None -> Some c | Some a -> Some (join a c)
+
+let max_leq a b =
+  match (a, b) with
+  | _, Many -> true
+  | Many, Bounded _ -> false
+  | Bounded x, Bounded y -> x <= y
+
+let min_raised_from_zero ~src ~tgt = src.lo = 0 && tgt.lo > 0
+
+let max_increased ~src ~tgt = not (max_leq tgt.hi src.hi)
+
+let equal a b = a.lo = b.lo && a.hi = b.hi
+
+let to_string c =
+  match c.hi with
+  | Bounded m -> Printf.sprintf "%d..%d" c.lo m
+  | Many -> Printf.sprintf "%d..*" c.lo
+
+let pp fmt c = Format.pp_print_string fmt (to_string c)

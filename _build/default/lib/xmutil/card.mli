@@ -1,0 +1,49 @@
+(** Cardinality ranges [n..m] adorning shape edges (Def. 3 of the paper).
+
+    An edge from type [t] to type [u] labelled [n..m] says every node of type
+    [t] has at least [n] and at most [m] children of type [u].  The maximum
+    may be unbounded ([Many]), which arises when predicting cardinalities of
+    composed paths (Def. 6: path cardinality multiplies the per-edge ranges).
+
+    The information-loss theorems compare ranges: Theorem 1 (inclusiveness)
+    fails when a minimum rises from zero to non-zero; Theorem 2
+    (non-additivity) fails when a maximum increases. *)
+
+type max = Bounded of int | Many
+
+type t = { lo : int; hi : max }
+
+val v : int -> int -> t
+(** [v n m] is the range [n..m]; requires [0 <= n <= m]. *)
+
+val unbounded : int -> t
+(** [unbounded n] is [n..*]. *)
+
+val zero : t
+(** [0..0], the adornment of leaf edges [ (t, o, 0..0) ]. *)
+
+val one : t
+(** [1..1]. *)
+
+val mul : t -> t -> t
+(** Pointwise product of ranges: [n1*n2 .. m1*m2] (Def. 6). *)
+
+val join : t -> t -> t
+(** Smallest range containing both: [(min lo) .. (max hi)]. Used when folding
+    per-parent observed counts into an edge adornment. *)
+
+val observe : t option -> int -> t option
+(** Fold one observed child count into an accumulating adornment. *)
+
+val max_leq : max -> max -> bool
+(** Order on maxima with [Many] as top. *)
+
+val min_raised_from_zero : src:t -> tgt:t -> bool
+(** Theorem 1 violation test: source minimum was 0, target minimum is not. *)
+
+val max_increased : src:t -> tgt:t -> bool
+(** Theorem 2 violation test: target maximum exceeds source maximum. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,18 @@
+(** A minimal JSON value type and serializer (no parsing — the library only
+    {e emits} machine-readable reports; adding a dependency for that would be
+    overkill in a sealed environment). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialize; [~pretty:true] (default) indents with two spaces.  Strings
+    are escaped per RFC 8259 (control characters as [\uXXXX]). *)
+
+val to_buffer : ?pretty:bool -> Buffer.t -> t -> unit

@@ -1,0 +1,61 @@
+(* Splitmix64 (Steele, Lea & Flood, OOPSLA 2014).  The state is a single
+   64-bit counter advanced by a golden-gamma increment; output mixing makes
+   successive values statistically independent.  Mutable so callers can share
+   one stream conveniently; [split] derives an independent stream. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = bits64 t in
+  { state = mix64 s }
+
+let int t bound =
+  assert (bound > 0);
+  (* Keep 62 bits so the value stays non-negative in a 63-bit OCaml int. *)
+  let v = Int64.to_int (Int64.logand (bits64 t) 0x3FFFFFFFFFFFFFFFL) in
+  v mod bound
+
+let int_in t lo hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bound *. (v /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let choose t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let pick_weighted t choices =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 choices in
+  assert (total > 0);
+  let n = int t total in
+  let rec go n = function
+    | [] -> assert false
+    | (w, x) :: rest -> if n < w then x else go (n - w) rest
+  in
+  go n choices
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

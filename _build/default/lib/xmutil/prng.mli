@@ -1,0 +1,40 @@
+(** Deterministic splittable pseudo-random number generator (splitmix64).
+
+    Every workload generator in this repository derives its randomness from a
+    [Prng.t] so that documents are reproducible across runs and platforms.
+    The generator is splittable: [split] returns an independent stream, which
+    lets generators hand disjoint streams to subtrees without threading
+    state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of [t]'s subsequent output. *)
+
+val bits64 : t -> int64
+(** Next raw 64 bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val choose : t -> 'a array -> 'a
+(** Uniformly pick an element of a non-empty array. *)
+
+val pick_weighted : t -> (int * 'a) list -> 'a
+(** [pick_weighted t choices] picks proportionally to the integer weights,
+    which must sum to a positive value. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

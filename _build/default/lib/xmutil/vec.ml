@@ -1,0 +1,43 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create ?(capacity = 16) () = { data = [||]; len = -capacity }
+(* A negative [len] encodes "empty with a capacity hint": we cannot allocate
+   an ['a array] without an element, so allocation is deferred to first push. *)
+
+let length v = max v.len 0
+
+let ensure v x =
+  if v.len < 0 then begin
+    v.data <- Array.make (max 16 (-v.len)) x;
+    v.len <- 0
+  end
+  else if v.len = Array.length v.data then begin
+    let bigger = Array.make (max 16 (2 * v.len)) x in
+    Array.blit v.data 0 bigger 0 v.len;
+    v.data <- bigger
+  end
+
+let push v x =
+  ensure v x;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1;
+  v.len - 1
+
+let get v i =
+  if i < 0 || i >= length v then invalid_arg "Vec.get";
+  v.data.(i)
+
+let set v i x =
+  if i < 0 || i >= length v then invalid_arg "Vec.set";
+  v.data.(i) <- x
+
+let to_array v = Array.sub v.data 0 (length v)
+
+let to_list v = Array.to_list (to_array v)
+
+let iter f v =
+  for i = 0 to length v - 1 do
+    f v.data.(i)
+  done
+
+let clear v = v.len <- min v.len 0

@@ -1,0 +1,18 @@
+(** Growable arrays (OCaml 5.1 predates [Dynarray]).
+
+    Used pervasively when shredding documents: node tables are appended to
+    once per node and then frozen with {!to_array}. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+val length : 'a t -> int
+val push : 'a t -> 'a -> int
+(** Append and return the index of the new element. *)
+
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val to_array : 'a t -> 'a array
+val to_list : 'a t -> 'a list
+val iter : ('a -> unit) -> 'a t -> unit
+val clear : 'a t -> unit

@@ -1,0 +1,1 @@
+lib/xquery/eval.ml: Float Format Hashtbl List Option Qast Qparse String Value Xml

@@ -1,0 +1,1 @@
+lib/xquery/qast.ml: Format List

@@ -1,0 +1,1 @@
+lib/xquery/qparse.ml: Buffer Char List Printf Qast String

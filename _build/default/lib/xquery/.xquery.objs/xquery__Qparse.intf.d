@@ -1,0 +1,1 @@
+lib/xquery/qparse.mli: Qast

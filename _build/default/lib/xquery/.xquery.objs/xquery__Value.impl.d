@@ -1,0 +1,1 @@
+lib/xquery/value.ml: Float Format List String Xml

@@ -1,0 +1,20 @@
+(** Evaluator for the XQuery-lite subset.
+
+    Queries run against a single context document (what [doc(...)] and a
+    leading [/] denote).  The function library covers the built-ins the
+    paper's examples rely on — notably [distinct-values], whose behaviour on
+    the {e target} shape rather than the source is one of the paper's
+    arguments for physically transforming values (Sec. II). *)
+
+exception Error of string
+(** Runtime errors: unbound variables, unknown functions, bad arity. *)
+
+val eval : Xml.Tree.t -> Qast.expr -> Value.t
+(** [eval doc e] evaluates [e] with [doc] as the context document. *)
+
+val run : Xml.Tree.t -> string -> Value.t
+(** Parse and evaluate.
+    @raise Qparse.Error on syntax errors, {!Error} on runtime errors. *)
+
+val run_to_xml : Xml.Tree.t -> string -> Xml.Tree.t list
+(** [run] then materialize the result sequence as XML content. *)

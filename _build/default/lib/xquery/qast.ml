@@ -1,0 +1,125 @@
+type axis = Child | Descendant | Attribute
+
+type node_test = Name of string | Any | Text
+
+type expr =
+  | Literal_string of string
+  | Literal_number of float
+  | Var of string
+  | Sequence of expr list
+  | Root
+  | Context_item
+  | Step of axis * node_test * expr list
+  | Path of expr * axis * node_test * expr list
+  | Flwor of clause list * expr option * order_spec list * expr
+  | If of expr * expr * expr
+  | Or of expr * expr
+  | And of expr * expr
+  | Compare of cmp * expr * expr
+  | Arith of arith * expr * expr
+  | Neg of expr
+  | Call of string * expr list
+  | Element of string * (string * attr_value) list * content list
+  | Quantified of quant * string * expr * expr
+
+and clause = For of string * expr | Let of string * expr
+
+and order_spec = { key : expr; descending : bool }
+
+and attr_value = Attr_literal of string | Attr_expr of expr
+
+and content = Content_text of string | Content_expr of expr | Content_elem of expr
+
+and cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+and arith = Add | Sub | Mul | Div | Mod
+
+and quant = Some_ | Every
+
+let test_to_string = function Name n -> n | Any -> "*" | Text -> "text()"
+
+let axis_prefix = function Child -> "/" | Descendant -> "//" | Attribute -> "/@"
+
+let rec pp fmt = function
+  | Literal_string s -> Format.fprintf fmt "%S" s
+  | Literal_number f -> Format.fprintf fmt "%g" f
+  | Var v -> Format.fprintf fmt "$%s" v
+  | Sequence es ->
+      Format.fprintf fmt "(%a)"
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ", ") pp)
+        es
+  | Root -> Format.pp_print_string fmt "/"
+  | Context_item -> Format.pp_print_string fmt "."
+  | Step (ax, t, preds) ->
+      Format.fprintf fmt "%s%s%a"
+        (match ax with Attribute -> "@" | _ -> "")
+        (test_to_string t) pp_preds preds
+  | Path (e, ax, t, preds) ->
+      (* A Root base contributes no text of its own: the axis prefix already
+         carries the leading slash(es). *)
+      (match e with Root -> () | _ -> pp fmt e);
+      Format.fprintf fmt "%s%s%a" (axis_prefix ax) (test_to_string t)
+        pp_preds preds
+  | Flwor (clauses, where, order, ret) ->
+      List.iter
+        (function
+          | For (v, e) -> Format.fprintf fmt "for $%s in %a " v pp e
+          | Let (v, e) -> Format.fprintf fmt "let $%s := %a " v pp e)
+        clauses;
+      (match where with
+      | Some w -> Format.fprintf fmt "where %a " pp w
+      | None -> ());
+      (match order with
+      | [] -> ()
+      | specs ->
+          Format.fprintf fmt "order by ";
+          List.iteri
+            (fun i { key; descending } ->
+              if i > 0 then Format.fprintf fmt ", ";
+              Format.fprintf fmt "%a%s" pp key
+                (if descending then " descending" else ""))
+            specs;
+          Format.fprintf fmt " ");
+      Format.fprintf fmt "return %a" pp ret
+  | If (c, t, e) -> Format.fprintf fmt "if (%a) then %a else %a" pp c pp t pp e
+  | Or (a, b) -> Format.fprintf fmt "(%a or %a)" pp a pp b
+  | And (a, b) -> Format.fprintf fmt "(%a and %a)" pp a pp b
+  | Compare (c, a, b) ->
+      let op =
+        match c with
+        | Eq -> "=" | Neq -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+      in
+      Format.fprintf fmt "(%a %s %a)" pp a op pp b
+  | Arith (op, a, b) ->
+      let op =
+        match op with Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "div" | Mod -> "mod"
+      in
+      Format.fprintf fmt "(%a %s %a)" pp a op pp b
+  | Neg e -> Format.fprintf fmt "-%a" pp e
+  | Call (f, args) ->
+      Format.fprintf fmt "%s(%a)" f
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ", ") pp)
+        args
+  | Element (name, attrs, content) ->
+      Format.fprintf fmt "<%s" name;
+      List.iter
+        (fun (k, v) ->
+          match v with
+          | Attr_literal s -> Format.fprintf fmt " %s=%S" k s
+          | Attr_expr e -> Format.fprintf fmt " %s=\"{%a}\"" k pp e)
+        attrs;
+      Format.pp_print_string fmt ">";
+      List.iter
+        (function
+          | Content_text s -> Format.pp_print_string fmt s
+          | Content_expr e -> Format.fprintf fmt "{%a}" pp e
+          | Content_elem e -> pp fmt e)
+        content;
+      Format.fprintf fmt "</%s>" name
+  | Quantified (q, v, e, sat) ->
+      Format.fprintf fmt "%s $%s in %a satisfies %a"
+        (match q with Some_ -> "some" | Every -> "every")
+        v pp e pp sat
+
+and pp_preds fmt preds =
+  List.iter (fun p -> Format.fprintf fmt "[%a]" pp p) preds

@@ -1,0 +1,54 @@
+(** Abstract syntax for the XQuery-lite subset.
+
+    Covers what the paper's examples and experiments need: FLWOR expressions
+    ([for]/[let]/[where]/[return]), path expressions with child, descendant
+    and attribute steps plus predicates, element constructors with embedded
+    expressions, general comparisons, arithmetic, boolean connectives, and a
+    small function library. *)
+
+type axis = Child | Descendant | Attribute
+
+type node_test =
+  | Name of string  (** element or attribute name *)
+  | Any  (** [*] *)
+  | Text  (** [text()] *)
+
+type expr =
+  | Literal_string of string
+  | Literal_number of float
+  | Var of string  (** [$x] *)
+  | Sequence of expr list  (** [(e1, e2, ...)] *)
+  | Root  (** leading [/] — the context document *)
+  | Context_item  (** [.] *)
+  | Step of axis * node_test * expr list
+      (** a step applied to the context item; the list holds predicates *)
+  | Path of expr * axis * node_test * expr list
+      (** [e/step], [e//step], [e/@a] with predicates *)
+  | Flwor of clause list * expr option * order_spec list * expr
+      (** clauses, optional where, order-by keys, return *)
+  | If of expr * expr * expr
+  | Or of expr * expr
+  | And of expr * expr
+  | Compare of cmp * expr * expr
+  | Arith of arith * expr * expr
+  | Neg of expr
+  | Call of string * expr list
+  | Element of string * (string * attr_value) list * content list
+  | Quantified of quant * string * expr * expr
+      (** [some/every $x in e satisfies e] *)
+
+and clause = For of string * expr | Let of string * expr
+
+and order_spec = { key : expr; descending : bool }
+
+and attr_value = Attr_literal of string | Attr_expr of expr
+
+and content = Content_text of string | Content_expr of expr | Content_elem of expr
+
+and cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+and arith = Add | Sub | Mul | Div | Mod
+
+and quant = Some_ | Every
+
+val pp : Format.formatter -> expr -> unit

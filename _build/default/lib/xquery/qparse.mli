@@ -1,0 +1,14 @@
+(** Parser for the XQuery-lite subset.
+
+    A character-level recursive-descent parser (constructors switch the
+    lexical mode, so a separate token stream would complicate things).
+    Supports [(: ... :)] comments.  See {!Qast} for the grammar covered. *)
+
+exception Error of { pos : int; msg : string }
+
+val parse : string -> Qast.expr
+(** @raise Error on malformed input. *)
+
+val error_message : string -> exn -> string option
+(** Render a parse error against the source with a caret; [None] for other
+    exceptions. *)

@@ -1,0 +1,65 @@
+type item =
+  | Node of Xml.Tree.t
+  | Attr of string * string
+  | Str of string
+  | Num of float
+  | Bool of bool
+
+type t = item list
+
+let of_node n = [ Node n ]
+
+let num_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    string_of_int (int_of_float f)
+  else string_of_float f
+
+let string_value = function
+  | Node n -> Xml.Tree.deep_text n
+  | Attr (_, v) -> v
+  | Str s -> s
+  | Num f -> num_to_string f
+  | Bool b -> if b then "true" else "false"
+
+let effective_bool = function
+  | [] -> false
+  | [ Bool b ] -> b
+  | [ Num f ] -> f <> 0.0 && not (Float.is_nan f)
+  | [ Str s ] -> s <> ""
+  | _ -> true (* at least one node *)
+
+let to_number it =
+  match it with
+  | Num f -> Some f
+  | Bool b -> Some (if b then 1.0 else 0.0)
+  | Node _ | Attr _ | Str _ -> float_of_string_opt (String.trim (string_value it))
+
+let item_equal a b =
+  match (a, b) with
+  | Num x, Num y -> x = y
+  | Bool x, Bool y -> x = y
+  | (Num _, _ | _, Num _) -> (
+      match (to_number a, to_number b) with
+      | Some x, Some y -> x = y
+      | _ -> false)
+  | _ -> string_value a = string_value b
+
+let to_trees seq =
+  List.map
+    (fun it ->
+      match it with
+      | Node n -> n
+      | other -> Xml.Tree.Text (string_value other))
+    seq
+
+let pp fmt seq =
+  List.iteri
+    (fun i it ->
+      if i > 0 then Format.pp_print_string fmt " ";
+      match it with
+      | Node n -> Format.pp_print_string fmt (Xml.Printer.to_string n)
+      | Attr (k, v) -> Format.fprintf fmt "%s=%S" k v
+      | other -> Format.pp_print_string fmt (string_value other))
+    seq
+
+let to_string seq = Format.asprintf "%a" pp seq

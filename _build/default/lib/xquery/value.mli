@@ -1,0 +1,39 @@
+(** XQuery-lite values.
+
+    The query substrate the guards protect (architecture 1 of Sec. VIII: the
+    data is physically transformed, then the query runs on the result).
+    Values are flat sequences of items, as in the XQuery data model; nodes
+    are plain {!Xml.Tree.t} subtrees (no parent axis — the supported language
+    subset never navigates upward). *)
+
+type item =
+  | Node of Xml.Tree.t
+  | Attr of string * string  (** attribute name/value pair selected by [@a] *)
+  | Str of string
+  | Num of float
+  | Bool of bool
+
+type t = item list
+(** A sequence.  The empty sequence doubles as "absent". *)
+
+val of_node : Xml.Tree.t -> t
+
+val string_value : item -> string
+(** XPath string value: full text content for nodes, the value for
+    attributes, canonical rendering for atomics. *)
+
+val effective_bool : t -> bool
+(** XQuery effective boolean value: empty = false; a single boolean = itself;
+    any node/non-empty string/non-zero number = true. *)
+
+val to_number : item -> float option
+
+val item_equal : item -> item -> bool
+(** General comparison semantics for [=] on atomized items. *)
+
+val to_trees : t -> Xml.Tree.t list
+(** Materialize a sequence as XML content: nodes kept, atomics become text
+    nodes, attributes become text. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,36 @@
+  $ cat > data.xml <<XML
+  > <data>
+  >   <book><title>X</title><author><name>A</name></author><author><name>B</name></author><publisher><name>W</name></publisher></book>
+  >   <book><title>Y</title><author><name>A</name></author><publisher><name>V</name></publisher></book>
+  > </data>
+  > XML
+  $ xmorph shape data.xml
+  $ xmorph run "MORPH author [ name book [ title ] ]" data.xml
+  $ xmorph run "MORPH data [ author [ book ] ]" data.xml
+  $ xmorph query -g "MORPH author [ name book [ title ] ]" "for \$a in //author return <row>{\$a/name/text()}</row>" data.xml
+  $ xmorph query --logical -g "MORPH author [ name book [ title ] ]" "for \$a in //author return <row>{\$a/name/text()}</row>" data.xml
+  $ xmorph infer "for \$a in /data/author return \$a/book/title"
+  $ xmorph view "MORPH publisher [ publisher.name ]" data.xml
+  $ xmorph explain "MORPH author [ name ]" data.xml
+  $ echo "<r><a>1</a></r>" > one.xml
+  $ echo "<r><a>2</a></r>" > two.xml
+  $ xmorph shred col.store one.xml two.xml | sed 's/in [0-9.]*s/in TIME/'
+  $ xmorph query -g "MORPH a" "count(//a)" col.store
+  $ xmorph run "MORPH author [" data.xml
+  $ printf ':guard MORPH author [ name ]\n:query count(//author)\n:quantify\n:quit\n' | xmorph shell data.xml
+  $ printf ':explain MORPH publisher [ name ]\n' | xmorph shell data.xml
+  $ cat > shapeB.xml <<XML
+  > <data>
+  >  <publisher><name>W</name><book><title>X</title><author><name>A</name></author><author><name>B</name></author></book></publisher>
+  >  <publisher><name>V</name><book><title>Y</title><author><name>A</name></author></book></publisher>
+  > </data>
+  > XML
+  $ xmorph equiv "MORPH author [ name book [ title ] ]" data.xml shapeB.xml
+  $ cat > other.xml <<XML
+  > <data><author><name>Z</name><book><title>Q</title></book></author></data>
+  > XML
+  $ xmorph equiv "MORPH author [ name book [ title ] ]" data.xml other.xml
+  $ xmorph fmt "morph   author[name    book[title]]|translate author->writer"
+  $ xmorph run -f "MORPH author [ name = 'A' book [ title ] ] ORDER-BY name desc" data.xml
+  $ xmorph shape-diff data.xml shapeB.xml
+  $ xmorph shape-diff data.xml data.xml

@@ -1,0 +1,1 @@
+test/gen.ml: List QCheck2 Xml

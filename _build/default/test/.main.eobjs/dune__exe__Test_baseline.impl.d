@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Baseline Buffer List Store String Workloads Xml Xquery

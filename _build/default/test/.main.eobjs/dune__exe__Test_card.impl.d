@@ -1,0 +1,1 @@
+test/test_card.ml: Alcotest Card Option QCheck2 QCheck_alcotest Xmutil

@@ -1,0 +1,1 @@
+test/test_collection.ml: Alcotest Array Filename Guarded List Store Sys Tutil Xml Xmorph Xmutil Xquery

@@ -1,0 +1,1 @@
+test/test_dataguide.ml: Alcotest Array Card Gen Hashtbl List Option QCheck2 QCheck_alcotest Workloads Xml Xmutil

@@ -1,0 +1,1 @@
+test/test_doc.ml: Alcotest Array Dewey Gen List QCheck2 QCheck_alcotest Workloads Xml Xmutil

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Bytes Char Filename Gen Guarded Interp Loss Printf QCheck2 QCheck_alcotest Store String Sys Workloads Xml Xmorph Xquery

@@ -1,0 +1,1 @@
+test/test_guard_parse.ml: Alcotest Algebra Ast Lexer List Option Parse Printexc String Tutil Xmorph

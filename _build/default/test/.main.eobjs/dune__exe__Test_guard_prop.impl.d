@@ -1,0 +1,1 @@
+test/test_guard_prop.ml: Ast Buffer Interp List Parse QCheck2 QCheck_alcotest Render Store String Tshape Workloads Xml Xmorph

@@ -1,0 +1,1 @@
+test/test_guarded.ml: Alcotest Guarded List Option Store Workloads Xml Xmorph Xquery

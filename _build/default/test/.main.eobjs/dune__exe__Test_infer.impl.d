@@ -1,0 +1,1 @@
+test/test_infer.ml: Alcotest Guarded List Workloads Xml Xquery

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Algebra Interp List Loss Store Tshape Tutil Workloads Xml Xmorph

@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Json Store Tutil Workloads Xml Xmorph Xmutil

@@ -1,0 +1,1 @@
+test/test_logical.ml: Alcotest Buffer Gen Guarded Guarded_query List Logical Printf QCheck2 QCheck_alcotest Store Workloads Xml Xmorph Xquery

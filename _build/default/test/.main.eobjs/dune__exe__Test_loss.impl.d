@@ -1,0 +1,1 @@
+test/test_loss.ml: Alcotest Algebra Ast Gen Interp List Loss Parse QCheck2 Report Semantics Tshape Tutil Workloads Xml Xmorph Xmutil

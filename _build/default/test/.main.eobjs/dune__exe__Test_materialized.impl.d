@@ -1,0 +1,1 @@
+test/test_materialized.ml: Alcotest Array Guarded List Materialized Printf QCheck2 QCheck_alcotest Store Tutil Workloads Xml Xmorph Xquery

@@ -1,0 +1,1 @@
+test/test_nav.ml: Alcotest Array Interp List Option Render Store Tshape Tutil Workloads Xml Xmorph

@@ -1,0 +1,1 @@
+test/test_order_by.ml: Alcotest Ast Buffer Guarded Interp Parse Quantify Render Report Store Workloads Xml Xmorph Xquery

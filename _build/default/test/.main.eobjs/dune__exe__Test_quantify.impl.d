@@ -1,0 +1,1 @@
+test/test_quantify.ml: Alcotest Gen Interp List Printf QCheck2 QCheck_alcotest Quantify Store Tshape Tutil Workloads Xml Xmorph

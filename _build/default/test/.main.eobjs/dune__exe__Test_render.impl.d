@@ -1,0 +1,1 @@
+test/test_render.ml: Alcotest Array Buffer Gen Interp List QCheck2 QCheck_alcotest Render Store Tutil Workloads Xml Xmorph Xmutil

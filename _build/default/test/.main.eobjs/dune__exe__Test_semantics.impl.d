@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Algebra List Parse Report Semantics String Tshape Tutil Workloads Xml Xmorph

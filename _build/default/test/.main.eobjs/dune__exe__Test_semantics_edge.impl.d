@@ -1,0 +1,1 @@
+test/test_semantics_edge.ml: Alcotest Buffer Interp List Printf Report String Tutil Workloads Xml Xmorph

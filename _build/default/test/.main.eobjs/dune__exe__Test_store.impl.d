@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Array Buffer Filename Gen List QCheck2 QCheck_alcotest Store Sys Workloads Xml Xmutil

@@ -1,0 +1,1 @@
+test/test_stream.ml: Alcotest Buffer Gen Interp List QCheck2 QCheck_alcotest Render Store Workloads Xml Xmorph

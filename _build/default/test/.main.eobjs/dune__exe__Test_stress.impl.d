@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Filename List Store Sys Workloads Xml Xmorph

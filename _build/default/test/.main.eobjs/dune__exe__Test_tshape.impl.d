@@ -1,0 +1,1 @@
+test/test_tshape.ml: Alcotest List String Tshape Tutil Xmorph

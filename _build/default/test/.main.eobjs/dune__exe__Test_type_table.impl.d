@@ -1,0 +1,1 @@
+test/test_type_table.ml: Alcotest Type_table Xml

@@ -1,0 +1,1 @@
+test/test_value_filter.ml: Alcotest Ast Buffer Interp List Loss Parse Quantify Render Report Store Tutil Workloads Xml Xmorph

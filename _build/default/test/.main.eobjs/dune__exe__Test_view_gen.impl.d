@@ -1,0 +1,1 @@
+test/test_view_gen.ml: Alcotest Gen Guarded List Printf QCheck2 QCheck_alcotest Store String View_gen Workloads Xml Xmorph

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Bytes Char Gen List QCheck2 QCheck_alcotest String Xml

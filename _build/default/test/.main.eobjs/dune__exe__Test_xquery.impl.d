@@ -1,0 +1,1 @@
+test/test_xquery.ml: Alcotest Format List Printexc Workloads Xml Xquery

@@ -1,0 +1,1 @@
+test/test_xslt_lite.ml: Alcotest Baseline List String Tutil Workloads Xml

@@ -1,0 +1,171 @@
+The xmorph CLI, end to end.  Make a small document first:
+
+  $ cat > data.xml <<XML
+  > <data>
+  >   <book><title>X</title><author><name>A</name></author><author><name>B</name></author><publisher><name>W</name></publisher></book>
+  >   <book><title>Y</title><author><name>A</name></author><publisher><name>V</name></publisher></book>
+  > </data>
+  > XML
+
+Print its adorned shape:
+
+  $ xmorph shape data.xml
+  data 1..1 (x1)
+    book 2..2 (x2)
+      title 1..1 (x2)
+      author 1..2 (x3)
+        name 1..1 (x3)
+      publisher 1..1 (x2)
+        name 1..1 (x2)
+
+Transform it with the paper's query guard:
+
+  $ xmorph run "MORPH author [ name book [ title ] ]" data.xml
+  <result>
+    <author>
+      <name>A</name>
+      <book>
+        <title>X</title>
+      </book>
+    </author>
+    <author>
+      <name>B</name>
+      <book>
+        <title>X</title>
+      </book>
+    </author>
+    <author>
+      <name>A</name>
+      <book>
+        <title>Y</title>
+      </book>
+    </author>
+  </result>
+
+A widening guard is rejected with a report (exit code 2):
+
+  $ xmorph run "MORPH data [ author [ book ] ]" data.xml
+  xmorph: guard rejected by type enforcement (use --force or a CAST):
+  classification: widening
+    additive: path data -> data.book has cardinality 2..2 in the source but 2..4 in the target; closest relationships not present in the source will be manufactured
+    omitted source types: data.book.title, data.book.author.name, data.book.publisher, data.book.publisher.name
+  [2]
+
+Run a guarded query:
+
+  $ xmorph query -g "MORPH author [ name book [ title ] ]" "for \$a in //author return <row>{\$a/name/text()}</row>" data.xml
+  <row>A</row>
+  <row>B</row>
+  <row>A</row>
+
+The same query through the in-situ (architecture 3) evaluator:
+
+  $ xmorph query --logical -g "MORPH author [ name book [ title ] ]" "for \$a in //author return <row>{\$a/name/text()}</row>" data.xml
+  <row>A</row>
+  <row>B</row>
+  <row>A</row>
+
+Infer a guard from a query:
+
+  $ xmorph infer "for \$a in /data/author return \$a/book/title"
+  MORPH data [ author [ book [ title ] ] ]
+
+Render a guard as an XQuery view:
+
+  $ xmorph view "MORPH publisher [ publisher.name ]" data.xml
+  for $v1 in /data for $v2 in $v1/book for $v3 in $v2/publisher return <publisher>{$v3/text()}{for $v4 in $v3/name return <name>{$v4/text()}</name>}</publisher>
+
+Explain the joins:
+
+  $ xmorph explain "MORPH author [ name ]" data.xml
+  data.book.author -> data.book.author.name: typeDistance 1, join at level 3; 3 parents x 3 children -> 3 closest pairs
+
+Shred a collection and query the store:
+
+  $ echo "<r><a>1</a></r>" > one.xml
+  $ echo "<r><a>2</a></r>" > two.xml
+  $ xmorph shred col.store one.xml two.xml | sed 's/in [0-9.]*s/in TIME/'
+  shredded 2 document(s): 4 nodes (2 types, 0 KiB) in TIME
+  $ xmorph query -g "MORPH a" "count(//a)" col.store
+  2
+
+Syntax errors come with a caret:
+
+  $ xmorph run "MORPH author [" data.xml
+  xmorph: guard syntax error: expected ] but found end of input
+  MORPH author [
+                ^
+  [1]
+
+The interactive shell works over pipes:
+
+  $ printf ':guard MORPH author [ name ]\n:query count(//author)\n:quantify\n:quit\n' | xmorph shell data.xml
+  guard set: MORPH author [ name ]
+  3
+  closest edges among kept types: 3 source, 3 preserved, 0 added (0.0%), 0 lost (0.0%)
+  the transformation is reversible
+
+Explain join diagnostics:
+
+  $ printf ':explain MORPH publisher [ name ]\n' | xmorph shell data.xml
+  data.book.publisher -> data.book.publisher.name: typeDistance 1, join at level 3; 2 parents x 2 children -> 2 closest pairs
+
+Same data, different shapes?  Instance (b) of the paper holds the same book
+facts as data.xml; a guard-level comparison says so:
+
+  $ cat > shapeB.xml <<XML
+  > <data>
+  >  <publisher><name>W</name><book><title>X</title><author><name>A</name></author><author><name>B</name></author></book></publisher>
+  >  <publisher><name>V</name><book><title>Y</title><author><name>A</name></author></book></publisher>
+  > </data>
+  > XML
+  $ xmorph equiv "MORPH author [ name book [ title ] ]" data.xml shapeB.xml
+  equivalent under MORPH author [ name book [ title ] ]
+  $ cat > other.xml <<XML
+  > <data><author><name>Z</name><book><title>Q</title></book></author></data>
+  > XML
+  $ xmorph equiv "MORPH author [ name book [ title ] ]" data.xml other.xml
+  NOT equivalent under MORPH author [ name book [ title ] ]
+  [3]
+
+Canonical formatting of guards:
+
+  $ xmorph fmt "morph   author[name    book[title]]|translate author->writer"
+  MORPH author [ name book [ title ] ] | TRANSLATE author -> writer
+
+Value filters and sibling ordering (extensions):
+
+  $ xmorph run -f "MORPH author [ name = 'A' book [ title ] ] ORDER-BY name desc" data.xml
+  <result>
+    <author>
+      <book>
+        <title>X</title>
+      </book>
+    </author>
+    <author>
+      <name>A</name>
+      <book>
+        <title>X</title>
+      </book>
+    </author>
+    <author>
+      <name>A</name>
+      <book>
+        <title>Y</title>
+      </book>
+    </author>
+  </result>
+  warning: value filter name = "A" may discard instances (narrowing)
+
+Diff two shapes (schema evolution at a glance):
+
+  $ xmorph shape-diff data.xml shapeB.xml
+  ~ book moved: data.book -> data.publisher.book
+  ~ title moved: data.book.title -> data.publisher.book.title
+  ~ author moved: data.book.author -> data.publisher.book.author
+  ~ name moved: data.book.author.name -> data.publisher.name
+  ~ publisher moved: data.book.publisher -> data.publisher
+  ~ name moved: data.book.publisher.name -> data.publisher.book.author.name
+  [4]
+  $ xmorph shape-diff data.xml data.xml
+  shapes are identical

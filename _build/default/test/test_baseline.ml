@@ -1,0 +1,53 @@
+let tree_a = Xml.Parser.parse Workloads.Figures.instance_a
+
+let test_store_and_size () =
+  let ex = Baseline.Exist_sim.store tree_a in
+  Alcotest.(check int) "stored size = serialized size"
+    (String.length (Xml.Printer.to_string tree_a))
+    (Baseline.Exist_sim.size_bytes ex)
+
+let test_dump () =
+  let ex = Baseline.Exist_sim.store tree_a in
+  let buf = Buffer.create 256 in
+  let written = Baseline.Exist_sim.dump ex buf in
+  Alcotest.(check int) "written bytes" (Buffer.length buf) written;
+  let wrapped = Xml.Parser.parse (Buffer.contents buf) in
+  (match wrapped with
+  | Xml.Tree.Element { name = "data"; children = [ inner ]; _ } ->
+      Alcotest.(check bool) "document preserved" true (Xml.Tree.equal inner tree_a)
+  | _ -> Alcotest.fail "expected <data> wrapper")
+
+let test_dump_io_charges () =
+  let ex = Baseline.Exist_sim.store tree_a in
+  let s0 = Store.Io_stats.snapshot (Baseline.Exist_sim.stats ex) in
+  let buf = Buffer.create 256 in
+  ignore (Baseline.Exist_sim.dump ex buf);
+  let s1 = Store.Io_stats.snapshot (Baseline.Exist_sim.stats ex) in
+  Alcotest.(check int) "read the whole document"
+    (Baseline.Exist_sim.size_bytes ex)
+    (s1.Store.Io_stats.bytes_read - s0.Store.Io_stats.bytes_read);
+  Alcotest.(check bool) "wrote the result" true
+    (s1.Store.Io_stats.bytes_written > s0.Store.Io_stats.bytes_written)
+
+let test_query () =
+  let ex = Baseline.Exist_sim.store tree_a in
+  let titles = Baseline.Exist_sim.query ex "/data/book/title/text()" in
+  Alcotest.(check (list string)) "titles" [ "X"; "Y" ]
+    (List.map Xquery.Value.string_value titles)
+
+let test_query_to_buffer () =
+  let ex = Baseline.Exist_sim.store tree_a in
+  let buf = Buffer.create 64 in
+  let n = Baseline.Exist_sim.query_to_buffer ex "/data/book/title" buf in
+  Alcotest.(check int) "bytes" (Buffer.length buf) n;
+  Alcotest.(check string) "serialized" "<title>X</title><title>Y</title>"
+    (Buffer.contents buf)
+
+let suite =
+  [
+    Alcotest.test_case "store size" `Quick test_store_and_size;
+    Alcotest.test_case "dump query" `Quick test_dump;
+    Alcotest.test_case "dump IO charges" `Quick test_dump_io_charges;
+    Alcotest.test_case "path query" `Quick test_query;
+    Alcotest.test_case "query to buffer" `Quick test_query_to_buffer;
+  ]

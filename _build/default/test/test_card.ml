@@ -1,0 +1,108 @@
+open Xmutil
+
+let card = Alcotest.testable Card.pp Card.equal
+
+let test_construct () =
+  Alcotest.(check string) "1..1" "1..1" (Card.to_string Card.one);
+  Alcotest.(check string) "0..0" "0..0" (Card.to_string Card.zero);
+  Alcotest.(check string) "2..5" "2..5" (Card.to_string (Card.v 2 5));
+  Alcotest.(check string) "3..*" "3..*" (Card.to_string (Card.unbounded 3));
+  Alcotest.check_raises "lo > hi" (Invalid_argument "Card.v") (fun () ->
+      ignore (Card.v 3 2));
+  Alcotest.check_raises "negative" (Invalid_argument "Card.v") (fun () ->
+      ignore (Card.v (-1) 2))
+
+let test_mul () =
+  Alcotest.check card "1..1 * x = x" (Card.v 2 5) (Card.mul Card.one (Card.v 2 5));
+  Alcotest.check card "bounded" (Card.v 2 10) (Card.mul (Card.v 1 2) (Card.v 2 5));
+  Alcotest.check card "zero absorbs max" (Card.v 0 0)
+    (Card.mul Card.zero (Card.unbounded 3));
+  Alcotest.check card "unbounded" (Card.unbounded 6)
+    (Card.mul (Card.v 2 4) (Card.unbounded 3))
+
+let test_join () =
+  Alcotest.check card "join" (Card.v 1 5) (Card.join (Card.v 1 2) (Card.v 3 5));
+  Alcotest.check card "join unbounded" (Card.unbounded 0)
+    (Card.join Card.zero (Card.unbounded 2))
+
+let test_observe () =
+  let c = Card.observe None 3 in
+  let c = Card.observe c 1 in
+  let c = Card.observe c 2 in
+  Alcotest.check card "observed range" (Card.v 1 3) (Option.get c);
+  let c = Card.observe c 0 in
+  Alcotest.check card "zero widens min" (Card.v 0 3) (Option.get c)
+
+let test_theorem_conditions () =
+  (* Theorem 1: min raised from zero. *)
+  Alcotest.(check bool) "0..1 -> 1..1 violates" true
+    (Card.min_raised_from_zero ~src:(Card.v 0 1) ~tgt:Card.one);
+  Alcotest.(check bool) "1..1 -> 1..1 fine" false
+    (Card.min_raised_from_zero ~src:Card.one ~tgt:Card.one);
+  Alcotest.(check bool) "0..1 -> 0..2 fine" false
+    (Card.min_raised_from_zero ~src:(Card.v 0 1) ~tgt:(Card.v 0 2));
+  (* Theorem 2: max increased. *)
+  Alcotest.(check bool) "1..1 -> 1..2 violates" true
+    (Card.max_increased ~src:Card.one ~tgt:(Card.v 1 2));
+  Alcotest.(check bool) "1..2 -> 1..1 fine" false
+    (Card.max_increased ~src:(Card.v 1 2) ~tgt:Card.one);
+  Alcotest.(check bool) "1..* -> 1..9 fine" false
+    (Card.max_increased ~src:(Card.unbounded 1) ~tgt:(Card.v 1 9));
+  Alcotest.(check bool) "1..9 -> 1..* violates" true
+    (Card.max_increased ~src:(Card.v 1 9) ~tgt:(Card.unbounded 1))
+
+let test_max_leq () =
+  Alcotest.(check bool) "b <= many" true (Card.max_leq (Card.Bounded 5) Card.Many);
+  Alcotest.(check bool) "many <= b" false (Card.max_leq Card.Many (Card.Bounded 5));
+  Alcotest.(check bool) "many <= many" true (Card.max_leq Card.Many Card.Many)
+
+let gen_card =
+  QCheck2.Gen.(
+    let* lo = int_range 0 5 in
+    let* kind = int_range 0 3 in
+    if kind = 0 then return (Card.unbounded lo)
+    else
+      let* extra = int_range 0 5 in
+      return (Card.v lo (lo + extra)))
+
+let prop_mul_one_identity =
+  QCheck2.Test.make ~name:"mul identity" ~count:300 gen_card (fun c ->
+      Card.equal (Card.mul Card.one c) c && Card.equal (Card.mul c Card.one) c)
+
+let prop_mul_commutative =
+  QCheck2.Test.make ~name:"mul commutative" ~count:300
+    QCheck2.Gen.(pair gen_card gen_card)
+    (fun (a, b) -> Card.equal (Card.mul a b) (Card.mul b a))
+
+let prop_mul_associative =
+  QCheck2.Test.make ~name:"mul associative" ~count:300
+    QCheck2.Gen.(triple gen_card gen_card gen_card)
+    (fun (a, b, c) -> Card.equal (Card.mul (Card.mul a b) c) (Card.mul a (Card.mul b c)))
+
+let prop_join_bounds =
+  QCheck2.Test.make ~name:"join contains both" ~count:300
+    QCheck2.Gen.(pair gen_card gen_card)
+    (fun (a, b) ->
+      let j = Card.join a b in
+      j.Card.lo <= a.Card.lo && j.Card.lo <= b.Card.lo
+      && Card.max_leq a.Card.hi j.Card.hi
+      && Card.max_leq b.Card.hi j.Card.hi)
+
+let prop_join_idempotent =
+  QCheck2.Test.make ~name:"join idempotent" ~count:300 gen_card (fun c ->
+      Card.equal (Card.join c c) c)
+
+let suite =
+  [
+    Alcotest.test_case "constructors" `Quick test_construct;
+    Alcotest.test_case "multiplication (Def. 6)" `Quick test_mul;
+    Alcotest.test_case "join" `Quick test_join;
+    Alcotest.test_case "observe" `Quick test_observe;
+    Alcotest.test_case "theorem 1 & 2 conditions" `Quick test_theorem_conditions;
+    Alcotest.test_case "max order" `Quick test_max_leq;
+    QCheck_alcotest.to_alcotest prop_mul_one_identity;
+    QCheck_alcotest.to_alcotest prop_mul_commutative;
+    QCheck_alcotest.to_alcotest prop_mul_associative;
+    QCheck_alcotest.to_alcotest prop_join_bounds;
+    QCheck_alcotest.to_alcotest prop_join_idempotent;
+  ]

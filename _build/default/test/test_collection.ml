@@ -1,0 +1,130 @@
+(* Collections: the paper's data model is an "XML data collection D"; these
+   tests cover multi-document indexing, the no-cross-document closest
+   relation, and guards evaluated over whole collections. *)
+
+let two_docs () =
+  [
+    Xml.Parser.parse
+      {|<report><author><name>A</name></author><title>One</title></report>|};
+    Xml.Parser.parse
+      {|<report><author><name>B</name></author><title>Two</title></report>|};
+  ]
+
+let test_forest_indexing () =
+  let doc = Xml.Doc.of_forest (two_docs ()) in
+  let roots = Xml.Doc.roots doc in
+  Alcotest.(check int) "two roots" 2 (List.length roots);
+  Alcotest.(check (list string)) "root deweys" [ "1"; "2" ]
+    (List.map (fun (n : Xml.Doc.node) -> Xmutil.Dewey.to_string n.Xml.Doc.dewey) roots);
+  (* Same-named roots share a type. *)
+  let tys =
+    List.sort_uniq compare
+      (List.map (fun (n : Xml.Doc.node) -> n.Xml.Doc.type_id) roots)
+  in
+  Alcotest.(check int) "one root type" 1 (List.length tys);
+  Alcotest.(check int) "roundtrip count" 2 (List.length (Xml.Doc.to_trees doc))
+
+let test_guide_forest () =
+  let doc = Xml.Doc.of_forest (two_docs ()) in
+  let guide = Xml.Dataguide.of_doc doc in
+  Alcotest.(check int) "single root type in shape" 1
+    (List.length (Xml.Dataguide.roots guide));
+  let report = List.hd (Xml.Dataguide.roots guide) in
+  Alcotest.(check int) "two report instances" 2
+    (Xml.Dataguide.instance_count guide report)
+
+let test_heterogeneous_roots () =
+  let doc =
+    Xml.Doc.of_forest
+      [ Xml.Parser.parse "<article><t>1</t></article>";
+        Xml.Parser.parse "<book><t>2</t></book>" ]
+  in
+  let guide = Xml.Dataguide.of_doc doc in
+  Alcotest.(check int) "two root types" 2 (List.length (Xml.Dataguide.roots guide))
+
+let test_no_cross_document_joins () =
+  (* Each author's closest title is in its own document. *)
+  let doc = Xml.Doc.of_forest (two_docs ()) in
+  let store = Store.Shredded.shred doc in
+  let guide = Store.Shredded.guide store in
+  let find l = List.hd (Xml.Dataguide.match_label guide l) in
+  let pairs = Xmorph.Render.closest_pairs store (find "author") (find "title") in
+  Alcotest.(check int) "one title per author" 2 (List.length pairs);
+  List.iter
+    (fun (a, t) ->
+      let da = (Store.Shredded.node store a).Store.Shredded.dewey in
+      let dt = (Store.Shredded.node store t).Store.Shredded.dewey in
+      Alcotest.(check int) "same document" da.(0) dt.(0))
+    pairs
+
+let test_guard_over_collection () =
+  let doc = Xml.Doc.of_forest (two_docs ()) in
+  let tree, compiled =
+    Xmorph.Interp.transform_doc ~enforce:false doc "MORPH author [ name title ]"
+  in
+  ignore compiled;
+  Tutil.check_xml "collection morph"
+    {|<result>
+       <author><name>A</name><title>One</title></author>
+       <author><name>B</name><title>Two</title></author>
+     </result>|}
+    tree
+
+let test_identity_over_collection () =
+  let doc = Xml.Doc.of_forest (two_docs ()) in
+  let tree, _ = Xmorph.Interp.transform_doc ~enforce:false doc "MUTATE report" in
+  (* Both documents reproduced, wrapped. *)
+  match tree with
+  | Xml.Tree.Element { name = "result"; children = [ a; b ]; _ } ->
+      Alcotest.(check bool) "first doc" true
+        (Xml.Tree.equal a (List.nth (two_docs ()) 0));
+      Alcotest.(check bool) "second doc" true
+        (Xml.Tree.equal b (List.nth (two_docs ()) 1))
+  | _ -> Alcotest.fail "expected wrapped pair"
+
+let test_guarded_query_over_collection () =
+  let doc = Xml.Doc.of_forest (two_docs ()) in
+  let outcome =
+    Guarded.Guarded_query.run ~enforce:false doc
+      {
+        Guarded.Guarded_query.guard = "MORPH author [ name title ]";
+        query = "for $a in //author order by $a/name return concat($a/name, \":\", $a/title)";
+      }
+  in
+  Alcotest.(check string) "joined per document" "A:One B:Two"
+    (Xquery.Value.to_string outcome.Guarded.Guarded_query.result)
+
+let test_store_roundtrip_collection () =
+  let doc = Xml.Doc.of_forest (two_docs ()) in
+  let store = Store.Shredded.shred doc in
+  let path = Filename.temp_file "xmorph" ".store" in
+  Store.Shredded.save store path;
+  let store2 = Store.Shredded.load path in
+  Sys.remove path;
+  Alcotest.(check int) "roots preserved"
+    (List.length (Xml.Dataguide.roots (Store.Shredded.guide store)))
+    (List.length (Xml.Dataguide.roots (Store.Shredded.guide store2)))
+
+let test_logical_over_collection () =
+  let doc = Xml.Doc.of_forest (two_docs ()) in
+  let store = Store.Shredded.shred doc in
+  let lg = Guarded.Logical.create ~enforce:false store ~guard:"MORPH author [ name title ]" in
+  Alcotest.(check string) "logical count" "2"
+    (Xquery.Value.to_string (Guarded.Logical.query lg "count(//author)"))
+
+let suite =
+  [
+    Alcotest.test_case "forest indexing" `Quick test_forest_indexing;
+    Alcotest.test_case "shape of a collection" `Quick test_guide_forest;
+    Alcotest.test_case "heterogeneous roots" `Quick test_heterogeneous_roots;
+    Alcotest.test_case "closest never crosses documents" `Quick
+      test_no_cross_document_joins;
+    Alcotest.test_case "guard over a collection" `Quick test_guard_over_collection;
+    Alcotest.test_case "identity over a collection" `Quick test_identity_over_collection;
+    Alcotest.test_case "guarded query over a collection" `Quick
+      test_guarded_query_over_collection;
+    Alcotest.test_case "store save/load with collections" `Quick
+      test_store_roundtrip_collection;
+    Alcotest.test_case "logical evaluation over a collection" `Quick
+      test_logical_over_collection;
+  ]

@@ -1,0 +1,107 @@
+open Xmutil
+
+let dewey = Alcotest.testable Dewey.pp Dewey.equal
+
+let d s = Dewey.of_string s
+
+let test_root () =
+  Alcotest.(check string) "root is 1" "1" (Dewey.to_string Dewey.root);
+  Alcotest.(check int) "root level" 1 (Dewey.level Dewey.root)
+
+let test_child () =
+  Alcotest.check dewey "child" (d "1.3") (Dewey.child Dewey.root 3);
+  Alcotest.check dewey "grandchild" (d "1.3.2") (Dewey.child (d "1.3") 2)
+
+let test_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (Dewey.to_string (d s)))
+    [ "1"; "1.1"; "1.2.3.4.5"; "1.10.100" ]
+
+let test_of_string_invalid () =
+  List.iter
+    (fun s ->
+      Alcotest.check_raises s (Invalid_argument "Dewey.of_string") (fun () ->
+          ignore (Dewey.of_string s)))
+    [ ""; "a"; "1..2"; "1.0"; "1.-2"; "1.x" ]
+
+let test_document_order () =
+  (* Preorder: a node precedes its descendants; siblings by index. *)
+  Alcotest.(check bool) "1 < 1.1" true (Dewey.compare (d "1") (d "1.1") < 0);
+  Alcotest.(check bool) "1.1 < 1.2" true (Dewey.compare (d "1.1") (d "1.2") < 0);
+  Alcotest.(check bool) "1.1.9 < 1.2" true (Dewey.compare (d "1.1.9") (d "1.2") < 0);
+  Alcotest.(check bool) "1.2 > 1.1.9" true (Dewey.compare (d "1.2") (d "1.1.9") > 0);
+  Alcotest.(check int) "equal" 0 (Dewey.compare (d "1.2.3") (d "1.2.3"))
+
+let test_common_prefix () =
+  Alcotest.(check int) "siblings" 2 (Dewey.common_prefix_len (d "1.1.3") (d "1.1.1"));
+  Alcotest.(check int) "cousins" 1 (Dewey.common_prefix_len (d "1.1.3") (d "1.2.1"));
+  Alcotest.(check int) "self" 3 (Dewey.common_prefix_len (d "1.1.3") (d "1.1.3"));
+  Alcotest.(check int) "ancestor" 2 (Dewey.common_prefix_len (d "1.1") (d "1.1.3"))
+
+let test_paper_distances () =
+  (* The Sec. VII example: publisher 1.1.3 vs titles 1.1.1 and 1.2.1. *)
+  Alcotest.(check int) "close pair" 2 (Dewey.distance (d "1.1.3") (d "1.1.1"));
+  Alcotest.(check int) "far pair" 4 (Dewey.distance (d "1.1.3") (d "1.2.1"))
+
+let test_prefix () =
+  Alcotest.check dewey "prefix 2" (d "1.4") (Dewey.prefix (d "1.4.2.9") 2);
+  Alcotest.check dewey "prefix full" (d "1.4.2.9") (Dewey.prefix (d "1.4.2.9") 4);
+  Alcotest.check_raises "prefix 0" (Invalid_argument "Dewey.prefix") (fun () ->
+      ignore (Dewey.prefix (d "1.2") 0))
+
+let test_is_prefix () =
+  Alcotest.(check bool) "ancestor" true (Dewey.is_prefix (d "1.2") (d "1.2.3"));
+  Alcotest.(check bool) "self" true (Dewey.is_prefix (d "1.2") (d "1.2"));
+  Alcotest.(check bool) "not prefix" false (Dewey.is_prefix (d "1.2") (d "1.3.2"));
+  Alcotest.(check bool) "longer" false (Dewey.is_prefix (d "1.2.3") (d "1.2"))
+
+(* QCheck generators *)
+let gen_dewey =
+  QCheck2.Gen.(
+    let* n = int_range 1 6 in
+    let* rest = list_size (return (n - 1)) (int_range 1 9) in
+    return (Array.of_list (1 :: rest)))
+
+let prop_distance_symmetric =
+  QCheck2.Test.make ~name:"distance symmetric" ~count:500
+    QCheck2.Gen.(pair gen_dewey gen_dewey)
+    (fun (a, b) -> Dewey.distance a b = Dewey.distance b a)
+
+let prop_distance_triangle =
+  QCheck2.Test.make ~name:"distance triangle inequality" ~count:500
+    QCheck2.Gen.(triple gen_dewey gen_dewey gen_dewey)
+    (fun (a, b, c) -> Dewey.distance a c <= Dewey.distance a b + Dewey.distance b c)
+
+let prop_order_total =
+  QCheck2.Test.make ~name:"compare antisymmetric" ~count:500
+    QCheck2.Gen.(pair gen_dewey gen_dewey)
+    (fun (a, b) ->
+      let c1 = Dewey.compare a b and c2 = Dewey.compare b a in
+      (c1 = 0 && c2 = 0 && Dewey.equal a b) || c1 * c2 < 0)
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"to_string/of_string roundtrip" ~count:500 gen_dewey
+    (fun d -> Dewey.equal d (Dewey.of_string (Dewey.to_string d)))
+
+let prop_distance_zero_iff_equal =
+  QCheck2.Test.make ~name:"distance 0 iff equal" ~count:500
+    QCheck2.Gen.(pair gen_dewey gen_dewey)
+    (fun (a, b) -> Dewey.distance a b = 0 = Dewey.equal a b)
+
+let suite =
+  [
+    Alcotest.test_case "root" `Quick test_root;
+    Alcotest.test_case "child" `Quick test_child;
+    Alcotest.test_case "string roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "of_string rejects garbage" `Quick test_of_string_invalid;
+    Alcotest.test_case "document order" `Quick test_document_order;
+    Alcotest.test_case "common prefix" `Quick test_common_prefix;
+    Alcotest.test_case "paper Sec. VII distances" `Quick test_paper_distances;
+    Alcotest.test_case "prefix" `Quick test_prefix;
+    Alcotest.test_case "is_prefix" `Quick test_is_prefix;
+    QCheck_alcotest.to_alcotest prop_distance_symmetric;
+    QCheck_alcotest.to_alcotest prop_distance_triangle;
+    QCheck_alcotest.to_alcotest prop_order_total;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_distance_zero_iff_equal;
+  ]

@@ -1,0 +1,153 @@
+open Xmutil
+
+let fig_a () = Xml.Doc.of_string Workloads.Figures.instance_a
+
+let find_type doc label =
+  let guide = Xml.Dataguide.of_doc doc in
+  match Xml.Dataguide.match_label guide label with
+  | [ t ] -> t
+  | ts ->
+      Alcotest.failf "label %s matched %d types" label (List.length ts)
+
+let test_indexing () =
+  let doc = fig_a () in
+  let root = Xml.Doc.root doc in
+  Alcotest.(check string) "root name" "data" root.name;
+  Alcotest.(check string) "root dewey" "1" (Dewey.to_string root.dewey);
+  Alcotest.(check int) "root parent" (-1) root.parent;
+  (* data(1) + 2 books + 2 titles + 3 authors + 3 names + 2 publishers
+     + 2 names = 15 vertices *)
+  Alcotest.(check int) "node count" 15 (Xml.Doc.node_count doc)
+
+let test_dewey_assignment () =
+  let doc = fig_a () in
+  let title = find_type doc "title" in
+  let ids = Xml.Doc.nodes_of_type doc title in
+  let deweys =
+    Array.to_list (Array.map (fun i -> Dewey.to_string (Xml.Doc.node doc i).dewey) ids)
+  in
+  Alcotest.(check (list string)) "title deweys" [ "1.1.1"; "1.2.1" ] deweys
+
+let test_attribute_nodes () =
+  let doc = Xml.Doc.of_string {|<r><e a="1" b="2"><f/></e></r>|} in
+  Alcotest.(check int) "count includes attrs" 5 (Xml.Doc.node_count doc);
+  let guide = Xml.Dataguide.of_doc doc in
+  let a = List.hd (Xml.Dataguide.match_label guide "a") in
+  let node = Xml.Doc.node doc (Xml.Dataguide.match_label guide "a" |> List.hd |> fun t -> (Xml.Doc.nodes_of_type doc t).(0)) in
+  ignore a;
+  Alcotest.(check string) "attr value" "1" node.value;
+  Alcotest.(check bool) "attr kind" true (node.kind = Xml.Doc.Attribute);
+  (* Attributes take Dewey slots before element children. *)
+  Alcotest.(check string) "attr dewey" "1.1.1" (Dewey.to_string node.dewey)
+
+let test_document_order () =
+  let doc = fig_a () in
+  for i = 1 to Xml.Doc.node_count doc - 1 do
+    let prev = (Xml.Doc.node doc (i - 1)).dewey and cur = (Xml.Doc.node doc i).dewey in
+    Alcotest.(check bool) "ids follow document order" true (Dewey.compare prev cur < 0)
+  done
+
+let test_value_direct_text () =
+  let doc = Xml.Doc.of_string "<a>one<b>two</b>three</a>" in
+  Alcotest.(check string) "direct text only" "onethree" (Xml.Doc.root doc).value
+
+let test_subtree_roundtrip () =
+  let doc = fig_a () in
+  let tree = Xml.Doc.to_tree doc in
+  Alcotest.(check bool) "to_tree equals source" true
+    (Xml.Tree.equal tree (Xml.Parser.parse Workloads.Figures.instance_a))
+
+let test_type_distance_paper () =
+  (* Sec. VII: typeDistance(publisher, title) = 2 in instance (a). *)
+  let doc = fig_a () in
+  let publisher = find_type doc "publisher" and title = find_type doc "title" in
+  Alcotest.(check int) "publisher-title" 2 (Xml.Doc.type_distance doc publisher title);
+  let author = find_type doc "author" in
+  Alcotest.(check int) "author-title" 2 (Xml.Doc.type_distance doc author title);
+  Alcotest.(check int) "self distance" 0 (Xml.Doc.type_distance doc title title)
+
+let test_type_distance_deeper_than_shape () =
+  (* Shape-level distance can underestimate: here the only <x> under the
+     first <g> has no <y> sibling subtree, and the only <y> lives under the
+     second <g>; the real minimum distance goes through <r>. *)
+  let doc = Xml.Doc.of_string "<r><g><x/></g><g><y/></g></r>" in
+  let guide = Xml.Dataguide.of_doc doc in
+  let x = List.hd (Xml.Dataguide.match_label guide "x") in
+  let y = List.hd (Xml.Dataguide.match_label guide "y") in
+  Alcotest.(check int) "shape distance" 2 (Xml.Dataguide.type_distance guide x y);
+  Alcotest.(check int) "data distance" 4 (Xml.Doc.type_distance doc x y)
+
+(* Brute-force data-level type distance for the qcheck oracle. *)
+let brute_type_distance doc t1 t2 =
+  let a = Xml.Doc.nodes_of_type doc t1 and b = Xml.Doc.nodes_of_type doc t2 in
+  let best = ref max_int in
+  Array.iter
+    (fun v ->
+      Array.iter (fun w -> best := min !best (Xml.Doc.distance doc v w)) b)
+    a;
+  !best
+
+let prop_type_distance_matches_bruteforce =
+  QCheck2.Test.make ~name:"type_distance = brute force minimum" ~count:200
+    Gen.gen_doc (fun doc ->
+      let guide = Xml.Dataguide.of_doc doc in
+      let types = Xml.Dataguide.all_types guide in
+      List.for_all
+        (fun t1 ->
+          List.for_all
+            (fun t2 ->
+              Xml.Doc.type_distance doc t1 t2 = brute_type_distance doc t1 t2)
+            types)
+        types)
+
+let prop_sequences_sorted =
+  QCheck2.Test.make ~name:"per-type sequences in document order" ~count:200
+    Gen.gen_doc (fun doc ->
+      let guide = Xml.Dataguide.of_doc doc in
+      List.for_all
+        (fun ty ->
+          let ids = Xml.Doc.nodes_of_type doc ty in
+          let ok = ref true in
+          for i = 1 to Array.length ids - 1 do
+            if
+              Dewey.compare (Xml.Doc.node doc ids.(i - 1)).dewey
+                (Xml.Doc.node doc ids.(i)).dewey
+              >= 0
+            then ok := false
+          done;
+          !ok)
+        (Xml.Dataguide.all_types guide))
+
+let prop_parent_child_consistent =
+  QCheck2.Test.make ~name:"parent/children links consistent" ~count:200
+    Gen.gen_doc (fun doc ->
+      let ok = ref true in
+      for i = 0 to Xml.Doc.node_count doc - 1 do
+        let n = Xml.Doc.node doc i in
+        Array.iter
+          (fun ci -> if (Xml.Doc.node doc ci).parent <> i then ok := false)
+          n.children;
+        if n.parent >= 0 then begin
+          let p = Xml.Doc.node doc n.parent in
+          if not (Array.mem i p.children) then ok := false;
+          if Dewey.common_prefix_len p.dewey n.dewey <> Dewey.level p.dewey then
+            ok := false
+        end
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "indexing basics" `Quick test_indexing;
+    Alcotest.test_case "dewey assignment" `Quick test_dewey_assignment;
+    Alcotest.test_case "attribute vertices" `Quick test_attribute_nodes;
+    Alcotest.test_case "ids are document order" `Quick test_document_order;
+    Alcotest.test_case "value is direct text" `Quick test_value_direct_text;
+    Alcotest.test_case "to_tree roundtrip" `Quick test_subtree_roundtrip;
+    Alcotest.test_case "typeDistance (paper values)" `Quick test_type_distance_paper;
+    Alcotest.test_case "typeDistance beyond shape level" `Quick
+      test_type_distance_deeper_than_shape;
+    QCheck_alcotest.to_alcotest prop_type_distance_matches_bruteforce;
+    QCheck_alcotest.to_alcotest prop_sequences_sorted;
+    QCheck_alcotest.to_alcotest prop_parent_child_consistent;
+  ]

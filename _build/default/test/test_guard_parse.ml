@@ -1,0 +1,186 @@
+open Xmorph
+
+let parses src =
+  match Parse.guard src with
+  | _ -> ()
+  | exception e ->
+      Alcotest.failf "failed to parse %S: %s" src
+        (Option.value ~default:(Printexc.to_string e) (Parse.error_message src e))
+
+let rejects src =
+  match Parse.guard src with
+  | exception (Parse.Error _ | Lexer.Error _) -> ()
+  | _ -> Alcotest.failf "expected a syntax error for %S" src
+
+let test_paper_guards () =
+  (* Every guard that appears in the paper. *)
+  List.iter parses
+    [
+      "MORPH author [ name book [ title ] ]";
+      "MORPH data [author [* book [** publisher [*]]]]";
+      "MORPH author [ !title name publisher [ name ] ]";
+      "MUTATE book [ publisher [ name ] ]";
+      "MORPH author [name] | MUTATE (DROP name)";
+      "CAST-WIDENING (TYPE-FILL MUTATE author [ title ])";
+      "MUTATE name [ author ]";
+      "MUTATE data [ name author ]";
+      "MUTATE (DROP title [ book ])";
+      "MUTATE author [ CLONE title ]";
+      "MUTATE (NEW scribe) [ author ]";
+      "MORPH (RESTRICT name [ author ]) [ title ]";
+      "MUTATE site";
+      "MORPH author";
+      "MORPH author [title [year]]";
+      "MORPH dblp [author [title [year [pages] url]]]";
+    ]
+
+let test_keyword_forms () =
+  List.iter parses
+    [
+      "COMPOSE MORPH author [ name ], MUTATE (DROP name)";
+      "MORPH CHILDREN author";
+      "MORPH DESCENDANTS book";
+      "TRANSLATE author -> writer";
+      "TRANSFORM author -> writer";
+      "TRANSLATE a -> b, c -> d";
+      "MORPH author [ name ] | TRANSLATE author -> writer";
+      "CAST MORPH author";
+      "CAST-NARROWING MORPH author";
+      "CAST-WIDENING MORPH author";
+      "TYPE-FILL MORPH author [ ghost ]";
+      "(MORPH author)";
+    ]
+
+let test_case_and_whitespace_insensitive () =
+  List.iter parses
+    [
+      "morph author [ name ]";
+      "MoRpH aUtHoR[nAmE]";
+      "  MORPH   author[name book[title]]  ";
+      "mutate(drop name)";
+    ]
+
+let test_ast_shapes () =
+  (match Parse.guard "MORPH author [ name ]" with
+  | Ast.Stage (Ast.Morph [ Ast.Tree (Ast.Label { label = "author"; bang = false }, [ Ast.Label { label = "name"; _ } ]) ]) ->
+      ()
+  | other -> Alcotest.failf "unexpected AST: %s" (Ast.to_string other));
+  (match Parse.guard "MORPH author [*]" with
+  | Ast.Stage (Ast.Morph [ Ast.Children (Ast.Label { label = "author"; _ }) ]) -> ()
+  | other -> Alcotest.failf "star sugar: %s" (Ast.to_string other));
+  (match Parse.guard "MORPH book [**]" with
+  | Ast.Stage (Ast.Morph [ Ast.Descendants _ ]) -> ()
+  | other -> Alcotest.failf "dblstar sugar: %s" (Ast.to_string other));
+  (match Parse.guard "MORPH author [ !title ]" with
+  | Ast.Stage (Ast.Morph [ Ast.Tree (_, [ Ast.Label { bang = true; _ } ]) ]) -> ()
+  | other -> Alcotest.failf "bang: %s" (Ast.to_string other));
+  (match Parse.guard "MORPH a | MUTATE b | TRANSLATE c -> d" with
+  | Ast.Compose (Ast.Compose (Ast.Stage (Ast.Morph _), Ast.Stage (Ast.Mutate _)), Ast.Stage (Ast.Translate [ ("c", "d") ])) ->
+      ()
+  | other -> Alcotest.failf "pipe assoc: %s" (Ast.to_string other));
+  match Parse.guard "COMPOSE MORPH a, MUTATE b, MORPH c" with
+  | Ast.Compose (Ast.Compose _, _) -> ()
+  | other -> Alcotest.failf "compose list: %s" (Ast.to_string other)
+
+let test_star_inside_brackets () =
+  match Parse.guard "MORPH data [ author [ * book [ ** ] ] ]" with
+  | Ast.Stage
+      (Ast.Morph
+        [ Ast.Tree (_, [ Ast.Tree (_, [ Ast.Star; Ast.Descendants _ ]) ]) ]) ->
+      ()
+  | other -> Alcotest.failf "mixed star items: %s" (Ast.to_string other)
+
+let test_dotted_and_attr_labels () =
+  (match Parse.guard "MORPH book.author [ @year ]" with
+  | Ast.Stage
+      (Ast.Morph
+        [ Ast.Tree (Ast.Label { label = "book.author"; _ }, [ Ast.Label { label = "@year"; _ } ]) ]) ->
+      ()
+  | other -> Alcotest.failf "dotted/attr: %s" (Ast.to_string other))
+
+let test_syntax_errors () =
+  List.iter rejects
+    [
+      "";
+      "MORPH";
+      "MORPH author [";
+      "MORPH author ]";
+      "author [ name ]";
+      "MORPH author [ name ] extra ]";
+      "TRANSLATE author";
+      "TRANSLATE author ->";
+      "COMPOSE MORPH a";
+      "MORPH (author";
+      "MUTATE (DROP)";
+      "MORPH | MUTATE a";
+      "NEW x";
+      "MORPH ?";
+    ]
+
+let test_error_position () =
+  match Parse.guard "MORPH author [ name ] ]" with
+  | exception Parse.Error { pos; _ } ->
+      Alcotest.(check int) "error at trailing bracket" 22 pos
+  | _ -> Alcotest.fail "expected error"
+
+let test_pp_roundtrip () =
+  (* Pretty-printing a parsed guard re-parses to the same AST. *)
+  List.iter
+    (fun src ->
+      let ast = Parse.guard src in
+      let printed = Ast.to_string ast in
+      let reparsed =
+        try Parse.guard printed
+        with e -> Alcotest.failf "re-parse of %S failed: %s" printed (Printexc.to_string e)
+      in
+      Alcotest.(check string) "stable" (Ast.to_string reparsed) printed)
+    [
+      "MORPH author [ name book [ title ] ]";
+      "MUTATE (NEW scribe) [ author ]";
+      "MORPH (RESTRICT name [ author ]) [ title ]";
+      "CAST-WIDENING (TYPE-FILL MUTATE author [ title ])";
+      "MORPH author [name] | MUTATE (DROP name)";
+      "TRANSLATE a -> b, c -> d";
+    ]
+
+let test_algebra_translation () =
+  let alg = Algebra.of_ast (Parse.guard "MORPH author [ name publisher [ name book [ title price ] ] ]") in
+  (* The Fig. 9 example: morph -> closest tree. *)
+  (match alg.Algebra.desc with
+  | Algebra.Morph [ { Algebra.desc = Algebra.Closest (_, items); _ } ] ->
+      Alcotest.(check int) "two child items" 2 (List.length items)
+  | _ -> Alcotest.fail "expected morph/closest");
+  let s = Algebra.to_string alg in
+  Alcotest.(check bool) "renders operators" true
+    (String.length s > 0
+    && Tutil.contains s "morph"
+    && Tutil.contains s "closest"
+    && Tutil.contains s "type(author)")
+
+let test_cast_mode () =
+  let mode src = Algebra.cast_mode (Algebra.of_ast (Parse.guard src)) in
+  Alcotest.(check bool) "none" true (mode "MORPH a" = None);
+  Alcotest.(check bool) "weak" true (mode "CAST MORPH a" = Some Ast.Cast_weak);
+  Alcotest.(check bool) "narrowing" true
+    (mode "CAST-NARROWING MORPH a" = Some Ast.Cast_narrowing);
+  Alcotest.(check bool) "cast found through type-fill" true
+    (mode "TYPE-FILL CAST-WIDENING MORPH a" = Some Ast.Cast_widening);
+  Alcotest.(check bool) "widening outer" true
+    (mode "CAST-WIDENING (TYPE-FILL MUTATE a)" = Some Ast.Cast_widening);
+  Alcotest.(check bool) "type-fill detected" true
+    (Algebra.has_type_fill (Algebra.of_ast (Parse.guard "CAST-WIDENING (TYPE-FILL MUTATE a)")))
+
+let suite =
+  [
+    Alcotest.test_case "all paper guards parse" `Quick test_paper_guards;
+    Alcotest.test_case "keyword forms" `Quick test_keyword_forms;
+    Alcotest.test_case "case/whitespace insensitive" `Quick test_case_and_whitespace_insensitive;
+    Alcotest.test_case "AST shapes" `Quick test_ast_shapes;
+    Alcotest.test_case "star items inside brackets" `Quick test_star_inside_brackets;
+    Alcotest.test_case "dotted and attribute labels" `Quick test_dotted_and_attr_labels;
+    Alcotest.test_case "syntax errors rejected" `Quick test_syntax_errors;
+    Alcotest.test_case "error positions" `Quick test_error_position;
+    Alcotest.test_case "pp/parse stability" `Quick test_pp_roundtrip;
+    Alcotest.test_case "algebra translation (Fig. 9)" `Quick test_algebra_translation;
+    Alcotest.test_case "cast mode extraction" `Quick test_cast_mode;
+  ]

@@ -1,0 +1,141 @@
+(* Property tests over the guard language itself: random guard ASTs
+   pretty-print to text that re-parses to the same AST, and random guards
+   never crash the compiler (they either compile or fail with the documented
+   exceptions). *)
+
+open Xmorph
+
+let gen_label =
+  QCheck2.Gen.oneofl
+    [ "author"; "name"; "book"; "title"; "publisher"; "data"; "x-1"; "book.author" ]
+
+let gen_new_label = QCheck2.Gen.oneofl [ "wrap"; "extra"; "scribe" ]
+
+let rec gen_pattern depth =
+  QCheck2.Gen.(
+    let leaf =
+      let* l = gen_label in
+      let* bang = bool in
+      return (Ast.Label { label = l; bang })
+    in
+    if depth = 0 then leaf
+    else
+      frequency
+        [
+          (4, leaf);
+          ( 3,
+            let* p = gen_pattern 0 in
+            let* n = int_range 1 3 in
+            let* items = list_size (return n) (gen_item (depth - 1)) in
+            return (Ast.Tree (p, items)) );
+          (1, map (fun p -> Ast.Children p) (gen_pattern 0));
+          (1, map (fun p -> Ast.Descendants p) (gen_pattern 0));
+          (1, map (fun p -> Ast.Clone p) (gen_pattern (depth - 1)));
+          (1, map (fun l -> Ast.New l) gen_new_label);
+          (1, map (fun p -> Ast.Restrict p) (gen_pattern (depth - 1)));
+          ( 1,
+            let* p = gen_pattern 0 in
+            let* v = oneofl [ "A"; "B"; "x y" ] in
+            return (Ast.Value_eq (p, v)) );
+        ])
+
+and gen_item depth =
+  QCheck2.Gen.(
+    frequency
+      [ (6, gen_pattern depth); (1, return Ast.Star); (1, return Ast.Dbl_star) ])
+
+let gen_mutate_pattern depth =
+  QCheck2.Gen.(
+    frequency
+      [ (5, gen_pattern depth); (1, map (fun p -> Ast.Drop p) (gen_pattern 0)) ])
+
+let gen_stage =
+  QCheck2.Gen.(
+    frequency
+      [
+        ( 4,
+          let* n = int_range 1 2 in
+          let* ps = list_size (return n) (gen_pattern 2) in
+          return (Ast.Morph ps) );
+        ( 3,
+          let* n = int_range 1 2 in
+          let* ps = list_size (return n) (gen_mutate_pattern 2) in
+          return (Ast.Mutate ps) );
+        ( 1,
+          let* a = gen_label in
+          let* b = gen_new_label in
+          return (Ast.Translate [ (a, b) ]) );
+      ])
+
+let gen_guard =
+  QCheck2.Gen.(
+    let* base =
+      let* n = int_range 1 3 in
+      let* stages = list_size (return n) gen_stage in
+      match List.map (fun s -> Ast.Stage s) stages with
+      | [] -> assert false
+      | first :: rest ->
+          return (List.fold_left (fun acc g -> Ast.Compose (acc, g)) first rest)
+    in
+    frequency
+      [
+        (5, return base);
+        (1, return (Ast.Cast (Ast.Cast_weak, base)));
+        (1, return (Ast.Cast (Ast.Cast_narrowing, base)));
+        (1, return (Ast.Cast (Ast.Cast_widening, base)));
+        (1, return (Ast.Type_fill base));
+      ])
+
+let prop_pp_parse_roundtrip =
+  QCheck2.Test.make ~name:"pp/parse roundtrip for random guards" ~count:500
+    gen_guard (fun g ->
+      let printed = Ast.to_string g in
+      match Parse.guard printed with
+      | reparsed -> Ast.to_string reparsed = printed
+      | exception _ -> false)
+
+let prop_compiler_total =
+  (* Compiling a random guard against a real shape either succeeds or fails
+     with a documented exception — never anything else. *)
+  QCheck2.Test.make ~name:"compiler is total on random guards" ~count:300
+    gen_guard (fun g ->
+      let doc = Xml.Doc.of_string Workloads.Figures.instance_a in
+      let guide = Xml.Dataguide.of_doc doc in
+      match Interp.compile ~enforce:false guide (Ast.to_string g) with
+      | _ -> true
+      | exception Interp.Error _ -> true
+      | exception Tshape.Error _ -> true
+      | exception _ -> false)
+
+let prop_compiled_guards_render =
+  (* Whatever compiles must render and serialize without raising. *)
+  QCheck2.Test.make ~name:"compiled guards render" ~count:300 gen_guard (fun g ->
+      let doc = Xml.Doc.of_string Workloads.Figures.instance_a in
+      let store = Store.Shredded.shred doc in
+      match Interp.compile ~enforce:false (Store.Shredded.guide store) (Ast.to_string g) with
+      | exception _ -> true
+      | compiled -> (
+          match Interp.render store compiled with
+          | tree -> String.length (Xml.Printer.to_string tree) >= 0
+          | exception _ -> false))
+
+let prop_stream_equals_tree_random_guards =
+  QCheck2.Test.make ~name:"stream = materialize for random guards" ~count:200
+    gen_guard (fun g ->
+      let doc = Xml.Doc.of_string Workloads.Figures.instance_a in
+      let store = Store.Shredded.shred doc in
+      match Interp.compile ~enforce:false (Store.Shredded.guide store) (Ast.to_string g) with
+      | exception _ -> true
+      | compiled ->
+          let b1 = Buffer.create 64 and b2 = Buffer.create 64 in
+          ignore (Render.stream store compiled.Interp.shape (Buffer.add_string b1));
+          ignore (Render.to_buffer store compiled.Interp.shape b2);
+          Buffer.contents b1 = Buffer.contents b2)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_pp_parse_roundtrip;
+    QCheck_alcotest.to_alcotest prop_compiler_total;
+    QCheck_alcotest.to_alcotest prop_compiled_guards_render;
+    QCheck_alcotest.to_alcotest prop_stream_equals_tree_random_guards;
+  ]

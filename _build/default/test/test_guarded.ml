@@ -1,0 +1,123 @@
+let gq : Guarded.Guarded_query.t =
+  {
+    guard = Workloads.Figures.example_guard;
+    query =
+      "for $a in //author return <row>{$a/name/text()}{for $t in \
+       $a/book/title return <title>{$t/text()}</title>}</row>";
+  }
+
+(* The pairs (author name, title) a correct evaluation must produce,
+   regardless of grouping. *)
+let pairs_of outcome =
+  let rows =
+    List.filter_map
+      (function
+        | Xquery.Value.Node (Xml.Tree.Element { name = "row"; children; _ }) ->
+            Some children
+        | _ -> None)
+      outcome.Guarded.Guarded_query.result
+  in
+  List.concat_map
+    (fun children ->
+      let name =
+        List.find_map
+          (function Xml.Tree.Text t -> Some t | _ -> None)
+          children
+        |> Option.value ~default:"?"
+      in
+      List.filter_map
+        (function
+          | Xml.Tree.Element { name = "title"; children = [ Xml.Tree.Text t ]; _ } ->
+              Some (name, t)
+          | _ -> None)
+        children)
+    rows
+  |> List.sort compare
+
+let expected_pairs = [ ("A", "X"); ("A", "Y"); ("B", "X") ]
+
+let test_same_answer_on_all_shapes () =
+  (* The paper's central claim: one (guard, query) pair works on every
+     shape of the same data. *)
+  List.iter
+    (fun (label, src) ->
+      let outcome = Guarded.Guarded_query.run (Xml.Doc.of_string src) gq in
+      Alcotest.(check (list (pair string string))) label expected_pairs (pairs_of outcome))
+    [
+      ("instance (a)", Workloads.Figures.instance_a);
+      ("instance (b)", Workloads.Figures.instance_b);
+      ("instance (c)", Workloads.Figures.instance_c);
+    ]
+
+let test_unguarded_brittle () =
+  (* Without the guard the same query silently returns nothing on shapes
+     (a) and (b). *)
+  let q = "/data/author/book/title" in
+  let n src =
+    List.length
+      (Guarded.Guarded_query.query_unguarded (Xml.Doc.of_string src) q)
+  in
+  Alcotest.(check int) "(a) finds nothing" 0 (n Workloads.Figures.instance_a);
+  Alcotest.(check int) "(b) finds nothing" 0 (n Workloads.Figures.instance_b);
+  Alcotest.(check int) "(c) works" 3 (n Workloads.Figures.instance_c)
+
+let test_guard_rejection_blocks_query () =
+  let bad =
+    { Guarded.Guarded_query.guard = Workloads.Figures.widening_guard;
+      query = "count(//title)" }
+  in
+  match Guarded.Guarded_query.run (Xml.Doc.of_string Workloads.Figures.instance_c) bad with
+  | exception Guarded.Guarded_query.Guard_rejected r ->
+      Alcotest.(check string) "widening" "widening"
+        (Xmorph.Report.classification_to_string r.Xmorph.Report.classification)
+  | _ -> Alcotest.fail "expected Guard_rejected"
+
+let test_cast_admits_and_query_runs () =
+  let cast =
+    { Guarded.Guarded_query.guard =
+        "CAST-WIDENING (" ^ Workloads.Figures.widening_guard ^ ")";
+      query = "count(//publisher)" }
+  in
+  let outcome =
+    Guarded.Guarded_query.run (Xml.Doc.of_string Workloads.Figures.instance_c) cast
+  in
+  Alcotest.(check string) "query ran on transformed data" "3"
+    (Xquery.Value.to_string outcome.Guarded.Guarded_query.result)
+
+let test_distinct_values_on_target_shape () =
+  (* Sec. II: values must be transformed too — distinct-values should see
+     the target shape's values. *)
+  let gq =
+    { Guarded.Guarded_query.guard = "MORPH author [ name ]";
+      query = "distinct-values(//name)" }
+  in
+  let outcome =
+    Guarded.Guarded_query.run (Xml.Doc.of_string Workloads.Figures.instance_a) gq
+  in
+  (* Publisher names are out of shape, so only author names remain. *)
+  Alcotest.(check string) "only author names" "A B"
+    (Xquery.Value.to_string outcome.Guarded.Guarded_query.result)
+
+let test_query_failure_reported () =
+  let bad = { Guarded.Guarded_query.guard = "MORPH author"; query = "$nope" } in
+  match Guarded.Guarded_query.run (Xml.Doc.of_string Workloads.Figures.instance_a) bad with
+  | exception Guarded.Guarded_query.Query_failed _ -> ()
+  | _ -> Alcotest.fail "expected Query_failed"
+
+let test_run_on_store_reuse () =
+  let store = Store.Shredded.shred (Xml.Doc.of_string Workloads.Figures.instance_a) in
+  let o1 = Guarded.Guarded_query.run_on_store store gq in
+  let o2 = Guarded.Guarded_query.run_on_store store gq in
+  Alcotest.(check (list (pair string string))) "same results" (pairs_of o1) (pairs_of o2)
+
+let suite =
+  [
+    Alcotest.test_case "one query, three shapes" `Quick test_same_answer_on_all_shapes;
+    Alcotest.test_case "unguarded query is brittle" `Quick test_unguarded_brittle;
+    Alcotest.test_case "rejection blocks the query" `Quick test_guard_rejection_blocks_query;
+    Alcotest.test_case "cast admits, query runs" `Quick test_cast_admits_and_query_runs;
+    Alcotest.test_case "distinct-values sees target values" `Quick
+      test_distinct_values_on_target_shape;
+    Alcotest.test_case "query failures surfaced" `Quick test_query_failure_reported;
+    Alcotest.test_case "store reuse" `Quick test_run_on_store_reuse;
+  ]

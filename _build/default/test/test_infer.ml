@@ -1,0 +1,91 @@
+let check_guard msg query expected =
+  Alcotest.(check string) msg expected (Guarded.Infer.guard_of_query query)
+
+let test_simple_paths () =
+  check_guard "chain" "/data/author/book/title"
+    "MORPH data [ author [ book [ title ] ] ]";
+  check_guard "descendant rooted" "//author/name" "MORPH author [ name ]";
+  check_guard "attribute" "/r/e/@year" "MORPH r [ e [ @year ] ]"
+
+let test_flwor_variables () =
+  check_guard "for variable"
+    "for $a in /data/author return $a/book/title"
+    "MORPH data [ author [ book [ title ] ] ]";
+  check_guard "let variable"
+    "let $b := /data/book return $b/title"
+    "MORPH data [ book [ title ] ]";
+  check_guard "nested for"
+    "for $b in /data/book for $a in $b/author return $a/name"
+    "MORPH data [ book [ author [ name ] ] ]"
+
+let test_merging () =
+  (* Two uses of the same step merge into one shape node. *)
+  check_guard "merged siblings"
+    "for $a in //author return ($a/name, $a/book/title)"
+    "MORPH author [ name book [ title ] ]"
+
+let test_predicates () =
+  check_guard "predicate path contributes"
+    {|/data/book[author/name = "Codd"]/title|}
+    "MORPH data [ book [ author [ name ] title ] ]"
+
+let test_where_and_constructors () =
+  check_guard "where clause and constructor"
+    {|for $b in /data/book where $b/year > 1990 return <hit>{$b/title}</hit>|}
+    "MORPH data [ book [ year title ] ]"
+
+let test_wildcard () =
+  check_guard "wildcard becomes CHILDREN" "/data/book/*"
+    "MORPH data [ book [*] ]"
+
+let test_text_step_ignored () =
+  check_guard "text() adds nothing" "/data/author/name/text()"
+    "MORPH data [ author [ name ] ]"
+
+let test_no_shape_fails () =
+  match Guarded.Infer.guard_of_query "1 + 2" with
+  | exception Failure _ -> ()
+  | g -> Alcotest.failf "expected failure, got %s" g
+
+let test_inferred_guard_runs_everywhere () =
+  (* The motivating brittle query, made shape-polymorphic with no
+     hand-written guard. *)
+  let query = "for $a in /data/author return $a/book/title" in
+  List.iter
+    (fun (label, src) ->
+      let outcome = Guarded.Infer.run_inferred (Xml.Doc.of_string src) query in
+      let titles =
+        List.map Xquery.Value.string_value outcome.Guarded.Guarded_query.result
+        |> List.sort compare
+      in
+      Alcotest.(check (list string)) label [ "X"; "X"; "Y" ] titles)
+    [
+      ("instance (a)", Workloads.Figures.instance_a);
+      ("instance (b)", Workloads.Figures.instance_b);
+      ("instance (c)", Workloads.Figures.instance_c);
+    ]
+
+let test_inferred_guard_compiles_on_workloads () =
+  let doc = Workloads.Dblp.to_doc ~entries:50 () in
+  let query =
+    "for $a in /dblp/article return <r>{$a/title/text()}{$a/year/text()}</r>"
+  in
+  let outcome = Guarded.Infer.run_inferred doc query in
+  Alcotest.(check bool) "produces rows" true
+    (List.length outcome.Guarded.Guarded_query.result > 0)
+
+let suite =
+  [
+    Alcotest.test_case "simple paths" `Quick test_simple_paths;
+    Alcotest.test_case "FLWOR variables" `Quick test_flwor_variables;
+    Alcotest.test_case "step merging" `Quick test_merging;
+    Alcotest.test_case "predicates contribute" `Quick test_predicates;
+    Alcotest.test_case "where and constructors" `Quick test_where_and_constructors;
+    Alcotest.test_case "wildcard" `Quick test_wildcard;
+    Alcotest.test_case "text() ignored" `Quick test_text_step_ignored;
+    Alcotest.test_case "no shape -> failure" `Quick test_no_shape_fails;
+    Alcotest.test_case "inferred guard runs on all shapes" `Quick
+      test_inferred_guard_runs_everywhere;
+    Alcotest.test_case "inferred guard on workloads" `Quick
+      test_inferred_guard_compiles_on_workloads;
+  ]

@@ -1,0 +1,54 @@
+open Xmutil
+
+let js = Json.to_string ~pretty:false
+
+let test_scalars () =
+  Alcotest.(check string) "null" "null" (js Json.Null);
+  Alcotest.(check string) "true" "true" (js (Json.Bool true));
+  Alcotest.(check string) "int" "42" (js (Json.Int 42));
+  Alcotest.(check string) "neg" "-7" (js (Json.Int (-7)));
+  Alcotest.(check string) "float int" "3" (js (Json.Float 3.0));
+  Alcotest.(check string) "float" "3.5" (js (Json.Float 3.5));
+  Alcotest.(check string) "string" {|"hi"|} (js (Json.String "hi"))
+
+let test_escaping () =
+  Alcotest.(check string) "quotes" {|"a\"b"|} (js (Json.String {|a"b|}));
+  Alcotest.(check string) "backslash" {|"a\\b"|} (js (Json.String {|a\b|}));
+  Alcotest.(check string) "newline" {|"a\nb"|} (js (Json.String "a\nb"));
+  Alcotest.(check string) "control" "\"a\\u0001b\"" (js (Json.String "a\001b"))
+
+let test_composite () =
+  Alcotest.(check string) "empty list" "[]" (js (Json.List []));
+  Alcotest.(check string) "empty obj" "{}" (js (Json.Obj []));
+  Alcotest.(check string) "list" "[1,2]" (js (Json.List [ Json.Int 1; Json.Int 2 ]));
+  Alcotest.(check string) "obj" {|{"a":1,"b":[true]}|}
+    (js (Json.Obj [ ("a", Json.Int 1); ("b", Json.List [ Json.Bool true ]) ]))
+
+let test_pretty () =
+  let v = Json.Obj [ ("a", Json.List [ Json.Int 1 ]) ] in
+  Alcotest.(check string) "pretty" "{\n  \"a\": [\n    1\n  ]\n}"
+    (Json.to_string v)
+
+let test_report_json_shape () =
+  let doc = Xml.Doc.of_string Workloads.Figures.instance_c in
+  let store = Store.Shredded.shred doc in
+  let compiled =
+    Xmorph.Interp.compile ~enforce:false (Store.Shredded.guide store)
+      Workloads.Figures.widening_guard
+  in
+  let s = Json.to_string (Xmorph.Report.loss_to_json compiled.Xmorph.Interp.loss) in
+  Alcotest.(check bool) "classification present" true
+    (Tutil.contains s {|"classification": "widening"|});
+  Alcotest.(check bool) "violations listed" true (Tutil.contains s {|"additive"|});
+  let m = Xmorph.Quantify.measure store compiled.Xmorph.Interp.shape in
+  let q = Json.to_string (Xmorph.Quantify.to_json m) in
+  Alcotest.(check bool) "measured json" true (Tutil.contains q {|"reversible": false|})
+
+let suite =
+  [
+    Alcotest.test_case "scalars" `Quick test_scalars;
+    Alcotest.test_case "escaping" `Quick test_escaping;
+    Alcotest.test_case "composites" `Quick test_composite;
+    Alcotest.test_case "pretty printing" `Quick test_pretty;
+    Alcotest.test_case "report serialization" `Quick test_report_json_shape;
+  ]

@@ -1,0 +1,128 @@
+open Guarded
+
+let logical_of src guard =
+  let store = Store.Shredded.shred (Xml.Doc.of_string src) in
+  (store, Logical.create ~enforce:false store ~guard)
+
+let physical src guard query =
+  let doc = Xml.Doc.of_string src in
+  let outcome = Guarded_query.run ~enforce:false doc { Guarded_query.guard; query } in
+  Xquery.Value.to_string outcome.Guarded_query.result
+
+let check_same ?(src = Workloads.Figures.instance_a) guard query =
+  let _, lg = logical_of src guard in
+  let logical_result = Xquery.Value.to_string (Logical.query lg query) in
+  Alcotest.(check string)
+    (guard ^ " / " ^ query)
+    (physical src guard query)
+    logical_result
+
+let test_agrees_with_physical () =
+  let g = Workloads.Figures.example_guard in
+  List.iter
+    (fun q -> check_same g q)
+    [
+      "count(//author)";
+      "//author/name/text()";
+      "/author/book/title";
+      "distinct-values(//name)";
+      "for $a in //author return <row>{$a/name/text()}{$a/book/title}</row>";
+      "for $a in //author where $a/book/title = \"Y\" return $a/name/text()";
+      "//book[title = \"X\"]/title/text()";
+      "count(//author[name = \"A\"])";
+      "for $n in //name order by $n return $n/text()";
+      "string(//author[1]/name)";
+    ]
+
+let test_agrees_on_all_instances () =
+  List.iter
+    (fun src ->
+      check_same ~src Workloads.Figures.example_guard "//author/name/text()";
+      check_same ~src Workloads.Figures.example_guard
+        "for $a in //author return count($a/book)")
+    [
+      Workloads.Figures.instance_a; Workloads.Figures.instance_b;
+      Workloads.Figures.instance_c;
+    ]
+
+let test_mutate_guard () =
+  check_same "MUTATE data" "count(//name)";
+  check_same "MUTATE book [ publisher [ name ] ]" "//book/publisher/name/text()"
+
+let test_attributes_virtual () =
+  let src = {|<r><e year="1999"><v>one</v></e><e year="2000"><v>two</v></e></r>|} in
+  check_same ~src "MORPH e [ @year v ]" "//e/@year";
+  check_same ~src "MORPH e [ @year v ]" {|//e[@year = "2000"]/v/text()|}
+
+let test_new_nodes_virtual () =
+  check_same "MUTATE (NEW scribe) [ author ]" "count(//scribe)";
+  check_same "MUTATE (NEW scribe) [ author ]" "//scribe/author/name/text()"
+
+let test_restrict_virtual () =
+  check_same "MORPH (RESTRICT name [ author ]) [ title ]" "count(//name)"
+
+let test_selective_query_reads_less () =
+  (* The point of architecture 3: a selective query over the virtual
+     document reads less from the store than a full physical render. *)
+  let doc = Workloads.Dblp.to_doc ~entries:800 () in
+  let guard = "MORPH author [title [year]]" in
+  (* Physical: render everything. *)
+  let store1 = Store.Shredded.shred doc in
+  Store.Io_stats.reset (Store.Shredded.stats store1);
+  let compiled = Xmorph.Interp.compile ~enforce:false (Store.Shredded.guide store1) guard in
+  let buf = Buffer.create 4096 in
+  ignore (Xmorph.Interp.render_to_buffer store1 compiled buf);
+  let physical_reads =
+    (Store.Io_stats.snapshot (Store.Shredded.stats store1)).Store.Io_stats.bytes_read
+  in
+  (* Logical: one author's titles. *)
+  let store2 = Store.Shredded.shred doc in
+  let lg = Logical.create ~enforce:false store2 ~guard in
+  Store.Io_stats.reset (Store.Shredded.stats store2);
+  let r = Logical.query lg "//author[1]/title/text()" in
+  let logical_reads =
+    (Store.Io_stats.snapshot (Store.Shredded.stats store2)).Store.Io_stats.bytes_read
+  in
+  Alcotest.(check bool) "query returned something" true (r <> []);
+  Alcotest.(check bool)
+    (Printf.sprintf "logical reads (%d) < physical reads (%d)" logical_reads
+       physical_reads)
+    true
+    (logical_reads < physical_reads)
+
+let test_unknown_function_errors () =
+  let _, lg = logical_of Workloads.Figures.instance_a "MORPH author [ name ]" in
+  match Logical.query lg "frobnicate(1)" with
+  | exception Xquery.Eval.Error _ -> ()
+  | _ -> Alcotest.fail "expected error"
+
+let prop_identity_guard_counts =
+  QCheck2.Test.make ~name:"logical count = physical count (identity MUTATE)"
+    ~count:50 Gen.gen_doc (fun doc ->
+      let guide = Xml.Dataguide.of_doc doc in
+      let root_label =
+        Xml.Type_table.label (Xml.Dataguide.types guide) (Xml.Dataguide.root guide)
+      in
+      let guard = "MUTATE " ^ root_label in
+      let store = Store.Shredded.shred doc in
+      let lg = Logical.create ~enforce:false store ~guard in
+      let logical = Xquery.Value.to_string (Logical.query lg "count(//*)") in
+      let tree, _ = Xmorph.Interp.transform_doc ~enforce:false doc guard in
+      let physical = Xquery.Value.to_string (Xquery.Eval.run tree "count(//*)") in
+      logical = physical)
+
+let suite =
+  [
+    Alcotest.test_case "agrees with physical (query battery)" `Quick
+      test_agrees_with_physical;
+    Alcotest.test_case "agrees on all Figure-1 instances" `Quick
+      test_agrees_on_all_instances;
+    Alcotest.test_case "MUTATE guards" `Quick test_mutate_guard;
+    Alcotest.test_case "virtual attributes" `Quick test_attributes_virtual;
+    Alcotest.test_case "virtual NEW nodes" `Quick test_new_nodes_virtual;
+    Alcotest.test_case "virtual RESTRICT" `Quick test_restrict_virtual;
+    Alcotest.test_case "selective query reads less (arch 3)" `Quick
+      test_selective_query_reads_less;
+    Alcotest.test_case "unknown function" `Quick test_unknown_function_errors;
+    QCheck_alcotest.to_alcotest prop_identity_guard_counts;
+  ]

@@ -1,0 +1,183 @@
+open Xmorph
+
+let analyze src guard =
+  let guide = Xml.Dataguide.of_doc (Xml.Doc.of_string src) in
+  let sem = Semantics.eval guide (Algebra.of_ast (Parse.guard guard)) in
+  Loss.analyze guide sem.Semantics.shape
+
+let classification src guard = (analyze src guard).Report.classification
+
+let check_class msg src guard expected =
+  Alcotest.(check string) msg
+    (Report.classification_to_string expected)
+    (Report.classification_to_string (classification src guard))
+
+let fig_a = Workloads.Figures.instance_a
+let fig_b = Workloads.Figures.instance_b
+let fig_c = Workloads.Figures.instance_c
+
+let test_example_strongly_typed () =
+  (* Sec. I: "The guard given above turns out to be strongly-typed". *)
+  check_class "on (a)" fig_a Workloads.Figures.example_guard Report.Strongly_typed;
+  check_class "on (b)" fig_b Workloads.Figures.example_guard Report.Strongly_typed;
+  check_class "on (c)" fig_c Workloads.Figures.example_guard Report.Strongly_typed
+
+let test_widening_guard_on_c () =
+  (* Sec. I / Fig. 3: the !title guard is widening on instance (c): "both
+     titles, X and Y, are closest to the first publisher, W, which adds
+     data". *)
+  let r = analyze fig_c Workloads.Figures.widening_guard in
+  Alcotest.(check string) "widening" "widening"
+    (Report.classification_to_string r.Report.classification);
+  Alcotest.(check bool) "reports a max increase" true
+    (List.exists (fun v -> v.Report.kind = Report.Max_increased) r.Report.violations)
+
+let test_mutate_swap_nonadditive () =
+  (* Sec. V-B: MUTATE name [ author ] is non-additive when author-name is
+     1..1 both ways. *)
+  let src = {|<data><author><name>A</name></author><author><name>B</name></author></data>|} in
+  check_class "swap 1..1" src "MUTATE name [ author ]" Report.Strongly_typed
+
+let test_mutate_swap_noninclusive_with_optional () =
+  (* Sec. V-B: with author->name at 0..1 the same mutation is potentially
+     non-inclusive: authors without a name are discarded. *)
+  let src = {|<data><author/><author><name>B</name></author></data>|} in
+  let r = analyze src "MUTATE name [ author ]" in
+  Alcotest.(check bool) "min raised violation" true
+    (List.exists (fun v -> v.Report.kind = Report.Min_raised) r.Report.violations);
+  (* And the paper's fix is inclusive: MUTATE data [ name author ]. *)
+  let r2 = analyze src "MUTATE data [ name author ]" in
+  Alcotest.(check bool) "no min violation" false
+    (List.exists (fun v -> v.Report.kind = Report.Min_raised) r2.Report.violations)
+
+let test_duplicating_reshape_is_additive () =
+  (* Routing books through authors duplicates shared books. *)
+  let r = analyze fig_a "MORPH data [ author [ book ] ]" in
+  Alcotest.(check bool) "additive" true
+    (List.exists (fun v -> v.Report.kind = Report.Max_increased) r.Report.violations)
+
+let test_omitted_types_reported () =
+  let r = analyze fig_a "MORPH author [ name ]" in
+  Alcotest.(check bool) "publisher omitted" true
+    (List.exists (fun t -> Tutil.contains t "publisher") r.Report.omitted_types);
+  Alcotest.(check bool) "kept type not omitted" false
+    (List.exists (fun t -> Tutil.contains t "author.name") r.Report.omitted_types)
+
+let test_admissibility () =
+  let strong = Report.Strongly_typed
+  and narrow = Report.Narrowing
+  and widen = Report.Widening
+  and weak = Report.Weakly_typed in
+  Alcotest.(check bool) "default strong" true (Loss.admissible None strong);
+  Alcotest.(check bool) "default narrow" false (Loss.admissible None narrow);
+  Alcotest.(check bool) "default widen" false (Loss.admissible None widen);
+  Alcotest.(check bool) "cast-narrowing" true
+    (Loss.admissible (Some Ast.Cast_narrowing) narrow);
+  Alcotest.(check bool) "cast-narrowing rejects widening" false
+    (Loss.admissible (Some Ast.Cast_narrowing) widen);
+  Alcotest.(check bool) "cast-widening" true
+    (Loss.admissible (Some Ast.Cast_widening) widen);
+  Alcotest.(check bool) "cast allows weak" true
+    (Loss.admissible (Some Ast.Cast_weak) weak);
+  Alcotest.(check bool) "any cast allows strong" true
+    (Loss.admissible (Some Ast.Cast_narrowing) strong)
+
+let test_check_rejects () =
+  let guide = Xml.Dataguide.of_doc (Xml.Doc.of_string fig_c) in
+  let sem =
+    Semantics.eval guide (Algebra.of_ast (Parse.guard Workloads.Figures.widening_guard))
+  in
+  (match Loss.check guide sem.Semantics.shape with
+  | exception Loss.Rejected r ->
+      Alcotest.(check string) "rejected as widening" "widening"
+        (Report.classification_to_string r.Report.classification)
+  | _ -> Alcotest.fail "expected rejection");
+  (* The CAST-WIDENING cast admits it. *)
+  match Loss.check ~cast:(Some Ast.Cast_widening) guide sem.Semantics.shape with
+  | r ->
+      Alcotest.(check string) "admitted" "widening"
+        (Report.classification_to_string r.Report.classification)
+
+let test_interp_enforcement () =
+  let doc = Xml.Doc.of_string fig_c in
+  (* Default enforcement rejects the widening guard... *)
+  (match Interp.transform_doc doc Workloads.Figures.widening_guard with
+  | exception Loss.Rejected _ -> ()
+  | _ -> Alcotest.fail "expected rejection");
+  (* ...a CAST-WIDENING wrapper admits it... *)
+  let tree, _ =
+    Interp.transform_doc doc ("CAST-WIDENING (" ^ Workloads.Figures.widening_guard ^ ")")
+  in
+  Alcotest.(check bool) "rendered" true (Xml.Tree.count_elements tree > 0);
+  (* ...and so does ~enforce:false. *)
+  let _, t = Interp.transform_doc ~enforce:false doc Workloads.Figures.widening_guard in
+  Alcotest.(check string) "still classified" "widening"
+    (Report.classification_to_string t.Interp.loss.Report.classification)
+
+let test_predicted_cards () =
+  let guide = Xml.Dataguide.of_doc (Xml.Doc.of_string fig_a) in
+  let sem =
+    Semantics.eval guide (Algebra.of_ast (Parse.guard "MORPH data [ author [ book ] ]"))
+  in
+  match sem.Semantics.shape.Tshape.roots with
+  | [ data ] -> (
+      match data.Tshape.children with
+      | [ author ] -> (
+          (* Def. 7: predicted card of data->author = pathCard(data, author)
+             = 2..2 books x 1..2 authors = 2..4. *)
+          Alcotest.(check string) "data->author predicted" "2..4"
+            (Xmutil.Card.to_string (Loss.predicted_card guide author));
+          match author.Tshape.children with
+          | [ book ] ->
+              (* author->book: each author is closest to exactly 1 book. *)
+              Alcotest.(check string) "author->book predicted" "1..1"
+                (Xmutil.Card.to_string (Loss.predicted_card guide book))
+          | _ -> Alcotest.fail "expected book under author")
+      | _ -> Alcotest.fail "expected author under data")
+  | _ -> Alcotest.fail "expected single root"
+
+let test_target_path_card_cross_roots () =
+  let guide = Xml.Dataguide.of_doc (Xml.Doc.of_string fig_a) in
+  let sem =
+    Semantics.eval guide (Algebra.of_ast (Parse.guard "MORPH author book"))
+  in
+  match sem.Semantics.shape.Tshape.roots with
+  | [ a; b ] ->
+      Alcotest.(check string) "different trees -> 0..0" "0..0"
+        (Xmutil.Card.to_string (Loss.target_path_card guide a b))
+  | _ -> Alcotest.fail "expected two roots"
+
+let test_identity_mutate_strong_on_random_docs () =
+  (* MUTATE <root-label> is the identity: always strongly-typed. *)
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~name:"identity mutate strongly typed" ~count:100
+       Gen.gen_doc (fun doc ->
+         let guide = Xml.Dataguide.of_doc doc in
+         let root_label =
+           Xml.Type_table.label (Xml.Dataguide.types guide) (Xml.Dataguide.root guide)
+         in
+         let sem =
+           Semantics.eval guide
+             (Algebra.of_ast (Parse.guard ("MUTATE " ^ root_label)))
+         in
+         (Loss.analyze guide sem.Semantics.shape).Report.classification
+         = Report.Strongly_typed))
+
+let suite =
+  [
+    Alcotest.test_case "example guard strongly-typed" `Quick test_example_strongly_typed;
+    Alcotest.test_case "Fig. 3 guard widening on (c)" `Quick test_widening_guard_on_c;
+    Alcotest.test_case "swap with 1..1 strongly-typed" `Quick test_mutate_swap_nonadditive;
+    Alcotest.test_case "swap with 0..1 non-inclusive" `Quick
+      test_mutate_swap_noninclusive_with_optional;
+    Alcotest.test_case "duplicating reshape additive" `Quick
+      test_duplicating_reshape_is_additive;
+    Alcotest.test_case "omitted types" `Quick test_omitted_types_reported;
+    Alcotest.test_case "cast admissibility" `Quick test_admissibility;
+    Alcotest.test_case "check/Rejected" `Quick test_check_rejects;
+    Alcotest.test_case "interp enforcement" `Quick test_interp_enforcement;
+    Alcotest.test_case "predicted cardinalities (Def. 7)" `Quick test_predicted_cards;
+    Alcotest.test_case "cross-root path card" `Quick test_target_path_card_cross_roots;
+    Alcotest.test_case "identity mutate strong (random docs)" `Quick
+      test_identity_mutate_strong_on_random_docs;
+  ]

@@ -1,0 +1,101 @@
+(* Unit tests for the lazy navigation layer (Render.Nav) underlying
+   architecture 3. *)
+
+open Xmorph
+
+let setup guard =
+  let store = Store.Shredded.shred (Xml.Doc.of_string Workloads.Figures.instance_a) in
+  let compiled = Interp.compile ~enforce:false (Store.Shredded.guide store) guard in
+  (store, compiled, Render.Nav.create store compiled.Interp.shape)
+
+let test_roots () =
+  let _, _, nav = setup Workloads.Figures.example_guard in
+  match Render.Nav.roots nav with
+  | [ (tn, ids) ] ->
+      Alcotest.(check string) "root name" "author" tn.Tshape.out_name;
+      Alcotest.(check int) "three authors" 3 (Array.length ids)
+  | _ -> Alcotest.fail "expected one root node"
+
+let test_children_lazy () =
+  let _, _, nav = setup Workloads.Figures.example_guard in
+  let tn, ids = List.hd (Render.Nav.roots nav) in
+  let kids = Render.Nav.children nav tn ids.(0) in
+  Alcotest.(check int) "two child nodes" 2 (List.length kids);
+  List.iter
+    (fun ((c : Tshape.node), insts) ->
+      Alcotest.(check int) (c.Tshape.out_name ^ " one instance") 1 (Array.length insts))
+    kids
+
+let test_value_and_deep_text () =
+  let _, _, nav = setup "MORPH author [ name ]" in
+  let tn, ids = List.hd (Render.Nav.roots nav) in
+  Alcotest.(check string) "direct text empty" "" (Render.Nav.value nav tn ids.(0));
+  Alcotest.(check string) "deep text" "A" (Render.Nav.deep_text nav tn ids.(0))
+
+let test_materialize_subtree () =
+  let _, _, nav = setup Workloads.Figures.example_guard in
+  let tn, ids = List.hd (Render.Nav.roots nav) in
+  let tree = Render.Nav.materialize nav tn ids.(1) in
+  Tutil.check_xml "second author"
+    "<author><name>B</name><book><title>X</title></book></author>" tree
+
+let test_materialize_agrees_with_full_render () =
+  let store, compiled, nav = setup Workloads.Figures.example_guard in
+  let full = Interp.render store compiled in
+  let pieces =
+    List.concat_map
+      (fun (tn, ids) ->
+        Array.to_list (Array.map (Render.Nav.materialize nav tn) ids))
+      (Render.Nav.roots nav)
+  in
+  let wrapped = Xml.Tree.Element { name = "result"; attrs = []; children = pieces } in
+  Alcotest.(check bool) "piecewise = full" true (Xml.Tree.equal full wrapped)
+
+let test_attributes () =
+  let src = {|<r><e year="1999"><v>one</v></e></r>|} in
+  let store = Store.Shredded.shred (Xml.Doc.of_string src) in
+  let compiled =
+    Interp.compile ~enforce:false (Store.Shredded.guide store) "MORPH e [ @year v ]"
+  in
+  let nav = Render.Nav.create store compiled.Interp.shape in
+  let tn, ids = List.hd (Render.Nav.roots nav) in
+  Alcotest.(check (list (pair string string))) "attrs" [ ("year", "1999") ]
+    (Render.Nav.attributes nav tn ids.(0));
+  Alcotest.(check int) "element children exclude attrs" 1
+    (List.length (Render.Nav.element_children nav tn ids.(0)))
+
+let test_new_nodes () =
+  let store = Store.Shredded.shred (Xml.Doc.of_string Workloads.Figures.instance_a) in
+  let compiled =
+    Interp.compile ~enforce:false (Store.Shredded.guide store)
+      "MUTATE (NEW scribe) [ author ]"
+  in
+  let nav = Render.Nav.create store compiled.Interp.shape in
+  (* Find the scribe node in the shape and check per-anchor instances. *)
+  let scribe = ref None in
+  Tshape.iter compiled.Interp.shape (fun n ->
+      if n.Tshape.out_name = "scribe" then scribe := Some n);
+  let scribe = Option.get !scribe in
+  (* Its parent is book; take a book instance and ask for children. *)
+  let book = Option.get scribe.Tshape.parent in
+  let guide = Store.Shredded.guide store in
+  let book_ty = List.hd (Xml.Dataguide.match_label guide "book") in
+  let book_id = (Store.Shredded.sequence store book_ty).(0) in
+  let kids = Render.Nav.children nav book book_id in
+  let _, scribe_insts =
+    List.find (fun ((c : Tshape.node), _) -> c.Tshape.out_name = "scribe") kids
+  in
+  (* Book 1 has two authors -> two scribes. *)
+  Alcotest.(check int) "one scribe per author" 2 (Array.length scribe_insts)
+
+let suite =
+  [
+    Alcotest.test_case "roots" `Quick test_roots;
+    Alcotest.test_case "children on demand" `Quick test_children_lazy;
+    Alcotest.test_case "value and deep text" `Quick test_value_and_deep_text;
+    Alcotest.test_case "materialize a subtree" `Quick test_materialize_subtree;
+    Alcotest.test_case "piecewise = full render" `Quick
+      test_materialize_agrees_with_full_render;
+    Alcotest.test_case "virtual attributes" `Quick test_attributes;
+    Alcotest.test_case "NEW nodes per anchor" `Quick test_new_nodes;
+  ]

@@ -1,0 +1,99 @@
+open Xmutil
+
+let test_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_split_independent () =
+  let a = Prng.create 42 in
+  let b = Prng.split a in
+  (* The split stream differs from the parent's continuation. *)
+  let xs = List.init 10 (fun _ -> Prng.bits64 a) in
+  let ys = List.init 10 (fun _ -> Prng.bits64 b) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_int_bounds () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 17 in
+    Alcotest.(check bool) "in [0,17)" true (v >= 0 && v < 17)
+  done
+
+let test_int_in_bounds () =
+  let rng = Prng.create 8 in
+  for _ = 1 to 1000 do
+    let v = Prng.int_in rng 3 9 in
+    Alcotest.(check bool) "in [3,9]" true (v >= 3 && v <= 9)
+  done
+
+let test_int_covers_range () =
+  let rng = Prng.create 9 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Prng.int rng 5) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_float_bounds () =
+  let rng = Prng.create 10 in
+  for _ = 1 to 1000 do
+    let v = Prng.float rng 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_choose () =
+  let rng = Prng.create 11 in
+  let a = [| "x"; "y"; "z" |] in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "member" true (Array.mem (Prng.choose rng a) a)
+  done
+
+let test_pick_weighted_zero_weight () =
+  let rng = Prng.create 12 in
+  for _ = 1 to 200 do
+    let v = Prng.pick_weighted rng [ (0, "never"); (5, "always") ] in
+    Alcotest.(check string) "never pick weight 0" "always" v
+  done
+
+let test_pick_weighted_proportions () =
+  let rng = Prng.create 13 in
+  let hits = ref 0 in
+  let n = 10000 in
+  for _ = 1 to n do
+    if Prng.pick_weighted rng [ (9, `Hot); (1, `Cold) ] = `Hot then incr hits
+  done;
+  let ratio = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "roughly 90%" true (ratio > 0.85 && ratio < 0.95)
+
+let test_shuffle_permutation () =
+  let rng = Prng.create 14 in
+  let a = Array.init 20 Fun.id in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 20 Fun.id) sorted
+
+let test_bool_both () =
+  let rng = Prng.create 15 in
+  let t = ref false and f = ref false in
+  for _ = 1 to 100 do
+    if Prng.bool rng then t := true else f := true
+  done;
+  Alcotest.(check bool) "both values" true (!t && !f)
+
+let suite =
+  [
+    Alcotest.test_case "deterministic streams" `Quick test_deterministic;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int_in bounds" `Quick test_int_in_bounds;
+    Alcotest.test_case "int covers range" `Quick test_int_covers_range;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "choose membership" `Quick test_choose;
+    Alcotest.test_case "weighted: zero weight" `Quick test_pick_weighted_zero_weight;
+    Alcotest.test_case "weighted: proportions" `Quick test_pick_weighted_proportions;
+    Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "bool hits both" `Quick test_bool_both;
+  ]

@@ -1,0 +1,140 @@
+open Xmorph
+
+let measure src guard =
+  let store = Store.Shredded.shred (Xml.Doc.of_string src) in
+  let compiled = Interp.compile ~enforce:false (Store.Shredded.guide store) guard in
+  Quantify.measure store compiled.Interp.shape
+
+let fig_a = Workloads.Figures.instance_a
+let fig_c = Workloads.Figures.instance_c
+
+let test_strong_guard_reversible () =
+  (* The Sec. I guard preserves all closest edges among kept types. *)
+  let m = measure fig_a Workloads.Figures.example_guard in
+  Alcotest.(check bool) "reversible" true m.Quantify.reversible;
+  Alcotest.(check int) "nothing added" 0 m.Quantify.added;
+  Alcotest.(check int) "nothing lost" 0 m.Quantify.lost;
+  Alcotest.(check bool) "has edges" true (m.Quantify.source_edges > 0);
+  Alcotest.(check int) "all preserved" m.Quantify.source_edges m.Quantify.preserved
+
+let test_widening_guard_adds () =
+  (* The Fig. 3 guard on instance (c): titles become closest to publishers
+     they never shared a book with. *)
+  let m = measure fig_c Workloads.Figures.widening_guard in
+  Alcotest.(check bool) "edges added" true (m.Quantify.added > 0);
+  Alcotest.(check int) "no edges lost" 0 m.Quantify.lost;
+  Alcotest.(check bool) "not reversible" false m.Quantify.reversible;
+  Alcotest.(check bool) "percentage positive" true (m.Quantify.added_pct > 0.0);
+  (* The delta names the culprit pair. *)
+  Alcotest.(check bool) "delta mentions title-publisher" true
+    (List.exists
+       (fun d ->
+         (Tutil.contains d.Quantify.from_type "title"
+         && Tutil.contains d.Quantify.to_type "publisher")
+         || (Tutil.contains d.Quantify.from_type "publisher"
+            && Tutil.contains d.Quantify.to_type "title"))
+       m.Quantify.deltas)
+
+let test_lossy_mutation_counts () =
+  (* Swapping name above author when some authors lack a name discards the
+     nameless author's edges. *)
+  let src = {|<data><author><x>1</x></author><author><name>B</name><x>2</x></author></data>|} in
+  let m = measure src "CAST (MUTATE name [ author ])" in
+  Alcotest.(check bool) "edges lost" true (m.Quantify.lost > 0)
+
+let test_identity_mutation_reversible () =
+  let m = measure fig_a "MUTATE data" in
+  Alcotest.(check bool) "identity reversible" true m.Quantify.reversible
+
+let test_exact_counts_small () =
+  (* MORPH author [ name ] on (a): 3 authors each closest to its own name:
+     3 edges, all preserved. *)
+  let m = measure fig_a "MORPH author [ name ]" in
+  Alcotest.(check int) "three edges" 3 m.Quantify.source_edges;
+  Alcotest.(check int) "preserved" 3 m.Quantify.preserved;
+  Alcotest.(check bool) "reversible" true m.Quantify.reversible
+
+let test_quantified_percentage () =
+  (* On (c): source title-publisher edges: X-W, Y-V, X-W = {(tX1,W1),(tY,V),(tX2,W2)}
+     per author... measured value must equal added/source ratio. *)
+  let m = measure fig_c Workloads.Figures.widening_guard in
+  Alcotest.(check (float 0.001)) "pct consistent"
+    (100.0 *. float_of_int m.Quantify.added /. float_of_int m.Quantify.source_edges)
+    m.Quantify.added_pct
+
+let prop_identity_always_reversible =
+  QCheck2.Test.make ~name:"identity MUTATE measures reversible" ~count:60
+    Gen.gen_doc (fun doc ->
+      let store = Store.Shredded.shred doc in
+      let guide = Store.Shredded.guide store in
+      let root_label =
+        Xml.Type_table.label (Xml.Dataguide.types guide) (Xml.Dataguide.root guide)
+      in
+      let compiled =
+        Interp.compile ~enforce:false guide ("MUTATE " ^ root_label)
+      in
+      (Quantify.measure store compiled.Interp.shape).Quantify.reversible)
+
+let prop_direct_edges_clean =
+  (* Render faithfulness: in a single-stage MORPH l1 [ l2 ], the direct
+     parent/child pairing in the output is exactly the source closest
+     relation — nothing added, nothing lost for that pair of types.
+     (Edges *between* types separated into different output trees can be
+     lost without the static theorems noticing — a measured blind spot of
+     the cardinality conditions that Quantify exists to expose; that is
+     covered by the alcotest cases above.) *)
+  QCheck2.Test.make ~name:"direct MORPH edge measured clean" ~count:80
+    QCheck2.Gen.(
+      triple Gen.gen_doc
+        (oneofl [ "a"; "b"; "c"; "item"; "name"; "title" ])
+        (oneofl [ "a"; "b"; "c"; "item"; "name"; "title" ]))
+    (fun (doc, l1, l2) ->
+      if l1 = l2 then true
+      else
+        let store = Store.Shredded.shred doc in
+        let guide = Store.Shredded.guide store in
+        match
+          Interp.compile ~enforce:false guide
+            (Printf.sprintf "MORPH %s [ %s ]" l1 l2)
+        with
+        | exception Interp.Error _ -> true (* label absent / duplicate type *)
+        | compiled ->
+            let m = Quantify.measure store compiled.Interp.shape in
+            let tt = Store.Shredded.types store in
+            let pairs = ref [] in
+            List.iter
+              (fun (root : Tshape.node) ->
+                match root.Tshape.source with
+                | None -> ()
+                | Some s1 ->
+                    List.iter
+                      (fun (c : Tshape.node) ->
+                        match c.Tshape.source with
+                        | Some s2 ->
+                            pairs :=
+                              (Xml.Type_table.qname tt s1, Xml.Type_table.qname tt s2)
+                              :: !pairs
+                        | None -> ())
+                      root.Tshape.children)
+              compiled.Interp.shape.Tshape.roots;
+            List.for_all
+              (fun (q1, q2) ->
+                not
+                  (List.exists
+                     (fun d ->
+                       (d.Quantify.from_type = q1 && d.Quantify.to_type = q2)
+                       || (d.Quantify.from_type = q2 && d.Quantify.to_type = q1))
+                     m.Quantify.deltas))
+              !pairs)
+
+let suite =
+  [
+    Alcotest.test_case "strong guard reversible" `Quick test_strong_guard_reversible;
+    Alcotest.test_case "widening guard adds edges" `Quick test_widening_guard_adds;
+    Alcotest.test_case "lossy mutation loses edges" `Quick test_lossy_mutation_counts;
+    Alcotest.test_case "identity reversible" `Quick test_identity_mutation_reversible;
+    Alcotest.test_case "exact small counts" `Quick test_exact_counts_small;
+    Alcotest.test_case "percentage consistent" `Quick test_quantified_percentage;
+    QCheck_alcotest.to_alcotest prop_identity_always_reversible;
+    QCheck_alcotest.to_alcotest prop_direct_edges_clean;
+  ]

@@ -1,0 +1,201 @@
+open Xmorph
+
+let shape_of src guard =
+  let guide = Xml.Dataguide.of_doc (Xml.Doc.of_string src) in
+  let sem = Semantics.eval guide (Algebra.of_ast (Parse.guard guard)) in
+  sem.Semantics.shape
+
+(* Render a target shape as a compact structural string for assertions:
+   name[child child ...] with restrict children in {}. *)
+let rec node_sig (n : Tshape.node) =
+  let kids = String.concat " " (List.map node_sig n.children) in
+  let restr = String.concat " " (List.map node_sig n.restrict_children) in
+  n.out_name
+  ^ (if restr <> "" then "{" ^ restr ^ "}" else "")
+  ^ if kids <> "" then "[" ^ kids ^ "]" else ""
+
+let shape_sig (t : Tshape.t) = String.concat " " (List.map node_sig t.roots)
+
+let check_shape msg src guard expected =
+  Alcotest.(check string) msg expected (shape_sig (shape_of src guard))
+
+let fig_a = Workloads.Figures.instance_a
+let fig_b = Workloads.Figures.instance_b
+let fig_c = Workloads.Figures.instance_c
+
+let test_morph_example () =
+  check_shape "fig a" fig_a Workloads.Figures.example_guard
+    "author[name book[title]]";
+  check_shape "fig b" fig_b Workloads.Figures.example_guard
+    "author[name book[title]]";
+  check_shape "fig c" fig_c Workloads.Figures.example_guard
+    "author[name book[title]]"
+
+let test_morph_ambiguous_pruned () =
+  (* name must resolve to the author's name, not the publisher's. *)
+  let shape = shape_of fig_a "MORPH author [ name ]" in
+  match shape.Tshape.roots with
+  | [ { children = [ name ]; _ } ] ->
+      let tt = Xml.Doc.types (Xml.Doc.of_string fig_a) in
+      ignore tt;
+      Alcotest.(check bool) "has source" true (name.Tshape.source <> None)
+  | _ -> Alcotest.fail "expected author[name]"
+
+let test_morph_star () =
+  check_shape "children of book" fig_a "MORPH book [*]"
+    "book[title author publisher]";
+  check_shape "descendants of book" fig_a "MORPH book [**]"
+    "book[title author[name] publisher[name]]"
+
+let test_star_dedup () =
+  (* Explicit title wins over the star copy; no duplicate. *)
+  check_shape "dedup" fig_a "MORPH book [ * title ]"
+    "book[author publisher title]"
+
+let test_morph_nested_stars () =
+  check_shape "mixed" fig_a "MORPH data [ author [ * book ] ]"
+    "data[author[name book]]"
+
+let test_duplicate_type_rejected () =
+  match shape_of fig_a "MORPH author [ name ] book [ author.name ]" with
+  | exception Tshape.Error msg ->
+      Alcotest.(check bool) "mentions CLONE" true (Tutil.contains msg "CLONE")
+  | _ -> Alcotest.fail "expected duplicate-type error"
+
+let test_clone_allows_duplicate () =
+  check_shape "clone" fig_a "MORPH author [ name ] book [ CLONE author.name ]"
+    "author[name] book[name]"
+
+let test_type_mismatch () =
+  match shape_of fig_a "MORPH author [ ghost ]" with
+  | exception Tshape.Error msg ->
+      Alcotest.(check bool) "mentions type mismatch" true
+        (Tutil.contains msg "type mismatch")
+  | _ -> Alcotest.fail "expected type mismatch"
+
+let test_type_fill () =
+  check_shape "fill creates new type" fig_a "TYPE-FILL MORPH author [ ghost ]"
+    "author[ghost]"
+
+let test_mutate_identity () =
+  check_shape "identity mutate" fig_a "MUTATE data"
+    "data[book[title author[name] publisher[name]]]"
+
+let test_mutate_move () =
+  (* Fig. 1(b) -> (a): move publisher below book. *)
+  check_shape "move publisher" fig_b "MUTATE book [ publisher [ name ] ]"
+    "data[book[title author[name] publisher[name]]]"
+
+let test_mutate_swap () =
+  (* Swap a child above its parent. *)
+  check_shape "swap" fig_a "MUTATE name [ author ]"
+    "data[book[title name[author] publisher[name]]]"
+
+let test_mutate_hoist () =
+  check_shape "hoist to data" fig_a "MUTATE data [ author.name author ]"
+    "data[book[title publisher[name]] name author]"
+
+let test_mutate_drop () =
+  check_shape "drop leaf" fig_a "MUTATE (DROP title)"
+    "data[book[author[name] publisher[name]]]";
+  (* Dropping an inner type promotes its children. *)
+  check_shape "drop inner" fig_a "MUTATE (DROP author)"
+    "data[book[title name publisher[name]]]"
+
+let test_mutate_new_wraps () =
+  check_shape "new wraps author" fig_a "MUTATE (NEW scribe) [ author ]"
+    "data[book[title scribe[author[name]] publisher[name]]]"
+
+let test_mutate_clone () =
+  check_shape "clone under author" fig_a "MUTATE author [ CLONE title ]"
+    "data[book[title author[name title] publisher[name]]]"
+
+let test_compose_pipeline () =
+  check_shape "morph then drop" fig_a "MORPH author [name] | MUTATE (DROP name)"
+    "author";
+  check_shape "translate composed" fig_a
+    "MORPH author [ name ] | TRANSLATE author -> writer" "writer[name]"
+
+let test_translate_renames_all () =
+  (* Later stages must see the new name. *)
+  check_shape "rename then select" fig_a
+    "TRANSLATE author -> writer | MORPH writer [ name ]" "writer[name]"
+
+let test_restrict () =
+  let shape = shape_of fig_a "MORPH (RESTRICT name [ author ]) [ title ]" in
+  match shape.Tshape.roots with
+  | [ root ] ->
+      Alcotest.(check string) "root" "name" root.Tshape.out_name;
+      Alcotest.(check int) "one visible child" 1 (List.length root.Tshape.children);
+      Alcotest.(check int) "one restrict child" 1
+        (List.length root.Tshape.restrict_children)
+  | _ -> Alcotest.fail "expected single root"
+
+let test_drop_in_morph_rejected () =
+  match shape_of fig_a "MORPH (DROP name)" with
+  | exception Tshape.Error msg ->
+      Alcotest.(check bool) "mentions MUTATE" true (Tutil.contains msg "MUTATE")
+  | _ -> Alcotest.fail "expected error"
+
+let test_bare_star_rejected () =
+  match shape_of fig_a "MORPH *" with
+  | exception Tshape.Error _ -> ()
+  | _ -> Alcotest.fail "expected error"
+
+let test_label_report () =
+  let guide = Xml.Dataguide.of_doc (Xml.Doc.of_string fig_a) in
+  let sem =
+    Semantics.eval guide
+      (Algebra.of_ast (Parse.guard "MORPH author [ name book [ title ] ]"))
+  in
+  let find l = List.find (fun b -> b.Report.label = l) sem.Semantics.labels in
+  Alcotest.(check (list string)) "author" [ "data.book.author" ] (find "author").Report.bound_to;
+  Alcotest.(check (list string)) "name pruned to author's" [ "data.book.author.name" ]
+    (find "name").Report.bound_to;
+  Alcotest.(check bool) "name not ambiguous after analysis" false
+    (find "name").Report.ambiguous
+
+let test_label_report_fill () =
+  let guide = Xml.Dataguide.of_doc (Xml.Doc.of_string fig_a) in
+  let sem =
+    Semantics.eval guide (Algebra.of_ast (Parse.guard "TYPE-FILL MORPH author [ ghost ]"))
+  in
+  let b = List.find (fun b -> b.Report.label = "ghost") sem.Semantics.labels in
+  Alcotest.(check bool) "filled" true b.Report.filled
+
+let test_dotted_label_selection () =
+  check_shape "qualified name" fig_a "MORPH publisher.name" "name";
+  check_shape "deep qualified" fig_a "MORPH book.author.name" "name"
+
+let test_attribute_in_shape () =
+  let src = {|<r><e year="1999"><v>1</v></e><e year="2000"><v>2</v></e></r>|} in
+  check_shape "attr type" src "MORPH e [ @year v ]" "e[@year v]"
+
+let suite =
+  [
+    Alcotest.test_case "MORPH example (all three instances)" `Quick test_morph_example;
+    Alcotest.test_case "ambiguous label pruned by closeness" `Quick test_morph_ambiguous_pruned;
+    Alcotest.test_case "CHILDREN and DESCENDANTS" `Quick test_morph_star;
+    Alcotest.test_case "star expansion dedups" `Quick test_star_dedup;
+    Alcotest.test_case "star among explicit items" `Quick test_morph_nested_stars;
+    Alcotest.test_case "duplicate type rejected" `Quick test_duplicate_type_rejected;
+    Alcotest.test_case "CLONE allows duplicates" `Quick test_clone_allows_duplicate;
+    Alcotest.test_case "type mismatch" `Quick test_type_mismatch;
+    Alcotest.test_case "TYPE-FILL" `Quick test_type_fill;
+    Alcotest.test_case "MUTATE identity" `Quick test_mutate_identity;
+    Alcotest.test_case "MUTATE move (Fig. 1 b->a)" `Quick test_mutate_move;
+    Alcotest.test_case "MUTATE swap" `Quick test_mutate_swap;
+    Alcotest.test_case "MUTATE hoist" `Quick test_mutate_hoist;
+    Alcotest.test_case "MUTATE DROP" `Quick test_mutate_drop;
+    Alcotest.test_case "MUTATE NEW wraps" `Quick test_mutate_new_wraps;
+    Alcotest.test_case "MUTATE CLONE" `Quick test_mutate_clone;
+    Alcotest.test_case "COMPOSE pipelines" `Quick test_compose_pipeline;
+    Alcotest.test_case "TRANSLATE visible to later stages" `Quick test_translate_renames_all;
+    Alcotest.test_case "RESTRICT" `Quick test_restrict;
+    Alcotest.test_case "DROP outside MUTATE rejected" `Quick test_drop_in_morph_rejected;
+    Alcotest.test_case "bare star rejected" `Quick test_bare_star_rejected;
+    Alcotest.test_case "label report" `Quick test_label_report;
+    Alcotest.test_case "label report records fills" `Quick test_label_report_fill;
+    Alcotest.test_case "dotted labels" `Quick test_dotted_label_selection;
+    Alcotest.test_case "attribute types in shapes" `Quick test_attribute_in_shape;
+  ]

@@ -1,0 +1,237 @@
+let test_codec_roundtrip_basic () =
+  let b = Buffer.create 64 in
+  Store.Codec.add_uint b 0;
+  Store.Codec.add_uint b 127;
+  Store.Codec.add_uint b 128;
+  Store.Codec.add_uint b 300000;
+  Store.Codec.add_int b (-1);
+  Store.Codec.add_int b 0;
+  Store.Codec.add_int b 123456;
+  Store.Codec.add_int b (-987654);
+  Store.Codec.add_string b "hello";
+  Store.Codec.add_string b "";
+  Store.Codec.add_int_array b [| 1; -2; 3 |];
+  let c = Store.Codec.cursor (Buffer.contents b) in
+  Alcotest.(check int) "u0" 0 (Store.Codec.read_uint c);
+  Alcotest.(check int) "u127" 127 (Store.Codec.read_uint c);
+  Alcotest.(check int) "u128" 128 (Store.Codec.read_uint c);
+  Alcotest.(check int) "u300000" 300000 (Store.Codec.read_uint c);
+  Alcotest.(check int) "i-1" (-1) (Store.Codec.read_int c);
+  Alcotest.(check int) "i0" 0 (Store.Codec.read_int c);
+  Alcotest.(check int) "i123456" 123456 (Store.Codec.read_int c);
+  Alcotest.(check int) "i-987654" (-987654) (Store.Codec.read_int c);
+  Alcotest.(check string) "hello" "hello" (Store.Codec.read_string c);
+  Alcotest.(check string) "empty" "" (Store.Codec.read_string c);
+  Alcotest.(check (array int)) "array" [| 1; -2; 3 |] (Store.Codec.read_int_array c)
+
+let test_codec_corrupt () =
+  let check_corrupt data f =
+    match f (Store.Codec.cursor data) with
+    | exception Store.Codec.Corrupt _ -> ()
+    | _ -> Alcotest.fail "expected Corrupt"
+  in
+  check_corrupt "" Store.Codec.read_uint;
+  check_corrupt "\x80" Store.Codec.read_uint;
+  check_corrupt "\x05ab" Store.Codec.read_string
+
+let prop_codec_ints =
+  QCheck2.Test.make ~name:"codec int roundtrip" ~count:500
+    QCheck2.Gen.(list int)
+    (fun xs ->
+      let b = Buffer.create 64 in
+      List.iter (Store.Codec.add_int b) xs;
+      let c = Store.Codec.cursor (Buffer.contents b) in
+      List.for_all (fun x -> Store.Codec.read_int c = x) xs)
+
+let prop_codec_strings =
+  QCheck2.Test.make ~name:"codec string roundtrip" ~count:300
+    QCheck2.Gen.(list string)
+    (fun xs ->
+      let b = Buffer.create 64 in
+      List.iter (Store.Codec.add_string b) xs;
+      let c = Store.Codec.cursor (Buffer.contents b) in
+      List.for_all (fun x -> Store.Codec.read_string c = x) xs)
+
+let test_io_stats () =
+  let s = Store.Io_stats.create () in
+  Store.Io_stats.charge_read s 100;
+  Store.Io_stats.charge_read s 5000;
+  Store.Io_stats.charge_write s 4096;
+  let snap = Store.Io_stats.snapshot s in
+  Alcotest.(check int) "bytes read" 5100 snap.Store.Io_stats.bytes_read;
+  Alcotest.(check int) "blocks read (cumulative bytes)" 2 snap.Store.Io_stats.blocks_read;
+  Alcotest.(check int) "bytes written" 4096 snap.Store.Io_stats.bytes_written;
+  Alcotest.(check int) "blocks written" 1 snap.Store.Io_stats.blocks_written;
+  Alcotest.(check int) "ops" 2 snap.Store.Io_stats.read_ops;
+  Store.Io_stats.reset s;
+  Alcotest.(check int) "reset" 0 (Store.Io_stats.snapshot s).Store.Io_stats.bytes_read
+
+let shred_fig_a () = Store.Shredded.shred (Xml.Doc.of_string Workloads.Figures.instance_a)
+
+let test_shred_basics () =
+  let st = shred_fig_a () in
+  Alcotest.(check int) "node count" 15 (Store.Shredded.node_count st);
+  Alcotest.(check bool) "data bytes > 0" true (Store.Shredded.data_bytes st > 0)
+
+let test_node_access_charges_io () =
+  let st = shred_fig_a () in
+  let before = (Store.Io_stats.snapshot (Store.Shredded.stats st)).Store.Io_stats.read_ops in
+  let n = Store.Shredded.node st 0 in
+  Alcotest.(check string) "root record" "data" n.Store.Shredded.name;
+  let after = (Store.Io_stats.snapshot (Store.Shredded.stats st)).Store.Io_stats.read_ops in
+  Alcotest.(check int) "one read op charged" (before + 1) after
+
+let test_node_record_contents () =
+  let st = shred_fig_a () in
+  let doc = Xml.Doc.of_string Workloads.Figures.instance_a in
+  for i = 0 to Store.Shredded.node_count st - 1 do
+    let r = Store.Shredded.node st i in
+    let n = Xml.Doc.node doc i in
+    Alcotest.(check string) "name" n.Xml.Doc.name r.Store.Shredded.name;
+    Alcotest.(check string) "value" n.Xml.Doc.value r.Store.Shredded.value;
+    Alcotest.(check int) "parent" n.Xml.Doc.parent r.Store.Shredded.parent;
+    Alcotest.(check bool) "dewey" true
+      (Xmutil.Dewey.equal n.Xml.Doc.dewey r.Store.Shredded.dewey)
+  done
+
+let test_sequences () =
+  let st = shred_fig_a () in
+  let doc = Xml.Doc.of_string Workloads.Figures.instance_a in
+  let guide = Store.Shredded.guide st in
+  List.iter
+    (fun ty ->
+      Alcotest.(check (array int)) "sequence matches doc"
+        (Xml.Doc.nodes_of_type doc ty)
+        (Store.Shredded.sequence st ty))
+    (Xml.Dataguide.all_types guide);
+  Alcotest.(check (array int)) "unknown type empty" [||] (Store.Shredded.sequence st 999)
+
+let test_save_load () =
+  let st = shred_fig_a () in
+  let path = Filename.temp_file "xmorph" ".store" in
+  Store.Shredded.save st path;
+  let st2 = Store.Shredded.load path in
+  Sys.remove path;
+  Alcotest.(check int) "node count" (Store.Shredded.node_count st)
+    (Store.Shredded.node_count st2);
+  for i = 0 to Store.Shredded.node_count st - 1 do
+    let a = Store.Shredded.node st i and b = Store.Shredded.node st2 i in
+    Alcotest.(check string) "name" a.Store.Shredded.name b.Store.Shredded.name;
+    Alcotest.(check string) "value" a.Store.Shredded.value b.Store.Shredded.value
+  done;
+  let g1 = Store.Shredded.guide st and g2 = Store.Shredded.guide st2 in
+  List.iter
+    (fun ty ->
+      Alcotest.(check string) "card"
+        (Xmutil.Card.to_string (Xml.Dataguide.card g1 ty))
+        (Xmutil.Card.to_string (Xml.Dataguide.card g2 ty));
+      Alcotest.(check (array int)) "seq" (Store.Shredded.sequence st ty)
+        (Store.Shredded.sequence st2 ty))
+    (Xml.Dataguide.all_types g1)
+
+let test_load_corrupt () =
+  let path = Filename.temp_file "xmorph" ".store" in
+  let oc = open_out path in
+  output_string oc "not a store";
+  close_out oc;
+  (match Store.Shredded.load path with
+  | exception Store.Codec.Corrupt _ -> ()
+  | _ -> Alcotest.fail "expected Corrupt");
+  Sys.remove path
+
+let prop_shred_preserves =
+  QCheck2.Test.make ~name:"shred preserves records for random docs" ~count:100
+    Gen.gen_doc (fun doc ->
+      let st = Store.Shredded.shred doc in
+      let ok = ref (Store.Shredded.node_count st = Xml.Doc.node_count doc) in
+      for i = 0 to Xml.Doc.node_count doc - 1 do
+        let r = Store.Shredded.node st i in
+        let n = Xml.Doc.node doc i in
+        if r.Store.Shredded.name <> n.Xml.Doc.name
+           || r.Store.Shredded.value <> n.Xml.Doc.value
+           || r.Store.Shredded.type_id <> n.Xml.Doc.type_id
+        then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "codec roundtrip" `Quick test_codec_roundtrip_basic;
+    Alcotest.test_case "codec rejects corrupt input" `Quick test_codec_corrupt;
+    QCheck_alcotest.to_alcotest prop_codec_ints;
+    QCheck_alcotest.to_alcotest prop_codec_strings;
+    Alcotest.test_case "io stats accounting" `Quick test_io_stats;
+    Alcotest.test_case "shred basics" `Quick test_shred_basics;
+    Alcotest.test_case "node access charges IO" `Quick test_node_access_charges_io;
+    Alcotest.test_case "node records faithful" `Quick test_node_record_contents;
+    Alcotest.test_case "TypeToSequence rows" `Quick test_sequences;
+    Alcotest.test_case "save/load roundtrip" `Quick test_save_load;
+    Alcotest.test_case "load rejects corrupt file" `Quick test_load_corrupt;
+    QCheck_alcotest.to_alcotest prop_shred_preserves;
+  ]
+
+let test_grouped_sequence () =
+  let st = shred_fig_a () in
+  let guide = Store.Shredded.guide st in
+  let title = List.hd (Xml.Dataguide.match_label guide "title") in
+  (* Titles 1.1.1 and 1.2.1: at level 1 one run, at level 2 two runs. *)
+  Alcotest.(check (array (pair int int))) "level 1" [| (0, 2) |]
+    (Store.Shredded.grouped_sequence st title ~level:1);
+  Alcotest.(check (array (pair int int))) "level 2" [| (0, 1); (1, 2) |]
+    (Store.Shredded.grouped_sequence st title ~level:2);
+  (* Cached second call returns the same array. *)
+  Alcotest.(check (array (pair int int))) "cached" [| (0, 1); (1, 2) |]
+    (Store.Shredded.grouped_sequence st title ~level:2);
+  Alcotest.(check (array (pair int int))) "unknown type" [||]
+    (Store.Shredded.grouped_sequence st 999 ~level:1)
+
+let prop_grouped_sequence_partitions =
+  QCheck2.Test.make ~name:"grouped sequence partitions the row" ~count:100
+    Gen.gen_doc (fun doc ->
+      let st = Store.Shredded.shred doc in
+      let guide = Store.Shredded.guide st in
+      List.for_all
+        (fun ty ->
+          let seq = Store.Shredded.sequence st ty in
+          let depth =
+            Xml.Type_table.depth (Store.Shredded.types st) ty
+          in
+          List.for_all
+            (fun level ->
+              let groups = Store.Shredded.grouped_sequence st ty ~level in
+              (* Contiguous cover of the whole sequence... *)
+              let covered =
+                Array.to_list groups
+                |> List.fold_left
+                     (fun acc (s, e) ->
+                       match acc with
+                       | Some pos when pos = s && e > s -> Some e
+                       | _ -> None)
+                     (Some 0)
+              in
+              covered = Some (Array.length seq)
+              (* ...and within each run all prefixes agree. *)
+              && Array.for_all
+                   (fun (s, e) ->
+                     let d0 =
+                       (Store.Shredded.node st seq.(s)).Store.Shredded.dewey
+                     in
+                     let p0 = Array.sub d0 0 level in
+                     let ok = ref true in
+                     for i = s to e - 1 do
+                       let d =
+                         (Store.Shredded.node st seq.(i)).Store.Shredded.dewey
+                       in
+                       if Array.sub d 0 level <> p0 then ok := false
+                     done;
+                     !ok)
+                   groups)
+            (List.init depth (fun i -> i + 1)))
+        (Xml.Dataguide.all_types guide))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "GroupedSequence rows" `Quick test_grouped_sequence;
+      QCheck_alcotest.to_alcotest prop_grouped_sequence_partitions;
+    ]

@@ -1,0 +1,100 @@
+open Xmorph
+
+let guards =
+  [
+    Workloads.Figures.example_guard;
+    Workloads.Figures.widening_guard;
+    "MUTATE data";
+    "MUTATE (NEW scribe) [ author ]";
+    "MORPH (RESTRICT name [ author ]) [ title ]";
+    "MORPH book [**]";
+    "TYPE-FILL MORPH author [ ghost ]";
+  ]
+
+let stream_of store compiled =
+  let b = Buffer.create 256 in
+  let stats = Render.stream store compiled.Interp.shape (Buffer.add_string b) in
+  (Buffer.contents b, stats)
+
+let buffer_of store compiled =
+  let b = Buffer.create 256 in
+  let stats = Render.to_buffer store compiled.Interp.shape b in
+  (Buffer.contents b, stats)
+
+let test_stream_equals_materialized () =
+  List.iter
+    (fun src ->
+      let store = Store.Shredded.shred (Xml.Doc.of_string src) in
+      List.iter
+        (fun guard ->
+          let compiled =
+            Interp.compile ~enforce:false (Store.Shredded.guide store) guard
+          in
+          let s1, st1 = stream_of store compiled in
+          let s2, st2 = buffer_of store compiled in
+          Alcotest.(check string) (guard ^ " same bytes") s2 s1;
+          Alcotest.(check int) (guard ^ " same element count")
+            st2.Render.elements st1.Render.elements;
+          Alcotest.(check int) (guard ^ " same byte count") st2.Render.bytes
+            st1.Render.bytes)
+        guards)
+    [
+      Workloads.Figures.instance_a; Workloads.Figures.instance_b;
+      Workloads.Figures.instance_c;
+    ]
+
+let test_stream_attribute_shapes () =
+  let src = {|<r><e year="1999"><v>one</v></e><e year="2000"><v>two</v></e></r>|} in
+  let store = Store.Shredded.shred (Xml.Doc.of_string src) in
+  let compiled =
+    Interp.compile ~enforce:false (Store.Shredded.guide store) "MORPH e [ @year v ]"
+  in
+  let s, _ = stream_of store compiled in
+  let s2, _ = buffer_of store compiled in
+  Alcotest.(check string) "attrs match" s2 s
+
+let test_stream_charges_writes () =
+  let store = Store.Shredded.shred (Xml.Doc.of_string Workloads.Figures.instance_a) in
+  let compiled =
+    Interp.compile ~enforce:false (Store.Shredded.guide store)
+      Workloads.Figures.example_guard
+  in
+  Store.Io_stats.reset (Store.Shredded.stats store);
+  let _, stats = stream_of store compiled in
+  let io = Store.Io_stats.snapshot (Store.Shredded.stats store) in
+  Alcotest.(check int) "write bytes charged" stats.Render.bytes
+    io.Store.Io_stats.bytes_written
+
+let test_stream_fragments_arrive_incrementally () =
+  let store = Store.Shredded.shred (Xml.Doc.of_string Workloads.Figures.instance_a) in
+  let compiled =
+    Interp.compile ~enforce:false (Store.Shredded.guide store) "MUTATE data"
+  in
+  let fragments = ref 0 in
+  ignore (Render.stream store compiled.Interp.shape (fun _ -> incr fragments));
+  Alcotest.(check bool) "many fragments, not one blob" true (!fragments > 10)
+
+let prop_stream_equals_materialized_random =
+  QCheck2.Test.make ~name:"stream = materialized on random docs" ~count:80
+    Gen.gen_doc (fun doc ->
+      let store = Store.Shredded.shred doc in
+      let guide = Store.Shredded.guide store in
+      let root_label =
+        Xml.Type_table.label (Xml.Dataguide.types guide) (Xml.Dataguide.root guide)
+      in
+      let compiled = Interp.compile ~enforce:false guide ("MUTATE " ^ root_label) in
+      let b1 = Buffer.create 128 and b2 = Buffer.create 128 in
+      ignore (Render.stream store compiled.Interp.shape (Buffer.add_string b1));
+      ignore (Render.to_buffer store compiled.Interp.shape b2);
+      Buffer.contents b1 = Buffer.contents b2)
+
+let suite =
+  [
+    Alcotest.test_case "stream = materialized (all constructs)" `Quick
+      test_stream_equals_materialized;
+    Alcotest.test_case "attribute rendering" `Quick test_stream_attribute_shapes;
+    Alcotest.test_case "write charging" `Quick test_stream_charges_writes;
+    Alcotest.test_case "incremental fragments" `Quick
+      test_stream_fragments_arrive_incrementally;
+    QCheck_alcotest.to_alcotest prop_stream_equals_materialized_random;
+  ]

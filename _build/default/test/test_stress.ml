@@ -1,0 +1,84 @@
+(* Moderate-scale end-to-end invariants on the synthetic workloads: the
+   full pipeline at a size where bookkeeping bugs (offsets, join runs,
+   dedup) would surface. *)
+
+let test_xmark_identity_preserves_everything () =
+  let doc = Workloads.Xmark.to_doc ~factor:0.01 () in
+  let store = Store.Shredded.shred doc in
+  let tree, compiled = (
+    let c = Xmorph.Interp.compile ~enforce:false (Store.Shredded.guide store) "MUTATE site" in
+    (Xmorph.Interp.render store c, c))
+  in
+  ignore compiled;
+  Alcotest.(check int) "every vertex rendered"
+    (Xml.Doc.node_count doc)
+    (Xml.Tree.count_nodes tree);
+  Alcotest.(check bool) "document equal up to sibling order" true
+    (Xml.Tree.equal_unordered tree (Xml.Doc.to_tree doc))
+
+let test_dblp_morph_counts () =
+  let entries = 2_000 in
+  let doc = Workloads.Dblp.to_doc ~entries () in
+  let store = Store.Shredded.shred doc in
+  let guide = Store.Shredded.guide store in
+  (* Total authors across publication kinds. *)
+  let author_count =
+    List.fold_left
+      (fun acc ty -> acc + Xml.Dataguide.instance_count guide ty)
+      0
+      (Xml.Dataguide.match_label guide "author")
+  in
+  let tree, _ = (
+    let c = Xmorph.Interp.compile ~enforce:false guide "MORPH author" in
+    (Xmorph.Interp.render store c, c))
+  in
+  let rendered = ref 0 in
+  let rec count (t : Xml.Tree.t) =
+    match t with
+    | Xml.Tree.Element { name = "author"; children; _ } ->
+        incr rendered;
+        List.iter count children
+    | Xml.Tree.Element { children; _ } -> List.iter count children
+    | Xml.Tree.Text _ -> ()
+  in
+  count tree;
+  Alcotest.(check int) "all authors rendered" author_count !rendered
+
+let test_store_roundtrip_at_scale () =
+  let doc = Workloads.Nasa.to_doc ~datasets:150 () in
+  let store = Store.Shredded.shred doc in
+  let path = Filename.temp_file "xmorph" ".store" in
+  Store.Shredded.save store path;
+  let store2 = Store.Shredded.load path in
+  Sys.remove path;
+  Alcotest.(check int) "nodes" (Store.Shredded.node_count store)
+    (Store.Shredded.node_count store2);
+  (* Same transformation result from both stores. *)
+  let run st =
+    let c =
+      Xmorph.Interp.compile ~enforce:false (Store.Shredded.guide st)
+        "MORPH dataset [ title identifier ]"
+    in
+    Xml.Printer.to_string (Xmorph.Interp.render st c)
+  in
+  Alcotest.(check string) "same render" (run store) (run store2)
+
+let test_quantify_scales () =
+  (* The exact loss measurement stays consistent at scale. *)
+  let doc = Workloads.Dblp.to_doc ~entries:500 () in
+  let store = Store.Shredded.shred doc in
+  let compiled =
+    Xmorph.Interp.compile ~enforce:false (Store.Shredded.guide store)
+      "MORPH article [ title year ]"
+  in
+  let m = Xmorph.Quantify.measure store compiled.Xmorph.Interp.shape in
+  Alcotest.(check bool) "reversible projection" true m.Xmorph.Quantify.reversible
+
+let suite =
+  [
+    Alcotest.test_case "xmark identity at scale" `Slow
+      test_xmark_identity_preserves_everything;
+    Alcotest.test_case "dblp morph counts at scale" `Slow test_dblp_morph_counts;
+    Alcotest.test_case "store roundtrip at scale" `Slow test_store_roundtrip_at_scale;
+    Alcotest.test_case "quantify at scale" `Slow test_quantify_scales;
+  ]

@@ -1,0 +1,126 @@
+open Xmorph
+
+(* Build a small shape by hand: a[b[c] d] *)
+let sample () =
+  let a = Tshape.fresh "a" in
+  let b = Tshape.fresh "b" in
+  let c = Tshape.fresh "c" in
+  let d = Tshape.fresh "d" in
+  Tshape.attach ~parent:a b;
+  Tshape.attach ~parent:b c;
+  Tshape.attach ~parent:a d;
+  let t : Tshape.t = { roots = [ a ] } in
+  (t, a, b, c, d)
+
+let sig_of (t : Tshape.t) =
+  let rec go (n : Tshape.node) =
+    n.Tshape.out_name
+    ^
+    match n.Tshape.children with
+    | [] -> ""
+    | cs -> "[" ^ String.concat " " (List.map go cs) ^ "]"
+  in
+  String.concat " " (List.map go t.roots)
+
+let test_attach_detach () =
+  let t, _, b, _, d = sample () in
+  Alcotest.(check string) "initial" "a[b[c] d]" (sig_of t);
+  Tshape.detach t d;
+  Alcotest.(check string) "detached" "a[b[c]]" (sig_of t);
+  Tshape.attach ~parent:b d;
+  Alcotest.(check string) "reattached" "a[b[c d]]" (sig_of t)
+
+let test_attach_cycle_rejected () =
+  let t, a, b, _, _ = sample () in
+  ignore t;
+  match Tshape.attach ~parent:b a with
+  | exception Tshape.Error msg ->
+      Alcotest.(check bool) "mentions cycle" true (Tutil.contains msg "cycle")
+  | () -> Alcotest.fail "expected cycle error"
+
+let test_move_under () =
+  let t, _, _, c, d = sample () in
+  Tshape.move_under t ~parent:d c;
+  Alcotest.(check string) "moved" "a[b d[c]]" (sig_of t)
+
+let test_move_under_swap () =
+  let t, _, b, c, _ = sample () in
+  (* c is inside b's subtree; moving b under c promotes c first. *)
+  Tshape.move_under t ~parent:c b;
+  Alcotest.(check string) "swapped" "a[c[b] d]" (sig_of t)
+
+let test_move_self_rejected () =
+  let t, _, b, _, _ = sample () in
+  match Tshape.move_under t ~parent:b b with
+  | exception Tshape.Error _ -> ()
+  | () -> Alcotest.fail "expected error"
+
+let test_remove_promote () =
+  let t, _, b, _, _ = sample () in
+  Tshape.remove_promote t b;
+  Alcotest.(check string) "promoted" "a[c d]" (sig_of t)
+
+let test_remove_promote_root () =
+  let t, a, _, _, _ = sample () in
+  Tshape.remove_promote t a;
+  Alcotest.(check string) "children become roots" "b[c] d" (sig_of t)
+
+let test_copy_deep_independent () =
+  let t, _, b, _, _ = sample () in
+  let t2 = Tshape.copy t in
+  Tshape.detach t b;
+  Alcotest.(check string) "copy unaffected" "a[b[c] d]" (sig_of t2);
+  Alcotest.(check string) "original changed" "a[d]" (sig_of t)
+
+let test_copy_preserves_flags () =
+  let n = Tshape.fresh "x" in
+  n.Tshape.clone <- true;
+  n.Tshape.value_filter <- Some "v";
+  let c = Tshape.copy_node ~deep:true n in
+  Alcotest.(check bool) "clone" true c.Tshape.clone;
+  Alcotest.(check bool) "filter" true (c.Tshape.value_filter = Some "v");
+  Alcotest.(check bool) "origin set" true (c.Tshape.origin != None)
+
+let test_match_label_chain () =
+  let t, _, _, _, _ = sample () in
+  Alcotest.(check int) "simple" 1 (List.length (Tshape.match_label t "c"));
+  Alcotest.(check int) "dotted" 1 (List.length (Tshape.match_label t "b.c"));
+  Alcotest.(check int) "full chain" 1 (List.length (Tshape.match_label t "a.b.c"));
+  Alcotest.(check int) "wrong chain" 0 (List.length (Tshape.match_label t "d.c"));
+  Alcotest.(check int) "case-insensitive" 1 (List.length (Tshape.match_label t "C"))
+
+let test_check_forest () =
+  let a = Tshape.fresh ~source:1 "a" in
+  let b = Tshape.fresh ~source:2 "b" in
+  let b2 = Tshape.fresh ~source:2 "b" in
+  Tshape.attach ~parent:a b;
+  Tshape.attach ~parent:a b2;
+  let t : Tshape.t = { roots = [ a ] } in
+  (match Tshape.check_forest t with
+  | exception Tshape.Error _ -> ()
+  | () -> Alcotest.fail "expected duplicate error");
+  b2.Tshape.clone <- true;
+  Tshape.check_forest t
+
+let test_depth_and_root () =
+  let t, a, _, c, _ = sample () in
+  ignore t;
+  Alcotest.(check int) "depth c" 3 (Tshape.depth_in c);
+  Alcotest.(check int) "depth a" 1 (Tshape.depth_in a);
+  Alcotest.(check bool) "root of c" true (Tshape.root_of c == a)
+
+let suite =
+  [
+    Alcotest.test_case "attach/detach" `Quick test_attach_detach;
+    Alcotest.test_case "cycle rejected" `Quick test_attach_cycle_rejected;
+    Alcotest.test_case "move_under" `Quick test_move_under;
+    Alcotest.test_case "move_under swap" `Quick test_move_under_swap;
+    Alcotest.test_case "move under self" `Quick test_move_self_rejected;
+    Alcotest.test_case "remove_promote" `Quick test_remove_promote;
+    Alcotest.test_case "remove_promote root" `Quick test_remove_promote_root;
+    Alcotest.test_case "deep copy independence" `Quick test_copy_deep_independent;
+    Alcotest.test_case "copy preserves flags" `Quick test_copy_preserves_flags;
+    Alcotest.test_case "label matching on shapes" `Quick test_match_label_chain;
+    Alcotest.test_case "forest condition" `Quick test_check_forest;
+    Alcotest.test_case "depth/root helpers" `Quick test_depth_and_root;
+  ]

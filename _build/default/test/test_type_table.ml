@@ -1,0 +1,78 @@
+open Xml
+
+let build () =
+  let t = Type_table.create () in
+  let data = Type_table.intern t ~parent:None "data" in
+  let book = Type_table.intern t ~parent:(Some data) "book" in
+  let title = Type_table.intern t ~parent:(Some book) "title" in
+  let author = Type_table.intern t ~parent:(Some book) "author" in
+  let name = Type_table.intern t ~parent:(Some author) "name" in
+  let year = Type_table.intern t ~parent:(Some book) "@year" in
+  (t, data, book, title, author, name, year)
+
+let test_intern_idempotent () =
+  let t, data, book, _, _, _, _ = build () in
+  Alcotest.(check int) "same id" book (Type_table.intern t ~parent:(Some data) "book");
+  Alcotest.(check int) "count" 6 (Type_table.count t);
+  Alcotest.(check bool) "find" true
+    (Type_table.find t ~parent:(Some data) "book" = Some book);
+  Alcotest.(check bool) "find miss" true
+    (Type_table.find t ~parent:(Some data) "zzz" = None)
+
+let test_components_and_labels () =
+  let t, _, _, _, _, _, year = build () in
+  Alcotest.(check string) "component keeps @" "@year" (Type_table.component t year);
+  Alcotest.(check string) "label strips @" "year" (Type_table.label t year);
+  Alcotest.(check bool) "is_attribute" true (Type_table.is_attribute t year)
+
+let test_paths () =
+  let t, data, _, title, _, name, _ = build () in
+  Alcotest.(check (list string)) "path" [ "data"; "book"; "title" ]
+    (Type_table.path t title);
+  Alcotest.(check string) "qname" "data.book.author.name" (Type_table.qname t name);
+  Alcotest.(check int) "depth root" 1 (Type_table.depth t data);
+  Alcotest.(check int) "depth leaf" 4 (Type_table.depth t name)
+
+let test_ancestors () =
+  let t, data, book, _, _, name, _ = build () in
+  Alcotest.(check int) "ancestor at 1" data (Type_table.ancestor_at t name 1);
+  Alcotest.(check int) "ancestor at 2" book (Type_table.ancestor_at t name 2);
+  Alcotest.(check int) "self" name (Type_table.ancestor_at t name 4);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Type_table.ancestor_at") (fun () ->
+      ignore (Type_table.ancestor_at t name 5))
+
+let test_lca_and_distance () =
+  let t, data, book, title, author, name, year = build () in
+  Alcotest.(check int) "siblings" 2 (Type_table.lca_depth t title author);
+  Alcotest.(check int) "ancestor" 2 (Type_table.lca_depth t book name);
+  Alcotest.(check int) "self" 3 (Type_table.lca_depth t title title);
+  Alcotest.(check int) "dist siblings" 2 (Type_table.type_distance t title author);
+  Alcotest.(check int) "dist anc" 2 (Type_table.type_distance t book name);
+  Alcotest.(check int) "dist attr" 3 (Type_table.type_distance t year name);
+  Alcotest.(check int) "dist root" 3 (Type_table.type_distance t data name)
+
+let test_children_order () =
+  let t, _, book, title, author, _, year = build () in
+  Alcotest.(check (list int)) "first-interned order" [ title; author; year ]
+    (Type_table.children t book)
+
+let test_same_name_distinct_parents () =
+  let t = Type_table.create () in
+  let a = Type_table.intern t ~parent:None "a" in
+  let b = Type_table.intern t ~parent:(Some a) "x" in
+  let c = Type_table.intern t ~parent:None "x" in
+  Alcotest.(check bool) "distinct types" true (b <> c);
+  Alcotest.(check int) "lca of unrelated roots" 0 (Type_table.lca_depth t b c)
+
+let suite =
+  [
+    Alcotest.test_case "intern idempotent" `Quick test_intern_idempotent;
+    Alcotest.test_case "components and labels" `Quick test_components_and_labels;
+    Alcotest.test_case "paths" `Quick test_paths;
+    Alcotest.test_case "ancestors" `Quick test_ancestors;
+    Alcotest.test_case "lca and distance" `Quick test_lca_and_distance;
+    Alcotest.test_case "children order" `Quick test_children_order;
+    Alcotest.test_case "same name, distinct parents" `Quick
+      test_same_name_distinct_parents;
+  ]

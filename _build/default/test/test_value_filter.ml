@@ -1,0 +1,109 @@
+open Xmorph
+
+let fig_a = Workloads.Figures.instance_a
+
+let transform ?(enforce = false) src guard =
+  let doc = Xml.Doc.of_string src in
+  let tree, compiled = Interp.transform_doc ~enforce doc guard in
+  (tree, compiled)
+
+let test_parses () =
+  match Parse.guard {|MORPH author [ name = "A" book ]|} with
+  | Ast.Stage (Ast.Morph [ Ast.Tree (_, [ Ast.Value_eq (Ast.Label { label = "name"; _ }, "A"); _ ]) ]) ->
+      ()
+  | other -> Alcotest.failf "unexpected AST: %s" (Ast.to_string other)
+
+let test_parse_single_quotes () =
+  match Parse.guard "MORPH name = 'A'" with
+  | Ast.Stage (Ast.Morph [ Ast.Value_eq (_, "A") ]) -> ()
+  | other -> Alcotest.failf "unexpected AST: %s" (Ast.to_string other)
+
+let test_pp_roundtrip () =
+  let src = {|MORPH author [ name = "A" book [ title ] ]|} in
+  let printed = Ast.to_string (Parse.guard src) in
+  let reparsed = Ast.to_string (Parse.guard printed) in
+  Alcotest.(check string) "stable" printed reparsed
+
+let test_filters_instances () =
+  (* Keep only authors whose name is A. *)
+  let tree, _ = transform fig_a {|MORPH (RESTRICT author [ name = "A" ]) [ name book [ title ] ]|} in
+  let s = Xml.Printer.to_string tree in
+  Alcotest.(check bool) "A kept" true (Tutil.contains s "<name>A</name>");
+  Alcotest.(check bool) "B dropped" false (Tutil.contains s "<name>B</name>")
+
+let test_filter_on_leaf () =
+  let tree, _ = transform fig_a {|MORPH author [ name = "B" ]|} in
+  let s = Xml.Printer.to_string tree in
+  (* All three authors render, but only B's name survives the filter. *)
+  Alcotest.(check bool) "B kept" true (Tutil.contains s "<name>B</name>");
+  Alcotest.(check bool) "A filtered" false (Tutil.contains s "<name>A</name>")
+
+let test_filter_on_root () =
+  let tree, _ = transform fig_a {|MORPH title = "Y"|} in
+  let s = Xml.Printer.to_string tree in
+  Alcotest.(check bool) "Y kept" true (Tutil.contains s "<title>Y</title>");
+  Alcotest.(check bool) "X dropped" false (Tutil.contains s "<title>X</title>")
+
+let test_classified_narrowing () =
+  let _, compiled = transform fig_a {|MORPH author [ name = "A" ]|} in
+  Alcotest.(check string) "narrowing" "narrowing"
+    (Report.classification_to_string
+       compiled.Interp.loss.Report.classification);
+  Alcotest.(check bool) "warning present" true
+    (List.exists
+       (fun w -> Tutil.contains w "value filter")
+       compiled.Interp.loss.Report.warnings)
+
+let test_enforcement_requires_cast () =
+  let doc = Xml.Doc.of_string fig_a in
+  (match Interp.transform_doc doc {|MORPH author [ name = "A" ]|} with
+  | exception Loss.Rejected _ -> ()
+  | _ -> Alcotest.fail "expected rejection");
+  let tree, _ =
+    Interp.transform_doc doc {|CAST-NARROWING MORPH author [ name = "A" ]|}
+  in
+  Alcotest.(check bool) "cast admits" true (Xml.Tree.count_elements tree > 0)
+
+let test_quantify_sees_filter_loss () =
+  let store = Store.Shredded.shred (Xml.Doc.of_string fig_a) in
+  let compiled =
+    Interp.compile ~enforce:false (Store.Shredded.guide store)
+      {|MORPH author [ name = "A" ]|}
+  in
+  let m = Quantify.measure store compiled.Interp.shape in
+  Alcotest.(check bool) "measured loss" true (m.Quantify.lost > 0)
+
+let test_stream_matches () =
+  let store = Store.Shredded.shred (Xml.Doc.of_string fig_a) in
+  let compiled =
+    Interp.compile ~enforce:false (Store.Shredded.guide store)
+      {|MORPH author [ name = "A" book [ title ] ]|}
+  in
+  let b1 = Buffer.create 128 and b2 = Buffer.create 128 in
+  ignore (Render.stream store compiled.Interp.shape (Buffer.add_string b1));
+  ignore (Render.to_buffer store compiled.Interp.shape b2);
+  Alcotest.(check string) "stream = materialized" (Buffer.contents b2)
+    (Buffer.contents b1)
+
+let test_value_filter_in_mutate () =
+  let tree, _ = transform fig_a {|CAST MUTATE (DROP title = "X")|} in
+  let s = Xml.Printer.to_string tree in
+  (* DROP removes the whole title type; the value filter attaches to the
+     pattern, but DROP is type-level: both titles go.  Documented: filters
+     do not make DROP value-selective. *)
+  Alcotest.(check bool) "type dropped" false (Tutil.contains s "<title>")
+
+let suite =
+  [
+    Alcotest.test_case "parses" `Quick test_parses;
+    Alcotest.test_case "single quotes" `Quick test_parse_single_quotes;
+    Alcotest.test_case "pp roundtrip" `Quick test_pp_roundtrip;
+    Alcotest.test_case "filters via RESTRICT" `Quick test_filters_instances;
+    Alcotest.test_case "filters leaves" `Quick test_filter_on_leaf;
+    Alcotest.test_case "filters roots" `Quick test_filter_on_root;
+    Alcotest.test_case "classified narrowing" `Quick test_classified_narrowing;
+    Alcotest.test_case "enforcement requires cast" `Quick test_enforcement_requires_cast;
+    Alcotest.test_case "quantify measures filter loss" `Quick test_quantify_sees_filter_loss;
+    Alcotest.test_case "streaming agrees" `Quick test_stream_matches;
+    Alcotest.test_case "DROP stays type-level" `Quick test_value_filter_in_mutate;
+  ]

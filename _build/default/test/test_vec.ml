@@ -1,0 +1,70 @@
+open Xmutil
+
+let test_push_get () =
+  let v = Vec.create () in
+  Alcotest.(check int) "empty" 0 (Vec.length v);
+  Alcotest.(check int) "index 0" 0 (Vec.push v "a");
+  Alcotest.(check int) "index 1" 1 (Vec.push v "b");
+  Alcotest.(check string) "get 0" "a" (Vec.get v 0);
+  Alcotest.(check string) "get 1" "b" (Vec.get v 1);
+  Alcotest.(check int) "length" 2 (Vec.length v)
+
+let test_set () =
+  let v = Vec.create () in
+  ignore (Vec.push v 10);
+  Vec.set v 0 20;
+  Alcotest.(check int) "set" 20 (Vec.get v 0)
+
+let test_bounds () =
+  let v = Vec.create () in
+  ignore (Vec.push v 1);
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec.get") (fun () ->
+      ignore (Vec.get v 1));
+  Alcotest.check_raises "get neg" (Invalid_argument "Vec.get") (fun () ->
+      ignore (Vec.get v (-1)));
+  Alcotest.check_raises "set oob" (Invalid_argument "Vec.set") (fun () ->
+      Vec.set v 5 0)
+
+let test_growth () =
+  let v = Vec.create ~capacity:2 () in
+  for i = 0 to 999 do
+    ignore (Vec.push v i)
+  done;
+  Alcotest.(check int) "length" 1000 (Vec.length v);
+  Alcotest.(check int) "last" 999 (Vec.get v 999);
+  Alcotest.(check (array int)) "to_array" (Array.init 1000 Fun.id) (Vec.to_array v)
+
+let test_clear () =
+  let v = Vec.create () in
+  ignore (Vec.push v 1);
+  Vec.clear v;
+  Alcotest.(check int) "cleared" 0 (Vec.length v);
+  ignore (Vec.push v 9);
+  Alcotest.(check int) "reusable" 9 (Vec.get v 0)
+
+let test_iter_order () =
+  let v = Vec.create () in
+  List.iter (fun x -> ignore (Vec.push v x)) [ 3; 1; 4; 1; 5 ];
+  let acc = ref [] in
+  Vec.iter (fun x -> acc := x :: !acc) v;
+  Alcotest.(check (list int)) "order" [ 3; 1; 4; 1; 5 ] (List.rev !acc);
+  Alcotest.(check (list int)) "to_list" [ 3; 1; 4; 1; 5 ] (Vec.to_list v)
+
+let prop_push_preserves =
+  QCheck2.Test.make ~name:"pushes preserved in order" ~count:200
+    QCheck2.Gen.(list int)
+    (fun xs ->
+      let v = Vec.create () in
+      List.iter (fun x -> ignore (Vec.push v x)) xs;
+      Vec.to_list v = xs)
+
+let suite =
+  [
+    Alcotest.test_case "push/get" `Quick test_push_get;
+    Alcotest.test_case "set" `Quick test_set;
+    Alcotest.test_case "bounds checks" `Quick test_bounds;
+    Alcotest.test_case "growth" `Quick test_growth;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "iteration order" `Quick test_iter_order;
+    QCheck_alcotest.to_alcotest prop_push_preserves;
+  ]

@@ -1,0 +1,99 @@
+open Guarded
+
+let equivalent ?(src = Workloads.Figures.instance_a) guard =
+  let doc = Xml.Doc.of_string src in
+  let via_view = View_gen.run_view doc guard in
+  let via_render, _ = Xmorph.Interp.transform_doc ~enforce:false doc guard in
+  Xml.Tree.equal_unordered via_view via_render
+
+let check_equiv ?src guard =
+  Alcotest.(check bool) (guard ^ " equivalent") true (equivalent ?src guard)
+
+let test_equivalence_basic () =
+  List.iter check_equiv
+    [
+      "MORPH author [ name book [ title ] ]";
+      "MORPH book [ title publisher [ name ] ]";
+      "MUTATE data";
+      "MORPH publisher [ name ]";
+      "MORPH title";
+    ]
+
+let test_equivalence_other_shapes () =
+  check_equiv ~src:Workloads.Figures.instance_b "MORPH author [ name book [ title ] ]";
+  check_equiv ~src:Workloads.Figures.instance_c "MORPH author [ name book [ title ] ]";
+  check_equiv ~src:Workloads.Figures.instance_b "MUTATE data"
+
+let test_equivalence_value_filter () =
+  check_equiv {|MORPH author [ name = "A" ]|};
+  check_equiv {|MORPH book [ title = "Y" ]|}
+
+let test_equivalence_attributes () =
+  let src = {|<r><e year="1999"><v>one</v></e><e year="2000"><v>two</v></e></r>|} in
+  check_equiv ~src "MORPH e [ @year v ]"
+
+let test_restrict_descendant () =
+  (* RESTRICT on a descendant chain compiles to where exists(...). *)
+  let src = {|<r><e><k/><v>yes</v></e><e><v>no</v></e></r>|} in
+  check_equiv ~src "MORPH (RESTRICT e [ k ]) [ v ]"
+
+let test_unsupported_forms () =
+  let doc = Xml.Doc.of_string Workloads.Figures.instance_a in
+  let store = Store.Shredded.shred doc in
+  let guide = Store.Shredded.guide store in
+  List.iter
+    (fun guard ->
+      match View_gen.generate_guard guide guard with
+      | exception View_gen.Unsupported _ -> ()
+      | view -> Alcotest.failf "expected Unsupported for %s, got %s" guard view)
+    [
+      "MUTATE (NEW scribe) [ author ]";
+      "TYPE-FILL MORPH author [ ghost ]";
+      "MORPH author [ name ] book [ CLONE author.name ]";
+      "MORPH (RESTRICT name [ author ]) [ title ]";
+    ]
+
+let test_view_reproduces_paper_quote () =
+  (* "one variable for every type": MUTATE over the whole document binds a
+     variable per source type. *)
+  let doc = Workloads.Xmark.to_doc ~factor:0.002 () in
+  let store = Store.Shredded.shred doc in
+  let guide = Store.Shredded.guide store in
+  let view = View_gen.generate_guard guide "MUTATE site" in
+  let count_vars s =
+    let n = ref 0 in
+    String.iteri (fun i c -> if c = '$' && i > 0 && s.[i - 1] <> '"' then incr n) s;
+    !n
+  in
+  let types = Xml.Type_table.count (Store.Shredded.types store) in
+  Alcotest.(check bool)
+    (Printf.sprintf "many bindings (%d types)" types)
+    true
+    (count_vars view > types)
+
+let prop_view_equals_render_identity =
+  QCheck2.Test.make ~name:"generated view = render (identity MUTATE)" ~count:60
+    Gen.gen_doc (fun doc ->
+      let guide = Xml.Dataguide.of_doc doc in
+      let root_label =
+        Xml.Type_table.label (Xml.Dataguide.types guide) (Xml.Dataguide.root guide)
+      in
+      let guard = "MUTATE " ^ root_label in
+      match View_gen.run_view doc guard with
+      | exception View_gen.Unsupported _ -> true
+      | via_view ->
+          let via_render, _ = Xmorph.Interp.transform_doc ~enforce:false doc guard in
+          Xml.Tree.equal_unordered via_view via_render)
+
+let suite =
+  [
+    Alcotest.test_case "view = render (basic guards)" `Quick test_equivalence_basic;
+    Alcotest.test_case "view = render (other shapes)" `Quick test_equivalence_other_shapes;
+    Alcotest.test_case "view = render (value filters)" `Quick test_equivalence_value_filter;
+    Alcotest.test_case "view = render (attributes)" `Quick test_equivalence_attributes;
+    Alcotest.test_case "RESTRICT via where exists" `Quick test_restrict_descendant;
+    Alcotest.test_case "unsupported forms raise" `Quick test_unsupported_forms;
+    Alcotest.test_case "one variable per type (paper quote)" `Quick
+      test_view_reproduces_paper_quote;
+    QCheck_alcotest.to_alcotest prop_view_equals_render_identity;
+  ]

@@ -1,0 +1,148 @@
+let test_xmark_deterministic () =
+  let a = Workloads.Xmark.generate ~factor:0.002 () in
+  let b = Workloads.Xmark.generate ~factor:0.002 () in
+  Alcotest.(check bool) "same document" true (Xml.Tree.equal a b);
+  let c = Workloads.Xmark.generate ~seed:1 ~factor:0.002 () in
+  Alcotest.(check bool) "seed changes content" false (Xml.Tree.equal a c)
+
+let test_xmark_structure () =
+  let t = Workloads.Xmark.generate ~factor:0.002 () in
+  Alcotest.(check string) "root" "site" (Xml.Tree.name t);
+  let sections = List.map Xml.Tree.name (Xml.Tree.children t) in
+  Alcotest.(check (list string)) "sections"
+    [ "regions"; "categories"; "catgraph"; "people"; "open_auctions"; "closed_auctions" ]
+    sections
+
+let test_xmark_scales () =
+  let small = Xml.Tree.count_nodes (Workloads.Xmark.generate ~factor:0.001 ()) in
+  let large = Xml.Tree.count_nodes (Workloads.Xmark.generate ~factor:0.004 ()) in
+  Alcotest.(check bool) "roughly linear growth" true
+    (large > 2 * small && large < 8 * small)
+
+let test_xmark_reparses () =
+  let t = Workloads.Xmark.generate ~factor:0.002 () in
+  Alcotest.(check bool) "well-formed" true
+    (Xml.Tree.equal t (Xml.Parser.parse (Xml.Printer.to_string t)))
+
+let test_xmark_type_richness () =
+  let doc = Workloads.Xmark.to_doc ~factor:0.005 () in
+  let guide = Xml.Dataguide.of_doc doc in
+  let n = List.length (Xml.Dataguide.all_types guide) in
+  (* The paper's XMark documents have 471 distinct path types; ours has a
+     smaller tag vocabulary but must stay type-rich. *)
+  Alcotest.(check bool) (Printf.sprintf "many types (%d)" n) true (n > 60)
+
+let test_dblp_structure () =
+  let t = Workloads.Dblp.generate ~entries:50 () in
+  Alcotest.(check string) "root" "dblp" (Xml.Tree.name t);
+  Alcotest.(check int) "entry count" 50 (List.length (Xml.Tree.children t));
+  let doc = Workloads.Dblp.to_doc ~entries:50 () in
+  let guide = Xml.Dataguide.of_doc doc in
+  Alcotest.(check bool) "has articles" true
+    (Xml.Dataguide.match_label guide "article" <> []);
+  Alcotest.(check bool) "authors under several kinds" true
+    (List.length (Xml.Dataguide.match_label guide "author") > 1)
+
+let test_dblp_deterministic () =
+  let a = Workloads.Dblp.generate ~entries:30 () in
+  let b = Workloads.Dblp.generate ~entries:30 () in
+  Alcotest.(check bool) "same" true (Xml.Tree.equal a b)
+
+let test_nasa_structure () =
+  let t = Workloads.Nasa.generate ~datasets:20 () in
+  Alcotest.(check string) "root" "datasets" (Xml.Tree.name t);
+  Alcotest.(check int) "dataset count" 20 (List.length (Xml.Tree.children t));
+  let doc = Workloads.Nasa.to_doc ~datasets:20 () in
+  let guide = Xml.Dataguide.of_doc doc in
+  Alcotest.(check bool) "nested authors" true
+    (List.length (Xml.Dataguide.match_label guide "author") >= 2)
+
+let test_figures_parse () =
+  List.iter
+    (fun src -> ignore (Xml.Doc.of_string src))
+    [ Workloads.Figures.instance_a; Workloads.Figures.instance_b;
+      Workloads.Figures.instance_c ]
+
+let test_shape_guards_compile () =
+  (* Every Fig. 15 guard must compile against its dataset and produce a
+     non-empty rendering. *)
+  let datasets =
+    [
+      (Workloads.Shapes.Xmark_data, Workloads.Xmark.to_doc ~factor:0.002 ());
+      (Workloads.Shapes.Dblp_data, Workloads.Dblp.to_doc ~entries:40 ());
+      (Workloads.Shapes.Nasa_data, Workloads.Nasa.to_doc ~datasets:15 ());
+    ]
+  in
+  List.iter
+    (fun (ds, doc) ->
+      let store = Store.Shredded.shred doc in
+      List.iter
+        (fun kind ->
+          let g = Workloads.Shapes.guard ds kind in
+          match Xmorph.Interp.compile ~enforce:false (Store.Shredded.guide store) g with
+          | compiled ->
+              let tree = Xmorph.Interp.render store compiled in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s renders" (Workloads.Shapes.kind_name kind))
+                true
+                (Xml.Tree.count_elements tree > 1)
+          | exception Xmorph.Interp.Error m ->
+              Alcotest.failf "guard %S failed: %s" g m)
+        Workloads.Shapes.kinds)
+    datasets
+
+let suite =
+  [
+    Alcotest.test_case "xmark deterministic" `Quick test_xmark_deterministic;
+    Alcotest.test_case "xmark structure" `Quick test_xmark_structure;
+    Alcotest.test_case "xmark scales linearly" `Quick test_xmark_scales;
+    Alcotest.test_case "xmark reparses" `Quick test_xmark_reparses;
+    Alcotest.test_case "xmark type-rich" `Quick test_xmark_type_richness;
+    Alcotest.test_case "dblp structure" `Quick test_dblp_structure;
+    Alcotest.test_case "dblp deterministic" `Quick test_dblp_deterministic;
+    Alcotest.test_case "nasa structure" `Quick test_nasa_structure;
+    Alcotest.test_case "figure instances parse" `Quick test_figures_parse;
+    Alcotest.test_case "Fig. 15 guards compile and render" `Quick test_shape_guards_compile;
+  ]
+
+let test_nasa_deterministic () =
+  let a = Workloads.Nasa.generate ~datasets:10 () in
+  let b = Workloads.Nasa.generate ~datasets:10 () in
+  Alcotest.(check bool) "same" true (Xml.Tree.equal a b);
+  let c = Workloads.Nasa.generate ~seed:7 ~datasets:10 () in
+  Alcotest.(check bool) "seed changes content" false (Xml.Tree.equal a c)
+
+(* The loss classification depends on the shape, not the data volume: the
+   same generator at different scales gives the same classification for a
+   battery of guards (the property that makes Fig. 10's flat compile line
+   meaningful). *)
+let test_classification_scale_invariant () =
+  let guards =
+    [
+      "MORPH author [title [year]]";
+      "MORPH dblp [ article [ article.author ] ]";
+      "MUTATE dblp";
+      "CAST MUTATE article.year [ article ]";
+    ]
+  in
+  let classify entries guard =
+    let doc = Workloads.Dblp.to_doc ~entries () in
+    let guide = Xml.Dataguide.of_doc doc in
+    match Xmorph.Interp.compile ~enforce:false guide guard with
+    | c ->
+        Xmorph.Report.classification_to_string
+          c.Xmorph.Interp.loss.Xmorph.Report.classification
+    | exception Xmorph.Interp.Error _ -> "error"
+  in
+  List.iter
+    (fun guard ->
+      Alcotest.(check string) guard (classify 200 guard) (classify 2_000 guard))
+    guards
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "nasa deterministic" `Quick test_nasa_deterministic;
+      Alcotest.test_case "classification is scale-invariant" `Slow
+        test_classification_scale_invariant;
+    ]

@@ -1,0 +1,79 @@
+let apply = Baseline.Xslt_lite.apply_string
+
+let render trees = String.concat "" (List.map Xml.Printer.to_string trees)
+
+let test_literal_template () =
+  Alcotest.(check string) "literal" "<out/>"
+    (render (apply "match r produce <out/>" "<r><x/></r>"))
+
+let test_value_of () =
+  Alcotest.(check string) "value-of" "<n>hi</n>"
+    (render (apply "match r produce <n><value-of select=\"x\"/></n>" "<r><x>hi</x></r>"))
+
+let test_copy () =
+  Alcotest.(check string) "copy" "<keep><x>hi</x></keep>"
+    (render (apply "match r produce <keep><copy select=\"x\"/></keep>" "<r><x>hi</x></r>"))
+
+let test_apply_recurses () =
+  let program =
+    {|match r produce <list><apply select="item"/></list>
+      match item produce <i><value-of select="."/></i>|}
+  in
+  Alcotest.(check string) "recursion" "<list><i>1</i><i>2</i></list>"
+    (render (apply program "<r><item>1</item><item>2</item></r>"))
+
+let test_apply_fallback_copies () =
+  (* No rule for the selected node: it is copied. *)
+  Alcotest.(check string) "fallback" "<w><y>2</y></w>"
+    (render (apply "match r produce <w><apply select=\"y\"/></w>" "<r><y>2</y></r>"))
+
+let test_parent_step () =
+  let program =
+    {|match r produce <o><apply select="a/b"/></o>
+      match b produce <pair><value-of select="."/>:<value-of select="../t"/></pair>|}
+  in
+  Alcotest.(check string) "parent step" "<o><pair>x:T</pair></o>"
+    (render (apply program "<r><a><t>T</t><b>x</b></a></r>"))
+
+let test_suffix_matching () =
+  (* A deeper match pattern wins only where its ancestors agree. *)
+  let program =
+    {|match r produce <o><apply select="a/n"/><apply select="b/n"/></o>
+      match a/n produce <fromA/>
+      match n produce <other/>|}
+  in
+  Alcotest.(check string) "suffix match" "<o><fromA/><other/></o>"
+    (render (apply program "<r><a><n/></a><b><n/></b></r>"))
+
+let test_shape_coupling () =
+  (* The Sec. II argument: a program written for shape (a) silently collapses
+     on shape (b). *)
+  let program =
+    {|match data produce <result><apply select="book/author"/></result>
+      match author produce <author><value-of select="name"/></author>|}
+  in
+  Alcotest.(check bool) "works on (a)" true
+    (Tutil.contains (render (apply program Workloads.Figures.instance_a)) "<author>A</author>");
+  Alcotest.(check string) "empty on (b)" "<result/>"
+    (render (apply program Workloads.Figures.instance_b))
+
+let test_errors () =
+  List.iter
+    (fun src ->
+      match Baseline.Xslt_lite.parse_program src with
+      | exception Baseline.Xslt_lite.Error _ -> ()
+      | _ -> Alcotest.failf "expected Error for %S" src)
+    [ ""; "match produce <x/>"; "match r <x/>"; "match r produce <a>" ]
+
+let suite =
+  [
+    Alcotest.test_case "literal templates" `Quick test_literal_template;
+    Alcotest.test_case "value-of" `Quick test_value_of;
+    Alcotest.test_case "copy" `Quick test_copy;
+    Alcotest.test_case "apply recurses" `Quick test_apply_recurses;
+    Alcotest.test_case "apply falls back to copy" `Quick test_apply_fallback_copies;
+    Alcotest.test_case "parent steps" `Quick test_parent_step;
+    Alcotest.test_case "suffix matching" `Quick test_suffix_matching;
+    Alcotest.test_case "shape coupling (Sec. II)" `Quick test_shape_coupling;
+    Alcotest.test_case "malformed programs" `Quick test_errors;
+  ]

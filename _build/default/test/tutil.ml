@@ -1,0 +1,19 @@
+(* Small helpers shared by test modules. *)
+
+let contains haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  if m = 0 then true
+  else begin
+    let rec go i = i + m <= n && (String.sub haystack i m = needle || go (i + 1)) in
+    go 0
+  end
+
+(* Compare XML text for equality as trees (whitespace-insensitive). *)
+let xml_equal a b =
+  Xml.Tree.equal (Xml.Parser.parse a) (Xml.Parser.parse b)
+
+let check_xml msg expected actual_tree =
+  if not (Xml.Tree.equal (Xml.Parser.parse expected) actual_tree) then
+    Alcotest.failf "%s:@.expected:@.%s@.got:@.%s" msg
+      (Xml.Printer.to_string_indented (Xml.Parser.parse expected))
+      (Xml.Printer.to_string_indented actual_tree)
