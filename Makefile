@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-csv examples doc clean reproduce
+.PHONY: all build test bench bench-csv examples doc clean reproduce lint ci
 
 all: build
 
@@ -32,6 +32,24 @@ examples:
 reproduce: build
 	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+# Style gate (no ocamlformat in the toolchain, so enforce the invariants
+# it would: no trailing whitespace anywhere, no tabs in OCaml sources).
+lint:
+	@bad=$$(git ls-files '*.ml' '*.mli' '*.md' 'dune-project' '*/dune' \
+	  | xargs grep -ln ' $$' 2>/dev/null); \
+	if [ -n "$$bad" ]; then \
+	  echo "trailing whitespace in:"; echo "$$bad"; exit 1; fi
+	@bad=$$(git ls-files '*.ml' '*.mli' \
+	  | xargs grep -lP '\t' 2>/dev/null); \
+	if [ -n "$$bad" ]; then \
+	  echo "tab characters in:"; echo "$$bad"; exit 1; fi
+	@echo "lint: ok"
+
+# What CI runs (.github/workflows/ci.yml mirrors this target).
+ci: lint
+	dune build @all
+	dune runtest
 
 clean:
 	dune clean

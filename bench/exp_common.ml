@@ -117,3 +117,21 @@ let compile_guard store guard =
 let heap_mb () =
   let s = Gc.quick_stat () in
   float_of_int (s.Gc.heap_words * (Sys.word_size / 8)) /. 1e6
+
+(* The benches sample run state through the public observability layer — an
+   observer on the global Xmobs.Metrics registry, fed by the same counters
+   users see via `xmorph --metrics` — rather than a bench-only store hook.
+   [sample] runs after every published metric update, playing the role the
+   periodic vmstat sampling played in the paper's Sec. IX. *)
+let with_metrics_observer sample f =
+  Xmobs.Metrics.enable ();
+  let id = Xmobs.Metrics.subscribe sample in
+  Fun.protect f ~finally:(fun () ->
+      Xmobs.Metrics.unsubscribe id;
+      Xmobs.Metrics.disable ())
+
+(* Cumulative I/O blocks as currently published by the store's accounting. *)
+let io_blocks () =
+  int_of_float
+    (Xmobs.Metrics.gauge_value "store.blocks_read"
+    +. Xmobs.Metrics.gauge_value "store.blocks_written")

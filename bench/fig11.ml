@@ -5,9 +5,10 @@
    gradually processing the disk tables and generating output as the
    experiment runs") with no sudden bursts.
 
-   We reproduce it by installing an observer on the store's I/O accounting
-   and sampling cumulative blocks at fixed wall-clock intervals during the
-   same MUTATE site transformation. *)
+   We reproduce it by subscribing an observer to the metrics registry — the
+   store's I/O accounting publishes cumulative blocks there — and sampling
+   at fixed wall-clock intervals during the same MUTATE site
+   transformation. *)
 
 let samples_per_run = 10
 
@@ -15,22 +16,22 @@ let run () =
   Exp_common.header "Fig. 11: cumulative block I/O during MUTATE site";
   List.iter
     (fun (f, _tree, _bytes, store, _shred) ->
-      let stats = Store.Shredded.stats store in
-      Store.Io_stats.reset stats;
       let series = ref [] in
       let t0 = Unix.gettimeofday () in
       let next_sample = ref 0.0 in
-      let interval = ref 0.005 in
-      Store.Io_stats.set_observer stats
-        (Some
-           (fun snap ->
-             let t = Unix.gettimeofday () -. t0 in
-             if t >= !next_sample then begin
-               series := (t, Store.Io_stats.blocks_total snap) :: !series;
-               next_sample := t +. !interval
-             end));
-      ignore (Exp_common.render_guard store "MUTATE site");
-      Store.Io_stats.set_observer stats None;
+      let interval = 0.005 in
+      Exp_common.with_metrics_observer
+        (fun () ->
+          let t = Unix.gettimeofday () -. t0 in
+          if t >= !next_sample then begin
+            series := (t, Exp_common.io_blocks ()) :: !series;
+            next_sample := t +. interval
+          end)
+        (fun () ->
+          (* Reset inside the observed window so the zeroed counters are
+             published before the transformation starts charging. *)
+          Store.Io_stats.reset (Store.Shredded.stats store);
+          ignore (Exp_common.render_guard store "MUTATE site"));
       let total = Unix.gettimeofday () -. t0 in
       (* Resample to a fixed number of points for a compact table. *)
       let series = List.rev !series in

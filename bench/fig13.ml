@@ -4,7 +4,8 @@
    of an experiment" — available RAM drops early, then flattens.  The OCaml
    runtime grows its heap the same way (demand-driven), so we sample the
    major heap during the run and report "available memory" against the
-   paper's 3.5 GB machine. *)
+   paper's 3.5 GB machine.  Sampling piggybacks on the metrics registry's
+   update notifications (one per store I/O charge), as fig11 does. *)
 
 let machine_mb = 3584.0 (* the paper's 3.5 GB testbed *)
 
@@ -14,21 +15,18 @@ let run () =
   Exp_common.header "Fig. 13: available memory during MUTATE site";
   List.iter
     (fun (f, _tree, _bytes, store, _shred) ->
-      let stats = Store.Shredded.stats store in
       Gc.compact ();
       let series = ref [] in
       let t0 = Unix.gettimeofday () in
       let next_sample = ref 0.0 in
-      Store.Io_stats.set_observer stats
-        (Some
-           (fun _snap ->
-             let t = Unix.gettimeofday () -. t0 in
-             if t >= !next_sample then begin
-               series := (t, Exp_common.heap_mb ()) :: !series;
-               next_sample := t +. 0.005
-             end));
-      ignore (Exp_common.render_guard store "MUTATE site");
-      Store.Io_stats.set_observer stats None;
+      Exp_common.with_metrics_observer
+        (fun () ->
+          let t = Unix.gettimeofday () -. t0 in
+          if t >= !next_sample then begin
+            series := (t, Exp_common.heap_mb ()) :: !series;
+            next_sample := t +. 0.005
+          end)
+        (fun () -> ignore (Exp_common.render_guard store "MUTATE site"));
       let total = Unix.gettimeofday () -. t0 in
       let series = List.rev !series in
       let pick k =

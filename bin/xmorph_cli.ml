@@ -34,6 +34,45 @@ let exit_err m =
   Printf.eprintf "xmorph: %s\n" m;
   exit 1
 
+(* ---------- observability flags (common to every subcommand) ---------- *)
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+(* Exports are registered with [at_exit] so they capture whatever ran, even
+   when a subcommand bails out through [exit_err]. *)
+let obs_setup trace metrics =
+  (match trace with
+  | None -> ()
+  | Some path ->
+      Xmobs.Trace.enable ();
+      at_exit (fun () ->
+          write_file path (Xmutil.Json.to_string (Xmobs.Trace.to_json ()))));
+  match metrics with
+  | None -> ()
+  | Some path ->
+      Xmobs.Metrics.enable ();
+      at_exit (fun () ->
+          write_file path (Xmutil.Json.to_string (Xmobs.Metrics.to_json ())))
+
+let obs_term =
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Trace pipeline phases (parse, shred, infer, loss, render, \
+                   ...) and write the spans to $(docv) as Chrome trace_event \
+                   JSON (open at chrome://tracing or ui.perfetto.dev).")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:"Collect pipeline metrics (counters, gauges, latency \
+                   histograms, store I/O) and write them to $(docv) as JSON.")
+  in
+  Term.(const obs_setup $ trace $ metrics)
+
 (* ---------- shred ---------- *)
 
 let shred_cmd =
@@ -46,7 +85,7 @@ let shred_cmd =
   let output =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"STORE" ~doc:"Output store path.")
   in
-  let run output inputs =
+  let run () output inputs =
     let trees =
       List.map
         (fun path ->
@@ -69,19 +108,19 @@ let shred_cmd =
       (Store.Shredded.data_bytes store / 1024)
       (Unix.gettimeofday () -. t0)
   in
-  Cmd.v (Cmd.info "shred" ~doc) Term.(const run $ output $ inputs)
+  Cmd.v (Cmd.info "shred" ~doc) Term.(const run $ obs_term $ output $ inputs)
 
 (* ---------- shape ---------- *)
 
 let shape_cmd =
   let doc = "Print the adorned shape (DataGuide with cardinalities) of a document or store." in
   let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT" ~doc:"XML document or store.") in
-  let run input =
+  let run () input =
     match load_store input with
     | Error m -> exit_err m
     | Ok store -> print_string (Xml.Dataguide.to_string (Store.Shredded.guide store))
   in
-  Cmd.v (Cmd.info "shape" ~doc) Term.(const run $ input)
+  Cmd.v (Cmd.info "shape" ~doc) Term.(const run $ obs_term $ input)
 
 (* ---------- shape-diff ---------- *)
 
@@ -91,7 +130,7 @@ let shape_diff_cmd =
   in
   let a = Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD" ~doc:"Old document or store.") in
   let b = Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW" ~doc:"New document or store.") in
-  let run a b =
+  let run () a b =
     let guide input =
       match load_store input with
       | Error m -> exit_err m
@@ -101,7 +140,7 @@ let shape_diff_cmd =
     print_string (Xml.Shape_diff.to_string d);
     if not (Xml.Shape_diff.is_empty d) then exit 4
   in
-  Cmd.v (Cmd.info "shape-diff" ~doc) Term.(const run $ a $ b)
+  Cmd.v (Cmd.info "shape-diff" ~doc) Term.(const run $ obs_term $ a $ b)
 
 (* ---------- check ---------- *)
 
@@ -123,7 +162,7 @@ let check_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the reports as JSON.")
   in
-  let run guard input quantify json =
+  let run () guard input quantify json =
     match load_store input with
     | Error m -> exit_err m
     | Ok store -> (
@@ -164,7 +203,7 @@ let check_cmd =
               end
             end)
   in
-  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ guard_arg $ input $ quantify $ json)
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ obs_term $ guard_arg $ input $ quantify $ json)
 
 (* ---------- run ---------- *)
 
@@ -175,7 +214,7 @@ let run_cmd =
     Arg.(value & flag & info [ "f"; "force" ] ~doc:"Transform even when type enforcement rejects the guard.")
   in
   let compact = Arg.(value & flag & info [ "compact" ] ~doc:"No indentation.") in
-  let run guard input force compact =
+  let run () guard input force compact =
     match load_store input with
     | Error m -> exit_err m
     | Ok store -> (
@@ -193,7 +232,7 @@ let run_cmd =
             if compact then print_endline (Xml.Printer.to_string tree)
             else print_string (Xml.Printer.to_string_indented tree))
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ guard_arg $ input $ force $ compact)
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ obs_term $ guard_arg $ input $ force $ compact)
 
 (* ---------- query ---------- *)
 
@@ -212,7 +251,7 @@ let query_cmd =
          & info [ "logical" ]
              ~doc:"Architecture 3: evaluate in situ against the virtual shape instead of physically transforming first.")
   in
-  let run query input guard force logical =
+  let run () query input guard force logical =
     match load_store input with
     | Error m -> exit_err m
     | Ok store ->
@@ -242,7 +281,7 @@ let query_cmd =
                 outcome.Guarded.Guarded_query.result_xml
         end
   in
-  Cmd.v (Cmd.info "query" ~doc) Term.(const run $ query $ input $ guard $ force $ logical)
+  Cmd.v (Cmd.info "query" ~doc) Term.(const run $ obs_term $ query $ input $ guard $ force $ logical)
 
 (* ---------- explain ---------- *)
 
@@ -251,7 +290,7 @@ let explain_cmd =
     "Explain how a guard will join this data: per target edge, the type      distance, join level, instance counts, closest-pair count, and any      children left without a closest parent."
   in
   let input = Arg.(required & pos 1 (some file) None & info [] ~docv:"INPUT" ~doc:"XML document or store.") in
-  let run guard input =
+  let run () guard input =
     match load_store input with
     | Error m -> exit_err m
     | Ok store -> (
@@ -261,7 +300,7 @@ let explain_cmd =
             Format.printf "%a@?" Xmorph.Render.pp_explanation
               (Xmorph.Render.explain store compiled.Xmorph.Interp.shape))
   in
-  Cmd.v (Cmd.info "explain" ~doc) Term.(const run $ guard_arg $ input)
+  Cmd.v (Cmd.info "explain" ~doc) Term.(const run $ obs_term $ guard_arg $ input)
 
 (* ---------- view ---------- *)
 
@@ -275,7 +314,7 @@ let view_cmd =
   let eval_flag =
     Arg.(value & flag & info [ "eval" ] ~doc:"Also evaluate the generated view and print the result.")
   in
-  let run guard input eval_flag =
+  let run () guard input eval_flag =
     match load_store input with
     | Error m -> exit_err m
     | Ok store -> (
@@ -296,7 +335,7 @@ let view_cmd =
                        (Guarded.View_gen.run_view doc guard))
             end)
   in
-  Cmd.v (Cmd.info "view" ~doc) Term.(const run $ guard_arg $ input $ eval_flag)
+  Cmd.v (Cmd.info "view" ~doc) Term.(const run $ obs_term $ guard_arg $ input $ eval_flag)
 
 (* ---------- infer ---------- *)
 
@@ -311,7 +350,7 @@ let infer_cmd =
   let input =
     Arg.(value & pos 1 (some file) None & info [] ~docv:"INPUT" ~doc:"Optional XML document or store to check the guard against.")
   in
-  let run query input =
+  let run () query input =
     match Guarded.Infer.guard_of_query query with
     | exception Failure m -> exit_err m
     | exception (Xquery.Qparse.Error _ as e) ->
@@ -331,7 +370,7 @@ let infer_cmd =
                     print_string
                       (Xmorph.Report.loss_to_string compiled.Xmorph.Interp.loss))))
   in
-  Cmd.v (Cmd.info "infer" ~doc) Term.(const run $ query $ input)
+  Cmd.v (Cmd.info "infer" ~doc) Term.(const run $ obs_term $ query $ input)
 
 (* ---------- gen ---------- *)
 
@@ -348,7 +387,7 @@ let gen_cmd =
   in
   let seed = Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.") in
   let output = Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE" ~doc:"Output path (stdout by default).") in
-  let run kind scale seed output =
+  let run () kind scale seed output =
     let tree =
       match kind with
       | `Xmark -> Workloads.Xmark.generate ?seed ~factor:scale ()
@@ -364,13 +403,13 @@ let gen_cmd =
         close_out oc;
         Printf.printf "wrote %d bytes to %s\n" (String.length text) path
   in
-  Cmd.v (Cmd.info "gen" ~doc) Term.(const run $ kind $ scale $ seed $ output)
+  Cmd.v (Cmd.info "gen" ~doc) Term.(const run $ obs_term $ kind $ scale $ seed $ output)
 
 (* ---------- fmt ---------- *)
 
 let fmt_cmd =
   let doc = "Parse a guard and print its canonical form." in
-  let run guard =
+  let run () guard =
     match Xmorph.Parse.guard guard with
     | ast -> print_endline (Xmorph.Ast.to_string ast)
     | exception e -> (
@@ -378,7 +417,7 @@ let fmt_cmd =
         | Some m -> exit_err m
         | None -> raise e)
   in
-  Cmd.v (Cmd.info "fmt" ~doc) Term.(const run $ guard_arg)
+  Cmd.v (Cmd.info "fmt" ~doc) Term.(const run $ obs_term $ guard_arg)
 
 (* ---------- equiv ---------- *)
 
@@ -388,7 +427,7 @@ let equiv_cmd =
   in
   let a = Arg.(required & pos 1 (some file) None & info [] ~docv:"A" ~doc:"First document.") in
   let b = Arg.(required & pos 2 (some file) None & info [] ~docv:"B" ~doc:"Second document.") in
-  let run guard a b =
+  let run () guard a b =
     let transform input =
       match load_store input with
       | Error m -> exit_err m
@@ -407,7 +446,7 @@ let equiv_cmd =
       exit 3
     end
   in
-  Cmd.v (Cmd.info "equiv" ~doc) Term.(const run $ guard_arg $ a $ b)
+  Cmd.v (Cmd.info "equiv" ~doc) Term.(const run $ obs_term $ guard_arg $ a $ b)
 
 (* ---------- shell ---------- *)
 
@@ -417,7 +456,7 @@ let shell_cmd =
      or :commands for reports and guarded queries."
   in
   let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT" ~doc:"XML document or store.") in
-  let run input =
+  let run () input =
     match load_store input with
     | Error m -> exit_err m
     | Ok store ->
@@ -559,7 +598,7 @@ let shell_cmd =
            done
          with Exit -> ())
   in
-  Cmd.v (Cmd.info "shell" ~doc) Term.(const run $ input)
+  Cmd.v (Cmd.info "shell" ~doc) Term.(const run $ obs_term $ input)
 
 let setup_logs () =
   (* XMORPH_DEBUG=1 turns on per-phase debug timing on stderr. *)

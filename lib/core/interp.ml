@@ -14,6 +14,8 @@ type t = {
 exception Error of string
 
 let compile ?(enforce = true) guide source =
+  Xmobs.Obs.phase "compile" ~attrs:[ ("guard", Xmobs.Trace.String source) ]
+  @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let ast =
     try Parse.guard source
@@ -24,6 +26,7 @@ let compile ?(enforce = true) guide source =
   in
   let algebra = Algebra.of_ast ast in
   let sem =
+    Xmobs.Obs.phase "infer" @@ fun () ->
     try Semantics.eval guide algebra
     with Tshape.Error msg -> raise (Error msg)
   in

@@ -62,7 +62,7 @@ let node_qname guide (n : Tshape.node) =
 
    This keeps the compile phase flat and tiny as the paper reports (the
    20 ms "compile" line of Fig. 10). *)
-let analyze ?(warnings = []) guide (shape : Tshape.t) : Report.loss_report =
+let analyze_impl ?(warnings = []) guide (shape : Tshape.t) : Report.loss_report =
   let nodes = ref [] in
   Tshape.iter shape (fun n -> if n.source <> None then nodes := n :: !nodes);
   let nodes = Array.of_list (List.rev !nodes) in
@@ -185,6 +185,14 @@ let analyze ?(warnings = []) guide (shape : Tshape.t) : Report.loss_report =
     omitted_types = omitted;
     warnings = warnings @ List.rev !filters;
   }
+
+let analyze ?warnings guide shape =
+  Xmobs.Obs.phase "loss" @@ fun () ->
+  let report = analyze_impl ?warnings guide shape in
+  Xmobs.Trace.add_attr "classification"
+    (Xmobs.Trace.String
+       (Report.classification_to_string report.Report.classification));
+  report
 
 let admissible cast (c : Report.classification) =
   match (cast, c) with

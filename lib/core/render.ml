@@ -422,6 +422,7 @@ let rec emit_empty (tn : Tshape.node) : Xml.Tree.t =
     }
 
 let to_trees store (shape : Tshape.t) =
+  Xmobs.Obs.phase "render" @@ fun () ->
   let rctx = make_rctx store in
   let plan = { maps = Hashtbl.create 1024 } in
   List.concat_map
@@ -440,6 +441,7 @@ let to_tree ?(wrapper = "result") store shape =
 (* Streamed emission: the same walk as [emit], but serialized fragments go
    straight to the sink. *)
 let stream store (shape : Tshape.t) sink =
+  Xmobs.Obs.phase "render" @@ fun () ->
   let rctx = make_rctx store in
   let plan = { maps = Hashtbl.create 1024 } in
   let bytes = ref 0 and elements = ref 0 in
@@ -569,6 +571,10 @@ let to_buffer store shape buf =
     trees;
   let bytes = Buffer.length buf - start in
   Store_.Io_stats.charge_write (Store_.Shredded.stats store) bytes;
+  if Xmobs.Metrics.is_enabled () then begin
+    Xmobs.Metrics.inc ~by:!elements "render.elements";
+    Xmobs.Metrics.inc ~by:bytes "render.bytes"
+  end;
   { elements = !elements; bytes }
 
 type instance = { dewey : Dewey.t; source : int }

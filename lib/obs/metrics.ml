@@ -1,0 +1,246 @@
+(* A metrics registry: named counters, gauges, and log-scale histograms.
+
+   There is one [global] registry plus per-run scoped registries ([create] /
+   [with_registry]); the *current* registry receives all name-based updates.
+   Updates only happen while metrics are enabled, so the disabled path is a
+   single branch.  Hot call sites can intern a handle once ([counter],
+   [gauge], [histogram]) and mutate it directly — a field write, no lookup.
+
+   Observers subscribe to the current registry and run after every published
+   update; the experiment harness uses this to sample cumulative I/O during
+   a run, replacing the old bench-only [Io_stats.set_observer] hook. *)
+
+type counter = { mutable count : int }
+
+type gauge = { mutable level : float }
+
+(* Log-scale buckets: [scale] buckets per octave around bucket [mid] at 1.0,
+   i.e. bucket i holds values near 2^((i - mid) / scale).  With scale = 8 the
+   relative quantization error is under 5 % across ~2^-32 .. 2^32. *)
+let hist_buckets = 512
+
+let hist_mid = 256
+
+let hist_scale = 8.0
+
+type histogram = {
+  mutable n : int;
+  mutable sum : float;
+  mutable minv : float;
+  mutable maxv : float;
+  buckets : int array;
+}
+
+type t = {
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+  mutable observers : (int * (unit -> unit)) list;
+  mutable next_observer : int;
+}
+
+let create () : t =
+  {
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+    observers = [];
+    next_observer = 0;
+  }
+
+let global = create ()
+
+let current = ref global
+
+let current_registry () = !current
+
+let enabled = ref false
+
+let is_enabled () = !enabled
+
+let enable ?registry () =
+  (match registry with Some r -> current := r | None -> ());
+  enabled := true
+
+let disable () = enabled := false
+
+(* Run [f] with [r] as the current registry (metrics stay enabled/disabled
+   as they were). *)
+let with_registry r f =
+  let prev = !current in
+  current := r;
+  Fun.protect f ~finally:(fun () -> current := prev)
+
+let reset ?r () =
+  let r = match r with Some r -> r | None -> !current in
+  Hashtbl.reset r.counters;
+  Hashtbl.reset r.gauges;
+  Hashtbl.reset r.histograms
+
+(* ---------- handles ---------- *)
+
+let intern tbl name make =
+  match Hashtbl.find_opt tbl name with
+  | Some x -> x
+  | None ->
+      let x = make () in
+      Hashtbl.replace tbl name x;
+      x
+
+let counter ?r name =
+  let r = match r with Some r -> r | None -> !current in
+  intern r.counters name (fun () -> { count = 0 })
+
+let gauge ?r name =
+  let r = match r with Some r -> r | None -> !current in
+  intern r.gauges name (fun () -> { level = 0.0 })
+
+let histogram ?r name =
+  let r = match r with Some r -> r | None -> !current in
+  intern r.histograms name (fun () ->
+      { n = 0; sum = 0.0; minv = infinity; maxv = neg_infinity;
+        buckets = Array.make hist_buckets 0 })
+
+let counter_add c by = c.count <- c.count + by
+
+let gauge_set g v = g.level <- v
+
+let bucket_of v =
+  if v <= 0.0 then 0
+  else
+    let i = hist_mid + int_of_float (Float.round (hist_scale *. Float.log2 v)) in
+    if i < 0 then 0 else if i >= hist_buckets then hist_buckets - 1 else i
+
+let bucket_value i = Float.pow 2.0 (float_of_int (i - hist_mid) /. hist_scale)
+
+let hist_add h v =
+  h.n <- h.n + 1;
+  h.sum <- h.sum +. v;
+  if v < h.minv then h.minv <- v;
+  if v > h.maxv then h.maxv <- v;
+  let i = bucket_of v in
+  h.buckets.(i) <- h.buckets.(i) + 1
+
+(* ---------- observers ---------- *)
+
+let subscribe ?r f =
+  let r = match r with Some r -> r | None -> !current in
+  let id = r.next_observer in
+  r.next_observer <- id + 1;
+  r.observers <- r.observers @ [ (id, f) ];
+  id
+
+let unsubscribe ?r id =
+  let r = match r with Some r -> r | None -> !current in
+  r.observers <- List.filter (fun (i, _) -> i <> id) r.observers
+
+let notify ?r () =
+  let r = match r with Some r -> r | None -> !current in
+  match r.observers with
+  | [] -> ()
+  | obs -> List.iter (fun (_, f) -> f ()) obs
+
+(* ---------- name-based updates (gated on [enable]) ---------- *)
+
+let inc ?(by = 1) name =
+  if !enabled then begin
+    counter_add (counter name) by;
+    notify ()
+  end
+
+let set_gauge name v =
+  if !enabled then begin
+    gauge_set (gauge name) v;
+    notify ()
+  end
+
+let observe name v =
+  if !enabled then begin
+    hist_add (histogram name) v;
+    notify ()
+  end
+
+(* ---------- reads ---------- *)
+
+let counter_value ?r name =
+  let r = match r with Some r -> r | None -> !current in
+  match Hashtbl.find_opt r.counters name with Some c -> c.count | None -> 0
+
+let gauge_value ?r name =
+  let r = match r with Some r -> r | None -> !current in
+  match Hashtbl.find_opt r.gauges name with Some g -> g.level | None -> 0.0
+
+let hist_percentile h q =
+  if h.n = 0 then None
+  else begin
+    let rank = q *. float_of_int (h.n - 1) in
+    let cum = ref 0 in
+    let found = ref None in
+    (try
+       for i = 0 to hist_buckets - 1 do
+         cum := !cum + h.buckets.(i);
+         if float_of_int !cum > rank then begin
+           found := Some i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    match !found with
+    | None -> Some h.maxv
+    | Some i -> Some (Float.min h.maxv (Float.max h.minv (bucket_value i)))
+  end
+
+let percentile ?r name q =
+  let r = match r with Some r -> r | None -> !current in
+  match Hashtbl.find_opt r.histograms name with
+  | None -> None
+  | Some h -> hist_percentile h q
+
+(* ---------- export ---------- *)
+
+let sorted_bindings tbl =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let hist_to_json h =
+  let pct q = match hist_percentile h q with Some v -> v | None -> 0.0 in
+  Xmutil.Json.Obj
+    [ ("count", Xmutil.Json.Int h.n); ("sum", Xmutil.Json.Float h.sum);
+      ("min", Xmutil.Json.Float (if h.n = 0 then 0.0 else h.minv));
+      ("max", Xmutil.Json.Float (if h.n = 0 then 0.0 else h.maxv));
+      ("mean", Xmutil.Json.Float (if h.n = 0 then 0.0 else h.sum /. float_of_int h.n));
+      ("p50", Xmutil.Json.Float (pct 0.5)); ("p95", Xmutil.Json.Float (pct 0.95));
+      ("p99", Xmutil.Json.Float (pct 0.99)) ]
+
+let to_json ?r () =
+  let r = match r with Some r -> r | None -> !current in
+  Xmutil.Json.Obj
+    [ ("counters",
+       Xmutil.Json.Obj
+         (List.map (fun (k, c) -> (k, Xmutil.Json.Int c.count))
+            (sorted_bindings r.counters)));
+      ("gauges",
+       Xmutil.Json.Obj
+         (List.map (fun (k, g) -> (k, Xmutil.Json.Float g.level))
+            (sorted_bindings r.gauges)));
+      ("histograms",
+       Xmutil.Json.Obj
+         (List.map (fun (k, h) -> (k, hist_to_json h))
+            (sorted_bindings r.histograms))) ]
+
+let to_string ?r () =
+  let r = match r with Some r -> r | None -> !current in
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (k, c) -> Buffer.add_string b (Printf.sprintf "%-40s %d\n" k c.count))
+    (sorted_bindings r.counters);
+  List.iter
+    (fun (k, g) -> Buffer.add_string b (Printf.sprintf "%-40s %g\n" k g.level))
+    (sorted_bindings r.gauges);
+  List.iter
+    (fun (k, h) ->
+      let pct q = match hist_percentile h q with Some v -> v | None -> 0.0 in
+      Buffer.add_string b
+        (Printf.sprintf "%-40s n=%d sum=%g p50=%g p95=%g p99=%g\n" k h.n h.sum
+           (pct 0.5) (pct 0.95) (pct 0.99)))
+    (sorted_bindings r.histograms);
+  Buffer.contents b

@@ -1,0 +1,76 @@
+(** Named counters, gauges, and log-scale histograms.
+
+    One {!global} registry, plus per-run scoped registries ({!create} /
+    {!with_registry}).  Name-based updates ({!inc}, {!set_gauge},
+    {!observe}) go to the {e current} registry and only while metrics are
+    enabled, so the disabled path is a single branch; hot call sites intern
+    a handle once and mutate it directly.
+
+    Observers run after every published update.  The experiment harness
+    subscribes one to sample cumulative I/O while a transformation runs —
+    the role vmstat played in the paper's Figs. 11–13. *)
+
+type t
+(** A registry. *)
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+val global : t
+
+val current_registry : unit -> t
+
+val enable : ?registry:t -> unit -> unit
+(** Turn metrics collection on, optionally switching the current registry. *)
+
+val disable : unit -> unit
+
+val is_enabled : unit -> bool
+
+val with_registry : t -> (unit -> 'a) -> 'a
+(** Run [f] with [r] as the current registry, restoring the previous one. *)
+
+val reset : ?r:t -> unit -> unit
+(** Drop every metric in the registry (observers are kept). *)
+
+(** {2 Handles} — intern once, then update without a name lookup. *)
+
+val counter : ?r:t -> string -> counter
+val gauge : ?r:t -> string -> gauge
+val histogram : ?r:t -> string -> histogram
+val counter_add : counter -> int -> unit
+val gauge_set : gauge -> float -> unit
+
+val hist_add : histogram -> float -> unit
+(** Record a value into log-scale buckets (relative quantization error
+    under 5%). *)
+
+(** {2 Observers} *)
+
+val subscribe : ?r:t -> (unit -> unit) -> int
+val unsubscribe : ?r:t -> int -> unit
+
+val notify : ?r:t -> unit -> unit
+(** Run the registry's observers; handle-based updaters call this once per
+    batch of field writes. *)
+
+(** {2 Name-based updates} — no-ops unless {!is_enabled}; notify observers. *)
+
+val inc : ?by:int -> string -> unit
+val set_gauge : string -> float -> unit
+val observe : string -> float -> unit
+
+(** {2 Reads and export} *)
+
+val counter_value : ?r:t -> string -> int
+val gauge_value : ?r:t -> string -> float
+
+val percentile : ?r:t -> string -> float -> float option
+(** [percentile name q] with [q] in [0,1]; [None] if the histogram is empty
+    or absent. *)
+
+val to_json : ?r:t -> unit -> Xmutil.Json.t
+val to_string : ?r:t -> unit -> string

@@ -1,0 +1,29 @@
+(* Facade over the tracer and the metrics registry.
+
+   [phase name f] is the one-liner the pipeline uses: it opens a trace span
+   [name] around [f] and, when metrics are on, records the latency into the
+   [phase.<name>.seconds] histogram and bumps [phase.<name>.count].  With
+   both subsystems disabled it is a branch and a tail call — no allocation —
+   so always-on instrumentation does not move Fig. 10's timings. *)
+
+let active () = Trace.tracing () || Metrics.is_enabled ()
+
+let phase ?attrs name f =
+  if not (Trace.tracing ()) && not (Metrics.is_enabled ()) then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let record () =
+      if Metrics.is_enabled () then begin
+        Metrics.observe ("phase." ^ name ^ ".seconds")
+          (Unix.gettimeofday () -. t0);
+        Metrics.inc ("phase." ^ name ^ ".count")
+      end
+    in
+    match Trace.with_span ?attrs name f with
+    | v ->
+        record ();
+        v
+    | exception e ->
+        record ();
+        raise e
+  end

@@ -1,0 +1,11 @@
+(** Facade over {!Trace} and {!Metrics}.
+
+    [phase name f] is the one-liner the pipeline uses: a trace span around
+    [f] plus, when metrics are on, a [phase.<name>.seconds] latency
+    histogram observation and a [phase.<name>.count] bump.  With both
+    subsystems off it is a branch and a tail call. *)
+
+val active : unit -> bool
+(** True when tracing or metrics collection is on. *)
+
+val phase : ?attrs:(string * Trace.value) list -> string -> (unit -> 'a) -> 'a

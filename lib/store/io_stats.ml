@@ -7,30 +7,91 @@ type snapshot = {
   write_ops : int;
 }
 
+(* Gauge handles into the current metrics registry, re-resolved when the
+   registry is swapped so per-charge publication is a few field writes. *)
+type handles = {
+  hreg : Xmobs.Metrics.t;
+  h_bytes_read : Xmobs.Metrics.gauge;
+  h_bytes_written : Xmobs.Metrics.gauge;
+  h_blocks_read : Xmobs.Metrics.gauge;
+  h_blocks_written : Xmobs.Metrics.gauge;
+  h_read_ops : Xmobs.Metrics.gauge;
+  h_write_ops : Xmobs.Metrics.gauge;
+}
+
 type t = {
   mutable c_bytes_read : int;
   mutable c_bytes_written : int;
   mutable c_read_ops : int;
   mutable c_write_ops : int;
   mutable observer : (snapshot -> unit) option;
+  mutable handles : handles option;
+  mutable traced_blocks : int;
 }
 
 let block_size = 4096
 
 let create () : t =
   { c_bytes_read = 0; c_bytes_written = 0; c_read_ops = 0; c_write_ops = 0;
-    observer = None }
-
-let reset (t : t) =
-  t.c_bytes_read <- 0;
-  t.c_bytes_written <- 0;
-  t.c_read_ops <- 0;
-  t.c_write_ops <- 0
+    observer = None; handles = None; traced_blocks = 0 }
 
 (* Blocks are derived from cumulative bytes, modelling the page locality of
    document-ordered scans: many small sequential record reads share a page,
    as they do under BerkeleyDB's page cache. *)
 let blocks_of bytes = (bytes + block_size - 1) / block_size
+
+let metric_handles t =
+  let reg = Xmobs.Metrics.current_registry () in
+  match t.handles with
+  | Some h when h.hreg == reg -> h
+  | _ ->
+      let g = Xmobs.Metrics.gauge ~r:reg in
+      let h =
+        { hreg = reg;
+          h_bytes_read = g "store.bytes_read";
+          h_bytes_written = g "store.bytes_written";
+          h_blocks_read = g "store.blocks_read";
+          h_blocks_written = g "store.blocks_written";
+          h_read_ops = g "store.read_ops";
+          h_write_ops = g "store.write_ops" }
+      in
+      t.handles <- Some h;
+      h
+
+(* Publish the cumulative counters to the observability layer: gauges in the
+   current metrics registry (observers fire once per charge) and, when a
+   trace is being recorded and the cumulative block count moved, a counter
+   sample on the active span's track. *)
+let publish t =
+  if Xmobs.Metrics.is_enabled () then begin
+    let h = metric_handles t in
+    Xmobs.Metrics.gauge_set h.h_bytes_read (float_of_int t.c_bytes_read);
+    Xmobs.Metrics.gauge_set h.h_bytes_written (float_of_int t.c_bytes_written);
+    Xmobs.Metrics.gauge_set h.h_blocks_read
+      (float_of_int (blocks_of t.c_bytes_read));
+    Xmobs.Metrics.gauge_set h.h_blocks_written
+      (float_of_int (blocks_of t.c_bytes_written));
+    Xmobs.Metrics.gauge_set h.h_read_ops (float_of_int t.c_read_ops);
+    Xmobs.Metrics.gauge_set h.h_write_ops (float_of_int t.c_write_ops);
+    Xmobs.Metrics.notify ()
+  end;
+  if Xmobs.Trace.tracing () then begin
+    let blocks = blocks_of t.c_bytes_read + blocks_of t.c_bytes_written in
+    if blocks <> t.traced_blocks then begin
+      t.traced_blocks <- blocks;
+      Xmobs.Trace.counter "store.blocks"
+        [ ("read", Xmobs.Trace.Int (blocks_of t.c_bytes_read));
+          ("written", Xmobs.Trace.Int (blocks_of t.c_bytes_written)) ]
+    end
+  end
+
+let reset (t : t) =
+  t.c_bytes_read <- 0;
+  t.c_bytes_written <- 0;
+  t.c_read_ops <- 0;
+  t.c_write_ops <- 0;
+  t.traced_blocks <- 0;
+  publish t
 
 let snapshot (t : t) : snapshot =
   {
@@ -48,12 +109,14 @@ let notify (t : t) =
 let charge_read (t : t) bytes =
   t.c_bytes_read <- t.c_bytes_read + bytes;
   t.c_read_ops <- t.c_read_ops + 1;
-  notify t
+  notify t;
+  publish t
 
 let charge_write (t : t) bytes =
   t.c_bytes_written <- t.c_bytes_written + bytes;
   t.c_write_ops <- t.c_write_ops + 1;
-  notify t
+  notify t;
+  publish t
 
 let set_observer (t : t) obs = t.observer <- obs
 

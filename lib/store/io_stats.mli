@@ -9,7 +9,12 @@
     latency so a wait-percentage can be derived.
 
     Counters are per-instance; a store owns one and shares it with the
-    renderer that reads from it. *)
+    renderer that reads from it.  Every charge is also published to the
+    observability layer: the [store.bytes_read] / [store.bytes_written] /
+    [store.blocks_read] / [store.blocks_written] / [store.read_ops] /
+    [store.write_ops] gauges of the current {!Xmobs.Metrics} registry (when
+    metrics are enabled), and a [store.blocks] counter track in the active
+    {!Xmobs.Trace} span whenever the cumulative block count moves. *)
 
 type t
 
@@ -35,10 +40,11 @@ val charge_read : t -> int -> unit
 val charge_write : t -> int -> unit
 
 val set_observer : t -> (snapshot -> unit) option -> unit
-(** Install a callback invoked after every charge.  The benchmark harness
-    uses this to sample cumulative-I/O and memory series during a
-    transformation, the way the paper sampled vmstat while the experiment
-    ran (Figs. 11–13). *)
+(** Install a callback invoked after every charge, before the metrics
+    publication.  In-process consumers that track a single store can use
+    this directly; the benchmark harness instead samples through
+    {!Xmobs.Metrics.subscribe}, the way the paper sampled vmstat while the
+    experiment ran (Figs. 11–13). *)
 
 val snapshot : t -> snapshot
 

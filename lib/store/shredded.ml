@@ -47,6 +47,9 @@ let decode_record blob off id =
   ({ id; dewey; kind; name; type_id; parent; value }, c.pos - off)
 
 let shred doc =
+  Xmobs.Obs.phase "shred"
+    ~attrs:[ ("nodes", Xmobs.Trace.Int (Xml.Doc.node_count doc)) ]
+  @@ fun () ->
   let count = Xml.Doc.node_count doc in
   let b = Buffer.create (count * 32) in
   let offsets = Array.make count 0 in
@@ -155,6 +158,7 @@ let update_value t id value =
 let magic = "XMORPH-STORE-1\n"
 
 let save t path =
+  Xmobs.Obs.phase "store.save" @@ fun () ->
   let b = Buffer.create (String.length t.blob + 1024) in
   Buffer.add_string b magic;
   (* Type table, in id order so re-interning reproduces the ids. *)
@@ -181,6 +185,7 @@ let save t path =
   close_out oc
 
 let load path =
+  Xmobs.Obs.phase "store.load" @@ fun () ->
   let ic = open_in_bin path in
   let n = in_channel_length ic in
   let data = really_input_string ic n in

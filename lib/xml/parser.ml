@@ -251,7 +251,7 @@ let parse_prolog st =
   in
   go ()
 
-let parse src =
+let parse_document src =
   let st = { src; len = String.length src; pos = 0 } in
   parse_prolog st;
   if not (peek st = '<' && is_name_start (peek2 st)) then fail st "expected root element";
@@ -265,6 +265,11 @@ let parse src =
   in
   trail ();
   root
+
+let parse src =
+  Xmobs.Obs.phase "xml.parse"
+    ~attrs:[ ("bytes", Xmobs.Trace.Int (String.length src)) ]
+    (fun () -> parse_document src)
 
 let parse_file path =
   let ic = open_in_bin path in

@@ -71,3 +71,180 @@ let to_string ?pretty t =
   let b = Buffer.create 256 in
   to_buffer ?pretty b t;
   Buffer.contents b
+
+(* ---------- parsing ---------- *)
+
+exception Parse_error of { pos : int; msg : string }
+
+type cursor = { src : string; mutable pos : int }
+
+let perr c msg = raise (Parse_error { pos = c.pos; msg })
+
+let peek_c c = if c.pos >= String.length c.src then '\000' else c.src.[c.pos]
+
+let skip_ws c =
+  while
+    c.pos < String.length c.src
+    && match c.src.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect_c c ch =
+  if peek_c c = ch then c.pos <- c.pos + 1
+  else perr c (Printf.sprintf "expected %C" ch)
+
+let expect_lit c lit v =
+  let n = String.length lit in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = lit then begin
+    c.pos <- c.pos + n;
+    v
+  end
+  else perr c (Printf.sprintf "expected %s" lit)
+
+let add_utf8 b code =
+  if code < 0x80 then Buffer.add_char b (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let parse_string_body c =
+  expect_c c '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    if c.pos >= String.length c.src then perr c "unterminated string"
+    else
+      match c.src.[c.pos] with
+      | '"' -> c.pos <- c.pos + 1
+      | '\\' ->
+          c.pos <- c.pos + 1;
+          (match peek_c c with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'n' -> Buffer.add_char b '\n'
+          | 'r' -> Buffer.add_char b '\r'
+          | 't' -> Buffer.add_char b '\t'
+          | 'u' ->
+              if c.pos + 4 >= String.length c.src then perr c "truncated \\u escape";
+              let hex = String.sub c.src (c.pos + 1) 4 in
+              let code =
+                try int_of_string ("0x" ^ hex)
+                with _ -> perr c "bad \\u escape"
+              in
+              c.pos <- c.pos + 4;
+              add_utf8 b code
+          | _ -> perr c "bad escape");
+          c.pos <- c.pos + 1;
+          go ()
+      | ch ->
+          Buffer.add_char b ch;
+          c.pos <- c.pos + 1;
+          go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number c =
+  let start = c.pos in
+  let is_float = ref false in
+  if peek_c c = '-' then c.pos <- c.pos + 1;
+  let digit () =
+    while match peek_c c with '0' .. '9' -> true | _ -> false do
+      c.pos <- c.pos + 1
+    done
+  in
+  digit ();
+  if peek_c c = '.' then begin
+    is_float := true;
+    c.pos <- c.pos + 1;
+    digit ()
+  end;
+  (match peek_c c with
+  | 'e' | 'E' ->
+      is_float := true;
+      c.pos <- c.pos + 1;
+      (match peek_c c with '+' | '-' -> c.pos <- c.pos + 1 | _ -> ());
+      digit ()
+  | _ -> ());
+  let text = String.sub c.src start (c.pos - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> perr c "bad number"
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+        (* Integer literal too large for an OCaml int. *)
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> perr c "bad number")
+
+let rec parse_value c =
+  skip_ws c;
+  match peek_c c with
+  | 'n' -> expect_lit c "null" Null
+  | 't' -> expect_lit c "true" (Bool true)
+  | 'f' -> expect_lit c "false" (Bool false)
+  | '"' -> String (parse_string_body c)
+  | '[' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek_c c = ']' then begin
+        c.pos <- c.pos + 1;
+        List []
+      end
+      else begin
+        let items = ref [ parse_value c ] in
+        skip_ws c;
+        while peek_c c = ',' do
+          c.pos <- c.pos + 1;
+          items := parse_value c :: !items;
+          skip_ws c
+        done;
+        expect_c c ']';
+        List (List.rev !items)
+      end
+  | '{' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek_c c = '}' then begin
+        c.pos <- c.pos + 1;
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws c;
+          let k = parse_string_body c in
+          skip_ws c;
+          expect_c c ':';
+          let v = parse_value c in
+          skip_ws c;
+          (k, v)
+        in
+        let fields = ref [ field () ] in
+        while peek_c c = ',' do
+          c.pos <- c.pos + 1;
+          fields := field () :: !fields
+        done;
+        expect_c c '}';
+        Obj (List.rev !fields)
+      end
+  | '-' | '0' .. '9' -> parse_number c
+  | _ -> perr c "expected a JSON value"
+
+let of_string s =
+  let c = { src = s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length s then perr c "trailing content after JSON value";
+  v

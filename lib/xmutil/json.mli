@@ -1,6 +1,7 @@
-(** A minimal JSON value type and serializer (no parsing — the library only
-    {e emits} machine-readable reports; adding a dependency for that would be
-    overkill in a sealed environment). *)
+(** A minimal JSON value type, serializer, and parser — no external
+    dependency in a sealed environment.  The parser exists so exported
+    reports (loss reports, traces, metrics) can be read back and verified
+    round-trip. *)
 
 type t =
   | Null
@@ -16,3 +17,11 @@ val to_string : ?pretty:bool -> t -> string
     are escaped per RFC 8259 (control characters as [\uXXXX]). *)
 
 val to_buffer : ?pretty:bool -> Buffer.t -> t -> unit
+
+exception Parse_error of { pos : int; msg : string }
+
+val of_string : string -> t
+(** Parse a complete JSON document.  Raises {!Parse_error} on malformed
+    input or trailing content.  Numbers without a fraction or exponent
+    parse as [Int] (falling back to [Float] beyond the native int range);
+    [\uXXXX] escapes decode to UTF-8. *)

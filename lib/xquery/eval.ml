@@ -430,6 +430,7 @@ and eval_call env fname args =
   | other -> err "unknown function %s()" other
 
 let eval root e =
+  Xmobs.Obs.phase "xquery.eval" @@ fun () ->
   let document_node =
     Xml.Tree.Element { name = ""; attrs = []; children = [ root ] }
   in

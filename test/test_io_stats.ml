@@ -1,0 +1,120 @@
+(* Direct coverage for the store's I/O accounting: block rounding at the
+   4096-byte boundary, observer invocation order, reset semantics, the
+   simulated-latency model, and publication into the metrics registry
+   (previously only exercised indirectly through test_store.ml). *)
+
+module Io = Store.Io_stats
+
+let snap s = Io.snapshot s
+
+let test_block_rounding () =
+  let s = Io.create () in
+  Alcotest.(check int) "block size" 4096 Io.block_size;
+  Alcotest.(check int) "no reads, no blocks" 0 (snap s).Io.blocks_read;
+  Io.charge_read s 1;
+  Alcotest.(check int) "1 byte rounds up" 1 (snap s).Io.blocks_read;
+  Io.charge_read s 4094;
+  Alcotest.(check int) "4095 bytes is one block" 1 (snap s).Io.blocks_read;
+  Io.charge_read s 1;
+  Alcotest.(check int) "exactly 4096 is one block" 1 (snap s).Io.blocks_read;
+  Io.charge_read s 1;
+  Alcotest.(check int) "4097 spills into a second" 2 (snap s).Io.blocks_read;
+  (* Blocks derive from cumulative bytes: many small reads share a page. *)
+  Alcotest.(check int) "ops counted individually" 4 (snap s).Io.read_ops;
+  Io.charge_write s 4096;
+  Alcotest.(check int) "write boundary" 1 (snap s).Io.blocks_written;
+  Io.charge_write s 1;
+  Alcotest.(check int) "write spill" 2 (snap s).Io.blocks_written;
+  Alcotest.(check int) "totals combine both sides" 4
+    (Io.blocks_total (snap s))
+
+let test_zero_byte_charge () =
+  let s = Io.create () in
+  Io.charge_read s 0;
+  let sn = snap s in
+  Alcotest.(check int) "zero bytes, zero blocks" 0 sn.Io.blocks_read;
+  Alcotest.(check int) "the op still counts" 1 sn.Io.read_ops
+
+let test_observer_order () =
+  let s = Io.create () in
+  let seen = ref [] in
+  Io.set_observer s (Some (fun sn -> seen := sn :: !seen));
+  Io.charge_read s 10;
+  Io.charge_write s 20;
+  Io.charge_read s 30;
+  let seen = List.rev !seen in
+  Alcotest.(check int) "one callback per charge" 3 (List.length seen);
+  (* Each callback sees the counters with its own charge already applied. *)
+  Alcotest.(check (list int)) "cumulative bytes read, in charge order"
+    [ 10; 10; 40 ]
+    (List.map (fun sn -> sn.Io.bytes_read) seen);
+  Alcotest.(check (list int)) "cumulative bytes written, in charge order"
+    [ 0; 20; 20 ]
+    (List.map (fun sn -> sn.Io.bytes_written) seen);
+  Io.set_observer s None;
+  Io.charge_read s 5;
+  Alcotest.(check int) "uninstalled observer is not called" 3
+    (List.length seen)
+
+let test_reset () =
+  let s = Io.create () in
+  Io.charge_read s 5000;
+  Io.charge_write s 100;
+  Io.reset s;
+  let sn = snap s in
+  Alcotest.(check int) "bytes_read zeroed" 0 sn.Io.bytes_read;
+  Alcotest.(check int) "bytes_written zeroed" 0 sn.Io.bytes_written;
+  Alcotest.(check int) "blocks zeroed" 0 (Io.blocks_total sn);
+  Alcotest.(check int) "ops zeroed" 0 (sn.Io.read_ops + sn.Io.write_ops);
+  (* Resetting the counters does not uninstall the observer. *)
+  let calls = ref 0 in
+  Io.set_observer s (Some (fun _ -> incr calls));
+  Io.reset s;
+  Io.charge_read s 1;
+  Alcotest.(check int) "observer survives reset" 1 !calls
+
+let test_simulated_io_monotone () =
+  let s = Io.create () in
+  let rng = Xmutil.Prng.create 7 in
+  let last = ref (Io.simulated_io_seconds (snap s)) in
+  Alcotest.(check (float 0.0)) "empty stats cost nothing" 0.0 !last;
+  for _ = 1 to 200 do
+    if Xmutil.Prng.bool rng then Io.charge_read s (Xmutil.Prng.int rng 10000)
+    else Io.charge_write s (Xmutil.Prng.int rng 10000);
+    let now = Io.simulated_io_seconds (snap s) in
+    if now < !last then Alcotest.fail "simulated_io_seconds went backwards";
+    last := now
+  done;
+  let sn = snap s in
+  Alcotest.(check (float 1e-9)) "latency model: 40 us per block"
+    (float_of_int (Io.blocks_total sn) *. 4.0e-5)
+    (Io.simulated_io_seconds sn)
+
+let test_metrics_publication () =
+  let s = Io.create () in
+  let r = Xmobs.Metrics.create () in
+  Fun.protect ~finally:(fun () -> Xmobs.Metrics.disable ()) (fun () ->
+      Xmobs.Metrics.with_registry r (fun () ->
+          Xmobs.Metrics.enable ();
+          Io.charge_read s 8192;
+          Io.charge_write s 1;
+          Alcotest.(check (float 0.0)) "blocks_read gauge" 2.0
+            (Xmobs.Metrics.gauge_value ~r "store.blocks_read");
+          Alcotest.(check (float 0.0)) "blocks_written gauge" 1.0
+            (Xmobs.Metrics.gauge_value ~r "store.blocks_written");
+          Alcotest.(check (float 0.0)) "read_ops gauge" 1.0
+            (Xmobs.Metrics.gauge_value ~r "store.read_ops");
+          (* Reset publishes the zeroed counters immediately. *)
+          Io.reset s;
+          Alcotest.(check (float 0.0)) "reset publishes zeros" 0.0
+            (Xmobs.Metrics.gauge_value ~r "store.blocks_read")))
+
+let suite =
+  [
+    Alcotest.test_case "block rounding at 4096" `Quick test_block_rounding;
+    Alcotest.test_case "zero-byte charge" `Quick test_zero_byte_charge;
+    Alcotest.test_case "observer invocation order" `Quick test_observer_order;
+    Alcotest.test_case "reset semantics" `Quick test_reset;
+    Alcotest.test_case "simulated io monotone" `Quick test_simulated_io_monotone;
+    Alcotest.test_case "metrics publication" `Quick test_metrics_publication;
+  ]

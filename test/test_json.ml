@@ -44,6 +44,42 @@ let test_report_json_shape () =
   let q = Json.to_string (Xmorph.Quantify.to_json m) in
   Alcotest.(check bool) "measured json" true (Tutil.contains q {|"reversible": false|})
 
+let test_parse_scalars () =
+  Alcotest.(check string) "null" "null" (js (Json.of_string "null"));
+  Alcotest.(check string) "bools" "[true,false]"
+    (js (Json.of_string " [ true , false ] "));
+  Alcotest.(check string) "ints" "[42,-7,0]" (js (Json.of_string "[42,-7,0]"));
+  Alcotest.(check string) "floats" "[3.5,0.25,200]"
+    (js (Json.of_string "[3.5,2.5e-1,2e2]"));
+  Alcotest.(check string) "string escapes" {|["a\"b\\c\nd"]|}
+    (js (Json.of_string {|["a\"b\\c\nd"]|}));
+  Alcotest.(check string) "unicode escape" "\"A\""
+    (js (Json.of_string {|"\u0041"|}))
+
+let test_parse_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("a", Json.List [ Json.Int 1; Json.Float 2.5; Json.Null ]);
+        ("s", Json.String "x\"y\nz\\");
+        ("o", Json.Obj [ ("b", Json.Bool false) ]);
+        ("empty", Json.List []);
+      ]
+  in
+  Alcotest.(check string) "compact roundtrip" (js v)
+    (js (Json.of_string (js v)));
+  Alcotest.(check string) "pretty roundtrip" (js v)
+    (js (Json.of_string (Json.to_string v)))
+
+let test_parse_errors () =
+  let rejects s =
+    match Json.of_string s with
+    | exception Json.Parse_error _ -> ()
+    | _ -> Alcotest.failf "accepted malformed input %S" s
+  in
+  List.iter rejects
+    [ ""; "{"; "[1,]"; {|{"a" 1}|}; "tru"; {|"unterminated|}; "1 2"; "nan" ]
+
 let suite =
   [
     Alcotest.test_case "scalars" `Quick test_scalars;
@@ -51,4 +87,7 @@ let suite =
     Alcotest.test_case "composites" `Quick test_composite;
     Alcotest.test_case "pretty printing" `Quick test_pretty;
     Alcotest.test_case "report serialization" `Quick test_report_json_shape;
+    Alcotest.test_case "parse scalars" `Quick test_parse_scalars;
+    Alcotest.test_case "parse roundtrip" `Quick test_parse_roundtrip;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
   ]

@@ -1,0 +1,237 @@
+(* The observability layer: span nesting and ordering, ring-buffer bounds,
+   histogram percentiles against a known distribution, JSON export
+   round-trips through Xmutil.Json, and the zero-allocation guarantee of
+   the disabled path. *)
+
+module Trace = Xmobs.Trace
+module Metrics = Xmobs.Metrics
+
+let with_trace f =
+  Trace.enable ();
+  Fun.protect f ~finally:Trace.disable
+
+let with_scoped_metrics f =
+  let r = Metrics.create () in
+  Fun.protect
+    ~finally:(fun () -> Metrics.disable ())
+    (fun () ->
+      Metrics.with_registry r (fun () ->
+          Metrics.enable ();
+          f r))
+
+let span_names () = List.map (fun (s : Trace.span) -> s.Trace.name) (Trace.spans ())
+
+let test_span_nesting () =
+  with_trace (fun () ->
+      Trace.with_span "a" (fun () ->
+          Trace.with_span "b" (fun () -> ());
+          Trace.with_span "c" (fun () -> ()));
+      Trace.with_span "d" (fun () -> ());
+      let spans = Trace.spans () in
+      Alcotest.(check (list string)) "start order" [ "a"; "b"; "c"; "d" ]
+        (span_names ());
+      let find n = List.find (fun (s : Trace.span) -> s.Trace.name = n) spans in
+      let a = find "a" and b = find "b" and c = find "c" and d = find "d" in
+      Alcotest.(check int) "a is a root" (-1) a.Trace.parent;
+      Alcotest.(check int) "d is a root" (-1) d.Trace.parent;
+      Alcotest.(check int) "b nests under a" a.Trace.id b.Trace.parent;
+      Alcotest.(check int) "c nests under a" a.Trace.id c.Trace.parent;
+      Alcotest.(check bool) "children start after their parent" true
+        (b.Trace.start_us >= a.Trace.start_us
+        && c.Trace.start_us >= b.Trace.start_us);
+      Alcotest.(check bool) "parent spans its children" true
+        (a.Trace.dur_us >= b.Trace.dur_us +. c.Trace.dur_us))
+
+let test_span_exception () =
+  with_trace (fun () ->
+      (try Trace.with_span "boom" (fun () -> failwith "x") with Failure _ -> ());
+      Trace.with_span "after" (fun () -> ());
+      let spans = Trace.spans () in
+      Alcotest.(check (list string)) "raised span still recorded"
+        [ "boom"; "after" ] (span_names ());
+      let after = List.find (fun (s : Trace.span) -> s.Trace.name = "after") spans in
+      Alcotest.(check int) "stack unwound by the raise" (-1) after.Trace.parent)
+
+let test_ring_bound () =
+  Trace.enable ~capacity:4 ();
+  Fun.protect ~finally:Trace.disable (fun () ->
+      for i = 1 to 10 do
+        Trace.with_span (string_of_int i) (fun () -> ())
+      done;
+      Alcotest.(check (list string)) "ring keeps the newest entries"
+        [ "7"; "8"; "9"; "10" ] (span_names ()))
+
+let test_attrs_and_events () =
+  with_trace (fun () ->
+      Trace.with_span "s" ~attrs:[ ("k", Trace.Int 1) ] (fun () ->
+          Trace.add_attr "extra" (Trace.String "v");
+          Trace.instant "tick";
+          Trace.counter "blocks" [ ("read", Trace.Int 3) ]);
+      let s = List.hd (Trace.spans ()) in
+      Alcotest.(check bool) "declared attr kept" true
+        (List.mem_assoc "k" s.Trace.attrs);
+      Alcotest.(check bool) "added attr kept" true
+        (List.mem_assoc "extra" s.Trace.attrs);
+      let evs = Trace.events () in
+      Alcotest.(check int) "two events" 2 (List.length evs);
+      List.iter
+        (fun (e : Trace.event) ->
+          Alcotest.(check int) "events attach to the open span" s.Trace.id
+            e.Trace.ev_parent)
+        evs;
+      Alcotest.(check bool) "counter flagged as counter" true
+        (List.exists (fun (e : Trace.event) -> e.Trace.ev_counter) evs))
+
+(* Percentiles of 100k uniform [0,100) draws.  The log-scale buckets
+   quantize within ~5%, so check a 10% relative tolerance. *)
+let test_histogram_percentiles () =
+  with_scoped_metrics (fun r ->
+      let rng = Xmutil.Prng.create 42 in
+      for _ = 1 to 100_000 do
+        Metrics.observe "lat" (Xmutil.Prng.float rng 100.0)
+      done;
+      let pct q =
+        match Metrics.percentile ~r "lat" q with
+        | Some v -> v
+        | None -> Alcotest.fail "histogram missing"
+      in
+      List.iter
+        (fun q ->
+          let expected = 100.0 *. q in
+          let got = pct q in
+          let rel = Float.abs (got -. expected) /. expected in
+          if rel > 0.10 then
+            Alcotest.failf "p%.0f: expected ~%g, got %g (off by %.1f%%)"
+              (100.0 *. q) expected got (100.0 *. rel))
+        [ 0.5; 0.95; 0.99 ];
+      Alcotest.(check bool) "absent histogram reads as None" true
+        (Metrics.percentile ~r "nope" 0.5 = None))
+
+let test_counters_gauges_observers () =
+  with_scoped_metrics (fun r ->
+      let fired = ref 0 in
+      let id = Metrics.subscribe (fun () -> incr fired) in
+      Metrics.inc "hits";
+      Metrics.inc ~by:4 "hits";
+      Metrics.set_gauge "level" 2.5;
+      Alcotest.(check int) "counter accumulates" 5
+        (Metrics.counter_value ~r "hits");
+      Alcotest.(check (float 0.0)) "gauge holds last value" 2.5
+        (Metrics.gauge_value ~r "level");
+      Alcotest.(check int) "observer saw every update" 3 !fired;
+      Metrics.unsubscribe id;
+      Metrics.inc "hits";
+      Alcotest.(check int) "unsubscribed observer is silent" 3 !fired;
+      Alcotest.(check int) "absent counter reads as zero" 0
+        (Metrics.counter_value ~r "nope"))
+
+let test_phase_records_both () =
+  with_scoped_metrics (fun r ->
+      with_trace (fun () ->
+          let v = Xmobs.Obs.phase "work" (fun () -> 21 * 2) in
+          Alcotest.(check int) "phase is transparent" 42 v;
+          Alcotest.(check (list string)) "span recorded" [ "work" ]
+            (span_names ());
+          Alcotest.(check int) "counter bumped" 1
+            (Metrics.counter_value ~r "phase.work.count");
+          Alcotest.(check bool) "latency observed" true
+            (Metrics.percentile ~r "phase.work.seconds" 0.5 <> None)))
+
+let reserialized s = Xmutil.Json.to_string (Xmutil.Json.of_string s)
+
+let test_trace_json_roundtrip () =
+  with_trace (fun () ->
+      Trace.with_span "outer"
+        ~attrs:[ ("file", Trace.String "a \"b\"\nc"); ("n", Trace.Int 3) ]
+        (fun () ->
+          Trace.counter "blocks" [ ("read", Trace.Int 1) ];
+          Trace.with_span "inner" ~attrs:[ ("ok", Trace.Bool true) ] (fun () -> ()));
+      let text = Xmutil.Json.to_string (Trace.to_json ()) in
+      Alcotest.(check string) "parse . print is the identity" text
+        (reserialized text);
+      (* And the parsed structure is navigable. *)
+      match Xmutil.Json.of_string text with
+      | Xmutil.Json.Obj fields -> (
+          match List.assoc "traceEvents" fields with
+          | Xmutil.Json.List evs ->
+              let names =
+                List.filter_map
+                  (function
+                    | Xmutil.Json.Obj f -> (
+                        match List.assoc_opt "name" f with
+                        | Some (Xmutil.Json.String n) -> Some n
+                        | _ -> None)
+                    | _ -> None)
+                  evs
+              in
+              List.iter
+                (fun n ->
+                  Alcotest.(check bool) (n ^ " exported") true
+                    (List.mem n names))
+                [ "outer"; "inner"; "blocks" ]
+          | _ -> Alcotest.fail "traceEvents is not a list")
+      | _ -> Alcotest.fail "trace export is not an object")
+
+let test_metrics_json_roundtrip () =
+  with_scoped_metrics (fun r ->
+      Metrics.inc ~by:7 "c";
+      Metrics.set_gauge "g" 1.25;
+      Metrics.observe "h" 3.0;
+      let text = Xmutil.Json.to_string (Metrics.to_json ~r ()) in
+      Alcotest.(check string) "parse . print is the identity" text
+        (reserialized text);
+      match Xmutil.Json.of_string text with
+      | Xmutil.Json.Obj fields ->
+          let section name =
+            match List.assoc name fields with
+            | Xmutil.Json.Obj f -> f
+            | _ -> Alcotest.fail (name ^ " is not an object")
+          in
+          Alcotest.(check bool) "counter exported" true
+            (List.assoc_opt "c" (section "counters") = Some (Xmutil.Json.Int 7));
+          Alcotest.(check bool) "gauge exported" true
+            (List.assoc_opt "g" (section "gauges")
+            = Some (Xmutil.Json.Float 1.25));
+          Alcotest.(check bool) "histogram exported" true
+            (List.mem_assoc "h" (section "histograms"))
+      | _ -> Alcotest.fail "metrics export is not an object")
+
+(* The disabled path must not allocate: one branch, then the traced
+   function.  Gc.minor_words itself boxes a float per call, so allow a
+   small constant slack — far below one word per iteration. *)
+let test_disabled_path_no_alloc () =
+  Trace.disable ();
+  Metrics.disable ();
+  let f () = 0 in
+  (* Warm up so any one-time closure setup is done before measuring. *)
+  ignore (Sys.opaque_identity (Trace.with_span "x" f));
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 1000 do
+    ignore (Sys.opaque_identity (Trace.with_span "x" f));
+    Metrics.inc "x";
+    Metrics.set_gauge "x" 1.0;
+    Metrics.observe "x" 1.0
+  done;
+  let w1 = Gc.minor_words () in
+  let delta = w1 -. w0 in
+  if delta > 100.0 then
+    Alcotest.failf "disabled path allocated %.0f minor words over 1000 calls"
+      delta
+
+let suite =
+  [
+    Alcotest.test_case "span nesting and ordering" `Quick test_span_nesting;
+    Alcotest.test_case "spans survive exceptions" `Quick test_span_exception;
+    Alcotest.test_case "ring buffer is bounded" `Quick test_ring_bound;
+    Alcotest.test_case "attrs and events" `Quick test_attrs_and_events;
+    Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+    Alcotest.test_case "counters, gauges, observers" `Quick
+      test_counters_gauges_observers;
+    Alcotest.test_case "phase records span and metrics" `Quick
+      test_phase_records_both;
+    Alcotest.test_case "trace json roundtrip" `Quick test_trace_json_roundtrip;
+    Alcotest.test_case "metrics json roundtrip" `Quick
+      test_metrics_json_roundtrip;
+    Alcotest.test_case "disabled path allocates nothing" `Quick
+      test_disabled_path_no_alloc;
+  ]
