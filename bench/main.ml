@@ -21,6 +21,16 @@ let sections =
   ]
 
 let () =
+  (* XMORPH_BENCH_PROFILE=FILE profiles every operator evaluated across the
+     requested sections and writes the annotated frame tree on exit. *)
+  (match Sys.getenv_opt "XMORPH_BENCH_PROFILE" with
+  | None -> ()
+  | Some path ->
+      Xmobs.Profile.enable ();
+      at_exit (fun () ->
+          let oc = open_out_bin path in
+          output_string oc (Xmobs.Profile.to_text ());
+          close_out oc));
   let requested =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as names) -> names

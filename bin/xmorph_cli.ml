@@ -43,19 +43,25 @@ let write_file path contents =
 
 (* Exports are registered with [at_exit] so they capture whatever ran, even
    when a subcommand bails out through [exit_err]. *)
-let obs_setup trace metrics =
+let obs_setup trace metrics profile =
   (match trace with
   | None -> ()
   | Some path ->
       Xmobs.Trace.enable ();
       at_exit (fun () ->
           write_file path (Xmutil.Json.to_string (Xmobs.Trace.to_json ()))));
-  match metrics with
+  (match metrics with
   | None -> ()
   | Some path ->
       Xmobs.Metrics.enable ();
       at_exit (fun () ->
-          write_file path (Xmutil.Json.to_string (Xmobs.Metrics.to_json ())))
+          write_file path (Xmutil.Json.to_string (Xmobs.Metrics.to_json ()))));
+  match profile with
+  | None -> ()
+  | Some path ->
+      Xmobs.Profile.enable ();
+      at_exit (fun () ->
+          write_file path (Xmutil.Json.to_string (Xmobs.Profile.to_json ())))
 
 let obs_term =
   let trace =
@@ -71,7 +77,14 @@ let obs_term =
              ~doc:"Collect pipeline metrics (counters, gauges, latency \
                    histograms, store I/O) and write them to $(docv) as JSON.")
   in
-  Term.(const obs_setup $ trace $ metrics)
+  let profile =
+    Arg.(value & opt (some string) None
+         & info [ "profile" ] ~docv:"FILE"
+             ~doc:"Profile per-operator evaluation (wall time, node counts, \
+                   closest pairs, block I/O) and write the frame tree to \
+                   $(docv) as JSON.  See also the $(b,profile) subcommand.")
+  in
+  Term.(const obs_setup $ trace $ metrics $ profile)
 
 (* ---------- shred ---------- *)
 
@@ -126,7 +139,9 @@ let shape_cmd =
 
 let shape_diff_cmd =
   let doc =
-    "Diff the adorned shapes of two documents or stores: which types were      added, removed, moved, or changed cardinality — the schema evolution a      guard has to survive."
+    "Diff the adorned shapes of two documents or stores: which types were \
+     added, removed, moved, or changed cardinality — the schema evolution a \
+     guard has to survive."
   in
   let a = Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD" ~doc:"Old document or store.") in
   let b = Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW" ~doc:"New document or store.") in
@@ -287,7 +302,9 @@ let query_cmd =
 
 let explain_cmd =
   let doc =
-    "Explain how a guard will join this data: per target edge, the type      distance, join level, instance counts, closest-pair count, and any      children left without a closest parent."
+    "Explain how a guard will join this data: per target edge, the type \
+     distance, join level, instance counts, closest-pair count, and any \
+     children left without a closest parent."
   in
   let input = Arg.(required & pos 1 (some file) None & info [] ~docv:"INPUT" ~doc:"XML document or store.") in
   let run () guard input =
@@ -301,6 +318,50 @@ let explain_cmd =
               (Xmorph.Render.explain store compiled.Xmorph.Interp.shape))
   in
   Cmd.v (Cmd.info "explain" ~doc) Term.(const run $ obs_term $ guard_arg $ input)
+
+(* ---------- profile ---------- *)
+
+let profile_cmd =
+  let doc =
+    "EXPLAIN ANALYZE for a guard: evaluate it and print the per-operator \
+     frame tree — calls, wall time (cumulative and self), input/output node \
+     counts, closest-pair counts, and block-I/O deltas per operator.  With \
+     --query, also profile the guarded XQuery query."
+  in
+  let input = Arg.(required & pos 1 (some file) None & info [] ~docv:"INPUT" ~doc:"XML document or store.") in
+  let query =
+    Arg.(value & opt (some string) None
+         & info [ "query" ] ~docv:"QUERY"
+             ~doc:"Also run (and profile) this XQuery query on the transformed result.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the profile as JSON instead of the annotated tree.")
+  in
+  let run () guard input query json =
+    match load_store input with
+    | Error m -> exit_err m
+    | Ok store ->
+        Xmobs.Profile.enable ();
+        (match Xmorph.Interp.transform ~enforce:false store guard with
+        | exception Xmorph.Interp.Error m -> exit_err m
+        | tree, _ -> (
+            match query with
+            | None -> ()
+            | Some q -> (
+                match Xquery.Eval.run tree q with
+                | _ -> ()
+                | exception Xquery.Eval.Error m -> exit_err m
+                | exception (Xquery.Qparse.Error _ as e) ->
+                    exit_err
+                      (Option.value ~default:"query syntax error"
+                         (Xquery.Qparse.error_message q e)))));
+        Xmobs.Profile.disable ();
+        if json then
+          print_endline (Xmutil.Json.to_string (Xmobs.Profile.to_json ()))
+        else print_string (Xmobs.Profile.to_text ())
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const run $ obs_term $ guard_arg $ input $ query $ json)
 
 (* ---------- view ---------- *)
 
@@ -423,7 +484,9 @@ let fmt_cmd =
 
 let equiv_cmd =
   let doc =
-    "Do two differently shaped documents hold the same data?  Transform both      with the same guard and compare the results up to sibling order (shapes      are unordered)."
+    "Do two differently shaped documents hold the same data?  Transform both \
+     with the same guard and compare the results up to sibling order (shapes \
+     are unordered)."
   in
   let a = Arg.(required & pos 1 (some file) None & info [] ~docv:"A" ~doc:"First document.") in
   let b = Arg.(required & pos 2 (some file) None & info [] ~docv:"B" ~doc:"Second document.") in
@@ -475,6 +538,7 @@ let shell_cmd =
             \  :guard GUARD      set the current guard\n\
             \  :check [GUARD]    label/loss reports (current guard by default)\n\
             \  :explain [GUARD]  join diagnostics\n\
+            \  :profile [GUARD]  per-operator profile of a transformation\n\
             \  :quantify [GUARD] measured information loss\n\
             \  :query QUERY      guarded query (physical)\n\
             \  :logical QUERY    guarded query (in-situ, architecture 3)\n\
@@ -519,6 +583,18 @@ let shell_cmd =
                              (Xmorph.Quantify.measure store compiled.Xmorph.Interp.shape))
                     | None -> ())
                 | None -> (
+                    match strip_prefix line ":profile" with
+                    | Some rest -> (
+                        Xmobs.Profile.enable ();
+                        (match
+                           Xmorph.Interp.transform ~enforce:false store
+                             (arg_or_current rest)
+                         with
+                        | _ -> ()
+                        | exception Xmorph.Interp.Error m -> print_endline m);
+                        Xmobs.Profile.disable ();
+                        print_string (Xmobs.Profile.to_text ()))
+                    | None -> (
                     match strip_prefix line ":explain" with
                     | Some rest -> (
                         match compile_or_report (arg_or_current rest) with
@@ -585,7 +661,7 @@ let shell_cmd =
                                         print_string
                                           (Xml.Printer.to_string_indented
                                              (Xmorph.Interp.render store compiled))
-                                    | None -> ()))))))
+                                    | None -> ())))))))
         in
         if interactive then
           print_endline "xmorph shell - :help for commands, :quit to exit";
@@ -612,7 +688,8 @@ let main =
   let doc = "shape-polymorphic XML transformations (XMorph 2.0)" in
   let info = Cmd.info "xmorph" ~version:"2.0" ~doc in
   Cmd.group info
-    [ shred_cmd; shape_cmd; shape_diff_cmd; check_cmd; explain_cmd; run_cmd; query_cmd;
-      infer_cmd; view_cmd; shell_cmd; equiv_cmd; fmt_cmd; gen_cmd ]
+    [ shred_cmd; shape_cmd; shape_diff_cmd; check_cmd; explain_cmd; profile_cmd;
+      run_cmd; query_cmd; infer_cmd; view_cmd; shell_cmd; equiv_cmd; fmt_cmd;
+      gen_cmd ]
 
 let () = exit (Cmd.eval main)

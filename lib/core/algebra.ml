@@ -46,6 +46,34 @@ let rec of_ast (g : Ast.t) =
   | Ast.Cast (c, g) -> mk (Cast (c, of_ast g))
   | Ast.Type_fill g -> mk (Type_fill (of_ast g))
 
+(* One label per operator, shared between [pp] and the profiler so profile
+   trees read exactly like Fig. 9 plans. *)
+let op_name n =
+  match n.desc with
+  | Compose _ -> "compose"
+  | Morph _ -> "morph"
+  | Mutate _ -> "mutate"
+  | Translate rs ->
+      Printf.sprintf "translate {%s}"
+        (String.concat ", " (List.map (fun (a, b) -> a ^ " -> " ^ b) rs))
+  | Type_sel { label; bang } ->
+      Printf.sprintf "type(%s%s)" (if bang then "!" else "") label
+  | Closest _ -> "closest"
+  | Star_children -> "children(*)"
+  | Star_descendants -> "descendants(**)"
+  | Children_of _ -> "children"
+  | Descendants_of _ -> "descendants"
+  | Drop _ -> "drop"
+  | Clone _ -> "clone"
+  | New_label l -> Printf.sprintf "new(%s)" l
+  | Restrict _ -> "restrict"
+  | Value_eq (_, v) -> Printf.sprintf "value(= %S)" v
+  | Order_by (_, k) -> Printf.sprintf "order-by(%s)" k
+  | Cast (Ast.Cast_weak, _) -> "cast"
+  | Cast (Ast.Cast_narrowing, _) -> "cast-narrowing"
+  | Cast (Ast.Cast_widening, _) -> "cast-widening"
+  | Type_fill _ -> "type-fill"
+
 let pp fmt t =
   let types_suffix n =
     match n.inferred with
@@ -53,33 +81,18 @@ let pp fmt t =
     | tys -> Printf.sprintf "  {types: %s}" (String.concat "," (List.map string_of_int tys))
   in
   let rec go indent n =
-    let line s = Format.fprintf fmt "%s%s%s@." indent s (types_suffix n) in
+    Format.fprintf fmt "%s%s%s@." indent (op_name n) (types_suffix n);
     let sub = indent ^ "  " in
     match n.desc with
-    | Compose (a, b) -> line "compose"; go sub a; go sub b
-    | Morph items -> line "morph"; List.iter (go sub) items
-    | Mutate items -> line "mutate"; List.iter (go sub) items
-    | Translate rs ->
-        line
-          (Printf.sprintf "translate {%s}"
-             (String.concat ", " (List.map (fun (a, b) -> a ^ " -> " ^ b) rs)))
-    | Type_sel { label; bang } ->
-        line (Printf.sprintf "type(%s%s)" (if bang then "!" else "") label)
-    | Closest (p, items) -> line "closest"; go sub p; List.iter (go sub) items
-    | Star_children -> line "children(*)"
-    | Star_descendants -> line "descendants(**)"
-    | Children_of p -> line "children"; go sub p
-    | Descendants_of p -> line "descendants"; go sub p
-    | Drop p -> line "drop"; go sub p
-    | Clone p -> line "clone"; go sub p
-    | New_label l -> line (Printf.sprintf "new(%s)" l)
-    | Restrict p -> line "restrict"; go sub p
-    | Value_eq (p, v) -> line (Printf.sprintf "value(= %S)" v); go sub p
-    | Order_by (p, k) -> line (Printf.sprintf "order-by(%s)" k); go sub p
-    | Cast (Ast.Cast_weak, g) -> line "cast"; go sub g
-    | Cast (Ast.Cast_narrowing, g) -> line "cast-narrowing"; go sub g
-    | Cast (Ast.Cast_widening, g) -> line "cast-widening"; go sub g
-    | Type_fill g -> line "type-fill"; go sub g
+    | Compose (a, b) -> go sub a; go sub b
+    | Morph items | Mutate items -> List.iter (go sub) items
+    | Closest (p, items) -> go sub p; List.iter (go sub) items
+    | Children_of p | Descendants_of p | Drop p | Clone p | Restrict p
+    | Value_eq (p, _) | Order_by (p, _) | Cast (_, p) | Type_fill p ->
+        go sub p
+    | Translate _ | Type_sel _ | Star_children | Star_descendants
+    | New_label _ ->
+        ()
   in
   go "" t
 

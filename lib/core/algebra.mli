@@ -33,6 +33,11 @@ and desc =
 
 val of_ast : Ast.t -> t
 
+val op_name : t -> string
+(** The one-line label [pp] prints for this operator (e.g. [type(author)],
+    [closest], [value(= "x")]) — also used as the profiler's frame name so
+    profiles read like Fig. 9 plans. *)
+
 val pp : Format.formatter -> t -> unit
 (** Indented operator-tree rendering à la Fig. 9, including inferred types
     when the analysis has run. *)

@@ -16,6 +16,7 @@ exception Error of string
 let compile ?(enforce = true) guide source =
   Xmobs.Obs.phase "compile" ~attrs:[ ("guard", Xmobs.Trace.String source) ]
   @@ fun () ->
+  Xmobs.Profile.op "compile" @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let ast =
     try Parse.guard source

@@ -308,7 +308,28 @@ let rec plan_node rctx plan (tn : Tshape.node) ~aty ~ids =
               plan_node rctx plan c ~aty ~ids))
     tn.children
 
+(* Profiled wrapper: each target edge's pipelined join appears in the
+   profile as a [closest(parent->child)] frame, nested to mirror the target
+   shape, with parents in, closest pairs, and distinct children out. *)
 and plan_edge rctx plan (c : Tshape.node) ~aty ~ids ~cty =
+  if not (Xmobs.Profile.profiling ()) then
+    plan_edge_op rctx plan c ~aty ~ids ~cty
+  else begin
+    let tt = Store_.Shredded.types rctx.store in
+    let name =
+      Printf.sprintf "closest(%s->%s)" (Xml.Type_table.qname tt aty)
+        (Xml.Type_table.qname tt cty)
+    in
+    let tok = Xmobs.Profile.enter name in
+    Xmobs.Profile.add_in (Array.length ids);
+    match plan_edge_op rctx plan c ~aty ~ids ~cty with
+    | () -> Xmobs.Profile.exit tok
+    | exception e ->
+        Xmobs.Profile.exit tok;
+        raise e
+  end
+
+and plan_edge_op rctx plan (c : Tshape.node) ~aty ~ids ~cty =
   let m = closest_join rctx ~pty:aty ~parents:ids ~cty in
   let all = Vec.create () in
   Array.iter
@@ -321,10 +342,12 @@ and plan_edge rctx plan (c : Tshape.node) ~aty ~ids ~cty =
           let kids = sort_instances rctx c kids in
           if Array.length kids > 0 then begin
             Hashtbl.replace plan.maps (c.uid, pid) kids;
+            Xmobs.Profile.add_pairs (Array.length kids);
             Array.iter (fun k -> ignore (Vec.push all k)) kids
           end)
     ids;
   let child_ids = sorted_unique (Vec.to_array all) in
+  Xmobs.Profile.add_out (Array.length child_ids);
   plan_node rctx plan c ~aty:cty ~ids:child_ids
 
 (* ------------------------------------------------------------------ *)
@@ -423,6 +446,7 @@ let rec emit_empty (tn : Tshape.node) : Xml.Tree.t =
 
 let to_trees store (shape : Tshape.t) =
   Xmobs.Obs.phase "render" @@ fun () ->
+  Xmobs.Profile.op "render" @@ fun () ->
   let rctx = make_rctx store in
   let plan = { maps = Hashtbl.create 1024 } in
   List.concat_map
@@ -430,7 +454,9 @@ let to_trees store (shape : Tshape.t) =
       let ids = root_instances rctx root in
       plan_root rctx plan root ids;
       if Array.length ids = 1 && ids.(0) = -1 then [ emit_empty root ]
-      else Array.to_list (Array.map (fun id -> emit rctx plan root id) ids))
+      else
+        Xmobs.Profile.op "emit" (fun () ->
+            Array.to_list (Array.map (fun id -> emit rctx plan root id) ids)))
     shape.roots
 
 let to_tree ?(wrapper = "result") store shape =
@@ -442,6 +468,7 @@ let to_tree ?(wrapper = "result") store shape =
    straight to the sink. *)
 let stream store (shape : Tshape.t) sink =
   Xmobs.Obs.phase "render" @@ fun () ->
+  Xmobs.Profile.op "render" @@ fun () ->
   let rctx = make_rctx store in
   let plan = { maps = Hashtbl.create 1024 } in
   let bytes = ref 0 and elements = ref 0 in
@@ -553,7 +580,9 @@ let stream store (shape : Tshape.t) sink =
         in
         empty root
       end
-      else Array.iter (fun id -> walk root id) ids)
+      else
+        Xmobs.Profile.op "emit" (fun () ->
+            Array.iter (fun id -> walk root id) ids))
     shape.roots;
   Store_.Io_stats.charge_write (Store_.Shredded.stats store) !bytes;
   { elements = !elements; bytes = !bytes }

@@ -120,7 +120,25 @@ let keep_closest ctx xs rs =
 (* MORPH: evaluate a pattern to a fresh forest drawn from [cur].       *)
 (* ------------------------------------------------------------------ *)
 
+(* Each recursive evaluator is split into a profiled wrapper and an [_op]
+   body: when the profiler is off the wrapper is one branch and a tail
+   call (no closure, no allocation); when on, it opens a frame named after
+   the operator so the profile tree mirrors the Fig. 9 plan. *)
+
 let rec eval_pattern ctx (cur : Tshape.t) (g : Algebra.t) : Tshape.node list =
+  if not (Xmobs.Profile.profiling ()) then eval_pattern_op ctx cur g
+  else begin
+    let tok = Xmobs.Profile.enter (Algebra.op_name g) in
+    match eval_pattern_op ctx cur g with
+    | rs ->
+        Xmobs.Profile.exit ~out_count:(List.length rs) tok;
+        rs
+    | exception e ->
+        Xmobs.Profile.exit tok;
+        raise e
+  end
+
+and eval_pattern_op ctx (cur : Tshape.t) (g : Algebra.t) : Tshape.node list =
   match g.desc with
   | Algebra.Type_sel { label; bang = _ } -> (
       match Tshape.match_label cur label with
@@ -140,6 +158,7 @@ let rec eval_pattern ctx (cur : Tshape.t) (g : Algebra.t) : Tshape.node list =
           copies)
   | Algebra.Closest (p0, items) ->
       let xs = eval_pattern ctx cur p0 in
+      Xmobs.Profile.add_in (List.length xs);
       let received = Hashtbl.create 4 in
       let distance_items = ref false in
       List.iter
@@ -154,6 +173,7 @@ let rec eval_pattern ctx (cur : Tshape.t) (g : Algebra.t) : Tshape.node list =
               distance_items := true;
               let rs = eval_pattern ctx cur item in
               let rs = keep_closest ctx xs rs in
+              Xmobs.Profile.add_pairs (List.length rs);
               List.iter
                 (fun r ->
                   let x = closest_parent ctx xs r in
@@ -256,6 +276,19 @@ let dedup_stars ctx (t : Tshape.t) =
 (* ------------------------------------------------------------------ *)
 
 let rec resolve_mutate ctx (work : Tshape.t) (g : Algebra.t) : Tshape.node list =
+  if not (Xmobs.Profile.profiling ()) then resolve_mutate_op ctx work g
+  else begin
+    let tok = Xmobs.Profile.enter (Algebra.op_name g) in
+    match resolve_mutate_op ctx work g with
+    | rs ->
+        Xmobs.Profile.exit ~out_count:(List.length rs) tok;
+        rs
+    | exception e ->
+        Xmobs.Profile.exit tok;
+        raise e
+  end
+
+and resolve_mutate_op ctx (work : Tshape.t) (g : Algebra.t) : Tshape.node list =
   match g.desc with
   | Algebra.Type_sel { label; _ } -> (
       match Tshape.match_label work label with
@@ -274,6 +307,7 @@ let rec resolve_mutate ctx (work : Tshape.t) (g : Algebra.t) : Tshape.node list 
           nodes)
   | Algebra.Closest (p0, items) ->
       let xs = resolve_mutate ctx work p0 in
+      Xmobs.Profile.add_in (List.length xs);
       List.iter (fun item -> mutate_item ctx work xs item) items;
       g.inferred <- List.filter_map (fun (x : Tshape.node) -> x.source) xs;
       xs
@@ -320,6 +354,7 @@ and mutate_item ctx work xs (item : Algebra.t) =
   | _ ->
       let rs = resolve_mutate ctx work item in
       let rs = keep_closest ctx xs rs in
+      Xmobs.Profile.add_pairs (List.length rs);
       List.iter
         (fun (r : Tshape.node) ->
           let x = closest_parent ctx xs r in
@@ -370,7 +405,26 @@ let eval_translate ctx (cur : Tshape.t) renames =
   flush_labels ctx work;
   work
 
+let shape_size (t : Tshape.t) =
+  let n = ref 0 in
+  Tshape.iter t (fun _ -> incr n);
+  !n
+
 let rec eval_guard ctx (cur : Tshape.t) (g : Algebra.t) : Tshape.t =
+  if not (Xmobs.Profile.profiling ()) then eval_guard_op ctx cur g
+  else begin
+    let tok = Xmobs.Profile.enter (Algebra.op_name g) in
+    Xmobs.Profile.add_in (shape_size cur);
+    match eval_guard_op ctx cur g with
+    | r ->
+        Xmobs.Profile.exit ~out_count:(shape_size r) tok;
+        r
+    | exception e ->
+        Xmobs.Profile.exit tok;
+        raise e
+  end
+
+and eval_guard_op ctx (cur : Tshape.t) (g : Algebra.t) : Tshape.t =
   match g.desc with
   | Algebra.Compose (a, b) ->
       let mid = eval_guard ctx cur a in

@@ -13,6 +13,7 @@ exception Query_failed of string
 
 let run_on_store ?enforce store gq =
   let transformed, compiled =
+    Xmobs.Profile.op "guard.transform" @@ fun () ->
     try Xmorph.Interp.transform ?enforce store gq.guard
     with Xmorph.Loss.Rejected r -> raise (Guard_rejected r)
   in

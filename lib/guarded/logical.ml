@@ -476,6 +476,7 @@ and eval_call t env fname args =
   | other -> err "unknown function %s() in the logical evaluator" other
 
 let query t src =
+  Xmobs.Profile.op "logical.query" @@ fun () ->
   let ast = Xquery.Qparse.parse src in
   let items =
     eval t { vars = []; context = None; position = 1; size = 1 } ast

@@ -8,7 +8,8 @@
 
    Observers subscribe to the current registry and run after every published
    update; the experiment harness uses this to sample cumulative I/O during
-   a run, replacing the old bench-only [Io_stats.set_observer] hook. *)
+   a run — the only per-charge observation path since the bench-only
+   [Io_stats.set_observer] hook was removed. *)
 
 type counter = { mutable count : int }
 

@@ -6,7 +6,8 @@
    both subsystems disabled it is a branch and a tail call — no allocation —
    so always-on instrumentation does not move Fig. 10's timings. *)
 
-let active () = Trace.tracing () || Metrics.is_enabled ()
+let active () =
+  Trace.tracing () || Metrics.is_enabled () || Profile.profiling ()
 
 let phase ?attrs name f =
   if not (Trace.tracing ()) && not (Metrics.is_enabled ()) then f ()

@@ -6,6 +6,6 @@
     subsystems off it is a branch and a tail call. *)
 
 val active : unit -> bool
-(** True when tracing or metrics collection is on. *)
+(** True when tracing, metrics collection, or profiling is on. *)
 
 val phase : ?attrs:(string * Trace.value) list -> string -> (unit -> 'a) -> 'a

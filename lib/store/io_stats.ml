@@ -24,7 +24,6 @@ type t = {
   mutable c_bytes_written : int;
   mutable c_read_ops : int;
   mutable c_write_ops : int;
-  mutable observer : (snapshot -> unit) option;
   mutable handles : handles option;
   mutable traced_blocks : int;
 }
@@ -33,12 +32,22 @@ let block_size = 4096
 
 let create () : t =
   { c_bytes_read = 0; c_bytes_written = 0; c_read_ops = 0; c_write_ops = 0;
-    observer = None; handles = None; traced_blocks = 0 }
+    handles = None; traced_blocks = 0 }
 
 (* Blocks are derived from cumulative bytes, modelling the page locality of
    document-ordered scans: many small sequential record reads share a page,
    as they do under BerkeleyDB's page cache. *)
 let blocks_of bytes = (bytes + block_size - 1) / block_size
+
+(* Cumulative blocks across every store instance, maintained only while the
+   profiler runs so per-operator block deltas can be attributed by
+   snapshotting around an operator's evaluation.  Per-instance block-delta
+   computation keeps the page-rounding semantics of [blocks_of] even with
+   several live stores. *)
+let g_blocks_read = ref 0
+let g_blocks_written = ref 0
+let global_blocks () = (!g_blocks_read, !g_blocks_written)
+let () = Xmobs.Profile.set_io_source global_blocks
 
 let metric_handles t =
   let reg = Xmobs.Metrics.current_registry () in
@@ -103,22 +112,28 @@ let snapshot (t : t) : snapshot =
     write_ops = t.c_write_ops;
   }
 
-let notify (t : t) =
-  match t.observer with None -> () | Some f -> f (snapshot t)
-
 let charge_read (t : t) bytes =
-  t.c_bytes_read <- t.c_bytes_read + bytes;
+  if Xmobs.Profile.profiling () then begin
+    let before = blocks_of t.c_bytes_read in
+    t.c_bytes_read <- t.c_bytes_read + bytes;
+    let after = blocks_of t.c_bytes_read in
+    if after > before then g_blocks_read := !g_blocks_read + (after - before)
+  end
+  else t.c_bytes_read <- t.c_bytes_read + bytes;
   t.c_read_ops <- t.c_read_ops + 1;
-  notify t;
   publish t
 
 let charge_write (t : t) bytes =
-  t.c_bytes_written <- t.c_bytes_written + bytes;
+  if Xmobs.Profile.profiling () then begin
+    let before = blocks_of t.c_bytes_written in
+    t.c_bytes_written <- t.c_bytes_written + bytes;
+    let after = blocks_of t.c_bytes_written in
+    if after > before then
+      g_blocks_written := !g_blocks_written + (after - before)
+  end
+  else t.c_bytes_written <- t.c_bytes_written + bytes;
   t.c_write_ops <- t.c_write_ops + 1;
-  notify t;
   publish t
-
-let set_observer (t : t) obs = t.observer <- obs
 
 let blocks_total s = s.blocks_read + s.blocks_written
 

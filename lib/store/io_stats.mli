@@ -39,12 +39,12 @@ val charge_read : t -> int -> unit
 
 val charge_write : t -> int -> unit
 
-val set_observer : t -> (snapshot -> unit) option -> unit
-(** Install a callback invoked after every charge, before the metrics
-    publication.  In-process consumers that track a single store can use
-    this directly; the benchmark harness instead samples through
-    {!Xmobs.Metrics.subscribe}, the way the paper sampled vmstat while the
-    experiment ran (Figs. 11–13). *)
+val global_blocks : unit -> int * int
+(** Cumulative [(blocks_read, blocks_written)] summed over every store
+    instance.  Maintained only while {!Xmobs.Profile.profiling} is on
+    (registered as the profiler's I/O source at module initialisation);
+    the profiler snapshots it around each operator evaluation to
+    attribute block-I/O deltas per operator. *)
 
 val snapshot : t -> snapshot
 

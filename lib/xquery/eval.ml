@@ -68,7 +68,56 @@ let attribute_step test (it : Value.item) : Value.item list =
         attrs
   | _ -> []
 
+let axis_name = function
+  | Qast.Child -> "child"
+  | Qast.Descendant -> "descendant"
+  | Qast.Attribute -> "attribute"
+
+let test_name = function
+  | Qast.Any -> "*"
+  | Qast.Name n -> n
+  | Qast.Text -> "text()"
+
+(* Profiler frame label per expression node.  Steps carry their axis and
+   node test so a profile distinguishes [child::n] from [descendant::n]. *)
+let expr_label (e : Qast.expr) =
+  match e with
+  | Qast.Literal_string _ | Qast.Literal_number _ -> "literal"
+  | Qast.Var v -> "$" ^ v
+  | Qast.Sequence _ -> "sequence"
+  | Qast.Root -> "/"
+  | Qast.Context_item -> "."
+  | Qast.Step (axis, test, _) | Qast.Path (_, axis, test, _) ->
+      "step:" ^ axis_name axis ^ "::" ^ test_name test
+  | Qast.Flwor _ -> "flwor"
+  | Qast.If _ -> "if"
+  | Qast.Or _ -> "or"
+  | Qast.And _ -> "and"
+  | Qast.Compare _ -> "compare"
+  | Qast.Arith _ -> "arith"
+  | Qast.Neg _ -> "neg"
+  | Qast.Call (f, _) -> f ^ "()"
+  | Qast.Element (n, _, _) -> "element(" ^ n ^ ")"
+  | Qast.Quantified (Qast.Some_, _, _, _) -> "some"
+  | Qast.Quantified (Qast.Every, _, _, _) -> "every"
+
+(* Profiled wrapper over the expression dispatcher: off, it is one branch
+   and a tail call; on, each expression node gets a frame (repeat
+   evaluations inside FLWOR loops aggregate by call count). *)
 let rec eval_expr env (e : Qast.expr) : Value.t =
+  if not (Xmobs.Profile.profiling ()) then eval_expr_desc env e
+  else begin
+    let tok = Xmobs.Profile.enter (expr_label e) in
+    match eval_expr_desc env e with
+    | vs ->
+        Xmobs.Profile.exit ~out_count:(List.length vs) tok;
+        vs
+    | exception ex ->
+        Xmobs.Profile.exit tok;
+        raise ex
+  end
+
+and eval_expr_desc env (e : Qast.expr) : Value.t =
   match e with
   | Qast.Literal_string s -> [ Value.Str s ]
   | Qast.Literal_number f -> [ Value.Num f ]
@@ -165,6 +214,7 @@ let rec eval_expr env (e : Qast.expr) : Value.t =
       [ Value.Bool result ]
 
 and apply_step env base axis test preds =
+  Xmobs.Profile.add_in (List.length base);
   let step_fn =
     match axis with
     | Qast.Child -> child_step test
@@ -431,6 +481,7 @@ and eval_call env fname args =
 
 let eval root e =
   Xmobs.Obs.phase "xquery.eval" @@ fun () ->
+  Xmobs.Profile.op "xquery.eval" @@ fun () ->
   let document_node =
     Xml.Tree.Element { name = ""; attrs = []; children = [ root ] }
   in

@@ -80,6 +80,27 @@ Explain the joins:
   $ xmorph explain "MORPH author [ name ]" data.xml
   data.book.author -> data.book.author.name: typeDistance 1, join at level 3; 3 parents x 3 children -> 3 closest pairs
 
+Profile the same guard, EXPLAIN ANALYZE style (times vary run to run;
+call counts, node counts, closest pairs, and block I/O do not):
+
+  $ xmorph profile "MORPH author [ name ]" data.xml | sed -E 's/time=[0-9.]+ms self=[0-9.]+ms/time=_ self=_/'
+  compile                          calls=1 time=_ self=_ in=0 out=0 blocks=0r+0w
+    morph                          calls=1 time=_ self=_ in=7 out=2 blocks=0r+0w
+      closest                      calls=1 time=_ self=_ in=1 out=1 pairs=1 blocks=0r+0w
+        type(author)               calls=1 time=_ self=_ in=0 out=1 blocks=0r+0w
+        type(name)                 calls=1 time=_ self=_ in=0 out=2 blocks=0r+0w
+  render                           calls=1 time=_ self=_ in=0 out=0 blocks=1r+0w
+    closest(data.book.author->data.book.author.name) calls=1 time=_ self=_ in=3 out=3 pairs=3 blocks=0r+0w
+    emit                           calls=1 time=_ self=_ in=0 out=0 blocks=0r+0w
+
+The JSON exporter parses back, and every subcommand takes --profile FILE:
+
+  $ xmorph run --profile prof.json "MORPH author [ name ]" data.xml > /dev/null
+  $ test -s prof.json
+  $ xmorph profile --json "MORPH author [ name ]" data.xml | head -2
+  {
+    "profile": [
+
 Shred a collection and query the store:
 
   $ echo "<r><a>1</a></r>" > one.xml

@@ -1,7 +1,8 @@
 (* Direct coverage for the store's I/O accounting: block rounding at the
-   4096-byte boundary, observer invocation order, reset semantics, the
-   simulated-latency model, and publication into the metrics registry
-   (previously only exercised indirectly through test_store.ml). *)
+   4096-byte boundary, per-charge observation through Metrics.subscribe,
+   reset semantics, the simulated-latency model, and publication into the
+   metrics registry (previously only exercised indirectly through
+   test_store.ml). *)
 
 module Io = Store.Io_stats
 
@@ -35,26 +36,43 @@ let test_zero_byte_charge () =
   Alcotest.(check int) "zero bytes, zero blocks" 0 sn.Io.blocks_read;
   Alcotest.(check int) "the op still counts" 1 sn.Io.read_ops
 
+(* Per-charge observation goes through Metrics.subscribe: every charge
+   publishes the cumulative gauges and fires the registry's observers once
+   (the path the benches sample vmstat-style, Figs. 11-13). *)
 let test_observer_order () =
   let s = Io.create () in
-  let seen = ref [] in
-  Io.set_observer s (Some (fun sn -> seen := sn :: !seen));
-  Io.charge_read s 10;
-  Io.charge_write s 20;
-  Io.charge_read s 30;
-  let seen = List.rev !seen in
-  Alcotest.(check int) "one callback per charge" 3 (List.length seen);
-  (* Each callback sees the counters with its own charge already applied. *)
-  Alcotest.(check (list int)) "cumulative bytes read, in charge order"
-    [ 10; 10; 40 ]
-    (List.map (fun sn -> sn.Io.bytes_read) seen);
-  Alcotest.(check (list int)) "cumulative bytes written, in charge order"
-    [ 0; 20; 20 ]
-    (List.map (fun sn -> sn.Io.bytes_written) seen);
-  Io.set_observer s None;
-  Io.charge_read s 5;
-  Alcotest.(check int) "uninstalled observer is not called" 3
-    (List.length seen)
+  let r = Xmobs.Metrics.create () in
+  Fun.protect ~finally:(fun () -> Xmobs.Metrics.disable ()) (fun () ->
+      Xmobs.Metrics.with_registry r (fun () ->
+          Xmobs.Metrics.enable ();
+          let seen = ref [] in
+          let sample () =
+            seen :=
+              ( int_of_float (Xmobs.Metrics.gauge_value ~r "store.bytes_read"),
+                int_of_float
+                  (Xmobs.Metrics.gauge_value ~r "store.bytes_written") )
+              :: !seen
+          in
+          let id = Xmobs.Metrics.subscribe sample in
+          Io.charge_read s 10;
+          Io.charge_write s 20;
+          Io.charge_read s 30;
+          let seen_in_order = List.rev !seen in
+          Alcotest.(check int)
+            "one notification per charge" 3
+            (List.length seen_in_order);
+          (* Each notification sees the gauges with its own charge already
+             published. *)
+          Alcotest.(check (list int)) "cumulative bytes read, in charge order"
+            [ 10; 10; 40 ]
+            (List.map fst seen_in_order);
+          Alcotest.(check (list int))
+            "cumulative bytes written, in charge order" [ 0; 20; 20 ]
+            (List.map snd seen_in_order);
+          Xmobs.Metrics.unsubscribe id;
+          Io.charge_read s 5;
+          Alcotest.(check int) "unsubscribed observer is not called" 3
+            (List.length seen_in_order)))
 
 let test_reset () =
   let s = Io.create () in
@@ -66,12 +84,18 @@ let test_reset () =
   Alcotest.(check int) "bytes_written zeroed" 0 sn.Io.bytes_written;
   Alcotest.(check int) "blocks zeroed" 0 (Io.blocks_total sn);
   Alcotest.(check int) "ops zeroed" 0 (sn.Io.read_ops + sn.Io.write_ops);
-  (* Resetting the counters does not uninstall the observer. *)
-  let calls = ref 0 in
-  Io.set_observer s (Some (fun _ -> incr calls));
-  Io.reset s;
-  Io.charge_read s 1;
-  Alcotest.(check int) "observer survives reset" 1 !calls
+  (* Resetting the counters does not detach metrics subscribers; the reset
+     itself publishes (one notification), as does the next charge. *)
+  let r = Xmobs.Metrics.create () in
+  Fun.protect ~finally:(fun () -> Xmobs.Metrics.disable ()) (fun () ->
+      Xmobs.Metrics.with_registry r (fun () ->
+          Xmobs.Metrics.enable ();
+          let calls = ref 0 in
+          let id = Xmobs.Metrics.subscribe (fun () -> incr calls) in
+          Io.reset s;
+          Io.charge_read s 1;
+          Alcotest.(check int) "subscriber survives reset" 2 !calls;
+          Xmobs.Metrics.unsubscribe id))
 
 let test_simulated_io_monotone () =
   let s = Io.create () in

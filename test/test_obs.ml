@@ -196,21 +196,87 @@ let test_metrics_json_roundtrip () =
             (List.mem_assoc "h" (section "histograms"))
       | _ -> Alcotest.fail "metrics export is not an object")
 
+(* Span names and string attributes with quotes, backslashes, and control
+   characters must survive the JSON exporter losslessly. *)
+let test_trace_json_escaping () =
+  let nasty = "q\"uote\\back\x01\x02\ntab\tend" in
+  with_trace (fun () ->
+      Trace.with_span nasty
+        ~attrs:[ ("payload", Trace.String nasty) ]
+        (fun () -> ());
+      let text = Xmutil.Json.to_string (Trace.to_json ()) in
+      match Xmutil.Json.of_string text with
+      | exception _ -> Alcotest.fail "escaped trace JSON does not parse"
+      | Xmutil.Json.Obj fields -> (
+          match List.assoc "traceEvents" fields with
+          | Xmutil.Json.List (Xmutil.Json.Obj ev :: _) ->
+              Alcotest.(check bool) "span name round-trips" true
+                (List.assoc_opt "name" ev = Some (Xmutil.Json.String nasty));
+              (match List.assoc_opt "args" ev with
+              | Some (Xmutil.Json.Obj args) ->
+                  Alcotest.(check bool) "string attr round-trips" true
+                    (List.assoc_opt "payload" args
+                    = Some (Xmutil.Json.String nasty))
+              | _ -> Alcotest.fail "span args missing")
+          | _ -> Alcotest.fail "traceEvents is not a non-empty list")
+      | _ -> Alcotest.fail "trace export is not an object")
+
+(* Writing past the ring's capacity drops the oldest entries and nothing
+   else: the export stays well-formed and holds exactly the survivors. *)
+let test_ring_eviction_json () =
+  Trace.enable ~capacity:3 ();
+  Fun.protect ~finally:Trace.disable (fun () ->
+      for i = 1 to 8 do
+        Trace.with_span (Printf.sprintf "s%d" i) (fun () ->
+            if i mod 2 = 0 then Trace.instant (Printf.sprintf "i%d" i))
+      done;
+      let text = Xmutil.Json.to_string (Trace.to_json ()) in
+      match Xmutil.Json.of_string text with
+      | exception _ -> Alcotest.fail "post-eviction JSON does not parse"
+      | Xmutil.Json.Obj fields -> (
+          match List.assoc "traceEvents" fields with
+          | Xmutil.Json.List evs ->
+              Alcotest.(check int) "capacity bounds the export" 3
+                (List.length evs);
+              let names =
+                List.filter_map
+                  (function
+                    | Xmutil.Json.Obj f -> (
+                        match List.assoc_opt "name" f with
+                        | Some (Xmutil.Json.String n) -> Some n
+                        | _ -> None)
+                    | _ -> None)
+                  evs
+              in
+              (* Ring order: the instant of span 8 lands before span 7 and
+                 span 8 close (entries append at span end / instant time). *)
+              Alcotest.(check (list string)) "only the newest entries survive"
+                [ "s7"; "i8"; "s8" ] names
+          | _ -> Alcotest.fail "traceEvents is not a list")
+      | _ -> Alcotest.fail "trace export is not an object")
+
 (* The disabled path must not allocate: one branch, then the traced
    function.  Gc.minor_words itself boxes a float per call, so allow a
    small constant slack — far below one word per iteration. *)
 let test_disabled_path_no_alloc () =
   Trace.disable ();
   Metrics.disable ();
+  Xmobs.Profile.disable ();
   let f () = 0 in
   (* Warm up so any one-time closure setup is done before measuring. *)
   ignore (Sys.opaque_identity (Trace.with_span "x" f));
+  ignore (Sys.opaque_identity (Xmobs.Profile.op "x" f));
   let w0 = Gc.minor_words () in
   for _ = 1 to 1000 do
     ignore (Sys.opaque_identity (Trace.with_span "x" f));
     Metrics.inc "x";
     Metrics.set_gauge "x" 1.0;
-    Metrics.observe "x" 1.0
+    Metrics.observe "x" 1.0;
+    ignore (Sys.opaque_identity (Xmobs.Profile.op "x" f));
+    let tok = Xmobs.Profile.enter "x" in
+    Xmobs.Profile.add_in 1;
+    Xmobs.Profile.add_pairs 1;
+    Xmobs.Profile.exit tok
   done;
   let w1 = Gc.minor_words () in
   let delta = w1 -. w0 in
@@ -232,6 +298,9 @@ let suite =
     Alcotest.test_case "trace json roundtrip" `Quick test_trace_json_roundtrip;
     Alcotest.test_case "metrics json roundtrip" `Quick
       test_metrics_json_roundtrip;
+    Alcotest.test_case "trace json escaping" `Quick test_trace_json_escaping;
+    Alcotest.test_case "ring eviction keeps json well-formed" `Quick
+      test_ring_eviction_json;
     Alcotest.test_case "disabled path allocates nothing" `Quick
       test_disabled_path_no_alloc;
   ]

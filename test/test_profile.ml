@@ -1,0 +1,160 @@
+(* The per-operator profiler: frame aggregation by name, count
+   accumulation, self-vs-cumulative time, JSON round-tripping through
+   Xmutil.Json, and end-to-end attribution when a guard (and a guarded
+   query) runs under the profiler. *)
+
+module Profile = Xmobs.Profile
+
+let with_profile f =
+  Profile.enable ();
+  Fun.protect f ~finally:Profile.disable
+
+let find_or_fail path =
+  match Profile.lookup path with
+  | Some fr -> fr
+  | None ->
+      Alcotest.failf "no frame at %s in:\n%s" (String.concat "/" path)
+        (Profile.to_text ())
+
+let test_frame_merge () =
+  with_profile (fun () ->
+      Profile.op "loop" (fun () ->
+          for _ = 1 to 3 do
+            Profile.op "leaf" (fun () -> Profile.add_pairs 2)
+          done);
+      let loop = find_or_fail [ "loop" ] in
+      Alcotest.(check int) "one loop frame" 1 loop.Profile.calls;
+      Alcotest.(check int) "one aggregated child" 1
+        (List.length (Profile.ordered_children loop));
+      let leaf = find_or_fail [ "loop"; "leaf" ] in
+      Alcotest.(check int) "three calls merged into one frame" 3
+        leaf.Profile.calls;
+      Alcotest.(check int) "pairs accumulate across calls" 6 leaf.Profile.pairs)
+
+let test_counts_accumulate () =
+  with_profile (fun () ->
+      let tok = Profile.enter "op" in
+      Profile.add_in 4;
+      Profile.add_out 2;
+      Profile.exit ~in_count:1 ~out_count:3 tok;
+      let fr = find_or_fail [ "op" ] in
+      Alcotest.(check int) "in = add_in + exit" 5 fr.Profile.in_count;
+      Alcotest.(check int) "out = add_out + exit" 5 fr.Profile.out_count)
+
+let test_self_within_total () =
+  with_profile (fun () ->
+      Profile.op "parent" (fun () ->
+          Profile.op "child" (fun () -> Sys.opaque_identity (ref 0)))
+      |> ignore;
+      let parent = find_or_fail [ "parent" ] in
+      let child = find_or_fail [ "parent"; "child" ] in
+      Alcotest.(check bool) "self <= total" true
+        (Profile.self_us parent <= parent.Profile.total_us);
+      Alcotest.(check bool) "child time within parent" true
+        (child.Profile.total_us <= parent.Profile.total_us);
+      Alcotest.(check bool) "parent self excludes child" true
+        (Profile.self_us parent
+        <= parent.Profile.total_us -. child.Profile.total_us +. 1e-6))
+
+let test_exception_unwinds () =
+  with_profile (fun () ->
+      (try Profile.op "boom" (fun () -> failwith "x") with Failure _ -> ());
+      Profile.op "after" (fun () -> ());
+      let boom = find_or_fail [ "boom" ] in
+      Alcotest.(check int) "raised frame still counted" 1 boom.Profile.calls;
+      (* [after] must be a root, not a child of the raised frame. *)
+      ignore (find_or_fail [ "after" ]);
+      Alcotest.(check int) "stack unwound by the raise" 0
+        (List.length (Profile.ordered_children boom)))
+
+let test_json_roundtrip () =
+  with_profile (fun () ->
+      Profile.op "a" (fun () ->
+          Profile.op "b \"quoted\"\n" (fun () -> Profile.add_in 7));
+      let text = Xmutil.Json.to_string (Profile.to_json ()) in
+      match Xmutil.Json.of_string text with
+      | exception _ -> Alcotest.fail "profile JSON does not parse"
+      | parsed ->
+          Alcotest.(check string) "parse . print is the identity" text
+            (Xmutil.Json.to_string parsed);
+          (match parsed with
+          | Xmutil.Json.Obj [ ("profile", Xmutil.Json.List [ Xmutil.Json.Obj a ]) ] ->
+              Alcotest.(check bool) "root name exported" true
+                (List.assoc_opt "name" a = Some (Xmutil.Json.String "a"));
+              (match List.assoc_opt "children" a with
+              | Some (Xmutil.Json.List [ Xmutil.Json.Obj b ]) ->
+                  Alcotest.(check bool) "nasty child name round-trips" true
+                    (List.assoc_opt "name" b
+                    = Some (Xmutil.Json.String "b \"quoted\"\n"));
+                  Alcotest.(check bool) "in count exported" true
+                    (List.assoc_opt "in" b = Some (Xmutil.Json.Int 7))
+              | _ -> Alcotest.fail "child frame missing")
+          | _ -> Alcotest.fail "unexpected profile JSON shape"))
+
+let test_reset_discards () =
+  with_profile (fun () ->
+      Profile.op "gone" (fun () -> ());
+      Profile.reset ();
+      Alcotest.(check int) "reset drops collected frames" 0
+        (List.length (Profile.roots ()));
+      Profile.op "kept" (fun () -> ());
+      ignore (find_or_fail [ "kept" ]))
+
+let doc =
+  Xml.Doc.of_string
+    "<data><rec><author>a1</author><name>n1</name></rec>\
+     <rec><author>a2</author><name>n2</name></rec></data>"
+
+let test_transform_profile () =
+  let store = Store.Shredded.shred doc in
+  with_profile (fun () ->
+      ignore (Xmorph.Interp.transform ~enforce:false store "MORPH author [ name ]");
+      (* The profile mirrors the pipeline: compile > morph > closest with
+         the guard's two type selections as children. *)
+      let closest = find_or_fail [ "compile"; "morph"; "closest" ] in
+      Alcotest.(check bool) "closest recorded its pairs" true
+        (closest.Profile.pairs > 0);
+      ignore (find_or_fail [ "compile"; "morph"; "closest"; "type(author)" ]);
+      ignore (find_or_fail [ "compile"; "morph"; "closest"; "type(name)" ]);
+      (* Rendering reads the store: the render subtree owns block I/O. *)
+      let render = find_or_fail [ "render" ] in
+      Alcotest.(check bool) "render charged block reads" true
+        (render.Profile.blocks_read > 0);
+      let edge = find_or_fail [ "render"; "closest(data.rec.author->data.rec.name)" ] in
+      Alcotest.(check int) "join saw both parents" 2 edge.Profile.in_count;
+      Alcotest.(check int) "join matched both names" 2 edge.Profile.pairs)
+
+let test_xquery_profile () =
+  let root = Xml.Doc.to_tree doc in
+  with_profile (fun () ->
+      ignore (Xquery.Eval.run root "for $r in /data/rec return $r/name");
+      let flwor = find_or_fail [ "xquery.eval"; "flwor" ] in
+      Alcotest.(check int) "one flwor evaluation" 1 flwor.Profile.calls;
+      (* The return clause runs once per binding: its step frame merges. *)
+      let step = find_or_fail [ "xquery.eval"; "flwor"; "step:child::name" ] in
+      Alcotest.(check int) "return step called per tuple" 2 step.Profile.calls;
+      Alcotest.(check int) "two names out in total" 2 step.Profile.out_count)
+
+let test_disabled_records_nothing () =
+  Profile.disable ();
+  Profile.reset ();
+  Profile.op "invisible" (fun () -> ());
+  let tok = Profile.enter "also-invisible" in
+  Profile.exit tok;
+  Alcotest.(check int) "nothing recorded while disabled" 0
+    (List.length (Profile.roots ()))
+
+let suite =
+  [
+    Alcotest.test_case "frames merge by name" `Quick test_frame_merge;
+    Alcotest.test_case "counts accumulate" `Quick test_counts_accumulate;
+    Alcotest.test_case "self time within total" `Quick test_self_within_total;
+    Alcotest.test_case "exceptions unwind the stack" `Quick
+      test_exception_unwinds;
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "reset discards frames" `Quick test_reset_discards;
+    Alcotest.test_case "transform attribution" `Quick test_transform_profile;
+    Alcotest.test_case "xquery attribution" `Quick test_xquery_profile;
+    Alcotest.test_case "disabled records nothing" `Quick
+      test_disabled_records_nothing;
+  ]
