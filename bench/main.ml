@@ -18,6 +18,7 @@ let sections =
     ("ablations", Ablations.run);
     ("architectures", Architectures.run);
     ("micro", Micro.run);
+    ("scaling", Scaling.run);
   ]
 
 let () =

@@ -1,0 +1,158 @@
+(* Domain scaling: render the MUTATE workloads at 1, 2, and 4 jobs and
+   report wall time, speedup over sequential, byte-identity of the output,
+   and I/O-accounting identity — the determinism contract of the parallel
+   renderer.  Also a micro comparing the columnar Dewey sidecar against
+   decoding full node records, the store-layer half of the join speedup.
+
+   Results go to BENCH_scaling.json (override with XMORPH_BENCH_SCALING_OUT)
+   so CI can archive them next to the printed table.  XMORPH_BENCH_FAST=1
+   shrinks the workloads to smoke-test size.
+
+   Honesty note: the JSON records the machine's available core count; on a
+   single-core runner the parallel rows measure overhead, not speedup. *)
+
+let fast = Sys.getenv_opt "XMORPH_BENCH_FAST" <> None
+
+let out_path =
+  Option.value ~default:"BENCH_scaling.json"
+    (Sys.getenv_opt "XMORPH_BENCH_SCALING_OUT")
+
+let job_counts = [ 1; 2; 4 ]
+
+let workloads () =
+  [
+    ( "xmark", "MUTATE site",
+      Workloads.Xmark.generate ~seed:7 ~factor:(if fast then 0.02 else 0.1) () );
+    ( "dblp", "MUTATE dblp",
+      Workloads.Dblp.generate ~seed:7 ~entries:(if fast then 300 else 3000) () );
+  ]
+
+let render_bytes store guard =
+  let compiled = Exp_common.compile_guard store guard in
+  let buf = Buffer.create (1 lsl 20) in
+  ignore (Xmorph.Interp.render_to_buffer store compiled buf);
+  Buffer.contents buf
+
+let with_jobs j f =
+  let saved = Xmutil.Pool.jobs () in
+  Xmutil.Pool.set_jobs j;
+  Fun.protect f ~finally:(fun () -> Xmutil.Pool.set_jobs saved)
+
+(* Blocks charged by one render, from a clean counter. *)
+let blocks_of_run store guard =
+  Store.Io_stats.reset (Store.Shredded.stats store);
+  ignore (render_bytes store guard);
+  Store.Io_stats.blocks_total
+    (Store.Io_stats.snapshot (Store.Shredded.stats store))
+
+let bench_workload (name, guard, tree) =
+  Exp_common.sub (Printf.sprintf "%s (%s)" name guard);
+  let store = Store.Shredded.shred (Xml.Doc.of_tree tree) in
+  let reference = with_jobs 1 (fun () -> render_bytes store guard) in
+  let ref_blocks = with_jobs 1 (fun () -> blocks_of_run store guard) in
+  let seq_time = ref 0.0 in
+  let rows =
+    List.map
+      (fun j ->
+        with_jobs j @@ fun () ->
+        let t =
+          Exp_common.median_time (fun () -> render_bytes store guard)
+        in
+        if j = 1 then seq_time := t;
+        let identical = String.equal (render_bytes store guard) reference in
+        let blocks = blocks_of_run store guard in
+        (j, t, !seq_time /. t, identical, blocks, blocks = ref_blocks))
+      job_counts
+  in
+  Exp_common.print_table
+    ~columns:
+      [ ("jobs", `R); ("median (s)", `R); ("speedup", `R);
+        ("output", `L); ("blocks", `R); ("I/O", `L) ]
+    (List.map
+       (fun (j, t, sp, ident, blocks, io_ok) ->
+         [ string_of_int j; Exp_common.fmt_s t; Printf.sprintf "%.2fx" sp;
+           (if ident then "identical" else "DIFFERS");
+           string_of_int blocks; (if io_ok then "identical" else "DIFFERS") ])
+       rows);
+  ( name, guard,
+    Store.Shredded.node_count store,
+    List.map
+      (fun (j, t, sp, ident, blocks, io_ok) ->
+        Xmutil.Json.Obj
+          [ ("jobs", Xmutil.Json.Int j); ("seconds", Xmutil.Json.Float t);
+            ("speedup", Xmutil.Json.Float sp);
+            ("output_identical", Xmutil.Json.Bool ident);
+            ("blocks", Xmutil.Json.Int blocks);
+            ("io_identical", Xmutil.Json.Bool io_ok) ])
+      rows )
+
+(* The store-layer win that holds even on one core: a closest join reads
+   the Dewey columns, not full node records.  Time a full pass over every
+   type's join-side data both ways. *)
+let columnar_micro () =
+  Exp_common.sub "columnar sidecar vs record decode (join-side read)";
+  let tree = Workloads.Xmark.generate ~seed:7 ~factor:(if fast then 0.02 else 0.1) () in
+  let store = Store.Shredded.shred (Xml.Doc.of_tree tree) in
+  let ntypes = Xml.Type_table.count (Store.Shredded.types store) in
+  let via_records () =
+    let acc = ref 0 in
+    for ty = 0 to ntypes - 1 do
+      Array.iter
+        (fun id ->
+          acc := !acc + Array.length (Store.Shredded.node store id).dewey)
+        (Store.Shredded.sequence store ty)
+    done;
+    !acc
+  in
+  let via_columns () =
+    let acc = ref 0 in
+    for ty = 0 to ntypes - 1 do
+      Array.iter
+        (fun d -> acc := !acc + Array.length d)
+        (Store.Shredded.dewey_column store ty)
+    done;
+    !acc
+  in
+  assert (via_records () = via_columns ());
+  let t_rec = Exp_common.median_time via_records in
+  let t_col = Exp_common.median_time via_columns in
+  Exp_common.print_table
+    ~columns:[ ("path", `L); ("median (s)", `R); ("speedup", `R) ]
+    [ [ "decode records"; Exp_common.fmt_s t_rec; "1.00x" ];
+      [ "dewey columns"; Exp_common.fmt_s t_col;
+        Printf.sprintf "%.1fx" (t_rec /. t_col) ] ];
+  (t_rec, t_col)
+
+let run () =
+  Exp_common.header "scaling: domain-parallel render + columnar store";
+  Printf.printf "available cores: %d; pool default: %d job(s)%s\n\n"
+    (Xmutil.Pool.recommended_jobs ())
+    (Xmutil.Pool.default_jobs ())
+    (if fast then " [fast mode]" else "");
+  let results = List.map bench_workload (workloads ()) in
+  let t_rec, t_col = columnar_micro () in
+  let json =
+    Xmutil.Json.Obj
+      [ ("cores", Xmutil.Json.Int (Xmutil.Pool.recommended_jobs ()));
+        ("fast_mode", Xmutil.Json.Bool fast);
+        ( "workloads",
+          Xmutil.Json.List
+            (List.map
+               (fun (name, guard, nodes, rows) ->
+                 Xmutil.Json.Obj
+                   [ ("name", Xmutil.Json.String name);
+                     ("guard", Xmutil.Json.String guard);
+                     ("nodes", Xmutil.Json.Int nodes);
+                     ("runs", Xmutil.Json.List rows) ])
+               results) );
+        ( "columnar_micro",
+          Xmutil.Json.Obj
+            [ ("record_decode_seconds", Xmutil.Json.Float t_rec);
+              ("dewey_column_seconds", Xmutil.Json.Float t_col);
+              ("speedup", Xmutil.Json.Float (t_rec /. t_col)) ] ) ]
+  in
+  let oc = open_out out_path in
+  output_string oc (Xmutil.Json.to_string ~pretty:true json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s\n" out_path

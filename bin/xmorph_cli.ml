@@ -41,9 +41,23 @@ let write_file path contents =
   output_string oc contents;
   close_out oc
 
+(* Profiling is single-domain: the frame stack and per-operator block
+   attribution cannot be interleaved.  The render engine already falls back
+   to sequential evaluation while the profiler is on; this makes the
+   fallback visible instead of silent. *)
+let serialize_for_profile () =
+  if Xmutil.Pool.jobs () > 1 then begin
+    Printf.eprintf
+      "xmorph: profiling is single-domain; ignoring --jobs %d and running \
+       sequentially\n"
+      (Xmutil.Pool.jobs ());
+    Xmutil.Pool.set_jobs 1
+  end
+
 (* Exports are registered with [at_exit] so they capture whatever ran, even
    when a subcommand bails out through [exit_err]. *)
-let obs_setup trace metrics profile =
+let obs_setup trace metrics profile jobs =
+  (match jobs with None -> () | Some j -> Xmutil.Pool.set_jobs j);
   (match trace with
   | None -> ()
   | Some path ->
@@ -59,6 +73,7 @@ let obs_setup trace metrics profile =
   match profile with
   | None -> ()
   | Some path ->
+      serialize_for_profile ();
       Xmobs.Profile.enable ();
       at_exit (fun () ->
           write_file path (Xmutil.Json.to_string (Xmobs.Profile.to_json ())))
@@ -84,7 +99,14 @@ let obs_term =
                    closest pairs, block I/O) and write the frame tree to \
                    $(docv) as JSON.  See also the $(b,profile) subcommand.")
   in
-  Term.(const obs_setup $ trace $ metrics $ profile)
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Evaluate transformations with $(docv) domains (clamped to \
+                   1..64).  Defaults to the XMORPH_JOBS environment variable, \
+                   or 1.  Profiling always runs single-domain.")
+  in
+  Term.(const obs_setup $ trace $ metrics $ profile $ jobs)
 
 (* ---------- shred ---------- *)
 
@@ -341,6 +363,7 @@ let profile_cmd =
     match load_store input with
     | Error m -> exit_err m
     | Ok store ->
+        serialize_for_profile ();
         Xmobs.Profile.enable ();
         (match Xmorph.Interp.transform ~enforce:false store guard with
         | exception Xmorph.Interp.Error m -> exit_err m

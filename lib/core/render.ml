@@ -13,48 +13,70 @@ type type_cache = {
 type rctx = {
   store : Store_.Shredded.t;
   caches : (int, type_cache) Hashtbl.t;
+  cache_lock : Mutex.t; (* guards [caches]; entries are immutable once built *)
   levels : (int * int, int) Hashtbl.t; (* normalized type pair -> join level *)
+  level_lock : Mutex.t; (* guards [levels]; may nest over [cache_lock] *)
 }
 
 let make_rctx store =
-  { store; caches = Hashtbl.create 64; levels = Hashtbl.create 64 }
+  { store; caches = Hashtbl.create 64; cache_lock = Mutex.create ();
+    levels = Hashtbl.create 64; level_lock = Mutex.create () }
+
+(* How many domains this render may use.  Profiling forces sequential
+   evaluation: the profiler's frame stack and block-attribution counters
+   are single-domain structures, and per-operator timings would be
+   meaningless interleaved. *)
+let effective_jobs () = if Xmobs.Profile.profiling () then 1 else Pool.jobs ()
 
 let cache rctx ty =
-  match Hashtbl.find_opt rctx.caches ty with
-  | Some c -> c
-  | None ->
-      let ids = Store_.Shredded.sequence rctx.store ty in
-      let deweys =
-        Array.map (fun id -> (Store_.Shredded.node rctx.store id).dewey) ids
-      in
-      let pos_of = Hashtbl.create (Array.length ids) in
-      Array.iteri (fun i id -> Hashtbl.replace pos_of id i) ids;
-      let c = { ids; deweys; pos_of } in
-      Hashtbl.replace rctx.caches ty c;
-      c
+  Mutex.lock rctx.cache_lock;
+  let c =
+    match Hashtbl.find_opt rctx.caches ty with
+    | Some c -> c
+    | None ->
+        (* Join-side data only: the sequence row and the columnar Dewey
+           sidecar.  No node record is decoded here — emission fetches
+           records for the instances it actually outputs. *)
+        let ids = Store_.Shredded.sequence rctx.store ty in
+        let deweys = Store_.Shredded.dewey_column rctx.store ty in
+        let pos_of = Hashtbl.create (Array.length ids) in
+        Array.iteri (fun i id -> Hashtbl.replace pos_of id i) ids;
+        let c = { ids; deweys; pos_of } in
+        Hashtbl.replace rctx.caches ty c;
+        c
+  in
+  Mutex.unlock rctx.cache_lock;
+  c
 
 (* Maximal common Dewey prefix over all cross pairs of the two document-
-   ordered sequences; adjacent pairs in the merged order suffice. *)
+   ordered sequences; adjacent pairs in the merged order suffice.  Cached
+   per type pair — the same edge type recurs once per parent instance in
+   navigation-style access. *)
 let join_level_ctx rctx t u =
   let key = if t <= u then (t, u) else (u, t) in
-  match Hashtbl.find_opt rctx.levels key with
-  | Some l -> l
-  | None ->
-      let a = (cache rctx t).deweys and b = (cache rctx u).deweys in
-      let best = ref 0 in
-      let consider x y =
-        let cp = Dewey.common_prefix_len x y in
-        if cp > !best then best := cp
-      in
-      let i = ref 0 and j = ref 0 in
-      while !i < Array.length a && !j < Array.length b do
-        consider a.(!i) b.(!j);
-        if Dewey.compare a.(!i) b.(!j) <= 0 then incr i else incr j
-      done;
-      if !i < Array.length a && !j > 0 then consider a.(!i) b.(!j - 1);
-      if !j < Array.length b && !i > 0 then consider a.(!i - 1) b.(!j);
-      Hashtbl.replace rctx.levels key !best;
-      !best
+  Mutex.lock rctx.level_lock;
+  let l =
+    match Hashtbl.find_opt rctx.levels key with
+    | Some l -> l
+    | None ->
+        let a = (cache rctx t).deweys and b = (cache rctx u).deweys in
+        let best = ref 0 in
+        let consider x y =
+          let cp = Dewey.common_prefix_len x y in
+          if cp > !best then best := cp
+        in
+        let i = ref 0 and j = ref 0 in
+        while !i < Array.length a && !j < Array.length b do
+          consider a.(!i) b.(!j);
+          if Dewey.compare a.(!i) b.(!j) <= 0 then incr i else incr j
+        done;
+        if !i < Array.length a && !j > 0 then consider a.(!i) b.(!j - 1);
+        if !j < Array.length b && !i > 0 then consider a.(!i - 1) b.(!j);
+        Hashtbl.replace rctx.levels key !best;
+        !best
+  in
+  Mutex.unlock rctx.level_lock;
+  l
 
 let compare_prefix l da db =
   (* Lexicographic comparison of the first [l] components. *)
@@ -66,65 +88,95 @@ let compare_prefix l da db =
   in
   go 0
 
-(* The closest join (CLOSE): for each parent instance (a sorted-unique array
-   of node ids of type [pty]) the document-ordered closest instances of type
-   [cty].  Sort-merge: children with an equal [l]-prefix form contiguous
-   runs; parents advance through the runs without consuming them, so several
-   parents can share a run. *)
+(* Below this many parents a closest join is not worth fanning out. *)
+let parallel_parents = 128
+
+(* The closest join (CLOSE): for each parent instance (an array of node ids
+   of type [pty]) the document-ordered closest instances of type [cty].
+
+   The child side comes from the GroupedSequence table (Fig. 8): the child
+   sequence pre-grouped into runs of equal [l]-prefix — the same table
+   [join_one] navigates.  Each parent locates its run by binary search over
+   the group starts, O(log g); when the parents arrive in document order
+   (the common case — instance arrays are document-ordered) the search is
+   narrowed to start at the previous parent's run, making a batch one
+   forward pass.  ORDER-BY-sorted parents simply fall back to full-range
+   searches instead of the defensive copy-and-sort the merge join needed.
+
+   Per-parent searches are independent, so large batches are partitioned
+   across the domain pool; each chunk fills its own table over a disjoint
+   parent range, and the merge is deterministic regardless of job count. *)
 let closest_join rctx ~pty ~parents ~cty =
   let l = join_level_ctx rctx pty cty in
   let pc = cache rctx pty and cc = cache rctx cty in
   let result = Hashtbl.create (Array.length parents) in
   if Array.length cc.ids = 0 || l = 0 then result
   else begin
-    (* The merge needs parents in document order; callers may hand them
-       sorted by an ORDER-BY key, so re-sort a copy by sequence position
-       (results are keyed by id, unaffected). *)
-    let parents =
-      let a = Array.copy parents in
-      let pos id = Option.value ~default:max_int (Hashtbl.find_opt pc.pos_of id) in
-      Array.sort (fun x y -> compare (pos x) (pos y)) a;
-      a
+    let groups = Store_.Shredded.grouped_sequence rctx.store cty ~level:l in
+    let ngroups = Array.length groups in
+    (* Lower bound: first group at or after [pd]'s l-prefix. *)
+    let find_run pd from =
+      let lo = ref from and hi = ref ngroups in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        let gs, _ = groups.(mid) in
+        if compare_prefix l cc.deweys.(gs) pd < 0 then lo := mid + 1
+        else hi := mid
+      done;
+      !lo
     in
-    let j = ref 0 in
-    let run_start = ref 0 and run_end = ref 0 in
-    Array.iter
-      (fun pid ->
+    let sorted =
+      let ok = ref true and last = ref (-1) in
+      Array.iter
+        (fun pid ->
+          match Hashtbl.find_opt pc.pos_of pid with
+          | None -> ()
+          | Some p ->
+              if p < !last then ok := false;
+              last := p)
+        parents;
+      !ok
+    in
+    let join_range start stop tbl =
+      let cur = ref 0 in
+      for k = start to stop - 1 do
+        let pid = parents.(k) in
         match Hashtbl.find_opt pc.pos_of pid with
         | None -> ()
         | Some ppos ->
             let pd = pc.deweys.(ppos) in
-            if Array.length pd < l then ()
-            else begin
-              (* Advance to the run of children sharing pd's l-prefix;
-                 several consecutive parents may share one run. *)
-              let run_matches () =
-                !run_end > !run_start
-                && !run_start < Array.length cc.ids
-                && compare_prefix l cc.deweys.(!run_start) pd = 0
-              in
-              if not (run_matches ()) then begin
-                if !run_end > !run_start then j := !run_end;
-                while
-                  !j < Array.length cc.ids
-                  && compare_prefix l cc.deweys.(!j) pd < 0
-                do
-                  incr j
-                done;
-                run_start := !j;
-                run_end := !j;
-                while
-                  !run_end < Array.length cc.ids
-                  && compare_prefix l cc.deweys.(!run_end) pd = 0
-                do
-                  incr run_end
-                done
-              end;
-              if run_matches () then
-                Hashtbl.replace result pid
-                  (Array.sub cc.ids !run_start (!run_end - !run_start))
-            end)
-      parents;
+            if Array.length pd >= l then begin
+              let g = find_run pd (if sorted then !cur else 0) in
+              if sorted then cur := g;
+              if g < ngroups then begin
+                let gs, ge = groups.(g) in
+                if compare_prefix l cc.deweys.(gs) pd = 0 then
+                  Hashtbl.replace tbl pid (Array.sub cc.ids gs (ge - gs))
+              end
+            end
+      done
+    in
+    let n = Array.length parents in
+    let jobs = effective_jobs () in
+    if jobs <= 1 || n < parallel_parents then join_range 0 n result
+    else begin
+      let tables =
+        Pool.parallel
+          (Array.to_list
+             (Array.map
+                (fun (s, e) () ->
+                  let tbl = Hashtbl.create (e - s) in
+                  join_range s e tbl;
+                  tbl)
+                (Pool.chunks ~total:n ~parts:jobs)))
+      in
+      (* Chunks cover disjoint parent ranges, so the merged table is the
+         sequential one key for key. *)
+      List.iter
+        (fun tbl -> Hashtbl.iter (fun k v -> Hashtbl.replace result k v) tbl)
+        tables;
+      Store_.Io_stats.republish (Store_.Shredded.stats rctx.store)
+    end;
     result
   end
 
@@ -169,7 +221,23 @@ let join_one rctx ~pty pid ~cty =
 type plan = {
   (* (child tnode uid, parent instance id) -> closest child instances *)
   maps : (int * int, int array) Hashtbl.t;
+  plan_lock : Mutex.t;
+      (* guards [maps] while sibling edges are planned in parallel; edges
+         write disjoint keys (distinct child uids), so the table's final
+         contents are independent of the job count *)
 }
+
+let make_plan n = { maps = Hashtbl.create n; plan_lock = Mutex.create () }
+
+(* Record a batch of (key, instances) bindings.  Writers accumulate locally
+   and flush once, so the lock is taken once per edge, not per parent. *)
+let plan_put plan bindings =
+  match bindings with
+  | [] -> ()
+  | _ ->
+      Mutex.lock plan.plan_lock;
+      List.iter (fun (k, v) -> Hashtbl.replace plan.maps k v) bindings;
+      Mutex.unlock plan.plan_lock
 
 let rec first_sourced (n : Tshape.node) =
   match n.source with
@@ -278,35 +346,45 @@ let sort_instances rctx (tn : Tshape.node) ids =
           Array.stable_sort cmp decorated;
           Array.map snd decorated)
 
+(* Sibling edges of the target shape are independent — each writes plan
+   keys under its own child uid — so they are evaluated concurrently when
+   the pool has domains to spare.  With one job this is [List.iter]. *)
 let rec plan_node rctx plan (tn : Tshape.node) ~aty ~ids =
-  List.iter
-    (fun (c : Tshape.node) ->
-      match c.source with
-      | Some cty -> plan_edge rctx plan c ~aty ~ids ~cty
-      | None -> (
-          match direct_anchor c with
-          | Some anchor_ty ->
-              (* One NEW element per closest anchor instance; record the
-                 anchor instances under the NEW node's own key, then plan the
-                 NEW node's children keyed on the anchor type (the anchor
-                 child itself resolves by the identity self-join). *)
-              let m = closest_join rctx ~pty:aty ~parents:ids ~cty:anchor_ty in
-              let all = Vec.create () in
-              Array.iter
-                (fun pid ->
-                  match Hashtbl.find_opt m pid with
-                  | None -> ()
-                  | Some kids ->
-                      Hashtbl.replace plan.maps (c.uid, pid) kids;
-                      Array.iter (fun k -> ignore (Vec.push all k)) kids)
-                ids;
-              let anchor_ids = sorted_unique (Vec.to_array all) in
-              plan_node rctx plan c ~aty:anchor_ty ~ids:anchor_ids
-          | None ->
-              (* No sourced child anywhere below: emitted once per parent
-                 instance, deeper NEW nodes likewise. *)
-              plan_node rctx plan c ~aty ~ids))
-    tn.children
+  let plan_child (c : Tshape.node) =
+    match c.source with
+    | Some cty -> plan_edge rctx plan c ~aty ~ids ~cty
+    | None -> (
+        match direct_anchor c with
+        | Some anchor_ty ->
+            (* One NEW element per closest anchor instance; record the
+               anchor instances under the NEW node's own key, then plan the
+               NEW node's children keyed on the anchor type (the anchor
+               child itself resolves by the identity self-join). *)
+            let m = closest_join rctx ~pty:aty ~parents:ids ~cty:anchor_ty in
+            let all = Vec.create () in
+            let bindings = ref [] in
+            Array.iter
+              (fun pid ->
+                match Hashtbl.find_opt m pid with
+                | None -> ()
+                | Some kids ->
+                    bindings := ((c.uid, pid), kids) :: !bindings;
+                    Array.iter (fun k -> ignore (Vec.push all k)) kids)
+              ids;
+            plan_put plan !bindings;
+            let anchor_ids = sorted_unique (Vec.to_array all) in
+            plan_node rctx plan c ~aty:anchor_ty ~ids:anchor_ids
+        | None ->
+            (* No sourced child anywhere below: emitted once per parent
+               instance, deeper NEW nodes likewise. *)
+            plan_node rctx plan c ~aty ~ids)
+  in
+  match tn.children with
+  | [] -> ()
+  | [ c ] -> plan_child c
+  | cs when effective_jobs () > 1 ->
+      ignore (Pool.parallel (List.map (fun c () -> plan_child c) cs))
+  | cs -> List.iter plan_child cs
 
 (* Profiled wrapper: each target edge's pipelined join appears in the
    profile as a [closest(parent->child)] frame, nested to mirror the target
@@ -332,6 +410,7 @@ and plan_edge rctx plan (c : Tshape.node) ~aty ~ids ~cty =
 and plan_edge_op rctx plan (c : Tshape.node) ~aty ~ids ~cty =
   let m = closest_join rctx ~pty:aty ~parents:ids ~cty in
   let all = Vec.create () in
+  let bindings = ref [] in
   Array.iter
     (fun pid ->
       match Hashtbl.find_opt m pid with
@@ -341,11 +420,12 @@ and plan_edge_op rctx plan (c : Tshape.node) ~aty ~ids ~cty =
           let kids = filter_restrict rctx ~aty:cty c kids in
           let kids = sort_instances rctx c kids in
           if Array.length kids > 0 then begin
-            Hashtbl.replace plan.maps (c.uid, pid) kids;
+            bindings := ((c.uid, pid), kids) :: !bindings;
             Xmobs.Profile.add_pairs (Array.length kids);
             Array.iter (fun k -> ignore (Vec.push all k)) kids
           end)
     ids;
+  plan_put plan !bindings;
   let child_ids = sorted_unique (Vec.to_array all) in
   Xmobs.Profile.add_out (Array.length child_ids);
   plan_node rctx plan c ~aty:cty ~ids:child_ids
@@ -448,16 +528,26 @@ let to_trees store (shape : Tshape.t) =
   Xmobs.Obs.phase "render" @@ fun () ->
   Xmobs.Profile.op "render" @@ fun () ->
   let rctx = make_rctx store in
-  let plan = { maps = Hashtbl.create 1024 } in
-  List.concat_map
-    (fun (root : Tshape.node) ->
-      let ids = root_instances rctx root in
-      plan_root rctx plan root ids;
-      if Array.length ids = 1 && ids.(0) = -1 then [ emit_empty root ]
-      else
-        Xmobs.Profile.op "emit" (fun () ->
-            Array.to_list (Array.map (fun id -> emit rctx plan root id) ids)))
-    shape.roots
+  let plan = make_plan 1024 in
+  let trees =
+    List.concat_map
+      (fun (root : Tshape.node) ->
+        let ids = root_instances rctx root in
+        plan_root rctx plan root ids;
+        if Array.length ids = 1 && ids.(0) = -1 then [ emit_empty root ]
+        else
+          Xmobs.Profile.op "emit" (fun () ->
+              (* The plan is read-only by now; each root instance's subtree
+                 is independent, so emission is chunked across the pool and
+                 concatenated back in document order. *)
+              let emit_one id = emit rctx plan root id in
+              if effective_jobs () > 1 then
+                Array.to_list (Pool.map_chunked ~min_chunk:16 emit_one ids)
+              else Array.to_list (Array.map emit_one ids)))
+      shape.roots
+  in
+  Store_.Io_stats.republish (Store_.Shredded.stats store);
+  trees
 
 let to_tree ?(wrapper = "result") store shape =
   match to_trees store shape with
@@ -470,7 +560,10 @@ let stream store (shape : Tshape.t) sink =
   Xmobs.Obs.phase "render" @@ fun () ->
   Xmobs.Profile.op "render" @@ fun () ->
   let rctx = make_rctx store in
-  let plan = { maps = Hashtbl.create 1024 } in
+  (* Streaming stays sequential: fragments reach the sink in document
+     order, and the sink sees them as they are produced.  The planning
+     phase underneath still fans its closest joins out. *)
+  let plan = make_plan 1024 in
   let bytes = ref 0 and elements = ref 0 in
   let out s =
     bytes := !bytes + String.length s;
@@ -614,7 +707,7 @@ type instance = { dewey : Dewey.t; source : int }
    Dewey slot. *)
 let instances store (shape : Tshape.t) =
   let rctx = make_rctx store in
-  let plan = { maps = Hashtbl.create 1024 } in
+  let plan = make_plan 1024 in
   let acc : (int, instance Vec.t) Hashtbl.t = Hashtbl.create 16 in
   let record (tn : Tshape.node) inst =
     let v =
@@ -754,7 +847,7 @@ module Nav = struct
   let materialize t (tn : Tshape.node) id =
     if id < 0 then emit_empty tn
     else begin
-      let plan = { maps = Hashtbl.create 64 } in
+      let plan = make_plan 64 in
       (match anchor_of t tn with
       | Some aty -> plan_node t.rctx plan tn ~aty ~ids:[| id |]
       | None -> ());

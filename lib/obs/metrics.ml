@@ -9,9 +9,16 @@
    Observers subscribe to the current registry and run after every published
    update; the experiment harness uses this to sample cumulative I/O during
    a run — the only per-charge observation path since the bench-only
-   [Io_stats.set_observer] hook was removed. *)
+   [Io_stats.set_observer] hook was removed.
 
-type counter = { mutable count : int }
+   Domain-safety: counters are atomics (adds commute, totals exact under
+   the renderer's data-parallel sections); interning and histogram updates
+   take a lock; gauges stay a bare mutable float — a word-sized write that
+   cannot tear, with last-write-wins semantics that are the right ones for
+   a level anyway.  Observer lists and the current-registry/enabled toggles
+   are main-domain state. *)
+
+type counter = { count : int Atomic.t }
 
 type gauge = { mutable level : float }
 
@@ -30,12 +37,14 @@ type histogram = {
   mutable minv : float;
   mutable maxv : float;
   buckets : int array;
+  hlock : Mutex.t; (* one observation is several dependent writes *)
 }
 
 type t = {
   counters : (string, counter) Hashtbl.t;
   gauges : (string, gauge) Hashtbl.t;
   histograms : (string, histogram) Hashtbl.t;
+  lock : Mutex.t; (* guards the three intern tables *)
   mutable observers : (int * (unit -> unit)) list;
   mutable next_observer : int;
 }
@@ -45,6 +54,7 @@ let create () : t =
     counters = Hashtbl.create 16;
     gauges = Hashtbl.create 16;
     histograms = Hashtbl.create 16;
+    lock = Mutex.create ();
     observers = [];
     next_observer = 0;
   }
@@ -74,35 +84,45 @@ let with_registry r f =
 
 let reset ?r () =
   let r = match r with Some r -> r | None -> !current in
+  Mutex.lock r.lock;
   Hashtbl.reset r.counters;
   Hashtbl.reset r.gauges;
-  Hashtbl.reset r.histograms
+  Hashtbl.reset r.histograms;
+  Mutex.unlock r.lock
 
 (* ---------- handles ---------- *)
 
-let intern tbl name make =
-  match Hashtbl.find_opt tbl name with
-  | Some x -> x
-  | None ->
-      let x = make () in
-      Hashtbl.replace tbl name x;
-      x
+(* Interning takes the registry lock: two domains racing to intern the same
+   name must agree on the handle, or updates through the loser's handle
+   would be dropped from the table's view. *)
+let intern lock tbl name make =
+  Mutex.lock lock;
+  let x =
+    match Hashtbl.find_opt tbl name with
+    | Some x -> x
+    | None ->
+        let x = make () in
+        Hashtbl.replace tbl name x;
+        x
+  in
+  Mutex.unlock lock;
+  x
 
 let counter ?r name =
   let r = match r with Some r -> r | None -> !current in
-  intern r.counters name (fun () -> { count = 0 })
+  intern r.lock r.counters name (fun () -> { count = Atomic.make 0 })
 
 let gauge ?r name =
   let r = match r with Some r -> r | None -> !current in
-  intern r.gauges name (fun () -> { level = 0.0 })
+  intern r.lock r.gauges name (fun () -> { level = 0.0 })
 
 let histogram ?r name =
   let r = match r with Some r -> r | None -> !current in
-  intern r.histograms name (fun () ->
+  intern r.lock r.histograms name (fun () ->
       { n = 0; sum = 0.0; minv = infinity; maxv = neg_infinity;
-        buckets = Array.make hist_buckets 0 })
+        buckets = Array.make hist_buckets 0; hlock = Mutex.create () })
 
-let counter_add c by = c.count <- c.count + by
+let counter_add c by = ignore (Atomic.fetch_and_add c.count by)
 
 let gauge_set g v = g.level <- v
 
@@ -115,12 +135,14 @@ let bucket_of v =
 let bucket_value i = Float.pow 2.0 (float_of_int (i - hist_mid) /. hist_scale)
 
 let hist_add h v =
+  Mutex.lock h.hlock;
   h.n <- h.n + 1;
   h.sum <- h.sum +. v;
   if v < h.minv then h.minv <- v;
   if v > h.maxv then h.maxv <- v;
   let i = bucket_of v in
-  h.buckets.(i) <- h.buckets.(i) + 1
+  h.buckets.(i) <- h.buckets.(i) + 1;
+  Mutex.unlock h.hlock
 
 (* ---------- observers ---------- *)
 
@@ -165,7 +187,9 @@ let observe name v =
 
 let counter_value ?r name =
   let r = match r with Some r -> r | None -> !current in
-  match Hashtbl.find_opt r.counters name with Some c -> c.count | None -> 0
+  match Hashtbl.find_opt r.counters name with
+  | Some c -> Atomic.get c.count
+  | None -> 0
 
 let gauge_value ?r name =
   let r = match r with Some r -> r | None -> !current in
@@ -200,7 +224,11 @@ let percentile ?r name q =
 (* ---------- export ---------- *)
 
 let sorted_bindings tbl =
-  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  (* Keys only: the values now hold atomics and mutexes, which polymorphic
+     compare cannot look at. *)
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
 
 let hist_to_json h =
   let pct q = match hist_percentile h q with Some v -> v | None -> 0.0 in
@@ -217,7 +245,7 @@ let to_json ?r () =
   Xmutil.Json.Obj
     [ ("counters",
        Xmutil.Json.Obj
-         (List.map (fun (k, c) -> (k, Xmutil.Json.Int c.count))
+         (List.map (fun (k, c) -> (k, Xmutil.Json.Int (Atomic.get c.count)))
             (sorted_bindings r.counters)));
       ("gauges",
        Xmutil.Json.Obj
@@ -232,7 +260,8 @@ let to_string ?r () =
   let r = match r with Some r -> r | None -> !current in
   let b = Buffer.create 256 in
   List.iter
-    (fun (k, c) -> Buffer.add_string b (Printf.sprintf "%-40s %d\n" k c.count))
+    (fun (k, c) ->
+      Buffer.add_string b (Printf.sprintf "%-40s %d\n" k (Atomic.get c.count)))
     (sorted_bindings r.counters);
   List.iter
     (fun (k, g) -> Buffer.add_string b (Printf.sprintf "%-40s %g\n" k g.level))

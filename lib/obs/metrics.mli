@@ -8,7 +8,14 @@
 
     Observers run after every published update.  The experiment harness
     subscribes one to sample cumulative I/O while a transformation runs —
-    the role vmstat played in the paper's Figs. 11–13. *)
+    the role vmstat played in the paper's Figs. 11–13.
+
+    Handle updates are domain-safe: counter adds are atomic (totals are
+    exact under parallel evaluation), histogram observations take a
+    per-histogram lock, and gauge writes are word-sized stores with
+    last-write-wins semantics.  Interning a handle locks the registry.
+    Observers, {!enable}/{!disable}, and registry switching remain
+    main-domain operations. *)
 
 type t
 (** A registry. *)

@@ -19,11 +19,16 @@ type handles = {
   h_write_ops : Xmobs.Metrics.gauge;
 }
 
+(* The byte/op counters are atomics: the renderer charges reads from worker
+   domains during data-parallel sections, and atomic adds commute — the
+   cumulative totals are exactly the sequential totals regardless of the
+   job count.  Everything observational ([handles], [traced_blocks], gauge
+   publication) stays main-domain-only; see [publish]. *)
 type t = {
-  mutable c_bytes_read : int;
-  mutable c_bytes_written : int;
-  mutable c_read_ops : int;
-  mutable c_write_ops : int;
+  c_bytes_read : int Atomic.t;
+  c_bytes_written : int Atomic.t;
+  c_read_ops : int Atomic.t;
+  c_write_ops : int Atomic.t;
   mutable handles : handles option;
   mutable traced_blocks : int;
 }
@@ -31,7 +36,8 @@ type t = {
 let block_size = 4096
 
 let create () : t =
-  { c_bytes_read = 0; c_bytes_written = 0; c_read_ops = 0; c_write_ops = 0;
+  { c_bytes_read = Atomic.make 0; c_bytes_written = Atomic.make 0;
+    c_read_ops = Atomic.make 0; c_write_ops = Atomic.make 0;
     handles = None; traced_blocks = 0 }
 
 (* Blocks are derived from cumulative bytes, modelling the page locality of
@@ -43,7 +49,9 @@ let blocks_of bytes = (bytes + block_size - 1) / block_size
    profiler runs so per-operator block deltas can be attributed by
    snapshotting around an operator's evaluation.  Per-instance block-delta
    computation keeps the page-rounding semantics of [blocks_of] even with
-   several live stores. *)
+   several live stores.  Plain refs are fine: profiling forces the renderer
+   sequential (see [Render.effective_jobs]), so these are only touched from
+   the main domain. *)
 let g_blocks_read = ref 0
 let g_blocks_written = ref 0
 let global_blocks () = (!g_blocks_read, !g_blocks_written)
@@ -67,72 +75,89 @@ let metric_handles t =
       t.handles <- Some h;
       h
 
-(* Publish the cumulative counters to the observability layer: gauges in the
-   current metrics registry (observers fire once per charge) and, when a
-   trace is being recorded and the cumulative block count moved, a counter
-   sample on the active span's track. *)
-let publish t =
+let publish_unguarded t =
   if Xmobs.Metrics.is_enabled () then begin
     let h = metric_handles t in
-    Xmobs.Metrics.gauge_set h.h_bytes_read (float_of_int t.c_bytes_read);
-    Xmobs.Metrics.gauge_set h.h_bytes_written (float_of_int t.c_bytes_written);
+    let bytes_read = Atomic.get t.c_bytes_read in
+    let bytes_written = Atomic.get t.c_bytes_written in
+    Xmobs.Metrics.gauge_set h.h_bytes_read (float_of_int bytes_read);
+    Xmobs.Metrics.gauge_set h.h_bytes_written (float_of_int bytes_written);
     Xmobs.Metrics.gauge_set h.h_blocks_read
-      (float_of_int (blocks_of t.c_bytes_read));
+      (float_of_int (blocks_of bytes_read));
     Xmobs.Metrics.gauge_set h.h_blocks_written
-      (float_of_int (blocks_of t.c_bytes_written));
-    Xmobs.Metrics.gauge_set h.h_read_ops (float_of_int t.c_read_ops);
-    Xmobs.Metrics.gauge_set h.h_write_ops (float_of_int t.c_write_ops);
+      (float_of_int (blocks_of bytes_written));
+    Xmobs.Metrics.gauge_set h.h_read_ops
+      (float_of_int (Atomic.get t.c_read_ops));
+    Xmobs.Metrics.gauge_set h.h_write_ops
+      (float_of_int (Atomic.get t.c_write_ops));
     Xmobs.Metrics.notify ()
   end;
   if Xmobs.Trace.tracing () then begin
-    let blocks = blocks_of t.c_bytes_read + blocks_of t.c_bytes_written in
+    let br = blocks_of (Atomic.get t.c_bytes_read) in
+    let bw = blocks_of (Atomic.get t.c_bytes_written) in
+    let blocks = br + bw in
     if blocks <> t.traced_blocks then begin
       t.traced_blocks <- blocks;
       Xmobs.Trace.counter "store.blocks"
-        [ ("read", Xmobs.Trace.Int (blocks_of t.c_bytes_read));
-          ("written", Xmobs.Trace.Int (blocks_of t.c_bytes_written)) ]
+        [ ("read", Xmobs.Trace.Int br); ("written", Xmobs.Trace.Int bw) ]
     end
   end
 
+(* Publish the cumulative counters to the observability layer: gauges in the
+   current metrics registry (observers fire once per charge) and, when a
+   trace is being recorded and the cumulative block count moved, a counter
+   sample on the active span's track.  Publication is a main-domain
+   activity — observers, handle caching, and the trace span stack are all
+   single-domain structures — so charges arriving from worker domains only
+   bump the atomics; the renderer calls [republish] when a parallel section
+   joins to let the gauges catch up. *)
+let publish t = if Domain.is_main_domain () then publish_unguarded t
+
+let republish t = publish t
+
 let reset (t : t) =
-  t.c_bytes_read <- 0;
-  t.c_bytes_written <- 0;
-  t.c_read_ops <- 0;
-  t.c_write_ops <- 0;
+  Atomic.set t.c_bytes_read 0;
+  Atomic.set t.c_bytes_written 0;
+  Atomic.set t.c_read_ops 0;
+  Atomic.set t.c_write_ops 0;
   t.traced_blocks <- 0;
   publish t
 
 let snapshot (t : t) : snapshot =
+  let bytes_read = Atomic.get t.c_bytes_read in
+  let bytes_written = Atomic.get t.c_bytes_written in
   {
-    bytes_read = t.c_bytes_read;
-    bytes_written = t.c_bytes_written;
-    blocks_read = blocks_of t.c_bytes_read;
-    blocks_written = blocks_of t.c_bytes_written;
-    read_ops = t.c_read_ops;
-    write_ops = t.c_write_ops;
+    bytes_read;
+    bytes_written;
+    blocks_read = blocks_of bytes_read;
+    blocks_written = blocks_of bytes_written;
+    read_ops = Atomic.get t.c_read_ops;
+    write_ops = Atomic.get t.c_write_ops;
   }
 
 let charge_read (t : t) bytes =
   if Xmobs.Profile.profiling () then begin
-    let before = blocks_of t.c_bytes_read in
-    t.c_bytes_read <- t.c_bytes_read + bytes;
-    let after = blocks_of t.c_bytes_read in
+    (* Profiling implies sequential evaluation, so the read-modify-write
+       around the block attribution cannot race. *)
+    let before = blocks_of (Atomic.get t.c_bytes_read) in
+    ignore (Atomic.fetch_and_add t.c_bytes_read bytes);
+    let after = blocks_of (Atomic.get t.c_bytes_read) in
     if after > before then g_blocks_read := !g_blocks_read + (after - before)
   end
-  else t.c_bytes_read <- t.c_bytes_read + bytes;
-  t.c_read_ops <- t.c_read_ops + 1;
+  else ignore (Atomic.fetch_and_add t.c_bytes_read bytes);
+  ignore (Atomic.fetch_and_add t.c_read_ops 1);
   publish t
 
 let charge_write (t : t) bytes =
   if Xmobs.Profile.profiling () then begin
-    let before = blocks_of t.c_bytes_written in
-    t.c_bytes_written <- t.c_bytes_written + bytes;
-    let after = blocks_of t.c_bytes_written in
+    let before = blocks_of (Atomic.get t.c_bytes_written) in
+    ignore (Atomic.fetch_and_add t.c_bytes_written bytes);
+    let after = blocks_of (Atomic.get t.c_bytes_written) in
     if after > before then
       g_blocks_written := !g_blocks_written + (after - before)
   end
-  else t.c_bytes_written <- t.c_bytes_written + bytes;
-  t.c_write_ops <- t.c_write_ops + 1;
+  else ignore (Atomic.fetch_and_add t.c_bytes_written bytes);
+  ignore (Atomic.fetch_and_add t.c_write_ops 1);
   publish t
 
 let blocks_total s = s.blocks_read + s.blocks_written

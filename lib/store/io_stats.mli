@@ -14,7 +14,15 @@
     [store.blocks_read] / [store.blocks_written] / [store.read_ops] /
     [store.write_ops] gauges of the current {!Xmobs.Metrics} registry (when
     metrics are enabled), and a [store.blocks] counter track in the active
-    {!Xmobs.Trace} span whenever the cumulative block count moves. *)
+    {!Xmobs.Trace} span whenever the cumulative block count moves.
+
+    The byte/op counters are atomics, so charges may arrive from several
+    domains at once (the renderer's data-parallel sections) and the totals
+    are exactly the sequential totals — atomic adds commute.  Publication,
+    by contrast, is a main-domain activity: charges from worker domains
+    skip it (observers and the trace span stack are single-domain
+    structures), and the renderer calls {!republish} when a parallel
+    section joins so the gauges catch up. *)
 
 type t
 
@@ -38,6 +46,12 @@ val charge_read : t -> int -> unit
 (** [charge_read t bytes] records a read of [bytes] bytes. *)
 
 val charge_write : t -> int -> unit
+
+val republish : t -> unit
+(** Push the cumulative counters to the observability layer now (gauges,
+    observers, trace counter).  Charges made from worker domains do not
+    publish; callers that fan work out call this after joining.  No-op off
+    the main domain. *)
 
 val global_blocks : unit -> int * int
 (** Cumulative [(blocks_read, blocks_written)] summed over every store

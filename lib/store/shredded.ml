@@ -15,11 +15,18 @@ type t = {
   offsets : int array; (* node id -> offset of its record in [blob] *)
   seqs : int array array; (* type id -> node ids, document order *)
   seq_bytes : int array; (* serialized size of each sequence row *)
+  dewey_cols : Dewey.t array array;
+      (* Columnar Dewey sidecar: type id -> Dewey numbers aligned with the
+         type's sequence row.  Join-side code reads these columns instead of
+         decoding full node records; [node] decoding is deferred to emit
+         time. *)
+  dewey_col_bytes : int array; (* serialized size of each Dewey column *)
   guide : Xml.Dataguide.t;
   stats : Io_stats.t;
   groups : (int * int, (int * int) array) Hashtbl.t;
       (* GroupedSequence cache: (type, level) -> runs of the sequence
          sharing a Dewey prefix of that length *)
+  lock : Mutex.t; (* guards [groups]: the renderer reads from domains *)
 }
 
 let encode_record b (n : Xml.Doc.node) =
@@ -46,6 +53,23 @@ let decode_record blob off id =
   let value = Codec.read_string c in
   ({ id; dewey; kind; name; type_id; parent; value }, c.pos - off)
 
+(* Serialized size of a column row, as [save] writes it. *)
+let column_bytes cols =
+  Array.map
+    (fun col ->
+      let b = Buffer.create 64 in
+      Codec.add_uint b (Array.length col);
+      Array.iter (Codec.add_int_array b) col;
+      Buffer.length b)
+    cols
+
+(* Rebuild the Dewey columns from the node blob (legacy stores have no
+   persisted sidecar). *)
+let columns_of_blob blob offsets seqs =
+  Array.map
+    (Array.map (fun id -> (fst (decode_record blob offsets.(id) id)).dewey))
+    seqs
+
 let shred doc =
   Xmobs.Obs.phase "shred"
     ~attrs:[ ("nodes", Xmobs.Trace.Int (Xml.Doc.node_count doc)) ]
@@ -68,14 +92,20 @@ let shred doc =
         Buffer.length sb)
       seqs
   in
+  let dewey_cols =
+    Array.map (Array.map (fun id -> (Xml.Doc.node doc id).Xml.Doc.dewey)) seqs
+  in
   {
     blob = Buffer.contents b;
     offsets;
     seqs;
     seq_bytes;
+    dewey_cols;
+    dewey_col_bytes = column_bytes dewey_cols;
     guide = Xml.Dataguide.of_doc doc;
     stats = Io_stats.create ();
     groups = Hashtbl.create 16;
+    lock = Mutex.create ();
   }
 
 let stats t = t.stats
@@ -89,32 +119,34 @@ let node t i =
   Io_stats.charge_read t.stats size;
   rec_
 
-let node_quiet t i =
-  (* Internal decode without an I/O charge (callers charge in bulk). *)
-  fst (decode_record t.blob t.offsets.(i) i)
+let dewey_column t ty =
+  if ty < 0 || ty >= Array.length t.dewey_cols then [||]
+  else begin
+    Io_stats.charge_read t.stats t.dewey_col_bytes.(ty);
+    t.dewey_cols.(ty)
+  end
 
 let grouped_sequence t ty ~level =
+  Mutex.lock t.lock;
   match Hashtbl.find_opt t.groups (ty, level) with
-  | Some g -> g
+  | Some g ->
+      Mutex.unlock t.lock;
+      g
   | None ->
-      let seq = if ty < 0 || ty >= Array.length t.seqs then [||] else t.seqs.(ty) in
-      (* Building the row reads every record of the type once. *)
-      let deweys = Array.map (fun id -> (node_quiet t id).dewey) seq in
-      Array.iter
-        (fun id ->
-          let off = t.offsets.(id) in
-          let next =
-            if id + 1 < Array.length t.offsets then t.offsets.(id + 1)
-            else String.length t.blob
-          in
-          Io_stats.charge_read t.stats (next - off))
-        seq;
+      let deweys =
+        if ty < 0 || ty >= Array.length t.dewey_cols then [||]
+        else t.dewey_cols.(ty)
+      in
       let runs = ref [] in
-      let n = Array.length seq in
+      let n = Array.length deweys in
+      (* Index loop, not [Array.sub]: this comparison runs once per adjacent
+         pair and used to allocate two prefix copies each time. *)
       let same_prefix a b =
         Array.length a >= level
         && Array.length b >= level
-        && Array.sub a 0 level = Array.sub b 0 level
+        &&
+        let rec go i = i >= level || (a.(i) = b.(i) && go (i + 1)) in
+        go 0
       in
       let start = ref 0 in
       for i = 1 to n do
@@ -126,6 +158,11 @@ let grouped_sequence t ty ~level =
       let g = Array.of_list (List.rev !runs) in
       let g = if n = 0 then [||] else g in
       Hashtbl.replace t.groups (ty, level) g;
+      Mutex.unlock t.lock;
+      (* Building the row reads the type's Dewey column once (the columnar
+         sidecar; full records are no longer decoded here). *)
+      if ty >= 0 && ty < Array.length t.dewey_col_bytes then
+        Io_stats.charge_read t.stats t.dewey_col_bytes.(ty);
       g
 
 let sequence t ty =
@@ -153,14 +190,30 @@ let update_value t id value =
     Array.mapi (fun i off -> if i > id then off + delta else off) t.offsets
   in
   Io_stats.charge_write t.stats new_size;
-  { t with blob = Buffer.contents b; offsets; groups = Hashtbl.create 16 }
+  (* Values play no part in Dewey numbers, so the columnar sidecar and the
+     grouped-run caches stay valid; drop only the updated node's type (a
+     conservative invalidation) instead of the whole table. *)
+  let groups =
+    Mutex.lock t.lock;
+    let g = Hashtbl.copy t.groups in
+    Mutex.unlock t.lock;
+    Hashtbl.iter
+      (fun ((gty, _) as key) _ ->
+        if gty = record.type_id then Hashtbl.remove g key)
+      (Hashtbl.copy g);
+    g
+  in
+  { t with blob = Buffer.contents b; offsets; groups; lock = Mutex.create () }
 
-let magic = "XMORPH-STORE-1\n"
+let magic = "XMORPH-STORE-2\n"
 
-let save t path =
+let magic_v1 = "XMORPH-STORE-1\n"
+
+let save ?(version = 2) t path =
+  if version <> 1 && version <> 2 then invalid_arg "Shredded.save: version";
   Xmobs.Obs.phase "store.save" @@ fun () ->
   let b = Buffer.create (String.length t.blob + 1024) in
-  Buffer.add_string b magic;
+  Buffer.add_string b (if version = 1 then magic_v1 else magic);
   (* Type table, in id order so re-interning reproduces the ids. *)
   let tt = types t in
   Codec.add_uint b (Xml.Type_table.count tt);
@@ -176,6 +229,13 @@ let save t path =
       Codec.add_uint b (Xml.Dataguide.instance_count t.guide ty));
   (* Sequences. *)
   Array.iter (Codec.add_int_array b) t.seqs;
+  (* Columnar Dewey sidecar (format 2 onward). *)
+  if version >= 2 then
+    Array.iter
+      (fun col ->
+        Codec.add_uint b (Array.length col);
+        Array.iter (Codec.add_int_array b) col)
+      t.dewey_cols;
   (* Node blob. *)
   Codec.add_uint b (Array.length t.offsets);
   Codec.add_int_array b t.offsets;
@@ -190,9 +250,15 @@ let load path =
   let n = in_channel_length ic in
   let data = really_input_string ic n in
   close_in ic;
-  if String.length data < String.length magic
-     || String.sub data 0 (String.length magic) <> magic
-  then raise (Codec.Corrupt "bad magic");
+  let version =
+    if String.length data < String.length magic then
+      raise (Codec.Corrupt "bad magic")
+    else
+      match String.sub data 0 (String.length magic) with
+      | m when m = magic -> 2
+      | m when m = magic_v1 -> 1
+      | _ -> raise (Codec.Corrupt "bad magic")
+  in
   let c = Codec.cursor ~pos:(String.length magic) data in
   let tt = Xml.Type_table.create () in
   let ntypes = Codec.read_uint c in
@@ -220,9 +286,29 @@ let load path =
         Buffer.length sb)
       seqs
   in
+  let dewey_cols =
+    if version >= 2 then
+      Array.init ntypes (fun _ ->
+          let len = Codec.read_uint c in
+          Array.init len (fun _ -> Codec.read_int_array c))
+    else [||] (* rebuilt from the blob below *)
+  in
   let nnodes = Codec.read_uint c in
   let offsets = Codec.read_int_array c in
   if Array.length offsets <> nnodes then raise (Codec.Corrupt "offset table size");
   let blob = Codec.read_string c in
-  { blob; offsets; seqs; seq_bytes; guide; stats = Io_stats.create ();
-    groups = Hashtbl.create 16 }
+  let dewey_cols =
+    if version >= 2 then begin
+      Array.iteri
+        (fun ty col ->
+          if Array.length col <> Array.length seqs.(ty) then
+            raise (Codec.Corrupt "dewey column size"))
+        dewey_cols;
+      dewey_cols
+    end
+    else columns_of_blob blob offsets seqs
+  in
+  { blob; offsets; seqs; seq_bytes; dewey_cols;
+    dewey_col_bytes = column_bytes dewey_cols; guide;
+    stats = Io_stats.create (); groups = Hashtbl.create 16;
+    lock = Mutex.create () }

@@ -14,8 +14,19 @@
     paper reports.  Records are decoded on every access — re-reading a node
     that the renderer duplicates costs I/O again, exactly like a page read.
 
+    Alongside the row-oriented Nodes blob the store keeps a {e columnar
+    Dewey sidecar}: per-type arrays of Dewey numbers aligned with the
+    TypeToSequence rows.  The closest join only needs Dewey numbers, so the
+    join side of the renderer reads {!dewey_column} (charged at the column's
+    serialized size — a fraction of the full records) and defers record
+    decoding to emit time.  The sidecar is persisted in the store file
+    (format 2); files written by the previous format still load, with the
+    columns rebuilt from the blob.
+
     [save]/[load] give the store a stable on-disk format built solely on
-    {!Codec}. *)
+    {!Codec}.  The grouped-run cache is guarded by a mutex, so one store may
+    be read from several domains at once (the renderer's domain-parallel
+    mode). *)
 
 type node = {
   id : int;
@@ -48,6 +59,11 @@ val sequence : t -> Xml.Type_table.id -> int array
 (** The TypeToSequence row for a type (document order), charging its
     serialized size as a read.  Empty for unknown types. *)
 
+val dewey_column : t -> Xml.Type_table.id -> Xmutil.Dewey.t array
+(** The columnar Dewey sidecar for a type: Dewey numbers aligned with
+    {!sequence}, charged at the column's serialized size — the decode-free
+    access path of the closest join.  Empty for unknown types. *)
+
 val grouped_sequence : t -> Xml.Type_table.id -> level:int -> (int * int) array
 (** The GroupedSequence table of Fig. 8: the TypeToSequence row for a type,
     grouped into runs [start, stop)] of nodes sharing a Dewey prefix of
@@ -64,13 +80,20 @@ val data_bytes : t -> int
 val update_value : t -> int -> string -> t
 (** [update_value t id v] is a store identical to [t] except node [id]'s
     text value is [v].  Values do not participate in the shape, so the
-    adorned shape, sequences, and Dewey numbers are shared unchanged — this
-    is the store half of mapping value updates onto a materialized
-    transformation (Sec. VIII).  The returned store shares [t]'s I/O
-    accounting; the rewritten record is charged as a write. *)
+    adorned shape, sequences, Dewey columns, and grouped-run caches are
+    shared unchanged — only the updated node's own type is (conservatively)
+    dropped from the grouped-run cache — this is the store half of mapping
+    value updates onto a materialized transformation (Sec. VIII).  The
+    returned store shares [t]'s I/O accounting; the rewritten record is
+    charged as a write. *)
 
-val save : t -> string -> unit
-(** Write the store to a file. *)
+val save : ?version:int -> t -> string -> unit
+(** Write the store to a file.  [version] is 2 (default: the current
+    format, with the columnar Dewey sidecar) or 1 (the legacy row-only
+    format, kept so old readers — and the backward-compatibility tests —
+    can be exercised).  @raise Invalid_argument on other versions. *)
 
 val load : string -> t
-(** Read a store back.  @raise Codec.Corrupt on malformed files. *)
+(** Read a store back; both format versions load (a version-1 file has its
+    Dewey columns rebuilt from the node blob).
+    @raise Codec.Corrupt on malformed files. *)

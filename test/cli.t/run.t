@@ -110,6 +110,24 @@ Shred a collection and query the store:
   $ xmorph query -g "MORPH a" "count(//a)" col.store
   2
 
+Parallel evaluation: every subcommand takes --jobs N (default: the
+XMORPH_JOBS environment variable), and the rendered output is
+byte-identical to the sequential run:
+
+  $ xmorph run --jobs 4 "MORPH author [ name book [ title ] ]" data.xml > par.out
+  $ xmorph run "MORPH author [ name book [ title ] ]" data.xml > seq.out
+  $ cmp par.out seq.out
+  $ XMORPH_JOBS=2 xmorph query -g "MORPH a" "count(//a)" col.store
+  2
+
+Profiling is single-domain: asking for both serializes, with a warning:
+
+  $ xmorph profile --jobs 4 "MORPH author [ name ]" data.xml > /dev/null
+  xmorph: profiling is single-domain; ignoring --jobs 4 and running sequentially
+  $ xmorph run --jobs 4 --profile prof2.json "MORPH author [ name ]" data.xml > /dev/null
+  xmorph: profiling is single-domain; ignoring --jobs 4 and running sequentially
+  $ test -s prof2.json
+
 Syntax errors come with a caret:
 
   $ xmorph run "MORPH author [" data.xml

@@ -229,9 +229,132 @@ let prop_grouped_sequence_partitions =
             (List.init depth (fun i -> i + 1)))
         (Xml.Dataguide.all_types guide))
 
+let test_dewey_columns () =
+  let st = shred_fig_a () in
+  let guide = Store.Shredded.guide st in
+  List.iter
+    (fun ty ->
+      let seq = Store.Shredded.sequence st ty in
+      let col = Store.Shredded.dewey_column st ty in
+      Alcotest.(check int) "column aligned with sequence" (Array.length seq)
+        (Array.length col);
+      Array.iteri
+        (fun i id ->
+          Alcotest.(check bool) "column matches record dewey" true
+            (Xmutil.Dewey.equal col.(i)
+               (Store.Shredded.node st id).Store.Shredded.dewey))
+        seq)
+    (Xml.Dataguide.all_types guide);
+  Alcotest.(check (array (array int))) "unknown type empty" [||]
+    (Store.Shredded.dewey_column st 999)
+
+let test_dewey_column_charges_less () =
+  (* The point of the sidecar: join-side reads cost a fraction of decoding
+     the full records. *)
+  let st = shred_fig_a () in
+  let stats = Store.Shredded.stats st in
+  let guide = Store.Shredded.guide st in
+  let ty = List.hd (Xml.Dataguide.match_label guide "book") in
+  let bytes_of f =
+    Store.Io_stats.reset stats;
+    f ();
+    (Store.Io_stats.snapshot stats).Store.Io_stats.bytes_read
+  in
+  let col_bytes = bytes_of (fun () -> ignore (Store.Shredded.dewey_column st ty)) in
+  let rec_bytes =
+    bytes_of (fun () ->
+        Array.iter
+          (fun id -> ignore (Store.Shredded.node st id))
+          (Store.Shredded.sequence st ty))
+  in
+  Store.Io_stats.reset stats;
+  Alcotest.(check bool) "column read is charged" true (col_bytes > 0);
+  Alcotest.(check bool) "column cheaper than records" true (col_bytes < rec_bytes)
+
+(* A store written in the legacy (version 1, no sidecar) format still
+   loads, with the columns rebuilt from the node blob. *)
+let test_load_v1_format () =
+  let st = shred_fig_a () in
+  let path = Filename.temp_file "xmorph" ".store" in
+  Store.Shredded.save ~version:1 st path;
+  let st2 = Store.Shredded.load path in
+  Sys.remove path;
+  Alcotest.(check int) "node count" (Store.Shredded.node_count st)
+    (Store.Shredded.node_count st2);
+  let guide = Store.Shredded.guide st in
+  List.iter
+    (fun ty ->
+      Alcotest.(check (array int)) "sequence" (Store.Shredded.sequence st ty)
+        (Store.Shredded.sequence st2 ty);
+      let a = Store.Shredded.dewey_column st ty in
+      let b = Store.Shredded.dewey_column st2 ty in
+      Alcotest.(check int) "column length" (Array.length a) (Array.length b);
+      Array.iteri
+        (fun i d ->
+          Alcotest.(check bool) "rebuilt column" true (Xmutil.Dewey.equal d b.(i)))
+        a;
+      let depth = Xml.Type_table.depth (Store.Shredded.types st) ty in
+      List.iter
+        (fun level ->
+          Alcotest.(check (array (pair int int))) "grouped runs"
+            (Store.Shredded.grouped_sequence st ty ~level)
+            (Store.Shredded.grouped_sequence st2 ty ~level))
+        (List.init depth (fun i -> i + 1)))
+    (Xml.Dataguide.all_types guide);
+  (* And a version-1 file really is the legacy format, not v2 re-badged. *)
+  let path2 = Filename.temp_file "xmorph" ".store" in
+  Store.Shredded.save ~version:1 st path2;
+  let ic = open_in_bin path2 in
+  let magic = really_input_string ic 15 in
+  close_in ic;
+  Sys.remove path2;
+  Alcotest.(check string) "v1 magic" "XMORPH-STORE-1\n" magic
+
+(* Value updates do not touch Dewey numbers: the columnar sidecar is shared
+   with the original store, and only the updated node's own type is dropped
+   from the grouped-run cache. *)
+let test_update_value_keeps_columns () =
+  let st = shred_fig_a () in
+  let guide = Store.Shredded.guide st in
+  let title = List.hd (Xml.Dataguide.match_label guide "title") in
+  let name = List.hd (Xml.Dataguide.match_label guide "name") in
+  let title_id = (Store.Shredded.sequence st title).(0) in
+  (* Warm the grouped-run caches on the original store. *)
+  ignore (Store.Shredded.grouped_sequence st title ~level:1);
+  ignore (Store.Shredded.grouped_sequence st name ~level:1);
+  let st2 = Store.Shredded.update_value st title_id "Xv2" in
+  Alcotest.(check string) "value updated" "Xv2"
+    (Store.Shredded.node st2 title_id).Store.Shredded.value;
+  (* Columns are physically shared — no rebuild, same arrays. *)
+  Alcotest.(check bool) "dewey column shared" true
+    (Store.Shredded.dewey_column st title == Store.Shredded.dewey_column st2 title);
+  (* Other types keep their cached runs: re-reading charges nothing. *)
+  let stats = Store.Shredded.stats st2 in
+  Store.Io_stats.reset stats;
+  ignore (Store.Shredded.grouped_sequence st2 name ~level:1);
+  Alcotest.(check int) "other-type runs still cached" 0
+    (Store.Io_stats.snapshot stats).Store.Io_stats.bytes_read;
+  (* The updated node's own type was invalidated: the rebuild charges. *)
+  ignore (Store.Shredded.grouped_sequence st2 title ~level:1);
+  Alcotest.(check bool) "same-type runs recomputed" true
+    ((Store.Io_stats.snapshot stats).Store.Io_stats.bytes_read > 0);
+  Store.Io_stats.reset stats;
+  (* And the recomputed runs are unchanged — values play no part. *)
+  Alcotest.(check (array (pair int int))) "runs unchanged"
+    (Store.Shredded.grouped_sequence st title ~level:1)
+    (Store.Shredded.grouped_sequence st2 title ~level:1)
+
 let suite =
   suite
   @ [
       Alcotest.test_case "GroupedSequence rows" `Quick test_grouped_sequence;
       QCheck_alcotest.to_alcotest prop_grouped_sequence_partitions;
+      Alcotest.test_case "Dewey columns aligned and faithful" `Quick
+        test_dewey_columns;
+      Alcotest.test_case "Dewey column charges less than records" `Quick
+        test_dewey_column_charges_less;
+      Alcotest.test_case "legacy v1 store format loads" `Quick
+        test_load_v1_format;
+      Alcotest.test_case "update_value shares columns, scoped invalidation"
+        `Quick test_update_value_keeps_columns;
     ]
