@@ -19,6 +19,7 @@ let sections =
     ("architectures", Architectures.run);
     ("micro", Micro.run);
     ("scaling", Scaling.run);
+    ("serve", Serve_stats.run);
   ]
 
 let () =

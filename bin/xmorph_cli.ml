@@ -54,29 +54,37 @@ let serialize_for_profile () =
     Xmutil.Pool.set_jobs 1
   end
 
-(* Exports are registered with [at_exit] so they capture whatever ran, even
-   when a subcommand bails out through [exit_err]. *)
-let obs_setup trace metrics profile jobs =
+(* Exports are registered on the shared shutdown path: they capture
+   whatever ran on clean exits (including [exit_err] bailouts, like the
+   old bare [at_exit] registration) and on SIGTERM/SIGINT, which
+   [Xmobs.Shutdown.install] converts into an ordinary [exit].  A killed
+   serve daemon therefore still leaves complete, valid telemetry files. *)
+let obs_setup trace metrics profile qlog jobs =
   (match jobs with None -> () | Some j -> Xmutil.Pool.set_jobs j);
+  if trace <> None || metrics <> None || profile <> None || qlog <> None then
+    Xmobs.Shutdown.install ();
   (match trace with
   | None -> ()
   | Some path ->
       Xmobs.Trace.enable ();
-      at_exit (fun () ->
+      Xmobs.Shutdown.on_exit (fun () ->
           write_file path (Xmutil.Json.to_string (Xmobs.Trace.to_json ()))));
   (match metrics with
   | None -> ()
   | Some path ->
       Xmobs.Metrics.enable ();
-      at_exit (fun () ->
+      Xmobs.Shutdown.on_exit (fun () ->
           write_file path (Xmutil.Json.to_string (Xmobs.Metrics.to_json ()))));
-  match profile with
+  (match profile with
   | None -> ()
   | Some path ->
       serialize_for_profile ();
       Xmobs.Profile.enable ();
-      at_exit (fun () ->
-          write_file path (Xmutil.Json.to_string (Xmobs.Profile.to_json ())))
+      Xmobs.Shutdown.on_exit (fun () ->
+          write_file path (Xmutil.Json.to_string (Xmobs.Profile.to_json ()))));
+  match qlog with
+  | None -> ()
+  | Some path -> Xmobs.Qlog.enable path
 
 let obs_term =
   let trace =
@@ -99,6 +107,14 @@ let obs_term =
                    closest pairs, block I/O) and write the frame tree to \
                    $(docv) as JSON.  See also the $(b,profile) subcommand.")
   in
+  let qlog =
+    Arg.(value & opt (some string) None
+         & info [ "qlog" ] ~docv:"FILE"
+             ~doc:"Append one JSONL record per executed guard/query to \
+                   $(docv) (the same schema the serve daemon writes), \
+                   including on error paths and signal-interrupted runs.  \
+                   Analyze with $(b,xmorph stats).")
+  in
   let jobs =
     Arg.(value & opt (some int) None
          & info [ "j"; "jobs" ] ~docv:"N"
@@ -106,7 +122,7 @@ let obs_term =
                    1..64).  Defaults to the XMORPH_JOBS environment variable, \
                    or 1.  Profiling always runs single-domain.")
   in
-  Term.(const obs_setup $ trace $ metrics $ profile $ jobs)
+  Term.(const obs_setup $ trace $ metrics $ profile $ qlog $ jobs)
 
 (* ---------- shred ---------- *)
 
@@ -255,19 +271,22 @@ let run_cmd =
     match load_store input with
     | Error m -> exit_err m
     | Ok store -> (
-        match Xmorph.Interp.transform ~enforce:(not force) store guard with
-        | exception Xmorph.Interp.Error m -> exit_err m
-        | exception Xmorph.Loss.Rejected r ->
+        match
+          Xmserve.Exec.execute ~source:"run" ~doc:input ~enforce:(not force)
+            ~compact store guard
+        with
+        | Xmserve.Exec.Failed { kind = Xmobs.Qlog.Type_mismatch; message } ->
             Printf.eprintf
               "xmorph: guard rejected by type enforcement (use --force or a CAST):\n%s"
-              (Xmorph.Report.loss_to_string r);
+              message;
             exit 2
-        | tree, compiled ->
+        | Xmserve.Exec.Failed { message; _ } -> exit_err message
+        | Xmserve.Exec.Rendered { body; compiled }
+        | Xmserve.Exec.Query_result { body; compiled } ->
             List.iter
               (fun w -> Printf.eprintf "warning: %s\n" w)
               compiled.Xmorph.Interp.loss.Xmorph.Report.warnings;
-            if compact then print_endline (Xml.Printer.to_string tree)
-            else print_string (Xml.Printer.to_string_indented tree))
+            print_string body)
   in
   Cmd.v (Cmd.info "run" ~doc) Term.(const run $ obs_term $ guard_arg $ input $ force $ compact)
 
@@ -293,29 +312,32 @@ let query_cmd =
     | Error m -> exit_err m
     | Ok store ->
         if logical then begin
-          match Guarded.Logical.create ~enforce:(not force) store ~guard with
+          match
+            Xmserve.Exec.record ~source:"query" ~doc:input ~guard ~query store
+              (fun () ->
+                let lg = Guarded.Logical.create ~enforce:(not force) store ~guard in
+                Guarded.Logical.query_to_xml lg query)
+          with
           | exception Xmorph.Loss.Rejected r ->
               Printf.eprintf "xmorph: guard rejected:\n%s" (Xmorph.Report.loss_to_string r);
               exit 2
           | exception Xmorph.Interp.Error m -> exit_err m
-          | lg -> (
-              match Guarded.Logical.query_to_xml lg query with
-              | exception Xquery.Eval.Error m -> exit_err m
-              | trees ->
-                  List.iter (fun t -> print_endline (Xml.Printer.to_string t)) trees)
+          | exception Xquery.Eval.Error m -> exit_err m
+          | trees ->
+              List.iter (fun t -> print_endline (Xml.Printer.to_string t)) trees
         end
         else begin
-          let gq = { Guarded.Guarded_query.guard; query } in
-          match Guarded.Guarded_query.run_on_store ~enforce:(not force) store gq with
-          | exception Guarded.Guarded_query.Guard_rejected r ->
-              Printf.eprintf "xmorph: guard rejected:\n%s" (Xmorph.Report.loss_to_string r);
+          match
+            Xmserve.Exec.execute ~source:"query" ~doc:input
+              ~enforce:(not force) ~query store guard
+          with
+          | Xmserve.Exec.Failed { kind = Xmobs.Qlog.Type_mismatch; message } ->
+              Printf.eprintf "xmorph: guard rejected:\n%s" message;
               exit 2
-          | exception Guarded.Guarded_query.Query_failed m -> exit_err m
-          | exception Xmorph.Interp.Error m -> exit_err m
-          | outcome ->
-              List.iter
-                (fun t -> print_endline (Xml.Printer.to_string t))
-                outcome.Guarded.Guarded_query.result_xml
+          | Xmserve.Exec.Failed { message; _ } -> exit_err message
+          | Xmserve.Exec.Rendered { body; _ }
+          | Xmserve.Exec.Query_result { body; _ } ->
+              print_string body
         end
   in
   Cmd.v (Cmd.info "query" ~doc) Term.(const run $ obs_term $ query $ input $ guard $ force $ logical)
@@ -365,19 +387,22 @@ let profile_cmd =
     | Ok store ->
         serialize_for_profile ();
         Xmobs.Profile.enable ();
-        (match Xmorph.Interp.transform ~enforce:false store guard with
+        (match
+           Xmserve.Exec.record ~source:"profile" ~doc:input ~guard ?query store
+             (fun () ->
+               let tree, _ = Xmorph.Interp.transform ~enforce:false store guard in
+               match query with
+               | None -> ()
+               | Some q -> ignore (Xquery.Eval.run tree q))
+         with
+        | () -> ()
         | exception Xmorph.Interp.Error m -> exit_err m
-        | tree, _ -> (
-            match query with
-            | None -> ()
-            | Some q -> (
-                match Xquery.Eval.run tree q with
-                | _ -> ()
-                | exception Xquery.Eval.Error m -> exit_err m
-                | exception (Xquery.Qparse.Error _ as e) ->
-                    exit_err
-                      (Option.value ~default:"query syntax error"
-                         (Xquery.Qparse.error_message q e)))));
+        | exception Xquery.Eval.Error m -> exit_err m
+        | exception (Xquery.Qparse.Error _ as e) ->
+            let q = Option.value ~default:"" query in
+            exit_err
+              (Option.value ~default:"query syntax error"
+                 (Xquery.Qparse.error_message q e)));
         Xmobs.Profile.disable ();
         if json then
           print_endline (Xmutil.Json.to_string (Xmobs.Profile.to_json ()))
@@ -641,50 +666,53 @@ let shell_cmd =
                             match strip_prefix line ":query" with
                             | Some q -> (
                                 match
-                                  Guarded.Guarded_query.run_on_store ~enforce:false
-                                    store
-                                    { Guarded.Guarded_query.guard = !current_guard;
-                                      query = q }
+                                  Xmserve.Exec.execute ~source:"shell" ~doc:input
+                                    ~enforce:false ~query:q store !current_guard
                                 with
-                                | outcome ->
-                                    List.iter
-                                      (fun t ->
-                                        print_endline (Xml.Printer.to_string t))
-                                      outcome.Guarded.Guarded_query.result_xml
-                                | exception Guarded.Guarded_query.Query_failed m ->
-                                    print_endline m
-                                | exception Xmorph.Interp.Error m -> print_endline m)
+                                | Xmserve.Exec.Rendered { body; _ }
+                                | Xmserve.Exec.Query_result { body; _ } ->
+                                    print_string body
+                                | Xmserve.Exec.Failed { message; _ } ->
+                                    print_endline message)
                             | None -> (
                                 match strip_prefix line ":logical" with
                                 | Some q -> (
                                     match
-                                      Guarded.Logical.create ~enforce:false store
-                                        ~guard:!current_guard
+                                      Xmserve.Exec.record ~source:"shell"
+                                        ~doc:input ~guard:!current_guard ~query:q
+                                        store
+                                        (fun () ->
+                                          let lg =
+                                            Guarded.Logical.create ~enforce:false
+                                              store ~guard:!current_guard
+                                          in
+                                          Guarded.Logical.query_to_xml lg q)
                                     with
+                                    | trees ->
+                                        List.iter
+                                          (fun t ->
+                                            print_endline
+                                              (Xml.Printer.to_string t))
+                                          trees
                                     | exception Xmorph.Interp.Error m ->
                                         print_endline m
-                                    | lg -> (
-                                        match Guarded.Logical.query_to_xml lg q with
-                                        | trees ->
-                                            List.iter
-                                              (fun t ->
-                                                print_endline
-                                                  (Xml.Printer.to_string t))
-                                              trees
-                                        | exception Xquery.Eval.Error m ->
-                                            print_endline m
-                                        | exception (Xquery.Qparse.Error _ as e) ->
-                                            print_endline
-                                              (Option.value
-                                                 ~default:"query syntax error"
-                                                 (Xquery.Qparse.error_message q e))))
+                                    | exception Xquery.Eval.Error m ->
+                                        print_endline m
+                                    | exception (Xquery.Qparse.Error _ as e) ->
+                                        print_endline
+                                          (Option.value
+                                             ~default:"query syntax error"
+                                             (Xquery.Qparse.error_message q e)))
                                 | None -> (
-                                    match compile_or_report line with
-                                    | Some compiled ->
-                                        print_string
-                                          (Xml.Printer.to_string_indented
-                                             (Xmorph.Interp.render store compiled))
-                                    | None -> ())))))))
+                                    match
+                                      Xmserve.Exec.execute ~source:"shell"
+                                        ~doc:input ~enforce:false store line
+                                    with
+                                    | Xmserve.Exec.Rendered { body; _ }
+                                    | Xmserve.Exec.Query_result { body; _ } ->
+                                        print_string body
+                                    | Xmserve.Exec.Failed { message; _ } ->
+                                        print_endline message)))))))
         in
         if interactive then
           print_endline "xmorph shell - :help for commands, :quit to exit";
@@ -698,6 +726,232 @@ let shell_cmd =
          with Exit -> ())
   in
   Cmd.v (Cmd.info "shell" ~doc) Term.(const run $ obs_term $ input)
+
+(* ---------- serve ---------- *)
+
+let serve_cmd =
+  let doc =
+    "Serve one or more stores over HTTP: GET /healthz, GET /metrics \
+     (Prometheus text exposition), GET /stats (JSON), and POST /query (the \
+     body is a guard; ?doc= selects a store, ?query= adds a guarded XQuery \
+     query).  Combine with --qlog to append one JSONL record per query; \
+     SIGTERM/SIGINT flush every telemetry sink before exiting."
+  in
+  let inputs =
+    Arg.(non_empty & pos_all file []
+         & info [] ~docv:"STORE" ~doc:"Store files or XML documents to serve.")
+  in
+  let port =
+    Arg.(value & opt int 7780
+         & info [ "p"; "port" ] ~docv:"PORT"
+             ~doc:"TCP port to listen on (0 picks an ephemeral port).")
+  in
+  let addr =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "addr" ] ~docv:"ADDR" ~doc:"Address to bind.")
+  in
+  let workers =
+    Arg.(value & opt int 4
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Maximum concurrent requests (clamped to 1..64); further \
+                   clients wait in the accept queue.")
+  in
+  let port_file =
+    Arg.(value & opt (some string) None
+         & info [ "port-file" ] ~docv:"FILE"
+             ~doc:"Write the bound port number to $(docv) once listening \
+                   (for scripts that use --port 0).")
+  in
+  let run () inputs port addr workers port_file =
+    (* The daemon is multi-threaded, so an async [Sys.signal] handler can
+       be delivered to a worker or pool domain that never reaches a
+       safepoint while the accept loop sits in [accept].  Block the
+       termination signals before any thread exists and consume them
+       deterministically with sigwait; [exit] then runs the shared
+       Shutdown flush chain (qlog, --metrics, --trace, ...). *)
+    ignore (Thread.sigmask Unix.SIG_BLOCK [ Sys.sigterm; Sys.sigint ]);
+    ignore
+      (Thread.create
+         (fun () ->
+           let n = Thread.wait_signal [ Sys.sigterm; Sys.sigint ] in
+           Stdlib.exit (Xmobs.Shutdown.signal_exit_code n))
+         ());
+    let stores =
+      List.map
+        (fun input ->
+          match load_store input with
+          | Error m -> exit_err m
+          | Ok store -> (Filename.basename input, store))
+        inputs
+    in
+    let server =
+      match Xmserve.Server.create ~addr ~port ~workers ~stores () with
+      | s -> s
+      | exception Unix.Unix_error (e, fn, _) ->
+          exit_err (Printf.sprintf "cannot listen on %s:%d: %s: %s" addr port
+                      fn (Unix.error_message e))
+    in
+    (match port_file with
+    | None -> ()
+    | Some f -> write_file f (string_of_int (Xmserve.Server.port server) ^ "\n"));
+    Printf.printf "xmorph serve: listening on http://%s:%d (%d store%s, %d workers)\n%!"
+      (Xmserve.Server.addr server)
+      (Xmserve.Server.port server)
+      (List.length stores)
+      (if List.length stores = 1 then "" else "s")
+      workers;
+    Xmserve.Server.run server
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ obs_term $ inputs $ port $ addr $ workers $ port_file)
+
+(* ---------- stats ---------- *)
+
+let stats_cmd =
+  let doc =
+    "Analyze a structured query log (JSONL from serve or --qlog): outcome \
+     and error-rate tables, wall/eval/render and block-I/O percentiles \
+     (p50/p95/p99 through the same histogram machinery as /metrics), and \
+     the top-N slowest queries.  With --compare, verdict against a previous \
+     run's JSON artifact (exit 7 on regression)."
+  in
+  let log =
+    Arg.(value & pos 0 (some file) None
+         & info [] ~docv:"LOG" ~doc:"Query log (JSONL).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the summary as JSON.")
+  in
+  let top =
+    Arg.(value & opt int 5
+         & info [ "top" ] ~docv:"N" ~doc:"How many slowest queries to list.")
+  in
+  let compare_file =
+    Arg.(value & opt (some file) None
+         & info [ "compare" ] ~docv:"BASELINE"
+             ~doc:"Compare p95 wall latency against a previous JSON artifact; \
+                   exit 7 when it regressed beyond --tolerance.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Write the JSON artifact to $(docv) (defaults to \
+                   BENCH_serve.json when --compare is given).")
+  in
+  let tolerance =
+    Arg.(value & opt float 0.25
+         & info [ "tolerance" ] ~docv:"T"
+             ~doc:"Allowed p95 slowdown ratio for --compare (0.25 = 25%).")
+  in
+  let check_json =
+    Arg.(value & opt_all file []
+         & info [ "check-json" ] ~docv:"FILE"
+             ~doc:"Validate that $(docv) parses as JSON (repeatable; useful \
+                   for asserting a killed daemon left complete telemetry \
+                   files).  No LOG is needed when only checking.")
+  in
+  let run () log json top compare_file out tolerance check_json =
+    List.iter
+      (fun path ->
+        match Xmutil.Json.of_string (read_file path) with
+        | _ -> Printf.printf "%s: valid JSON\n" path
+        | exception Sys_error m -> exit_err m
+        | exception Xmutil.Json.Parse_error { pos; msg } ->
+            exit_err (Printf.sprintf "%s: invalid JSON at %d: %s" path pos msg))
+      check_json;
+    match log with
+    | None ->
+        if check_json = [] then
+          exit_err "stats: missing LOG argument (or --check-json FILE)"
+    | Some path ->
+        let entries, malformed =
+          match Xmserve.Stats.load path with
+          | r -> r
+          | exception Sys_error m -> exit_err m
+        in
+        let summary = Xmserve.Stats.analyze ~top ~log_path:path ~malformed entries in
+        let comparison =
+          match compare_file with
+          | None -> None
+          | Some baseline_path -> (
+              match
+                Xmserve.Stats.compare_baseline ~tolerance ~baseline_path summary
+              with
+              | Ok c -> Some c
+              | Error m -> exit_err m)
+        in
+        let artifact =
+          let base = Xmserve.Stats.to_json summary in
+          match (base, comparison) with
+          | Xmutil.Json.Obj fields, Some c ->
+              Xmutil.Json.Obj
+                (fields @ [ ("compare", Xmserve.Stats.comparison_to_json c) ])
+          | _ -> base
+        in
+        let out_path =
+          match (out, compare_file) with
+          | Some f, _ -> Some f
+          | None, Some _ -> Some "BENCH_serve.json"
+          | None, None -> None
+        in
+        (match out_path with
+        | None -> ()
+        | Some f -> write_file f (Xmutil.Json.to_string ~pretty:true artifact));
+        if json then print_endline (Xmutil.Json.to_string ~pretty:true artifact)
+        else begin
+          print_string (Xmserve.Stats.to_text summary);
+          Option.iter
+            (fun c -> print_string (Xmserve.Stats.comparison_to_text c))
+            comparison;
+          Option.iter (fun f -> Printf.printf "wrote %s\n" f) out_path
+        end;
+        match comparison with
+        | Some c when c.Xmserve.Stats.regression -> exit 7
+        | _ -> ()
+  in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(const run $ obs_term $ log $ json $ top $ compare_file $ out
+          $ tolerance $ check_json)
+
+(* ---------- http ---------- *)
+
+let http_cmd =
+  let doc =
+    "Minimal HTTP client for the serve daemon (so smoke tests do not need \
+     curl): print the response body to stdout; exit 22 when the status is \
+     400 or above."
+  in
+  let meth =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"METHOD" ~doc:"GET, POST, ...")
+  in
+  let url =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"URL" ~doc:"http:// URL.")
+  in
+  let data =
+    Arg.(value & opt (some string) None
+         & info [ "d"; "data" ] ~docv:"BODY" ~doc:"Request body.")
+  in
+  let show_head =
+    Arg.(value & flag
+         & info [ "i"; "include" ] ~doc:"Also print the status and headers.")
+  in
+  let run () meth url data show_head =
+    match Xmserve.Http.request_url ?body:data ~meth url with
+    | Error m -> exit_err m
+    | Ok (status, headers, body) ->
+        if show_head then begin
+          Printf.printf "HTTP/1.1 %d %s\n" status
+            (Xmserve.Http.status_reason status);
+          List.iter (fun (k, v) -> Printf.printf "%s: %s\n" k v) headers;
+          print_newline ()
+        end;
+        print_string body;
+        if status >= 400 then exit 22
+  in
+  Cmd.v (Cmd.info "http" ~doc)
+    Term.(const run $ obs_term $ meth $ url $ data $ show_head)
 
 let setup_logs () =
   (* XMORPH_DEBUG=1 turns on per-phase debug timing on stderr. *)
@@ -713,6 +967,6 @@ let main =
   Cmd.group info
     [ shred_cmd; shape_cmd; shape_diff_cmd; check_cmd; explain_cmd; profile_cmd;
       run_cmd; query_cmd; infer_cmd; view_cmd; shell_cmd; equiv_cmd; fmt_cmd;
-      gen_cmd ]
+      gen_cmd; serve_cmd; stats_cmd; http_cmd ]
 
 let () = exit (Cmd.eval main)

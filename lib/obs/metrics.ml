@@ -256,6 +256,101 @@ let to_json ?r () =
          (List.map (fun (k, h) -> (k, hist_to_json h))
             (sorted_bindings r.histograms))) ]
 
+(* ---------- Prometheus text exposition ---------- *)
+
+(* Metric names here are dotted ([phase.render.seconds]); Prometheus names
+   admit [a-zA-Z0-9_:] with a non-digit first character, so everything
+   else maps to '_'. *)
+let prometheus_name name =
+  let b = Buffer.create (String.length name) in
+  String.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> Buffer.add_char b c
+      | '0' .. '9' ->
+          if i = 0 then Buffer.add_char b '_';
+          Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+(* Label values are double-quoted; the exposition format escapes exactly
+   backslash, double quote, and line feed. *)
+let prometheus_escape_label v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+(* Prometheus floats.  %.12g keeps sums and timestamps exact enough while
+   staying deterministic; integral values print without a fraction. *)
+let prom_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+(* The upper edge of log-scale bucket [i]: observations are rounded to the
+   nearest bucket, so the boundary sits half a bucket step up. *)
+let bucket_upper_edge i =
+  Float.pow 2.0 ((float_of_int (i - hist_mid) +. 0.5) /. hist_scale)
+
+let hist_to_prometheus b name h =
+  Mutex.lock h.hlock;
+  let n = h.n and sum = h.sum and buckets = Array.copy h.buckets in
+  Mutex.unlock h.hlock;
+  Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" name);
+  let cum = ref 0 in
+  for i = 0 to hist_buckets - 1 do
+    if buckets.(i) > 0 then begin
+      cum := !cum + buckets.(i);
+      Buffer.add_string b
+        (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name
+           (prom_float (bucket_upper_edge i))
+           !cum)
+    end
+  done;
+  Buffer.add_string b (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name n);
+  Buffer.add_string b (Printf.sprintf "%s_sum %s\n" name (prom_float sum));
+  Buffer.add_string b (Printf.sprintf "%s_count %d\n" name n)
+
+let to_prometheus ?r ?(info = []) () =
+  let r = match r with Some r -> r | None -> !current in
+  let b = Buffer.create 1024 in
+  (match info with
+  | [] -> ()
+  | kvs ->
+      Buffer.add_string b "# TYPE xmorph_info gauge\n";
+      Buffer.add_string b "xmorph_info{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf "%s=\"%s\"" (prometheus_name k)
+               (prometheus_escape_label v)))
+        kvs;
+      Buffer.add_string b "} 1\n");
+  List.iter
+    (fun (k, c) ->
+      let name = prometheus_name k in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" name);
+      Buffer.add_string b (Printf.sprintf "%s %d\n" name (Atomic.get c.count)))
+    (sorted_bindings r.counters);
+  List.iter
+    (fun (k, g) ->
+      let name = prometheus_name k in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" name);
+      Buffer.add_string b (Printf.sprintf "%s %s\n" name (prom_float g.level)))
+    (sorted_bindings r.gauges);
+  List.iter
+    (fun (k, h) -> hist_to_prometheus b (prometheus_name k) h)
+    (sorted_bindings r.histograms);
+  Buffer.contents b
+
 let to_string ?r () =
   let r = match r with Some r -> r | None -> !current in
   let b = Buffer.create 256 in

@@ -81,3 +81,17 @@ val percentile : ?r:t -> string -> float -> float option
 
 val to_json : ?r:t -> unit -> Xmutil.Json.t
 val to_string : ?r:t -> unit -> string
+
+val to_prometheus : ?r:t -> ?info:(string * string) list -> unit -> string
+(** Prometheus text exposition (format 0.0.4): counters and gauges as
+    single samples, histograms as cumulative [_bucket{le="..."}] series
+    (log-scale upper edges; zero-delta buckets elided) plus [_sum] and
+    [_count], with the [+Inf] bucket always present and equal to
+    [_count].  Dotted metric names map to underscores.  [info] renders an
+    [xmorph_info{k="v",...} 1] gauge with escaped label values. *)
+
+val prometheus_name : string -> string
+(** Sanitize a metric/label name to [[a-zA-Z_:][a-zA-Z0-9_:]*]. *)
+
+val prometheus_escape_label : string -> string
+(** Escape a label value: backslash, double quote, and newline. *)

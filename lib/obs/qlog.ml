@@ -1,0 +1,271 @@
+(* The structured query log.
+
+   One JSONL record per guard/query execution, shared by every surface
+   (serve daemon, one-shot CLI subcommands, the shell), so a workload can
+   be aggregated after the fact regardless of how it was executed.
+
+   Writer design: records are serialized to a single line immediately and
+   appended to a bounded in-memory buffer under a mutex; when the buffer
+   crosses [cap] bytes it spills to the file.  The mutex makes concurrent
+   [log] calls (worker domains of Xmutil.Pool, serve worker threads) emit
+   whole lines — a reader can never see an interleaved or partial record
+   short of the process being killed uncleanly mid-spill.  [flush] is
+   cheap and idempotent; the global sink registers it on the Shutdown
+   path so SIGTERM/SIGINT leave a complete, valid log behind. *)
+
+type outcome = Ok | Parse_error | Type_mismatch | Internal
+
+let outcome_to_string = function
+  | Ok -> "ok"
+  | Parse_error -> "parse-error"
+  | Type_mismatch -> "type-mismatch"
+  | Internal -> "internal"
+
+let outcome_of_string = function
+  | "ok" -> Some Ok
+  | "parse-error" -> Some Parse_error
+  | "type-mismatch" -> Some Type_mismatch
+  | "internal" -> Some Internal
+  | _ -> None
+
+type io = {
+  bytes_read : int;
+  bytes_written : int;
+  blocks_read : int;
+  blocks_written : int;
+  read_ops : int;
+  write_ops : int;
+}
+
+type entry = {
+  ts : float;
+  id : int;
+  source : string;
+  doc : string;
+  guard : string;
+  guard_hash : string;
+  query_hash : string option;
+  classification : string option;
+  outcome : outcome;
+  error : string option;
+  wall_s : float;
+  eval_s : float;
+  render_s : float;
+  in_nodes : int;
+  out_nodes : int;
+  io : io option;
+  jobs : int;
+}
+
+let id_counter = Atomic.make 0
+
+let next_id () = Atomic.fetch_and_add id_counter 1
+
+(* FNV-1a, 64-bit.  A stable, dependency-free content hash: equal guards
+   get equal hashes across runs and machines, so a log analyzer can group
+   by guard without storing the (possibly long) text twice. *)
+let hash_text s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+let io_to_json (io : io) =
+  Xmutil.Json.Obj
+    [ ("bytes_read", Xmutil.Json.Int io.bytes_read);
+      ("bytes_written", Xmutil.Json.Int io.bytes_written);
+      ("blocks_read", Xmutil.Json.Int io.blocks_read);
+      ("blocks_written", Xmutil.Json.Int io.blocks_written);
+      ("read_ops", Xmutil.Json.Int io.read_ops);
+      ("write_ops", Xmutil.Json.Int io.write_ops) ]
+
+let entry_to_json (e : entry) =
+  let opt name v rest =
+    match v with None -> rest | Some s -> (name, Xmutil.Json.String s) :: rest
+  in
+  Xmutil.Json.Obj
+    (* ts as integer milliseconds: the generic float printer keeps only
+       6 significant digits, which would truncate a Unix timestamp to
+       ~17-minute granularity. *)
+    ([ ("ts_ms", Xmutil.Json.Int (int_of_float (Float.round (e.ts *. 1000.))));
+       ("id", Xmutil.Json.Int e.id);
+       ("source", Xmutil.Json.String e.source);
+       ("doc", Xmutil.Json.String e.doc);
+       ("guard", Xmutil.Json.String e.guard);
+       ("guard_hash", Xmutil.Json.String e.guard_hash) ]
+    @ opt "query_hash" e.query_hash []
+    @ opt "classification" e.classification []
+    @ [ ("outcome", Xmutil.Json.String (outcome_to_string e.outcome)) ]
+    @ opt "error" e.error []
+    @ [ ("wall_s", Xmutil.Json.Float e.wall_s);
+        ("eval_s", Xmutil.Json.Float e.eval_s);
+        ("render_s", Xmutil.Json.Float e.render_s);
+        ("in_nodes", Xmutil.Json.Int e.in_nodes);
+        ("out_nodes", Xmutil.Json.Int e.out_nodes) ]
+    @ (match e.io with None -> [] | Some io -> [ ("io", io_to_json io) ])
+    @ [ ("jobs", Xmutil.Json.Int e.jobs) ])
+
+let entry_to_line e = Xmutil.Json.to_string ~pretty:false (entry_to_json e)
+
+(* ---------- reading back ---------- *)
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let obj_fields = function
+  | Xmutil.Json.Obj fields -> fields
+  | _ -> fail "qlog entry: not a JSON object"
+
+let find fields name = List.assoc_opt name fields
+
+let get_string fields name =
+  match find fields name with
+  | Some (Xmutil.Json.String s) -> s
+  | Some _ -> fail "qlog entry: field %S is not a string" name
+  | None -> fail "qlog entry: missing field %S" name
+
+let get_string_opt fields name =
+  match find fields name with
+  | Some (Xmutil.Json.String s) -> Some s
+  | _ -> None
+
+let get_int fields name =
+  match find fields name with
+  | Some (Xmutil.Json.Int i) -> i
+  | Some (Xmutil.Json.Float f) -> int_of_float f
+  | Some _ -> fail "qlog entry: field %S is not a number" name
+  | None -> fail "qlog entry: missing field %S" name
+
+let get_float fields name =
+  match find fields name with
+  | Some (Xmutil.Json.Float f) -> f
+  | Some (Xmutil.Json.Int i) -> float_of_int i
+  | Some _ -> fail "qlog entry: field %S is not a number" name
+  | None -> fail "qlog entry: missing field %S" name
+
+let entry_of_json j =
+  let fields = obj_fields j in
+  let io =
+    match find fields "io" with
+    | Some (Xmutil.Json.Obj _ as o) ->
+        let f = obj_fields o in
+        Some
+          { bytes_read = get_int f "bytes_read";
+            bytes_written = get_int f "bytes_written";
+            blocks_read = get_int f "blocks_read";
+            blocks_written = get_int f "blocks_written";
+            read_ops = get_int f "read_ops";
+            write_ops = get_int f "write_ops" }
+    | _ -> None
+  in
+  let outcome =
+    let s = get_string fields "outcome" in
+    match outcome_of_string s with
+    | Some o -> o
+    | None -> fail "qlog entry: unknown outcome %S" s
+  in
+  {
+    ts = float_of_int (get_int fields "ts_ms") /. 1000.0;
+    id = get_int fields "id";
+    source = get_string fields "source";
+    doc = (match get_string_opt fields "doc" with Some d -> d | None -> "");
+    guard = get_string fields "guard";
+    guard_hash = get_string fields "guard_hash";
+    query_hash = get_string_opt fields "query_hash";
+    classification = get_string_opt fields "classification";
+    outcome;
+    error = get_string_opt fields "error";
+    wall_s = get_float fields "wall_s";
+    eval_s = get_float fields "eval_s";
+    render_s = get_float fields "render_s";
+    in_nodes = get_int fields "in_nodes";
+    out_nodes = get_int fields "out_nodes";
+    io;
+    jobs = get_int fields "jobs";
+  }
+
+(* ---------- the ring-to-disk writer ---------- *)
+
+type t = {
+  w_path : string;
+  cap : int;
+  oc : out_channel;
+  buf : Buffer.t;
+  lock : Mutex.t;
+  mutable closed : bool;
+}
+
+let default_cap = 64 * 1024
+
+let create ?(cap = default_cap) path =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  { w_path = path; cap = max 1 cap; oc; buf = Buffer.create 4096;
+    lock = Mutex.create (); closed = false }
+
+let path t = t.w_path
+
+let spill_unlocked t =
+  if Buffer.length t.buf > 0 then begin
+    Buffer.output_buffer t.oc t.buf;
+    Buffer.clear t.buf;
+    Stdlib.flush t.oc
+  end
+
+let log t e =
+  (* Serialize outside the lock: line building is the expensive part and
+     needs no shared state. *)
+  let line = entry_to_line e in
+  Mutex.lock t.lock;
+  if not t.closed then begin
+    Buffer.add_string t.buf line;
+    Buffer.add_char t.buf '\n';
+    if Buffer.length t.buf >= t.cap then spill_unlocked t
+  end;
+  Mutex.unlock t.lock
+
+let pending t =
+  Mutex.lock t.lock;
+  let n = Buffer.length t.buf in
+  Mutex.unlock t.lock;
+  n
+
+let flush t =
+  Mutex.lock t.lock;
+  if not t.closed then spill_unlocked t;
+  Mutex.unlock t.lock
+
+let close t =
+  Mutex.lock t.lock;
+  if not t.closed then begin
+    spill_unlocked t;
+    t.closed <- true;
+    close_out_noerr t.oc
+  end;
+  Mutex.unlock t.lock
+
+(* ---------- the global sink ---------- *)
+
+let sink : t option ref = ref None
+
+let shutdown_registered = ref false
+
+let enable ?cap p =
+  (match !sink with Some t -> close t | None -> ());
+  sink := Some (create ?cap p);
+  if not !shutdown_registered then begin
+    shutdown_registered := true;
+    Shutdown.on_exit (fun () -> match !sink with Some t -> close t | None -> ())
+  end
+
+let disable () =
+  (match !sink with Some t -> close t | None -> ());
+  sink := None
+
+let enabled () = !sink <> None
+
+let submit e = match !sink with Some t -> log t e | None -> ()
+
+let flush_global () = match !sink with Some t -> flush t | None -> ()

@@ -1,0 +1,192 @@
+(* The shared execution path: compile + render (+ optional query), with
+   exactly one query-log record per call.
+
+   Byte-compatibility contract: [Rendered.body] is precisely what
+   [xmorph run] prints (Printer.to_string_indented, or to_string + "\n"
+   under ~compact), and [Query_result.body] is precisely what
+   [xmorph query] prints (one to_string line per result tree).  The serve
+   daemon returns these bodies verbatim, so served bytes equal one-shot
+   bytes for the same guard and document. *)
+
+let now () = Unix.gettimeofday ()
+
+let first_line s =
+  match String.index_opt s '\n' with
+  | None -> s
+  | Some i -> String.sub s 0 i
+
+type outcome =
+  | Rendered of { body : string; compiled : Xmorph.Interp.t }
+  | Query_result of { body : string; compiled : Xmorph.Interp.t }
+  | Failed of { kind : Xmobs.Qlog.outcome; message : string }
+
+let io_of_snapshot (s : Store.Io_stats.snapshot) : Xmobs.Qlog.io =
+  {
+    Xmobs.Qlog.bytes_read = s.Store.Io_stats.bytes_read;
+    bytes_written = s.Store.Io_stats.bytes_written;
+    blocks_read = s.Store.Io_stats.blocks_read;
+    blocks_written = s.Store.Io_stats.blocks_written;
+    read_ops = s.Store.Io_stats.read_ops;
+    write_ops = s.Store.Io_stats.write_ops;
+  }
+
+(* Local exception so query-phase failures carry their rendered message
+   through the common classification below. *)
+exception Query_error of string
+
+let classify = function
+  | Xmorph.Interp.Error m -> (Xmobs.Qlog.Parse_error, m)
+  | Xmorph.Loss.Rejected r ->
+      (Xmobs.Qlog.Type_mismatch, Xmorph.Report.loss_to_string r)
+  | Query_error m -> (Xmobs.Qlog.Parse_error, m)
+  | Xquery.Eval.Error m -> (Xmobs.Qlog.Parse_error, m)
+  | Xquery.Qparse.Error _ as e -> (Xmobs.Qlog.Parse_error, Printexc.to_string e)
+  | Guarded.Guarded_query.Query_failed m -> (Xmobs.Qlog.Parse_error, m)
+  | Guarded.Guarded_query.Guard_rejected r ->
+      (Xmobs.Qlog.Type_mismatch, Xmorph.Report.loss_to_string r)
+  | e -> (Xmobs.Qlog.Internal, Printexc.to_string e)
+
+let execute ~source ?(doc = "") ?(enforce = true) ?(compact = false) ?query
+    store guard =
+  let ts = now () in
+  let io0 = Store.Io_stats.snapshot (Store.Shredded.stats store) in
+  let eval_s = ref 0.0 in
+  let render_s = ref 0.0 in
+  let classification = ref None in
+  let out_nodes = ref 0 in
+  let submit outcome error =
+    if Xmobs.Qlog.enabled () then
+      Xmobs.Qlog.submit
+        {
+          Xmobs.Qlog.ts;
+          id = Xmobs.Qlog.next_id ();
+          source;
+          doc;
+          guard;
+          guard_hash = Xmobs.Qlog.hash_text guard;
+          query_hash = Option.map Xmobs.Qlog.hash_text query;
+          classification = !classification;
+          outcome;
+          error = Option.map first_line error;
+          wall_s = now () -. ts;
+          eval_s = !eval_s;
+          render_s = !render_s;
+          in_nodes = Store.Shredded.node_count store;
+          out_nodes = !out_nodes;
+          io =
+            Some
+              (io_of_snapshot
+                 (Store.Io_stats.diff
+                    (Store.Io_stats.snapshot (Store.Shredded.stats store))
+                    io0));
+          jobs = Xmutil.Pool.jobs ();
+        }
+  in
+  let run () =
+    let transform () =
+      let guide = Store.Shredded.guide store in
+      let t0 = now () in
+      let compiled = Xmorph.Interp.compile ~enforce guide guard in
+      eval_s := !eval_s +. (now () -. t0);
+      classification :=
+        Some
+          (Xmorph.Report.classification_to_string
+             compiled.Xmorph.Interp.loss.Xmorph.Report.classification);
+      let t1 = now () in
+      let tree = Xmorph.Interp.render store compiled in
+      render_s := !render_s +. (now () -. t1);
+      (tree, compiled)
+    in
+    match query with
+    | None ->
+        let tree, compiled = transform () in
+        out_nodes := Xml.Tree.count_nodes tree;
+        let body =
+          if compact then Xml.Printer.to_string tree ^ "\n"
+          else Xml.Printer.to_string_indented tree
+        in
+        Rendered { body; compiled }
+    | Some q ->
+        (* Mirror Guarded.Guarded_query.run_on_store, split for timing:
+           same profiler frame, same error mapping, same materialization. *)
+        let tree, compiled =
+          Xmobs.Profile.op "guard.transform" transform
+        in
+        let t0 = now () in
+        let result =
+          try Xquery.Eval.run tree q with
+          | Xquery.Eval.Error msg -> raise (Query_error msg)
+          | Xquery.Qparse.Error _ as e -> (
+              match Xquery.Qparse.error_message q e with
+              | Some msg -> raise (Query_error msg)
+              | None -> raise e)
+        in
+        let trees = Xquery.Value.to_trees result in
+        eval_s := !eval_s +. (now () -. t0);
+        out_nodes :=
+          List.fold_left (fun acc t -> acc + Xml.Tree.count_nodes t) 0 trees;
+        let b = Buffer.create 256 in
+        List.iter
+          (fun t ->
+            Buffer.add_string b (Xml.Printer.to_string t);
+            Buffer.add_char b '\n')
+          trees;
+        Query_result { body = Buffer.contents b; compiled }
+  in
+  match run () with
+  | v ->
+      submit Xmobs.Qlog.Ok None;
+      v
+  | exception e ->
+      let kind, message = classify e in
+      (match e with
+      | Xmorph.Loss.Rejected r ->
+          classification :=
+            Some
+              (Xmorph.Report.classification_to_string
+                 r.Xmorph.Report.classification)
+      | _ -> ());
+      submit kind (Some message);
+      Failed { kind; message }
+
+let record ~source ?(doc = "") ?(guard = "") ?query store f =
+  if not (Xmobs.Qlog.enabled ()) then f ()
+  else begin
+    let ts = now () in
+    let io0 = Store.Io_stats.snapshot (Store.Shredded.stats store) in
+    let submit outcome error =
+      Xmobs.Qlog.submit
+        {
+          Xmobs.Qlog.ts;
+          id = Xmobs.Qlog.next_id ();
+          source;
+          doc;
+          guard;
+          guard_hash = Xmobs.Qlog.hash_text guard;
+          query_hash = Option.map Xmobs.Qlog.hash_text query;
+          classification = None;
+          outcome;
+          error = Option.map first_line error;
+          wall_s = now () -. ts;
+          eval_s = now () -. ts;
+          render_s = 0.0;
+          in_nodes = Store.Shredded.node_count store;
+          out_nodes = 0;
+          io =
+            Some
+              (io_of_snapshot
+                 (Store.Io_stats.diff
+                    (Store.Io_stats.snapshot (Store.Shredded.stats store))
+                    io0));
+          jobs = Xmutil.Pool.jobs ();
+        }
+    in
+    match f () with
+    | v ->
+        submit Xmobs.Qlog.Ok None;
+        v
+    | exception e ->
+        let kind, message = classify e in
+        submit kind (Some message);
+        raise e
+  end

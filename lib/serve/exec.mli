@@ -1,0 +1,49 @@
+(** One guard/query execution with full telemetry.
+
+    This is the single execution path behind [POST /query], [xmorph run],
+    [xmorph query], and the shell: every call produces exactly one
+    {!Xmobs.Qlog} record (when a sink is enabled) — on success {e and} on
+    every failure path — with the wall/eval/render breakdown, node counts,
+    {!Store.Io_stats} deltas, job count, and outcome classification.
+    Because the serve daemon and the one-shot CLI share it, the bytes
+    returned for a guard are identical by construction. *)
+
+type outcome =
+  | Rendered of { body : string; compiled : Xmorph.Interp.t }
+      (** the transformed XML, serialized exactly as [xmorph run] prints
+          it (indented, or compact with [~compact:true]) *)
+  | Query_result of { body : string; compiled : Xmorph.Interp.t }
+      (** guarded-query result: one [Xml.Printer.to_string] line per
+          result tree, as [xmorph query] prints it *)
+  | Failed of { kind : Xmobs.Qlog.outcome; message : string }
+      (** [kind] is never [Ok]; [message] is the human-readable error —
+          for [Type_mismatch] it is the loss report *)
+
+val execute :
+  source:string ->
+  ?doc:string ->
+  ?enforce:bool ->
+  ?compact:bool ->
+  ?query:string ->
+  Store.Shredded.t ->
+  string ->
+  outcome
+(** [execute ~source store guard] compiles and renders [guard] against
+    [store]; with [?query] it then evaluates the XQuery query against the
+    transformed tree (the physical guarded-query architecture).  Never
+    raises: failures come back as [Failed].  [source] and [doc] are
+    recorded in the query log verbatim. *)
+
+val record :
+  source:string ->
+  ?doc:string ->
+  ?guard:string ->
+  ?query:string ->
+  Store.Shredded.t ->
+  (unit -> 'a) ->
+  'a
+(** Coarse wrapper for execution paths that do not go through {!execute}
+    (the in-situ logical evaluator, the profiler subcommand): times [f],
+    classifies its outcome by exception, writes one query-log record, and
+    re-raises.  The eval/render breakdown is not available here — the
+    whole duration is charged to [wall_s]/[eval_s]. *)

@@ -1,0 +1,230 @@
+(* The serve daemon: accept loop + bounded worker threads.
+
+   One thread per in-flight request, admission gated by a counting
+   semaphore sized to the worker budget: when [workers] requests are in
+   flight the accept loop blocks, so overload backpressures at the TCP
+   accept queue instead of growing an unbounded thread herd.  Handlers
+   share the process-wide observability state — the global metrics
+   registry (counters/gauges are atomic or word-sized), the store's
+   mutex-guarded caches, and the mutex-guarded query-log writer — so no
+   extra synchronization is needed here beyond the semaphore. *)
+
+let now () = Unix.gettimeofday ()
+
+type t = {
+  s_addr : string;
+  s_port : int;
+  workers : int;
+  stores : (string * Store.Shredded.t) list;
+  listen_fd : Unix.file_descr;
+  started : float;
+  stopping : bool Atomic.t;
+  slots : Semaphore.Counting.t;
+  mutable thread : Thread.t option;
+}
+
+let outcome_names = [ "ok"; "parse-error"; "type-mismatch"; "internal" ]
+
+let create ?(addr = "127.0.0.1") ?(port = 0) ?(workers = 4) ~stores () =
+  if stores = [] then invalid_arg "Server.create: no stores";
+  let workers = max 1 (min 64 workers) in
+  let inet =
+    try Unix.inet_addr_of_string addr
+    with Failure _ -> Unix.inet_addr_loopback
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (inet, port));
+  Unix.listen fd 64;
+  let actual_port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  (* The daemon always collects metrics: /metrics is only useful live. *)
+  Xmobs.Metrics.enable ();
+  Xmobs.Metrics.set_gauge "serve.workers" (float_of_int workers);
+  {
+    s_addr = addr;
+    s_port = actual_port;
+    workers;
+    stores;
+    listen_fd = fd;
+    started = now ();
+    stopping = Atomic.make false;
+    slots = Semaphore.Counting.make workers;
+    thread = None;
+  }
+
+let port t = t.s_port
+
+let addr t = t.s_addr
+
+let store_for t req =
+  match List.assoc_opt "doc" req.Http.query with
+  | None -> Some (List.hd t.stores)
+  | Some name ->
+      List.find_opt (fun (n, _) -> String.equal n name) t.stores
+      |> Option.map (fun (n, s) -> (n, s))
+
+let truthy = function
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
+
+let stats_json t =
+  let queries =
+    List.map
+      (fun o -> (o, Xmutil.Json.Int (Xmobs.Metrics.counter_value ("serve.queries." ^ o))))
+      outcome_names
+  in
+  Xmutil.Json.Obj
+    [ ("uptime_s", Xmutil.Json.Float (now () -. t.started));
+      ("workers", Xmutil.Json.Int t.workers);
+      ("requests", Xmutil.Json.Int (Xmobs.Metrics.counter_value "serve.requests"));
+      ("stores",
+       Xmutil.Json.List
+         (List.map
+            (fun (name, store) ->
+              Xmutil.Json.Obj
+                [ ("name", Xmutil.Json.String name);
+                  ("nodes", Xmutil.Json.Int (Store.Shredded.node_count store));
+                  ("types",
+                   Xmutil.Json.Int
+                     (Xml.Type_table.count (Store.Shredded.types store))) ])
+            t.stores));
+      ("queries", Xmutil.Json.Obj queries);
+      ("metrics", Xmobs.Metrics.to_json ()) ]
+
+let handle_query t req =
+  match store_for t req with
+  | None ->
+      Http.response 404
+        (Printf.sprintf "unknown doc %S\n"
+           (Option.value ~default:"" (List.assoc_opt "doc" req.Http.query)))
+  | Some (doc_name, store) -> (
+      let guard = req.Http.body in
+      if String.trim guard = "" then Http.response 400 "empty guard body\n"
+      else
+        let query = List.assoc_opt "query" req.Http.query in
+        let enforce = not (truthy (List.assoc_opt "force" req.Http.query)) in
+        let t0 = now () in
+        let outcome =
+          Exec.execute ~source:"serve" ~doc:doc_name ~enforce ?query store
+            guard
+        in
+        Xmobs.Metrics.observe "serve.query.seconds" (now () -. t0);
+        let result =
+          match outcome with
+          | Exec.Rendered { body; _ } | Exec.Query_result { body; _ } ->
+              Xmobs.Metrics.inc "serve.queries.ok";
+              Http.response ~content_type:"application/xml" 200 body
+          | Exec.Failed { kind; message } ->
+              let status =
+                match kind with
+                | Xmobs.Qlog.Parse_error -> 400
+                | Xmobs.Qlog.Type_mismatch -> 422
+                | Xmobs.Qlog.Internal | Xmobs.Qlog.Ok -> 500
+              in
+              Xmobs.Metrics.inc
+                ("serve.queries." ^ Xmobs.Qlog.outcome_to_string kind);
+              let message =
+                if String.length message > 0
+                   && message.[String.length message - 1] = '\n'
+                then message
+                else message ^ "\n"
+              in
+              Http.response status message
+        in
+        (* Keep the on-disk log live for tail -f / xmorph stats while the
+           daemon runs; the Shutdown path covers the final records. *)
+        Xmobs.Qlog.flush_global ();
+        result)
+
+let route t (req : Http.request) =
+  match (req.Http.meth, req.Http.path) with
+  | "GET", "/healthz" -> Http.response 200 "ok\n"
+  | "GET", "/metrics" ->
+      Xmobs.Metrics.set_gauge "serve.uptime_s" (now () -. t.started);
+      Http.response ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+        200
+        (Xmobs.Metrics.to_prometheus
+           ~info:
+             [ ("version", "2.0");
+               ("stores", String.concat "," (List.map fst t.stores)) ]
+           ())
+  | "GET", "/stats" ->
+      Http.response ~content_type:"application/json" 200
+        (Xmutil.Json.to_string (stats_json t) ^ "\n")
+  | "POST", "/query" -> handle_query t req
+  | ("GET" | "POST" | "HEAD" | "PUT" | "DELETE"), _ ->
+      Http.response 404 (Printf.sprintf "no route %s %s\n" req.Http.meth req.Http.path)
+  | m, _ -> Http.response 405 (Printf.sprintf "method %s not allowed\n" m)
+
+let status_class status =
+  if status < 300 then "2xx"
+  else if status < 400 then "3xx"
+  else if status < 500 then "4xx"
+  else "5xx"
+
+let handle_conn t fd =
+  let t0 = now () in
+  match Http.read_request fd with
+  | None -> ()
+  | Some req ->
+      let resp =
+        try route t req
+        with e ->
+          Http.response 500 ("internal error: " ^ Printexc.to_string e ^ "\n")
+      in
+      Xmobs.Metrics.inc "serve.requests";
+      Xmobs.Metrics.inc ("serve.responses." ^ status_class resp.Http.status);
+      Xmobs.Metrics.observe "serve.request.seconds" (now () -. t0);
+      Http.write_response fd resp
+  | exception Http.Parse_error m ->
+      Xmobs.Metrics.inc "serve.requests";
+      Xmobs.Metrics.inc "serve.responses.4xx";
+      Http.write_response fd (Http.response 400 (m ^ "\n"))
+  | exception Unix.Unix_error _ -> ()
+
+let run t =
+  let rec loop () =
+    if not (Atomic.get t.stopping) then begin
+      match Unix.accept t.listen_fd with
+      | fd, _ ->
+          Semaphore.Counting.acquire t.slots;
+          ignore
+            (Thread.create
+               (fun fd ->
+                 Fun.protect
+                   ~finally:(fun () ->
+                     Semaphore.Counting.release t.slots;
+                     try Unix.close fd with Unix.Unix_error _ -> ())
+                   (fun () -> handle_conn t fd))
+               fd);
+          loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> loop ()
+      | exception Unix.Unix_error _ ->
+          (* listening socket shut down (stop) or otherwise unusable *)
+          ()
+    end
+  in
+  loop ()
+
+let start t =
+  match t.thread with
+  | Some _ -> ()
+  | None -> t.thread <- Some (Thread.create run t)
+
+let stop t =
+  if not (Atomic.get t.stopping) then begin
+    Atomic.set t.stopping true;
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    match t.thread with
+    | Some th ->
+        Thread.join th;
+        t.thread <- None
+    | None -> ()
+  end

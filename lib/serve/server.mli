@@ -1,0 +1,51 @@
+(** The [xmorph serve] daemon: a long-running HTTP listener over one or
+    more shredded stores.
+
+    Endpoints:
+    - [GET /healthz] — liveness: [ok] plus uptime.
+    - [GET /metrics] — Prometheus text exposition rendered from the
+      global {!Xmobs.Metrics} registry (the server enables metrics at
+      startup), including per-request serve counters and latency
+      histograms.
+    - [GET /stats] — a JSON snapshot: uptime, request/outcome counts,
+      the loaded stores, and the full metrics dump.
+    - [POST /query] — body is a guard; the response is the rendered XML,
+      byte-identical to [xmorph run] for the same guard and document.
+      [?doc=NAME] selects a store by name when several are served;
+      [?query=XQUERY] additionally runs a guarded XQuery query against
+      the reshaped data ([xmorph query] semantics).  Every request writes
+      one {!Xmobs.Qlog} record.
+
+    Concurrency: requests are handled by detached threads, with
+    admission bounded by a fixed worker budget — the accept loop blocks
+    once [workers] requests are in flight, which backpressures clients
+    instead of queueing unboundedly. *)
+
+type t
+
+val create :
+  ?addr:string ->
+  ?port:int ->
+  ?workers:int ->
+  stores:(string * Store.Shredded.t) list ->
+  unit ->
+  t
+(** Bind and listen.  [addr] defaults to [127.0.0.1]; [port] 0 (the
+    default) picks an ephemeral port (read it back with {!port});
+    [workers] defaults to 4 (clamped to [1..64]).  [stores] must be
+    non-empty; the first store is the default [?doc=] target.
+    @raise Invalid_argument on an empty store list
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val port : t -> int
+val addr : t -> string
+
+val run : t -> unit
+(** Serve until {!stop} (or process exit).  Blocks the calling thread. *)
+
+val start : t -> unit
+(** Spawn {!run} on a background thread (used by tests). *)
+
+val stop : t -> unit
+(** Close the listening socket; {!run} returns after the in-flight
+    requests finish. *)

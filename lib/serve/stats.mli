@@ -1,0 +1,61 @@
+(** Offline analyzer for the structured query log ([xmorph stats]).
+
+    Reads a JSONL query log (from the serve daemon or one-shot runs with
+    [--qlog]), aggregates it — latency and block-I/O percentiles through
+    the {!Xmobs.Metrics} histogram machinery, outcome/error tables, top-N
+    slowest queries — and renders text or JSON.  The JSON form doubles as
+    the [BENCH_serve.json] benchmark artifact; {!compare_baseline} turns
+    two of them into a regression verdict. *)
+
+(** Percentile summary of one series (milliseconds or blocks). *)
+type pct = { p50 : float; p95 : float; p99 : float; mean : float; max : float }
+
+type summary = {
+  log_path : string;
+  total : int;  (** well-formed records *)
+  malformed : int;  (** lines that failed to parse *)
+  by_outcome : (string * int) list;  (** all four outcomes, fixed order *)
+  by_source : (string * int) list;  (** sorted by name *)
+  error_rate : float;  (** non-[ok] records / total *)
+  wall_ms : pct;
+  eval_ms : pct;
+  render_ms : pct;
+  blocks : pct;
+  blocks_total : int;
+  slowest : Xmobs.Qlog.entry list;  (** top N by wall time, slowest first *)
+}
+
+val percentiles : float list -> pct
+(** Aggregate through a scoped {!Xmobs.Metrics} histogram (log-scale
+    buckets, <5% relative error on p50/p95/p99; mean and max exact). *)
+
+val load : string -> Xmobs.Qlog.entry list * int
+(** Parse a JSONL file: [(entries, malformed_line_count)].
+    @raise Sys_error when the file cannot be read. *)
+
+val analyze :
+  ?top:int -> log_path:string -> malformed:int -> Xmobs.Qlog.entry list ->
+  summary
+(** [top] bounds [slowest] (default 5). *)
+
+val to_text : summary -> string
+val to_json : summary -> Xmutil.Json.t
+
+type comparison = {
+  baseline_path : string;
+  baseline_p95_ms : float;
+  current_p95_ms : float;
+  ratio : float;  (** current / baseline; 1.0 when the baseline is 0 *)
+  tolerance : float;
+  regression : bool;  (** [ratio > 1 + tolerance] *)
+}
+
+val compare_baseline :
+  ?tolerance:float -> baseline_path:string -> summary ->
+  (comparison, string) result
+(** Read a previous [to_json] artifact and compare p95 wall latency;
+    [tolerance] defaults to 0.25 (25% slower is a regression).  [Error]
+    when the baseline cannot be read or lacks the expected fields. *)
+
+val comparison_to_text : comparison -> string
+val comparison_to_json : comparison -> Xmutil.Json.t

@@ -160,6 +160,16 @@ let charge_write (t : t) bytes =
   ignore (Atomic.fetch_and_add t.c_write_ops 1);
   publish t
 
+let diff (later : snapshot) (earlier : snapshot) : snapshot =
+  {
+    bytes_read = later.bytes_read - earlier.bytes_read;
+    bytes_written = later.bytes_written - earlier.bytes_written;
+    blocks_read = later.blocks_read - earlier.blocks_read;
+    blocks_written = later.blocks_written - earlier.blocks_written;
+    read_ops = later.read_ops - earlier.read_ops;
+    write_ops = later.write_ops - earlier.write_ops;
+  }
+
 let blocks_total s = s.blocks_read + s.blocks_written
 
 (* ~100 MB/s sequential throughput => ~40 microseconds per 4 KiB block. *)

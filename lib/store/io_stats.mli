@@ -62,6 +62,12 @@ val global_blocks : unit -> int * int
 
 val snapshot : t -> snapshot
 
+val diff : snapshot -> snapshot -> snapshot
+(** [diff later earlier]: the I/O charged between two snapshots of the
+    same counter set (fields subtract; block counts are deltas of the
+    cumulative page-rounded totals).  The query log uses this to attribute
+    block I/O to one execution. *)
+
 val blocks_total : snapshot -> int
 
 val simulated_io_seconds : snapshot -> float

@@ -1,0 +1,91 @@
+The serve daemon, end to end: HTTP endpoints, the structured query log,
+graceful shutdown on SIGTERM, and the offline stats analyzer.
+
+  $ cat > data.xml <<XML
+  > <data>
+  >   <book><title>X</title><author><name>A</name></author><author><name>B</name></author><publisher><name>W</name></publisher></book>
+  >   <book><title>Y</title><author><name>A</name></author><publisher><name>V</name></publisher></book>
+  > </data>
+  > XML
+  $ xmorph shred data.store data.xml > /dev/null
+
+Start the daemon on an ephemeral port with a query log and a metrics
+export, and wait for it to come up:
+
+  $ xmorph serve data.store --port 0 --port-file port.txt \
+  >   --qlog q.jsonl --metrics m.json > serve.out 2>&1 &
+  $ SRV=$!
+  $ for i in $(seq 1 100); do [ -s port.txt ] && break; sleep 0.1; done
+  $ BASE="http://127.0.0.1:$(cat port.txt)"
+
+Liveness:
+
+  $ xmorph http GET "$BASE/healthz"
+  ok
+
+Prometheus text exposition from the live registry:
+
+  $ xmorph http GET "$BASE/metrics" | grep '^xmorph_info'
+  xmorph_info{version="2.0",stores="data.store"} 1
+  $ xmorph http GET "$BASE/metrics" | grep -c '# TYPE serve_requests counter'
+  1
+
+POST /query returns bytes identical to a one-shot xmorph run of the same
+guard on the same document:
+
+  $ xmorph http POST "$BASE/query" --data "MORPH author [ name book [ title ] ]" > served.xml
+  $ xmorph run "MORPH author [ name book [ title ] ]" data.xml > oneshot.xml
+  $ cmp served.xml oneshot.xml
+
+A guarded XQuery query rides along as a query parameter:
+
+  $ xmorph http POST "$BASE/query?query=%2F%2Fname" --data "MORPH author [ name ]"
+  <name>A</name>
+  <name>B</name>
+  <name>A</name>
+
+Failures are classified: a bad guard is a 400 (the client exits 22 on
+HTTP errors), and the failed query still lands in the query log:
+
+  $ xmorph http POST "$BASE/query" --data "MUTATE nosuch"
+  label nosuch does not match any type in the shape (a type mismatch)
+  [22]
+
+The JSON stats snapshot counts queries per outcome:
+
+  $ xmorph http GET "$BASE/stats" | grep -c '"parse-error": 1'
+  1
+
+SIGTERM shuts the daemon down gracefully — exit status 143, and both the
+query log and the --metrics export are complete, valid files:
+
+  $ kill -TERM $SRV
+  $ wait $SRV
+  [143]
+  $ xmorph stats --check-json m.json
+  m.json: valid JSON
+
+The offline analyzer aggregates the log; one record per executed query,
+including the failed one:
+
+  $ xmorph stats q.jsonl | head -2
+  queries: 3 (ok 2, parse-error 1, type-mismatch 0, internal 0); error rate 33.3%
+  sources: serve 3
+
+One-shot runs append to the same log with --qlog, so served and offline
+workloads aggregate together:
+
+  $ xmorph run --qlog q.jsonl "MORPH author [ name ]" data.xml > /dev/null
+  $ xmorph stats q.jsonl | head -2
+  queries: 4 (ok 3, parse-error 1, type-mismatch 0, internal 0); error rate 25.0%
+  sources: run 1, serve 3
+
+The JSON artifact doubles as a benchmark baseline; comparing a log
+against its own artifact is never a regression:
+
+  $ xmorph stats q.jsonl --out BENCH_serve.json | tail -1
+  wrote BENCH_serve.json
+  $ xmorph stats --check-json BENCH_serve.json
+  BENCH_serve.json: valid JSON
+  $ xmorph stats q.jsonl --compare BENCH_serve.json | grep -o 'compare: baseline BENCH_serve.json .*: ok' | sed -E 's/p95=[0-9.]+ms/p95=_/g'
+  compare: baseline BENCH_serve.json p95=_, current p95=_ (1.00x, tolerance 25%): ok

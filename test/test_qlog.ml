@@ -1,0 +1,195 @@
+(* The structured query log: JSON round-trips, the FNV guard hash, the
+   size-capped writer, and — the contract the serve daemon depends on —
+   that N concurrent writers always produce exactly N whole, well-formed
+   JSONL lines, at every job count. *)
+
+let with_jobs n f =
+  let saved = Xmutil.Pool.jobs () in
+  Xmutil.Pool.set_jobs n;
+  Fun.protect f ~finally:(fun () -> Xmutil.Pool.set_jobs saved)
+
+let tmp_path =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xmorph_qlog_%d_%d.jsonl" (Unix.getpid ()) !n)
+
+let sample_entry ?(id = 7) ?(outcome = Xmobs.Qlog.Ok) () =
+  {
+    Xmobs.Qlog.ts = 1754000000.25;
+    id;
+    source = "run";
+    doc = "doc.xml";
+    guard = "MUTATE site";
+    guard_hash = Xmobs.Qlog.hash_text "MUTATE site";
+    query_hash = Some (Xmobs.Qlog.hash_text "//person");
+    classification = Some "strongly-typed";
+    outcome;
+    error =
+      (if outcome = Xmobs.Qlog.Ok then None else Some "label x does not match");
+    wall_s = 0.012;
+    eval_s = 0.004;
+    render_s = 0.008;
+    in_nodes = 42;
+    out_nodes = 40;
+    io =
+      Some
+        {
+          Xmobs.Qlog.bytes_read = 4096;
+          bytes_written = 0;
+          blocks_read = 1;
+          blocks_written = 0;
+          read_ops = 12;
+          write_ops = 0;
+        };
+    jobs = 2;
+  }
+
+let test_roundtrip () =
+  List.iter
+    (fun outcome ->
+      let e = sample_entry ~outcome () in
+      let e' = Xmobs.Qlog.entry_of_json (Xmobs.Qlog.entry_to_json e) in
+      Alcotest.(check bool) "entry round-trips" true (e = e'))
+    [ Xmobs.Qlog.Ok; Xmobs.Qlog.Parse_error; Xmobs.Qlog.Type_mismatch;
+      Xmobs.Qlog.Internal ]
+
+let test_roundtrip_minimal () =
+  let e =
+    {
+      (sample_entry ()) with
+      Xmobs.Qlog.query_hash = None;
+      classification = None;
+      error = None;
+      io = None;
+    }
+  in
+  let e' = Xmobs.Qlog.entry_of_json (Xmobs.Qlog.entry_to_json e) in
+  Alcotest.(check bool) "optional fields round-trip as absent" true (e = e')
+
+let test_outcome_strings () =
+  List.iter
+    (fun o ->
+      Alcotest.(check bool)
+        (Xmobs.Qlog.outcome_to_string o ^ " round-trips")
+        true
+        (Xmobs.Qlog.outcome_of_string (Xmobs.Qlog.outcome_to_string o) = Some o))
+    [ Xmobs.Qlog.Ok; Xmobs.Qlog.Parse_error; Xmobs.Qlog.Type_mismatch;
+      Xmobs.Qlog.Internal ];
+  Alcotest.(check bool)
+    "unknown outcome rejected" true
+    (Xmobs.Qlog.outcome_of_string "warp-error" = None)
+
+let test_hash () =
+  let h = Xmobs.Qlog.hash_text "MUTATE site" in
+  Alcotest.(check int) "16 hex chars" 16 (String.length h);
+  String.iter
+    (fun c ->
+      Alcotest.(check bool) "hex digit" true
+        (match c with '0' .. '9' | 'a' .. 'f' -> true | _ -> false))
+    h;
+  Alcotest.(check string) "deterministic" h (Xmobs.Qlog.hash_text "MUTATE site");
+  Alcotest.(check bool)
+    "different text, different hash" true
+    (h <> Xmobs.Qlog.hash_text "MUTATE sites")
+
+let test_line_is_single_line () =
+  let e = { (sample_entry ()) with Xmobs.Qlog.guard = "MUTATE a\nNEST b" } in
+  let line = Xmobs.Qlog.entry_to_line e in
+  Alcotest.(check bool) "no raw newline" true (not (String.contains line '\n'))
+
+let read_lines path =
+  let ic = open_in_bin path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !lines
+
+let test_writer_cap_and_flush () =
+  let path = tmp_path () in
+  let w = Xmobs.Qlog.create ~cap:256 path in
+  for i = 0 to 9 do
+    Xmobs.Qlog.log w (sample_entry ~id:i ())
+  done;
+  (* cap 256 < one record: every log call spills *)
+  Alcotest.(check int) "nothing pending past the cap" 0 (Xmobs.Qlog.pending w);
+  Xmobs.Qlog.close w;
+  Alcotest.(check int) "all lines on disk" 10 (List.length (read_lines path));
+  Sys.remove path
+
+let test_writer_buffers_under_cap () =
+  let path = tmp_path () in
+  let w = Xmobs.Qlog.create ~cap:(1 lsl 20) path in
+  Xmobs.Qlog.log w (sample_entry ());
+  Alcotest.(check bool) "buffered" true (Xmobs.Qlog.pending w > 0);
+  Xmobs.Qlog.flush w;
+  Alcotest.(check int) "flushed" 0 (Xmobs.Qlog.pending w);
+  Alcotest.(check int) "one line" 1 (List.length (read_lines path));
+  Xmobs.Qlog.close w;
+  Sys.remove path
+
+(* The serve daemon logs from concurrent request threads and the render
+   pool logs from worker domains; every line must still be whole. *)
+let concurrent_writers ~jobs ~n =
+  with_jobs jobs @@ fun () ->
+  let path = tmp_path () in
+  let w = Xmobs.Qlog.create ~cap:64 path in
+  ignore
+    (Xmutil.Pool.parallel
+       (List.init n (fun i () -> Xmobs.Qlog.log w (sample_entry ~id:i ()))));
+  Xmobs.Qlog.close w;
+  let lines = read_lines path in
+  let ok = ref (List.length lines = n) in
+  let seen = Hashtbl.create n in
+  List.iter
+    (fun line ->
+      match Xmobs.Qlog.entry_of_json (Xmutil.Json.of_string line) with
+      | e -> Hashtbl.replace seen e.Xmobs.Qlog.id ()
+      | exception _ -> ok := false)
+    lines;
+  Sys.remove path;
+  !ok && Hashtbl.length seen = n
+
+let prop_concurrent_lines =
+  QCheck2.Test.make ~name:"N concurrent writers -> N well-formed JSONL lines"
+    ~count:20
+    QCheck2.Gen.(int_range 1 50)
+    (fun n -> List.for_all (fun jobs -> concurrent_writers ~jobs ~n) [ 1; 2; 4 ])
+
+let test_global_sink () =
+  let path = tmp_path () in
+  Xmobs.Qlog.enable ~cap:64 path;
+  Alcotest.(check bool) "enabled" true (Xmobs.Qlog.enabled ());
+  Xmobs.Qlog.submit (sample_entry ());
+  Xmobs.Qlog.submit (sample_entry ~id:8 ());
+  Xmobs.Qlog.disable ();
+  Alcotest.(check bool) "disabled" false (Xmobs.Qlog.enabled ());
+  (* no sink: submit must be a silent no-op *)
+  Xmobs.Qlog.submit (sample_entry ~id:9 ());
+  Alcotest.(check int) "two records flushed" 2 (List.length (read_lines path));
+  Sys.remove path
+
+let suite =
+  [
+    Alcotest.test_case "entry JSON round-trip (all outcomes)" `Quick
+      test_roundtrip;
+    Alcotest.test_case "entry JSON round-trip (optionals absent)" `Quick
+      test_roundtrip_minimal;
+    Alcotest.test_case "outcome string round-trip" `Quick test_outcome_strings;
+    Alcotest.test_case "guard hash is 64-bit hex, deterministic" `Quick
+      test_hash;
+    Alcotest.test_case "log line never embeds a raw newline" `Quick
+      test_line_is_single_line;
+    Alcotest.test_case "writer spills when the cap is crossed" `Quick
+      test_writer_cap_and_flush;
+    Alcotest.test_case "writer buffers under the cap until flush" `Quick
+      test_writer_buffers_under_cap;
+    Alcotest.test_case "global sink writes and uninstalls" `Quick
+      test_global_sink;
+    QCheck_alcotest.to_alcotest prop_concurrent_lines;
+  ]

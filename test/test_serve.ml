@@ -1,0 +1,425 @@
+(* The serve subsystem: Prometheus text exposition (golden), the minimal
+   HTTP layer, the daemon end to end over a loopback socket, and the
+   offline stats analyzer.  The end-to-end test pins the byte-identity
+   contract: POST /query returns exactly what [xmorph run] prints. *)
+
+let doc_xml =
+  "<data>\n\
+   <book><title>X</title><author><name>A</name></author><author><name>B</name></author><publisher><name>W</name></publisher></book>\n\
+   <book><title>Y</title><author><name>A</name></author><publisher><name>V</name></publisher></book>\n\
+   </data>"
+
+let make_store () = Store.Shredded.shred (Xml.Doc.of_string doc_xml)
+
+let paper_guard = "MORPH author [ name book [ title ] ]"
+
+let widening_guard = "MORPH data [ author [ book ] ]"
+
+(* ---------- Prometheus exposition ---------- *)
+
+let test_prometheus_name () =
+  Alcotest.(check string)
+    "dots become underscores" "serve_query_seconds"
+    (Xmobs.Metrics.prometheus_name "serve.query.seconds");
+  Alcotest.(check string)
+    "leading digit prefixed" "_9lives"
+    (Xmobs.Metrics.prometheus_name "9lives");
+  Alcotest.(check string)
+    "colons survive" "a:b" (Xmobs.Metrics.prometheus_name "a:b")
+
+let test_prometheus_escape () =
+  Alcotest.(check string)
+    "backslash, quote, newline" "a\\\"b\\\\c\\nd"
+    (Xmobs.Metrics.prometheus_escape_label "a\"b\\c\nd");
+  Alcotest.(check string)
+    "plain text untouched" "store.xml"
+    (Xmobs.Metrics.prometheus_escape_label "store.xml")
+
+let test_prometheus_golden () =
+  let r = Xmobs.Metrics.create () in
+  Xmobs.Metrics.counter_add (Xmobs.Metrics.counter ~r "req.count") 3;
+  Xmobs.Metrics.gauge_set (Xmobs.Metrics.gauge ~r "up") 2.5;
+  let lat = Xmobs.Metrics.histogram ~r "lat" in
+  Xmobs.Metrics.hist_add lat 1.0;
+  Xmobs.Metrics.hist_add lat 1.0;
+  Xmobs.Metrics.hist_add lat 1.0;
+  Xmobs.Metrics.hist_add lat 100.0;
+  let expected =
+    "# TYPE req_count counter\n\
+     req_count 3\n\
+     # TYPE up gauge\n\
+     up 2.5\n\
+     # TYPE lat histogram\n\
+     lat_bucket{le=\"1.04427378243\"} 3\n\
+     lat_bucket{le=\"103.071381245\"} 4\n\
+     lat_bucket{le=\"+Inf\"} 4\n\
+     lat_sum 103\n\
+     lat_count 4\n"
+  in
+  Alcotest.(check string)
+    "golden exposition" expected
+    (Xmobs.Metrics.to_prometheus ~r ())
+
+let test_prometheus_info () =
+  let r = Xmobs.Metrics.create () in
+  let text =
+    Xmobs.Metrics.to_prometheus ~r
+      ~info:[ ("version", "2.0"); ("stores", "a\"b\\c") ]
+      ()
+  in
+  Alcotest.(check string)
+    "info gauge with escaped labels"
+    "# TYPE xmorph_info gauge\nxmorph_info{version=\"2.0\",stores=\"a\\\"b\\\\c\"} 1\n"
+    text
+
+(* +Inf invariant on a busier histogram: cumulative counts are monotone
+   and the +Inf bucket equals _count. *)
+let test_prometheus_inf_invariant () =
+  let r = Xmobs.Metrics.create () in
+  let h = Xmobs.Metrics.histogram ~r "h" in
+  for i = 1 to 500 do
+    Xmobs.Metrics.hist_add h (float_of_int i /. 7.0)
+  done;
+  let lines = String.split_on_char '\n' (Xmobs.Metrics.to_prometheus ~r ()) in
+  let bucket_counts =
+    List.filter_map
+      (fun l ->
+        if String.length l > 9 && String.sub l 0 9 = "h_bucket{" then
+          match String.rindex_opt l ' ' with
+          | Some i ->
+              int_of_string_opt
+                (String.sub l (i + 1) (String.length l - i - 1))
+          | None -> None
+        else None)
+      lines
+  in
+  Alcotest.(check bool) "has buckets" true (List.length bucket_counts > 2);
+  let monotone =
+    let rec go = function
+      | a :: (b :: _ as rest) -> a <= b && go rest
+      | _ -> true
+    in
+    go bucket_counts
+  in
+  Alcotest.(check bool) "cumulative counts monotone" true monotone;
+  let count =
+    List.find_map
+      (fun l ->
+        match String.split_on_char ' ' l with
+        | [ "h_count"; n ] -> int_of_string_opt n
+        | _ -> None)
+      lines
+  in
+  Alcotest.(check (option int)) "+Inf bucket equals _count" (Some 500) count;
+  Alcotest.(check (option int))
+    "last bucket equals _count"
+    (Some 500)
+    (match List.rev bucket_counts with [] -> None | last :: _ -> Some last)
+
+(* ---------- HTTP parsing ---------- *)
+
+let test_percent_decode () =
+  Alcotest.(check string)
+    "escapes and plus" "a b/c d"
+    (Xmserve.Http.percent_decode "a+b%2Fc%20d");
+  Alcotest.(check string)
+    "malformed escape passes through" "100%"
+    (Xmserve.Http.percent_decode "100%")
+
+let test_parse_query () =
+  Alcotest.(check (list (pair string string)))
+    "pairs decoded in order"
+    [ ("doc", "a.xml"); ("query", "//name"); ("flag", "") ]
+    (Xmserve.Http.parse_query "doc=a.xml&query=%2F%2Fname&flag")
+
+let test_parse_url () =
+  (match Xmserve.Http.parse_url "http://127.0.0.1:8080/stats?x=1" with
+  | Ok (host, port, target) ->
+      Alcotest.(check string) "host" "127.0.0.1" host;
+      Alcotest.(check int) "port" 8080 port;
+      Alcotest.(check string) "target" "/stats?x=1" target
+  | Error m -> Alcotest.fail m);
+  (match Xmserve.Http.parse_url "http://localhost/" with
+  | Ok (_, port, target) ->
+      Alcotest.(check int) "default port" 80 port;
+      Alcotest.(check string) "root target" "/" target
+  | Error _ -> Alcotest.fail "default port URL rejected");
+  Alcotest.(check bool)
+    "https rejected" true
+    (Result.is_error (Xmserve.Http.parse_url "https://x/"))
+
+(* ---------- the daemon, end to end ---------- *)
+
+let with_server f =
+  let store = make_store () in
+  let server =
+    Xmserve.Server.create ~port:0 ~workers:2
+      ~stores:[ ("data.xml", store) ]
+      ()
+  in
+  Xmserve.Server.start server;
+  let base = Printf.sprintf "http://127.0.0.1:%d" (Xmserve.Server.port server) in
+  Fun.protect
+    ~finally:(fun () ->
+      Xmserve.Server.stop server;
+      Xmobs.Metrics.disable ();
+      Xmobs.Metrics.reset ())
+    (fun () -> f base store)
+
+let get ?body ~meth base target =
+  match Xmserve.Http.request_url ?body ~timeout_s:10.0 ~meth (base ^ target) with
+  | Ok r -> r
+  | Error m -> Alcotest.fail ("request " ^ target ^ ": " ^ m)
+
+let test_healthz () =
+  with_server @@ fun base _store ->
+  let status, _, body = get ~meth:"GET" base "/healthz" in
+  Alcotest.(check int) "200" 200 status;
+  Alcotest.(check string) "ok body" "ok\n" body
+
+let test_metrics_endpoint () =
+  with_server @@ fun base _store ->
+  ignore (get ~meth:"GET" base "/healthz");
+  let status, headers, body = get ~meth:"GET" base "/metrics" in
+  Alcotest.(check int) "200" 200 status;
+  Alcotest.(check (option string))
+    "prometheus content type"
+    (Some "text/plain; version=0.0.4; charset=utf-8")
+    (List.assoc_opt "content-type" headers);
+  let has s =
+    let n = String.length s and m = String.length body in
+    let rec go i = i + n <= m && (String.sub body i n = s || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "info line" true (has "xmorph_info{version=\"2.0\"");
+  Alcotest.(check bool) "request counter" true
+    (has "# TYPE serve_requests counter");
+  Alcotest.(check bool) "latency histogram" true
+    (has "# TYPE serve_request_seconds histogram")
+
+let test_query_byte_identity () =
+  with_server @@ fun base store ->
+  let status, headers, body = get ~meth:"POST" ~body:paper_guard base "/query" in
+  Alcotest.(check int) "200" 200 status;
+  Alcotest.(check (option string))
+    "xml content type" (Some "application/xml")
+    (List.assoc_opt "content-type" headers);
+  let tree, _ = Xmorph.Interp.transform ~enforce:true store paper_guard in
+  Alcotest.(check string)
+    "bytes identical to xmorph run"
+    (Xml.Printer.to_string_indented tree)
+    body
+
+let test_query_guarded_xquery () =
+  with_server @@ fun base store ->
+  let status, _, body =
+    get ~meth:"POST" ~body:paper_guard base "/query?query=%2F%2Fname"
+  in
+  Alcotest.(check int) "200" 200 status;
+  let outcome =
+    Guarded.Guarded_query.run_on_store ~enforce:true store
+      { Guarded.Guarded_query.guard = paper_guard; query = "//name" }
+  in
+  let expected =
+    String.concat ""
+      (List.map
+         (fun t -> Xml.Printer.to_string t ^ "\n")
+         outcome.Guarded.Guarded_query.result_xml)
+  in
+  Alcotest.(check string) "bytes identical to xmorph query" expected body
+
+let test_query_errors () =
+  with_server @@ fun base _store ->
+  let status, _, _ = get ~meth:"POST" ~body:"MUTATE nosuch" base "/query" in
+  Alcotest.(check int) "unknown label -> 400" 400 status;
+  let status, _, body = get ~meth:"POST" ~body:widening_guard base "/query" in
+  Alcotest.(check int) "enforcement rejection -> 422" 422 status;
+  Alcotest.(check bool)
+    "loss report in body" true
+    (String.length body >= 15 && String.sub body 0 15 = "classification:");
+  let status, _, _ =
+    get ~meth:"POST" ~body:"MUTATE data" base "/query?doc=other.xml"
+  in
+  Alcotest.(check int) "unknown doc -> 404" 404 status;
+  let status, _, _ = get ~meth:"POST" ~body:"   " base "/query" in
+  Alcotest.(check int) "empty guard -> 400" 400 status;
+  let status, _, _ = get ~meth:"GET" base "/nope" in
+  Alcotest.(check int) "unknown path -> 404" 404 status;
+  let status, _, _ = get ~meth:"PATCH" base "/healthz" in
+  Alcotest.(check int) "unknown method -> 405" 405 status
+
+let test_stats_endpoint () =
+  with_server @@ fun base _store ->
+  ignore (get ~meth:"POST" ~body:paper_guard base "/query");
+  ignore (get ~meth:"POST" ~body:"MUTATE nosuch" base "/query");
+  let status, headers, body = get ~meth:"GET" base "/stats" in
+  Alcotest.(check int) "200" 200 status;
+  Alcotest.(check (option string))
+    "json content type" (Some "application/json")
+    (List.assoc_opt "content-type" headers);
+  match Xmutil.Json.of_string body with
+  | Xmutil.Json.Obj fields ->
+      (match List.assoc_opt "queries" fields with
+      | Some (Xmutil.Json.Obj queries) ->
+          Alcotest.(check (option bool))
+            "one ok query" (Some true)
+            (Option.map
+               (fun j -> j = Xmutil.Json.Int 1)
+               (List.assoc_opt "ok" queries));
+          Alcotest.(check (option bool))
+            "one parse error" (Some true)
+            (Option.map
+               (fun j -> j = Xmutil.Json.Int 1)
+               (List.assoc_opt "parse-error" queries))
+      | _ -> Alcotest.fail "missing queries object");
+      Alcotest.(check bool)
+        "stores listed" true
+        (List.mem_assoc "stores" fields)
+  | _ -> Alcotest.fail "stats is not a JSON object"
+  | exception Xmutil.Json.Parse_error _ -> Alcotest.fail "stats is invalid JSON"
+
+(* ---------- the stats analyzer ---------- *)
+
+let mk_entry ~id ~wall ?(outcome = Xmobs.Qlog.Ok) ?(source = "serve") () =
+  {
+    Xmobs.Qlog.ts = 1754000000.0 +. float_of_int id;
+    id;
+    source;
+    doc = "data.xml";
+    guard = "MORPH author [ name book [ title ] ]";
+    guard_hash = Xmobs.Qlog.hash_text "g";
+    query_hash = None;
+    classification = Some "strongly-typed";
+    outcome;
+    error = None;
+    wall_s = wall;
+    eval_s = wall /. 2.0;
+    render_s = wall /. 2.0;
+    in_nodes = 10;
+    out_nodes = 10;
+    io =
+      Some
+        {
+          Xmobs.Qlog.bytes_read = 8192;
+          bytes_written = 0;
+          blocks_read = 2;
+          blocks_written = 0;
+          read_ops = 4;
+          write_ops = 0;
+        };
+    jobs = 1;
+  }
+
+let test_analyze () =
+  let entries =
+    List.init 100 (fun i -> mk_entry ~id:i ~wall:(float_of_int (i + 1) /. 1000.) ())
+    @ [ mk_entry ~id:100 ~wall:0.5 ~outcome:Xmobs.Qlog.Parse_error ~source:"run" () ]
+  in
+  let s = Xmserve.Stats.analyze ~top:3 ~log_path:"q.jsonl" ~malformed:1 entries in
+  Alcotest.(check int) "total" 101 s.Xmserve.Stats.total;
+  Alcotest.(check int) "malformed" 1 s.Xmserve.Stats.malformed;
+  Alcotest.(check (option int))
+    "ok count" (Some 100)
+    (List.assoc_opt "ok" s.Xmserve.Stats.by_outcome);
+  Alcotest.(check (option int))
+    "parse-error count" (Some 1)
+    (List.assoc_opt "parse-error" s.Xmserve.Stats.by_outcome);
+  Alcotest.(check (option int))
+    "by source" (Some 100)
+    (List.assoc_opt "serve" s.Xmserve.Stats.by_source);
+  Alcotest.(check bool)
+    "error rate ~1%" true
+    (Float.abs (s.Xmserve.Stats.error_rate -. (1.0 /. 101.0)) < 1e-9);
+  (* p95 of 1..100ms (plus one 500ms outlier) should sit near 96ms; the
+     log-scale buckets promise <5% relative error. *)
+  let p95 = s.Xmserve.Stats.wall_ms.Xmserve.Stats.p95 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p95 in bucket tolerance (got %.3f)" p95)
+    true
+    (p95 > 85.0 && p95 < 107.0);
+  Alcotest.(check int) "blocks total" (2 * 101) s.Xmserve.Stats.blocks_total;
+  (match s.Xmserve.Stats.slowest with
+  | first :: _ ->
+      Alcotest.(check int) "slowest first" 100 first.Xmobs.Qlog.id
+  | [] -> Alcotest.fail "no slowest entries");
+  Alcotest.(check int)
+    "top bounds slowest" 3
+    (List.length s.Xmserve.Stats.slowest)
+
+let test_load_skips_malformed () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xmorph_stats_%d.jsonl" (Unix.getpid ()))
+  in
+  let oc = open_out_bin path in
+  output_string oc (Xmobs.Qlog.entry_to_line (mk_entry ~id:0 ~wall:0.001 ()));
+  output_string oc "\nnot json at all\n{\"truncated\": \n";
+  output_string oc (Xmobs.Qlog.entry_to_line (mk_entry ~id:1 ~wall:0.002 ()));
+  output_string oc "\n";
+  close_out oc;
+  let entries, malformed = Xmserve.Stats.load path in
+  Sys.remove path;
+  Alcotest.(check int) "two well-formed" 2 (List.length entries);
+  Alcotest.(check int) "two malformed" 2 malformed
+
+let test_compare_baseline () =
+  let fast =
+    Xmserve.Stats.analyze ~log_path:"a"
+      ~malformed:0
+      (List.init 50 (fun i -> mk_entry ~id:i ~wall:0.010 ()))
+  in
+  let slow =
+    Xmserve.Stats.analyze ~log_path:"b"
+      ~malformed:0
+      (List.init 50 (fun i -> mk_entry ~id:i ~wall:0.050 ()))
+  in
+  let baseline =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xmorph_baseline_%d.json" (Unix.getpid ()))
+  in
+  let oc = open_out_bin baseline in
+  output_string oc (Xmutil.Json.to_string (Xmserve.Stats.to_json fast));
+  close_out oc;
+  (match Xmserve.Stats.compare_baseline ~baseline_path:baseline slow with
+  | Ok c ->
+      Alcotest.(check bool) "5x is a regression" true c.Xmserve.Stats.regression;
+      Alcotest.(check bool) "ratio ~5" true
+        (c.Xmserve.Stats.ratio > 3.0 && c.Xmserve.Stats.ratio < 7.0)
+  | Error m -> Alcotest.fail m);
+  (match Xmserve.Stats.compare_baseline ~baseline_path:baseline fast with
+  | Ok c ->
+      Alcotest.(check bool)
+        "same run is not a regression" false c.Xmserve.Stats.regression
+  | Error m -> Alcotest.fail m);
+  Sys.remove baseline
+
+let suite =
+  [
+    Alcotest.test_case "prometheus_name sanitizes" `Quick test_prometheus_name;
+    Alcotest.test_case "prometheus label escaping" `Quick
+      test_prometheus_escape;
+    Alcotest.test_case "prometheus exposition golden text" `Quick
+      test_prometheus_golden;
+    Alcotest.test_case "prometheus info gauge golden text" `Quick
+      test_prometheus_info;
+    Alcotest.test_case "prometheus +Inf/count invariant" `Quick
+      test_prometheus_inf_invariant;
+    Alcotest.test_case "percent decoding" `Quick test_percent_decode;
+    Alcotest.test_case "query string parsing" `Quick test_parse_query;
+    Alcotest.test_case "url parsing" `Quick test_parse_url;
+    Alcotest.test_case "GET /healthz" `Quick test_healthz;
+    Alcotest.test_case "GET /metrics is prometheus text" `Quick
+      test_metrics_endpoint;
+    Alcotest.test_case "POST /query matches xmorph run bytes" `Quick
+      test_query_byte_identity;
+    Alcotest.test_case "POST /query?query= matches xmorph query bytes" `Quick
+      test_query_guarded_xquery;
+    Alcotest.test_case "error statuses: 400/404/405/422" `Quick
+      test_query_errors;
+    Alcotest.test_case "GET /stats JSON" `Quick test_stats_endpoint;
+    Alcotest.test_case "stats analyzer aggregates" `Quick test_analyze;
+    Alcotest.test_case "stats load skips malformed lines" `Quick
+      test_load_skips_malformed;
+    Alcotest.test_case "stats --compare regression verdict" `Quick
+      test_compare_baseline;
+  ]
