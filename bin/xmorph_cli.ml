@@ -36,10 +36,22 @@ let exit_err m =
 
 (* ---------- observability flags (common to every subcommand) ---------- *)
 
+(* Path "-" streams to stdout (pipelines; containerized deployments):
+   the Shutdown-path telemetry exports run from at_exit, after the
+   program's own output, so the two never interleave mid-line. *)
 let write_file path contents =
-  let oc = open_out_bin path in
-  output_string oc contents;
-  close_out oc
+  if String.equal path "-" then begin
+    print_string contents;
+    if String.length contents > 0
+       && contents.[String.length contents - 1] <> '\n'
+    then print_newline ();
+    flush stdout
+  end
+  else begin
+    let oc = open_out_bin path in
+    output_string oc contents;
+    close_out oc
+  end
 
 (* Profiling is single-domain: the frame stack and per-operator block
    attribution cannot be interleaved.  The render engine already falls back
@@ -92,7 +104,8 @@ let obs_term =
          & info [ "trace" ] ~docv:"FILE"
              ~doc:"Trace pipeline phases (parse, shred, infer, loss, render, \
                    ...) and write the spans to $(docv) as Chrome trace_event \
-                   JSON (open at chrome://tracing or ui.perfetto.dev).")
+                   JSON (open at chrome://tracing or ui.perfetto.dev).  \
+                   $(docv) - streams to stdout at exit.")
   in
   let metrics =
     Arg.(value & opt (some string) None
@@ -113,7 +126,8 @@ let obs_term =
              ~doc:"Append one JSONL record per executed guard/query to \
                    $(docv) (the same schema the serve daemon writes), \
                    including on error paths and signal-interrupted runs.  \
-                   Analyze with $(b,xmorph stats).")
+                   $(docv) - streams the records to stdout.  Analyze with \
+                   $(b,xmorph stats).")
   in
   let jobs =
     Arg.(value & opt (some int) None
@@ -732,9 +746,12 @@ let shell_cmd =
 let serve_cmd =
   let doc =
     "Serve one or more stores over HTTP: GET /healthz, GET /metrics \
-     (Prometheus text exposition), GET /stats (JSON), and POST /query (the \
+     (Prometheus text exposition), GET /stats (JSON), POST /query (the \
      body is a guard; ?doc= selects a store, ?query= adds a guarded XQuery \
-     query).  Combine with --qlog to append one JSONL record per query; \
+     query), GET /debug/requests (recent per-request telemetry), and GET \
+     /debug/trace/<id> (one request's span tree).  Every query runs under \
+     a per-request trace context (W3C traceparent honored and returned).  \
+     Combine with --qlog to append one JSONL record per query; \
      SIGTERM/SIGINT flush every telemetry sink before exiting."
   in
   let inputs =
@@ -762,7 +779,24 @@ let serve_cmd =
              ~doc:"Write the bound port number to $(docv) once listening \
                    (for scripts that use --port 0).")
   in
-  let run () inputs port addr workers port_file =
+  let slow_ms =
+    Arg.(value & opt (some float) None
+         & info [ "slow-ms" ] ~docv:"MS"
+             ~doc:"Slow-query auto-capture: re-execute any POST /query whose \
+                   wall time reaches $(docv) milliseconds once under the \
+                   per-operator profiler (serialized, single-domain) and \
+                   attach the profile JSON to its GET /debug/trace entry.  \
+                   0 captures every query.  Defaults to the XMORPH_SLOW_MS \
+                   environment variable when set.")
+  in
+  let slow_log =
+    Arg.(value & opt (some string) None
+         & info [ "slow-log" ] ~docv:"DIR"
+             ~doc:"Also write each slow-query capture to \
+                   $(docv)/<trace-id>.json (the directory is created on \
+                   first use).  Only meaningful with --slow-ms.")
+  in
+  let run () inputs port addr workers port_file slow_ms slow_log =
     (* The daemon is multi-threaded, so an async [Sys.signal] handler can
        be delivered to a worker or pool domain that never reaches a
        safepoint while the accept loop sits in [accept].  Block the
@@ -784,8 +818,17 @@ let serve_cmd =
           | Ok store -> (Filename.basename input, store))
         inputs
     in
+    let slow_ms =
+      match slow_ms with
+      | Some _ as v -> v
+      | None ->
+          Option.bind (Sys.getenv_opt "XMORPH_SLOW_MS") float_of_string_opt
+    in
     let server =
-      match Xmserve.Server.create ~addr ~port ~workers ~stores () with
+      match
+        Xmserve.Server.create ~addr ~port ~workers ?slow_ms ?slow_log ~stores
+          ()
+      with
       | s -> s
       | exception Unix.Unix_error (e, fn, _) ->
           exit_err (Printf.sprintf "cannot listen on %s:%d: %s: %s" addr port
@@ -803,7 +846,8 @@ let serve_cmd =
     Xmserve.Server.run server
   in
   Cmd.v (Cmd.info "serve" ~doc)
-    Term.(const run $ obs_term $ inputs $ port $ addr $ workers $ port_file)
+    Term.(const run $ obs_term $ inputs $ port $ addr $ workers $ port_file
+          $ slow_ms $ slow_log)
 
 (* ---------- stats ---------- *)
 

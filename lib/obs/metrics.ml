@@ -165,9 +165,15 @@ let notify ?r () =
 
 (* ---------- name-based updates (gated on [enable]) ---------- *)
 
+(* Counter increments and observations are additionally mirrored into the
+   calling thread's request context when one is installed (Ctx gates on a
+   single atomic load, so the common no-context case costs one load).
+   Gauges are levels, not increments — they have no per-request meaning
+   and are not mirrored. *)
 let inc ?(by = 1) name =
   if !enabled then begin
     counter_add (counter name) by;
+    Ctx.bump ~by name;
     notify ()
   end
 
@@ -180,6 +186,7 @@ let set_gauge name v =
 let observe name v =
   if !enabled then begin
     hist_add (histogram name) v;
+    Ctx.observe name v;
     notify ()
   end
 

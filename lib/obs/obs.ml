@@ -1,16 +1,23 @@
-(* Facade over the tracer and the metrics registry.
+(* Facade over the tracer, the metrics registry, and request contexts.
 
-   [phase name f] is the one-liner the pipeline uses: it opens a trace span
-   [name] around [f] and, when metrics are on, records the latency into the
-   [phase.<name>.seconds] histogram and bumps [phase.<name>.count].  With
-   both subsystems disabled it is a branch and a tail call — no allocation —
-   so always-on instrumentation does not move Fig. 10's timings. *)
+   [phase name f] is the one-liner the pipeline uses: it opens a span
+   [name] around [f] and, when metrics are on, records the latency into
+   the [phase.<name>.seconds] histogram and bumps [phase.<name>.count].
+   The span lands in the calling thread's request context when one is
+   installed (Ctx) — so concurrent serve requests get disjoint span
+   trees — and in the global tracer otherwise.  With everything disabled
+   it is two branches and a tail call — no allocation — so always-on
+   instrumentation does not move Fig. 10's timings. *)
 
 let active () =
   Trace.tracing () || Metrics.is_enabled () || Profile.profiling ()
+  || Ctx.active ()
 
 let phase ?attrs name f =
-  if not (Trace.tracing ()) && not (Metrics.is_enabled ()) then f ()
+  if
+    (not (Ctx.active ())) && (not (Trace.tracing ()))
+    && not (Metrics.is_enabled ())
+  then f ()
   else begin
     let t0 = Unix.gettimeofday () in
     let record () =
@@ -20,7 +27,12 @@ let phase ?attrs name f =
         Metrics.inc ("phase." ^ name ^ ".count")
       end
     in
-    match Trace.with_span ?attrs name f with
+    let run () =
+      match Ctx.current () with
+      | Some ctx -> Ctx.with_span ?attrs ctx name f
+      | None -> Trace.with_span ?attrs name f
+    in
+    match run () with
     | v ->
         record ();
         v

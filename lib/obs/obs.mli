@@ -1,11 +1,14 @@
-(** Facade over {!Trace} and {!Metrics}.
+(** Facade over {!Trace}, {!Metrics}, and request contexts ({!Ctx}).
 
-    [phase name f] is the one-liner the pipeline uses: a trace span around
-    [f] plus, when metrics are on, a [phase.<name>.seconds] latency
-    histogram observation and a [phase.<name>.count] bump.  With both
-    subsystems off it is a branch and a tail call. *)
+    [phase name f] is the one-liner the pipeline uses: a span around [f]
+    plus, when metrics are on, a [phase.<name>.seconds] latency histogram
+    observation and a [phase.<name>.count] bump.  The span is recorded
+    into the calling thread's installed request context when there is one
+    and into the global tracer otherwise.  With everything off it is two
+    branches and a tail call. *)
 
 val active : unit -> bool
-(** True when tracing, metrics collection, or profiling is on. *)
+(** True when tracing, metrics collection, profiling, or any request
+    context is on. *)
 
 val phase : ?attrs:(string * Trace.value) list -> string -> (unit -> 'a) -> 'a

@@ -40,6 +40,7 @@ type io = {
 type entry = {
   ts : float;
   id : int;
+  trace_id : string option;
   source : string;
   doc : string;
   guard : string;
@@ -92,8 +93,9 @@ let entry_to_json (e : entry) =
        6 significant digits, which would truncate a Unix timestamp to
        ~17-minute granularity. *)
     ([ ("ts_ms", Xmutil.Json.Int (int_of_float (Float.round (e.ts *. 1000.))));
-       ("id", Xmutil.Json.Int e.id);
-       ("source", Xmutil.Json.String e.source);
+       ("id", Xmutil.Json.Int e.id) ]
+    @ opt "trace_id" e.trace_id []
+    @ [ ("source", Xmutil.Json.String e.source);
        ("doc", Xmutil.Json.String e.doc);
        ("guard", Xmutil.Json.String e.guard);
        ("guard_hash", Xmutil.Json.String e.guard_hash) ]
@@ -170,6 +172,7 @@ let entry_of_json j =
   {
     ts = float_of_int (get_int fields "ts_ms") /. 1000.0;
     id = get_int fields "id";
+    trace_id = get_string_opt fields "trace_id";
     source = get_string fields "source";
     doc = (match get_string_opt fields "doc" with Some d -> d | None -> "");
     guard = get_string fields "guard";
@@ -193,6 +196,7 @@ type t = {
   w_path : string;
   cap : int;
   oc : out_channel;
+  owns_oc : bool; (* false for "-": stdout is flushed, never closed *)
   buf : Buffer.t;
   lock : Mutex.t;
   mutable closed : bool;
@@ -200,9 +204,15 @@ type t = {
 
 let default_cap = 64 * 1024
 
+(* Path "-" streams records to stdout (containerized deployments ship
+   telemetry via pipes); the channel is borrowed, so [close] only
+   flushes it. *)
 let create ?(cap = default_cap) path =
-  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
-  { w_path = path; cap = max 1 cap; oc; buf = Buffer.create 4096;
+  let oc, owns_oc =
+    if String.equal path "-" then (Stdlib.stdout, false)
+    else (open_out_gen [ Open_append; Open_creat ] 0o644 path, true)
+  in
+  { w_path = path; cap = max 1 cap; oc; owns_oc; buf = Buffer.create 4096;
     lock = Mutex.create (); closed = false }
 
 let path t = t.w_path
@@ -242,7 +252,8 @@ let close t =
   if not t.closed then begin
     spill_unlocked t;
     t.closed <- true;
-    close_out_noerr t.oc
+    if t.owns_oc then close_out_noerr t.oc
+    else (try Stdlib.flush t.oc with Sys_error _ -> ())
   end;
   Mutex.unlock t.lock
 

@@ -46,6 +46,11 @@ type entry = {
       (** Unix time at the start of the execution; serialized as the
           integer [ts_ms] field (millisecond precision) *)
   id : int;  (** monotonic per-process query id ({!next_id}) *)
+  trace_id : string option;
+      (** the request context's trace id ({!Ctx}) when the execution ran
+          under one — joins a log record to [GET /debug/trace/<id>].
+          Absent from records written before this field existed; old
+          logs still parse. *)
   source : string;  (** [serve], [run], [query], [profile], [shell], ... *)
   doc : string;  (** target document/store name; [""] when unknown *)
   guard : string;  (** guard text, verbatim *)
@@ -83,7 +88,8 @@ type t
 
 val create : ?cap:int -> string -> t
 (** Open [path] for appending.  [cap] bounds the in-memory buffer in bytes
-    (default 64 KiB); crossing it spills to disk. *)
+    (default 64 KiB); crossing it spills to disk.  Path ["-"] streams to
+    stdout instead (the channel is flushed on {!close}, never closed). *)
 
 val path : t -> string
 val log : t -> entry -> unit

@@ -1,0 +1,49 @@
+(* Process self-metrics, sampled on demand (the serve daemon calls
+   [sample] at every /metrics scrape, so the exported gauges are as fresh
+   as the scrape that reads them — no background sampling thread).
+
+   RSS comes from /proc/self/statm (resident pages * page size); on
+   systems without procfs the gauge reads 0 rather than failing the
+   scrape.  The GC gauges are Gc.quick_stat fields — cheap, no heap
+   walk. *)
+
+(* Linux's default page size.  OCaml's Unix module does not expose
+   getpagesize; 4 KiB is correct on every platform that has
+   /proc/self/statm in the first place. *)
+let page_size = 4096
+
+let rss_bytes () =
+  match open_in "/proc/self/statm" with
+  | exception Sys_error _ -> 0
+  | ic ->
+      let n =
+        match input_line ic with
+        | exception End_of_file -> 0
+        | line -> (
+            match String.split_on_char ' ' line with
+            | _size :: resident :: _ -> (
+                match int_of_string_opt resident with
+                | Some pages -> pages * page_size
+                | None -> 0)
+            | _ -> 0)
+      in
+      close_in_noerr ic;
+      n
+
+let started = Unix.gettimeofday ()
+
+let sample ?uptime_s () =
+  if Metrics.is_enabled () then begin
+    let uptime =
+      match uptime_s with
+      | Some u -> u
+      | None -> Unix.gettimeofday () -. started
+    in
+    Metrics.set_gauge "xmorph_uptime_seconds" uptime;
+    Metrics.set_gauge "xmorph_rss_bytes" (float_of_int (rss_bytes ()));
+    let s = Gc.quick_stat () in
+    Metrics.set_gauge "gc_major_collections"
+      (float_of_int s.Gc.major_collections);
+    Metrics.set_gauge "gc_heap_words" (float_of_int s.Gc.heap_words);
+    Metrics.set_gauge "gc_minor_allocated_words" s.Gc.minor_words
+  end

@@ -154,8 +154,10 @@ let args_of attrs =
   Xmutil.Json.Obj (List.rev_map (fun (k, v) -> (k, json_of_value v)) attrs)
 
 (* Chrome trace_event format: an object with a [traceEvents] list of complete
-   ('X'), counter ('C') and instant ('i') events, timestamps in microseconds. *)
-let to_json () =
+   ('X'), counter ('C') and instant ('i') events, timestamps in microseconds.
+   Factored over an explicit entry list so per-request contexts (Ctx) export
+   their own span buffers through the identical code path. *)
+let json_of_entries es =
   let common name ts =
     [ ("name", Xmutil.Json.String name); ("ts", Xmutil.Json.Float ts);
       ("pid", Xmutil.Json.Int 1); ("tid", Xmutil.Json.Int 1) ]
@@ -174,8 +176,10 @@ let to_json () =
           @ [ ("args", args_of e.ev_attrs) ])
   in
   Xmutil.Json.Obj
-    [ ("traceEvents", Xmutil.Json.List (List.map item (entries ())));
+    [ ("traceEvents", Xmutil.Json.List (List.map item es));
       ("displayTimeUnit", Xmutil.Json.String "ms") ]
+
+let to_json () = json_of_entries (entries ())
 
 let string_of_value = function
   | Bool b -> string_of_bool b

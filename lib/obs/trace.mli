@@ -31,6 +31,8 @@ type event = {
   ev_attrs : (string * value) list;
 }
 
+type entry = Span of span | Event of event
+
 val enable : ?capacity:int -> unit -> unit
 (** Start a fresh trace with a ring of [capacity] entries (default 32768). *)
 
@@ -60,6 +62,15 @@ val spans : unit -> span list
 (** Completed spans currently in the ring, ordered by start time. *)
 
 val events : unit -> event list
+
+val entries : unit -> entry list
+(** Ring contents, oldest first. *)
+
+val json_of_entries : entry list -> Xmutil.Json.t
+(** Chrome [trace_event]-format JSON over an explicit entry list — the
+    exporter behind {!to_json}, shared with per-request contexts
+    ({!Ctx}) so [--trace] files and [/debug/trace/<id>] responses are
+    produced by the same code. *)
 
 val to_json : unit -> Xmutil.Json.t
 (** Chrome [trace_event]-format JSON ([traceEvents] with 'X'/'C'/'i'

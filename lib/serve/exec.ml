@@ -46,10 +46,32 @@ let classify = function
       (Xmobs.Qlog.Type_mismatch, Xmorph.Report.loss_to_string r)
   | e -> (Xmobs.Qlog.Internal, Printexc.to_string e)
 
-let execute ~source ?(doc = "") ?(enforce = true) ?(compact = false) ?query
-    store guard =
+(* Per-request I/O when a request context is installed (exact for this
+   request, not polluted by concurrent ones), snapshot-diff otherwise. *)
+let io_of_ctx_delta (later : Xmobs.Ctx.io) (earlier : Xmobs.Ctx.io) :
+    Xmobs.Qlog.io =
+  let br = later.Xmobs.Ctx.bytes_read - earlier.Xmobs.Ctx.bytes_read in
+  let bw = later.Xmobs.Ctx.bytes_written - earlier.Xmobs.Ctx.bytes_written in
+  {
+    Xmobs.Qlog.bytes_read = br;
+    bytes_written = bw;
+    blocks_read = Xmobs.Ctx.blocks_of br;
+    blocks_written = Xmobs.Ctx.blocks_of bw;
+    read_ops = later.Xmobs.Ctx.read_ops - earlier.Xmobs.Ctx.read_ops;
+    write_ops = later.Xmobs.Ctx.write_ops - earlier.Xmobs.Ctx.write_ops;
+  }
+
+let execute ~source ?(doc = "") ?(enforce = true) ?(compact = false)
+    ?trace_id ?query store guard =
   let ts = now () in
+  let ctx0 = Xmobs.Ctx.current () in
+  let trace_id =
+    match trace_id with
+    | Some _ as t -> t
+    | None -> Xmobs.Ctx.current_trace_id ()
+  in
   let io0 = Store.Io_stats.snapshot (Store.Shredded.stats store) in
+  let cio0 = Option.map Xmobs.Ctx.io ctx0 in
   let eval_s = ref 0.0 in
   let render_s = ref 0.0 in
   let classification = ref None in
@@ -60,6 +82,7 @@ let execute ~source ?(doc = "") ?(enforce = true) ?(compact = false) ?query
         {
           Xmobs.Qlog.ts;
           id = Xmobs.Qlog.next_id ();
+          trace_id;
           source;
           doc;
           guard;
@@ -74,11 +97,15 @@ let execute ~source ?(doc = "") ?(enforce = true) ?(compact = false) ?query
           in_nodes = Store.Shredded.node_count store;
           out_nodes = !out_nodes;
           io =
-            Some
-              (io_of_snapshot
-                 (Store.Io_stats.diff
-                    (Store.Io_stats.snapshot (Store.Shredded.stats store))
-                    io0));
+            (match (ctx0, cio0) with
+            | Some ctx, Some cio0 ->
+                Some (io_of_ctx_delta (Xmobs.Ctx.io ctx) cio0)
+            | _ ->
+                Some
+                  (io_of_snapshot
+                     (Store.Io_stats.diff
+                        (Store.Io_stats.snapshot (Store.Shredded.stats store))
+                        io0)));
           jobs = Xmutil.Pool.jobs ();
         }
   in
@@ -159,6 +186,7 @@ let record ~source ?(doc = "") ?(guard = "") ?query store f =
         {
           Xmobs.Qlog.ts;
           id = Xmobs.Qlog.next_id ();
+          trace_id = Xmobs.Ctx.current_trace_id ();
           source;
           doc;
           guard;

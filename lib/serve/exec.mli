@@ -24,6 +24,7 @@ val execute :
   ?doc:string ->
   ?enforce:bool ->
   ?compact:bool ->
+  ?trace_id:string ->
   ?query:string ->
   Store.Shredded.t ->
   string ->
@@ -32,7 +33,15 @@ val execute :
     [store]; with [?query] it then evaluates the XQuery query against the
     transformed tree (the physical guarded-query architecture).  Never
     raises: failures come back as [Failed].  [source] and [doc] are
-    recorded in the query log verbatim. *)
+    recorded in the query log verbatim.
+
+    The query-log record's [trace_id] defaults to the calling thread's
+    installed {!Xmobs.Ctx} (if any); [?trace_id] overrides it — the serve
+    daemon's slow-query re-execution passes the original request's id this
+    way, since the capture runs after that request's context is gone.
+    When a context is installed, the record's I/O delta comes from the
+    context (exact for this request under concurrency) instead of the
+    store-wide snapshot diff. *)
 
 val record :
   source:string ->

@@ -36,8 +36,9 @@ let status_reason = function
   | 503 -> "Service Unavailable"
   | _ -> "Unknown"
 
-let response ?(content_type = "text/plain; charset=utf-8") status body =
-  { status; headers = [ ("content-type", content_type) ]; body }
+let response ?(content_type = "text/plain; charset=utf-8") ?(headers = [])
+    status body =
+  { status; headers = ("content-type", content_type) :: headers; body }
 
 let header (req : request) name =
   let name = String.lowercase_ascii name in
@@ -237,7 +238,7 @@ let parse_status_line line =
       | None -> fail "malformed status line %S" line)
   | _ -> fail "malformed status line %S" line
 
-let request_url ?body ?(timeout_s = 30.0) ~meth url =
+let request_url ?body ?(headers = []) ?(timeout_s = 30.0) ~meth url =
   match parse_url url with
   | Error m -> Error m
   | Ok (host, port, target) -> (
@@ -254,12 +255,16 @@ let request_url ?body ?(timeout_s = 30.0) ~meth url =
         Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s;
         Unix.connect fd (Unix.ADDR_INET (addr, port));
         let body = Option.value ~default:"" body in
+        let extra =
+          String.concat ""
+            (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers)
+        in
         let req =
           Printf.sprintf
-            "%s %s HTTP/1.1\r\nhost: %s:%d\r\ncontent-length: %d\r\n\
+            "%s %s HTTP/1.1\r\nhost: %s:%d\r\ncontent-length: %d\r\n%s\
              connection: close\r\n\r\n%s"
             (String.uppercase_ascii meth)
-            target host port (String.length body) body
+            target host port (String.length body) extra body
         in
         write_all fd req 0 (String.length req);
         let buf = Buffer.create 1024 in

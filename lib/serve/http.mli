@@ -27,8 +27,11 @@ type response = {
 val status_reason : int -> string
 (** [200 -> "OK"], [404 -> "Not Found"], ... *)
 
-val response : ?content_type:string -> int -> string -> response
-(** Build a response; [content_type] defaults to [text/plain]. *)
+val response :
+  ?content_type:string -> ?headers:(string * string) list -> int -> string ->
+  response
+(** Build a response; [content_type] defaults to [text/plain].  [headers]
+    are appended after the content-type header. *)
 
 val header : request -> string -> string option
 (** Case-insensitive header lookup. *)
@@ -60,9 +63,11 @@ val parse_url : string -> (string * int * string, string) result
 
 val request_url :
   ?body:string ->
+  ?headers:(string * string) list ->
   ?timeout_s:float ->
   meth:string ->
   string ->
   (int * (string * string) list * string, string) result
 (** One blocking HTTP/1.1 request to an [http://] URL; returns
-    [(status, headers, body)]. *)
+    [(status, headers, body)].  [headers] adds extra request header lines
+    (e.g. [traceparent]). *)

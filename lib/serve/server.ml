@@ -20,12 +20,17 @@ type t = {
   started : float;
   stopping : bool Atomic.t;
   slots : Semaphore.Counting.t;
+  slow_ms : float option;
+  slow_log : string option;
+  slow_lock : Mutex.t; (* serializes slow-query captures: the profiler
+                          is process-global, single-capture-at-a-time *)
   mutable thread : Thread.t option;
 }
 
 let outcome_names = [ "ok"; "parse-error"; "type-mismatch"; "internal" ]
 
-let create ?(addr = "127.0.0.1") ?(port = 0) ?(workers = 4) ~stores () =
+let create ?(addr = "127.0.0.1") ?(port = 0) ?(workers = 4) ?slow_ms ?slow_log
+    ~stores () =
   if stores = [] then invalid_arg "Server.create: no stores";
   let workers = max 1 (min 64 workers) in
   let inet =
@@ -53,6 +58,9 @@ let create ?(addr = "127.0.0.1") ?(port = 0) ?(workers = 4) ~stores () =
     started = now ();
     stopping = Atomic.make false;
     slots = Semaphore.Counting.make workers;
+    slow_ms;
+    slow_log;
+    slow_lock = Mutex.create ();
     thread = None;
   }
 
@@ -95,56 +103,210 @@ let stats_json t =
       ("queries", Xmutil.Json.Obj queries);
       ("metrics", Xmobs.Metrics.to_json ()) ]
 
+(* Slow-query auto-capture: re-execute the over-threshold request once
+   under the per-operator profiler and attach the resulting JSON to the
+   request's trace-ring entry (and, optionally, a --slow-log artifact).
+   The profiler is process-global single-domain state, so captures are
+   serialized by [slow_lock] and force Pool jobs=1 for exact attribution.
+   When the operator already owns the profiler (--profile), skip — a
+   capture would clobber their frame tree.  Concurrent request traffic
+   during a capture only adds frames to the captured tree (systhreads
+   cannot data-race the profiler); the capture is a diagnostic artifact,
+   not an exact replay.  Runs synchronously before the triggering
+   response returns, delaying it by roughly one more execution. *)
+let capture_slow t ~trace_id ~doc_name ~enforce ?query store guard =
+  if not (Xmobs.Profile.profiling ()) then begin
+    Mutex.lock t.slow_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.slow_lock)
+      (fun () ->
+        (* Re-check under the lock: an operator --profile enabled between
+           the gate and here still owns the frame tree. *)
+        if not (Xmobs.Profile.profiling ()) then begin
+          let saved_jobs = Xmutil.Pool.jobs () in
+          Xmutil.Pool.set_jobs 1;
+          Xmobs.Profile.enable ();
+          Fun.protect
+            ~finally:(fun () ->
+              Xmobs.Profile.disable ();
+              Xmutil.Pool.set_jobs saved_jobs)
+            (fun () ->
+              ignore
+                (Exec.execute ~source:"slow-capture" ~doc:doc_name ~enforce
+                   ~trace_id ?query store guard));
+          let profile = Xmobs.Profile.to_json () in
+          ignore (Xmobs.Ctx.attach_profile ~trace_id profile);
+          Xmobs.Metrics.inc "serve.slow_captures";
+          match t.slow_log with
+          | None -> ()
+          | Some dir -> (
+              try
+                if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+                let path = Filename.concat dir (trace_id ^ ".json") in
+                let oc = open_out path in
+                output_string oc (Xmutil.Json.to_string ~pretty:true profile);
+                output_char oc '\n';
+                close_out_noerr oc
+              with Sys_error _ | Unix.Unix_error _ -> ())
+        end)
+  end
+
 let handle_query t req =
-  match store_for t req with
-  | None ->
-      Http.response 404
-        (Printf.sprintf "unknown doc %S\n"
-           (Option.value ~default:"" (List.assoc_opt "doc" req.Http.query)))
-  | Some (doc_name, store) -> (
-      let guard = req.Http.body in
-      if String.trim guard = "" then Http.response 400 "empty guard body\n"
-      else
-        let query = List.assoc_opt "query" req.Http.query in
-        let enforce = not (truthy (List.assoc_opt "force" req.Http.query)) in
-        let t0 = now () in
-        let outcome =
-          Exec.execute ~source:"serve" ~doc:doc_name ~enforce ?query store
-            guard
-        in
-        Xmobs.Metrics.observe "serve.query.seconds" (now () -. t0);
-        let result =
-          match outcome with
-          | Exec.Rendered { body; _ } | Exec.Query_result { body; _ } ->
-              Xmobs.Metrics.inc "serve.queries.ok";
-              Http.response ~content_type:"application/xml" 200 body
-          | Exec.Failed { kind; message } ->
-              let status =
-                match kind with
-                | Xmobs.Qlog.Parse_error -> 400
-                | Xmobs.Qlog.Type_mismatch -> 422
-                | Xmobs.Qlog.Internal | Xmobs.Qlog.Ok -> 500
+  (* Honor an upstream W3C traceparent when well-formed; otherwise (or
+     when absent) start a fresh trace.  Malformed values never fail the
+     request. *)
+  let ctx =
+    match
+      Option.bind (Http.header req "traceparent") Xmobs.Ctx.parse_traceparent
+    with
+    | Some (trace_id, parent_span) ->
+        Xmobs.Ctx.create ~trace_id ~parent_span ()
+    | None -> Xmobs.Ctx.create ()
+  in
+  let t0 = now () in
+  (* [slow] carries what a slow-query capture needs to re-execute; None
+     when nothing was executed (unknown doc, empty guard). *)
+  let resp, outcome_name, slow =
+    Xmobs.Ctx.with_ctx ctx (fun () ->
+        match store_for t req with
+        | None ->
+            ( Http.response 404
+                (Printf.sprintf "unknown doc %S\n"
+                   (Option.value ~default:""
+                      (List.assoc_opt "doc" req.Http.query))),
+              "no-store",
+              None )
+        | Some (doc_name, store) ->
+            let guard = req.Http.body in
+            if String.trim guard = "" then
+              (Http.response 400 "empty guard body\n", "empty-guard", None)
+            else begin
+              let query = List.assoc_opt "query" req.Http.query in
+              let enforce =
+                not (truthy (List.assoc_opt "force" req.Http.query))
               in
-              Xmobs.Metrics.inc
-                ("serve.queries." ^ Xmobs.Qlog.outcome_to_string kind);
-              let message =
-                if String.length message > 0
-                   && message.[String.length message - 1] = '\n'
-                then message
-                else message ^ "\n"
+              let tq = now () in
+              let outcome =
+                Exec.execute ~source:"serve" ~doc:doc_name ~enforce ?query
+                  store guard
               in
-              Http.response status message
-        in
-        (* Keep the on-disk log live for tail -f / xmorph stats while the
-           daemon runs; the Shutdown path covers the final records. *)
-        Xmobs.Qlog.flush_global ();
-        result)
+              Xmobs.Metrics.observe "serve.query.seconds" (now () -. tq);
+              let resp, name =
+                match outcome with
+                | Exec.Rendered { body; _ } | Exec.Query_result { body; _ }
+                  ->
+                    Xmobs.Metrics.inc "serve.queries.ok";
+                    (Http.response ~content_type:"application/xml" 200 body,
+                     "ok")
+                | Exec.Failed { kind; message } ->
+                    let status =
+                      match kind with
+                      | Xmobs.Qlog.Parse_error -> 400
+                      | Xmobs.Qlog.Type_mismatch -> 422
+                      | Xmobs.Qlog.Internal | Xmobs.Qlog.Ok -> 500
+                    in
+                    Xmobs.Metrics.inc
+                      ("serve.queries." ^ Xmobs.Qlog.outcome_to_string kind);
+                    let message =
+                      if String.length message > 0
+                         && message.[String.length message - 1] = '\n'
+                      then message
+                      else message ^ "\n"
+                    in
+                    (Http.response status message,
+                     Xmobs.Qlog.outcome_to_string kind)
+              in
+              (* Keep the on-disk log live for tail -f / xmorph stats
+                 while the daemon runs; the Shutdown path covers the
+                 final records. *)
+              Xmobs.Qlog.flush_global ();
+              (resp, name, Some (doc_name, store, enforce, query))
+            end)
+  in
+  let wall_s = now () -. t0 in
+  let label =
+    let guard = String.trim req.Http.body in
+    if guard = "" then req.Http.path else Xmobs.Qlog.hash_text req.Http.body
+  in
+  Xmobs.Ctx.finish ctx ~label ~outcome:outcome_name
+    ~status:resp.Http.status ~wall_s;
+  (match (t.slow_ms, slow) with
+  | Some threshold, Some (doc_name, store, enforce, query)
+    when wall_s *. 1000. >= threshold ->
+      capture_slow t ~trace_id:(Xmobs.Ctx.trace_id ctx) ~doc_name ~enforce
+        ?query store req.Http.body
+  | _ -> ());
+  {
+    resp with
+    Http.headers =
+      resp.Http.headers
+      @ [ ("traceparent", Xmobs.Ctx.traceparent ctx);
+          ("x-xmorph-trace-id", Xmobs.Ctx.trace_id ctx) ];
+  }
+
+(* ---------- /debug endpoints ---------- *)
+
+let completed_summary (c : Xmobs.Ctx.completed) =
+  Xmutil.Json.Obj
+    [ ("trace_id", Xmutil.Json.String c.Xmobs.Ctx.c_trace_id);
+      ("label", Xmutil.Json.String c.Xmobs.Ctx.c_label);
+      ("outcome", Xmutil.Json.String c.Xmobs.Ctx.c_outcome);
+      ("status", Xmutil.Json.Int c.Xmobs.Ctx.c_status);
+      ("wall_ms", Xmutil.Json.Float (c.Xmobs.Ctx.c_wall_s *. 1000.));
+      ("ts_ms",
+       Xmutil.Json.Int
+         (int_of_float (Float.round (c.Xmobs.Ctx.c_ts *. 1000.))));
+      ("bytes_read", Xmutil.Json.Int c.Xmobs.Ctx.c_io.Xmobs.Ctx.bytes_read);
+      ("bytes_written",
+       Xmutil.Json.Int c.Xmobs.Ctx.c_io.Xmobs.Ctx.bytes_written);
+      ("blocks_read",
+       Xmutil.Json.Int
+         (Xmobs.Ctx.blocks_of c.Xmobs.Ctx.c_io.Xmobs.Ctx.bytes_read));
+      ("blocks_written",
+       Xmutil.Json.Int
+         (Xmobs.Ctx.blocks_of c.Xmobs.Ctx.c_io.Xmobs.Ctx.bytes_written));
+      ("spans", Xmutil.Json.Int c.Xmobs.Ctx.c_span_count);
+      ("profile",
+       Xmutil.Json.Bool (Option.is_some c.Xmobs.Ctx.c_profile)) ]
+
+let debug_requests () =
+  let body =
+    Xmutil.Json.to_string
+      (Xmutil.Json.Obj
+         [ ("requests",
+            Xmutil.Json.List
+              (List.map completed_summary (Xmobs.Ctx.completed ()))) ])
+    ^ "\n"
+  in
+  Http.response ~content_type:"application/json" 200 body
+
+let debug_trace trace_id =
+  match Xmobs.Ctx.find_completed trace_id with
+  | None -> Http.response 404 (Printf.sprintf "no trace %S\n" trace_id)
+  | Some c ->
+      let fields =
+        [ ("trace_id", Xmutil.Json.String c.Xmobs.Ctx.c_trace_id);
+          ("label", Xmutil.Json.String c.Xmobs.Ctx.c_label);
+          ("outcome", Xmutil.Json.String c.Xmobs.Ctx.c_outcome);
+          ("status", Xmutil.Json.Int c.Xmobs.Ctx.c_status);
+          ("wall_ms", Xmutil.Json.Float (c.Xmobs.Ctx.c_wall_s *. 1000.));
+          ("trace", c.Xmobs.Ctx.c_trace);
+          ("metrics", c.Xmobs.Ctx.c_metrics) ]
+        @ (match c.Xmobs.Ctx.c_profile with
+          | None -> []
+          | Some p -> [ ("profile", p) ])
+      in
+      Http.response ~content_type:"application/json" 200
+        (Xmutil.Json.to_string (Xmutil.Json.Obj fields) ^ "\n")
+
+let trace_prefix = "/debug/trace/"
 
 let route t (req : Http.request) =
   match (req.Http.meth, req.Http.path) with
   | "GET", "/healthz" -> Http.response 200 "ok\n"
   | "GET", "/metrics" ->
       Xmobs.Metrics.set_gauge "serve.uptime_s" (now () -. t.started);
+      Xmobs.Selfmetrics.sample ~uptime_s:(now () -. t.started) ();
       Http.response ~content_type:"text/plain; version=0.0.4; charset=utf-8"
         200
         (Xmobs.Metrics.to_prometheus
@@ -155,6 +317,11 @@ let route t (req : Http.request) =
   | "GET", "/stats" ->
       Http.response ~content_type:"application/json" 200
         (Xmutil.Json.to_string (stats_json t) ^ "\n")
+  | "GET", "/debug/requests" -> debug_requests ()
+  | "GET", path when String.starts_with ~prefix:trace_prefix path ->
+      debug_trace
+        (String.sub path (String.length trace_prefix)
+           (String.length path - String.length trace_prefix))
   | "POST", "/query" -> handle_query t req
   | ("GET" | "POST" | "HEAD" | "PUT" | "DELETE"), _ ->
       Http.response 404 (Printf.sprintf "no route %s %s\n" req.Http.meth req.Http.path)

@@ -15,6 +15,21 @@
       [?query=XQUERY] additionally runs a guarded XQuery query against
       the reshaped data ([xmorph query] semantics).  Every request writes
       one {!Xmobs.Qlog} record.
+    - [GET /debug/requests] — JSON summaries of recently completed
+      [POST /query] requests, newest first ({!Xmobs.Ctx} ring).
+    - [GET /debug/trace/<trace-id>] — one completed request's full span
+      tree as Chrome [trace_event] JSON (the same exporter as [--trace]),
+      its per-request metric increments, and the slow-query profile when
+      one was captured.
+
+    Per-request telemetry: every [POST /query] runs under a fresh
+    {!Xmobs.Ctx} — honoring a well-formed W3C [traceparent] request
+    header, generating a fresh trace id otherwise — and the response
+    carries [traceparent] and [x-xmorph-trace-id] headers.  With
+    [?slow_ms] set, a request whose wall time meets the threshold is
+    re-executed once under the per-operator profiler (serialized,
+    Pool jobs forced to 1) and the profile JSON is attached to its ring
+    entry (plus a [<trace-id>.json] artifact under [?slow_log]).
 
     Concurrency: requests are handled by detached threads, with
     admission bounded by a fixed worker budget — the accept loop blocks
@@ -27,13 +42,18 @@ val create :
   ?addr:string ->
   ?port:int ->
   ?workers:int ->
+  ?slow_ms:float ->
+  ?slow_log:string ->
   stores:(string * Store.Shredded.t) list ->
   unit ->
   t
 (** Bind and listen.  [addr] defaults to [127.0.0.1]; [port] 0 (the
     default) picks an ephemeral port (read it back with {!port});
-    [workers] defaults to 4 (clamped to [1..64]).  [stores] must be
-    non-empty; the first store is the default [?doc=] target.
+    [workers] defaults to 4 (clamped to [1..64]).  [slow_ms] enables
+    slow-query auto-capture at the given wall-time threshold in
+    milliseconds (0 captures everything); [slow_log] names a directory
+    for per-capture profile artifacts (created on first use).  [stores]
+    must be non-empty; the first store is the default [?doc=] target.
     @raise Invalid_argument on an empty store list
     @raise Unix.Unix_error when the address cannot be bound. *)
 

@@ -157,13 +157,16 @@ let to_text s =
       List.iteri
         (fun i (e : Xmobs.Qlog.entry) ->
           Buffer.add_string b
-            (Printf.sprintf "  %d. %8s %-13s %-7s %s%s\n" (i + 1)
+            (Printf.sprintf "  %d. %8s %-13s %-7s %s%s%s\n" (i + 1)
                (fmt_ms (1000.0 *. e.Xmobs.Qlog.wall_s))
                (Xmobs.Qlog.outcome_to_string e.Xmobs.Qlog.outcome)
                e.Xmobs.Qlog.source
                (if e.Xmobs.Qlog.doc = "" then ""
                 else Printf.sprintf "doc=%s " e.Xmobs.Qlog.doc)
-               (truncate_guard e.Xmobs.Qlog.guard)))
+               (truncate_guard e.Xmobs.Qlog.guard)
+               (match e.Xmobs.Qlog.trace_id with
+               | None -> ""
+               | Some tid -> " trace=" ^ tid)))
         s.slowest
     end
   end;
@@ -202,14 +205,19 @@ let to_json s =
          (List.map
             (fun (e : Xmobs.Qlog.entry) ->
               Xmutil.Json.Obj
-                [ ("id", Xmutil.Json.Int e.Xmobs.Qlog.id);
-                  ("wall_ms", Xmutil.Json.Float (1000.0 *. e.Xmobs.Qlog.wall_s));
-                  ("outcome",
-                   Xmutil.Json.String
-                     (Xmobs.Qlog.outcome_to_string e.Xmobs.Qlog.outcome));
-                  ("source", Xmutil.Json.String e.Xmobs.Qlog.source);
-                  ("doc", Xmutil.Json.String e.Xmobs.Qlog.doc);
-                  ("guard", Xmutil.Json.String (truncate_guard e.Xmobs.Qlog.guard)) ])
+                ([ ("id", Xmutil.Json.Int e.Xmobs.Qlog.id);
+                   ("wall_ms", Xmutil.Json.Float (1000.0 *. e.Xmobs.Qlog.wall_s));
+                   ("outcome",
+                    Xmutil.Json.String
+                      (Xmobs.Qlog.outcome_to_string e.Xmobs.Qlog.outcome));
+                   ("source", Xmutil.Json.String e.Xmobs.Qlog.source);
+                   ("doc", Xmutil.Json.String e.Xmobs.Qlog.doc);
+                   ("guard",
+                    Xmutil.Json.String (truncate_guard e.Xmobs.Qlog.guard)) ]
+                @
+                match e.Xmobs.Qlog.trace_id with
+                | None -> []
+                | Some tid -> [ ("trace_id", Xmutil.Json.String tid) ]))
             s.slowest)) ]
 
 type comparison = {

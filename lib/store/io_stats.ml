@@ -146,6 +146,11 @@ let charge_read (t : t) bytes =
   end
   else ignore (Atomic.fetch_and_add t.c_bytes_read bytes);
   ignore (Atomic.fetch_and_add t.c_read_ops 1);
+  (* Mirror into the calling thread's request context (serve attributes
+     per-request I/O this way).  Charges from Pool worker domains miss the
+     thread-keyed slot and only land in the store-wide atomics — exact
+     attribution at jobs=1, a lower bound otherwise. *)
+  Xmobs.Ctx.charge_read bytes;
   publish t
 
 let charge_write (t : t) bytes =
@@ -158,6 +163,7 @@ let charge_write (t : t) bytes =
   end
   else ignore (Atomic.fetch_and_add t.c_bytes_written bytes);
   ignore (Atomic.fetch_and_add t.c_write_ops 1);
+  Xmobs.Ctx.charge_write bytes;
   publish t
 
 let diff (later : snapshot) (earlier : snapshot) : snapshot =

@@ -43,7 +43,11 @@ val create : unit -> t
 val reset : t -> unit
 
 val charge_read : t -> int -> unit
-(** [charge_read t bytes] records a read of [bytes] bytes. *)
+(** [charge_read t bytes] records a read of [bytes] bytes.  When the
+    calling thread has an {!Xmobs.Ctx} request context installed, the
+    charge is also mirrored into it (per-request I/O attribution); charges
+    from {!Xmutil.Pool} worker domains miss the thread-keyed context and
+    only land in the store-wide counters. *)
 
 val charge_write : t -> int -> unit
 

@@ -128,6 +128,21 @@ Profiling is single-domain: asking for both serializes, with a warning:
   xmorph: profiling is single-domain; ignoring --jobs 4 and running sequentially
   $ test -s prof2.json
 
+Observability sinks accept "-" for stdout: the query-log line and the
+trace JSON are appended after the program's own output, so both can be
+piped without a scratch file:
+
+  $ xmorph run --qlog - "MORPH author [ name ]" data.xml > qlogged.out
+  $ head -1 qlogged.out
+  <result>
+  $ tail -1 qlogged.out | grep -c '"source":"run"'
+  1
+  $ xmorph run --trace - "MORPH author [ name ]" data.xml > traced.out
+  $ head -1 traced.out
+  <result>
+  $ grep -c '"traceEvents"' traced.out
+  1
+
 Syntax errors come with a caret:
 
   $ xmorph run "MORPH author [" data.xml

@@ -89,3 +89,58 @@ against its own artifact is never a regression:
   BENCH_serve.json: valid JSON
   $ xmorph stats q.jsonl --compare BENCH_serve.json | grep -o 'compare: baseline BENCH_serve.json .*: ok' | sed -E 's/p95=[0-9.]+ms/p95=_/g'
   compare: baseline BENCH_serve.json p95=_, current p95=_ (1.00x, tolerance 25%): ok
+
+Per-request tracing and slow-query auto-capture: restart with the
+threshold forced to 0 (every query is "slow") and a slow-log directory:
+
+  $ xmorph serve data.store --port 0 --port-file port2.txt \
+  >   --qlog q2.jsonl --slow-ms 0 --slow-log slowdir > serve2.out 2>&1 &
+  $ SRV=$!
+  $ for i in $(seq 1 100); do [ -s port2.txt ] && break; sleep 0.1; done
+  $ BASE="http://127.0.0.1:$(cat port2.txt)"
+  $ xmorph http POST "$BASE/query" --data "MORPH author [ name book [ title ] ]" > /dev/null
+
+The completed request is listed in the in-memory trace ring, with a
+32-hex trace id and its profile captured:
+
+  $ xmorph http GET "$BASE/debug/requests" > requests.json
+  $ grep -c '"outcome": "ok"' requests.json
+  1
+  $ grep -c '"profile": true' requests.json
+  1
+  $ TID=$(grep -oE '"trace_id": "[0-9a-f]{32}"' requests.json | head -1 | grep -oE '[0-9a-f]{32}')
+  $ echo "${#TID}"
+  32
+
+The full trace — spans, per-request metrics, the captured per-operator
+profile — is retrievable by id and is valid JSON; unknown ids are 404s:
+
+  $ xmorph http GET "$BASE/debug/trace/$TID" > trace.json
+  $ xmorph stats --check-json trace.json
+  trace.json: valid JSON
+  $ grep -c '"traceEvents"' trace.json
+  1
+  $ grep -c '"profile"' trace.json
+  2
+  $ xmorph http GET "$BASE/debug/trace/deadbeef"
+  no trace "deadbeef"
+  [22]
+
+The same profile landed as a --slow-log artifact named by trace id:
+
+  $ xmorph stats --check-json "slowdir/$TID.json" | sed "s/$TID/TID/"
+  slowdir/TID.json: valid JSON
+
+After shutdown, the query log carries the trace id on both the served
+record and the slow-capture re-execution, and the analyzer's slowest
+table prints it:
+
+  $ kill -TERM $SRV
+  $ wait $SRV
+  [143]
+  $ grep -c "\"trace_id\":\"$TID\"" q2.jsonl
+  2
+  $ xmorph stats q2.jsonl | grep -c "slow-capture.*trace=$TID"
+  1
+  $ xmorph stats q2.jsonl | grep -c "serve.*trace=$TID"
+  1

@@ -266,6 +266,7 @@ let test_disabled_path_no_alloc () =
   (* Warm up so any one-time closure setup is done before measuring. *)
   ignore (Sys.opaque_identity (Trace.with_span "x" f));
   ignore (Sys.opaque_identity (Xmobs.Profile.op "x" f));
+  ignore (Sys.opaque_identity (Xmobs.Obs.phase "x" f));
   let w0 = Gc.minor_words () in
   for _ = 1 to 1000 do
     ignore (Sys.opaque_identity (Trace.with_span "x" f));
@@ -276,7 +277,16 @@ let test_disabled_path_no_alloc () =
     let tok = Xmobs.Profile.enter "x" in
     Xmobs.Profile.add_in 1;
     Xmobs.Profile.add_pairs 1;
-    Xmobs.Profile.exit tok
+    Xmobs.Profile.exit tok;
+    (* The per-request context paths: with no context installed anywhere
+       these must stay a single atomic load each. *)
+    ignore (Sys.opaque_identity (Xmobs.Obs.phase "x" f));
+    Xmobs.Ctx.charge_read 4096;
+    Xmobs.Ctx.charge_write 4096;
+    Xmobs.Ctx.bump "x";
+    Xmobs.Ctx.observe "x" 1.0;
+    ignore (Sys.opaque_identity (Xmobs.Ctx.current ()));
+    ignore (Sys.opaque_identity (Xmobs.Ctx.current_trace_id ()))
   done;
   let w1 = Gc.minor_words () in
   let delta = w1 -. w0 in

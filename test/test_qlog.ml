@@ -19,6 +19,7 @@ let sample_entry ?(id = 7) ?(outcome = Xmobs.Qlog.Ok) () =
   {
     Xmobs.Qlog.ts = 1754000000.25;
     id;
+    trace_id = Some "0123456789abcdef0123456789abcdef";
     source = "run";
     doc = "doc.xml";
     guard = "MUTATE site";
@@ -59,7 +60,8 @@ let test_roundtrip_minimal () =
   let e =
     {
       (sample_entry ()) with
-      Xmobs.Qlog.query_hash = None;
+      Xmobs.Qlog.trace_id = None;
+      query_hash = None;
       classification = None;
       error = None;
       io = None;
@@ -67,6 +69,16 @@ let test_roundtrip_minimal () =
   in
   let e' = Xmobs.Qlog.entry_of_json (Xmobs.Qlog.entry_to_json e) in
   Alcotest.(check bool) "optional fields round-trip as absent" true (e = e')
+
+(* Records written before the trace_id field existed must still parse
+   (the serve daemon's log format is append-only across versions). *)
+let test_pre_trace_id_record_parses () =
+  let line =
+    {|{"ts_ms": 1754000000250, "id": 7, "source": "run", "doc": "doc.xml", "guard": "MUTATE site", "guard_hash": "abc", "outcome": "ok", "wall_s": 0.012, "eval_s": 0.004, "render_s": 0.008, "in_nodes": 42, "out_nodes": 40, "jobs": 2}|}
+  in
+  let e = Xmobs.Qlog.entry_of_json (Xmutil.Json.of_string line) in
+  Alcotest.(check bool) "trace_id absent" true (e.Xmobs.Qlog.trace_id = None);
+  Alcotest.(check int) "id parsed" 7 e.Xmobs.Qlog.id
 
 let test_outcome_strings () =
   List.iter
@@ -180,6 +192,8 @@ let suite =
       test_roundtrip;
     Alcotest.test_case "entry JSON round-trip (optionals absent)" `Quick
       test_roundtrip_minimal;
+    Alcotest.test_case "pre-trace_id record still parses" `Quick
+      test_pre_trace_id_record_parses;
     Alcotest.test_case "outcome string round-trip" `Quick test_outcome_strings;
     Alcotest.test_case "guard hash is 64-bit hex, deterministic" `Quick
       test_hash;

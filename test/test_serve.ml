@@ -11,6 +11,16 @@ let doc_xml =
 
 let make_store () = Store.Shredded.shred (Xml.Doc.of_string doc_xml)
 
+let with_jobs n f =
+  let saved = Xmutil.Pool.jobs () in
+  Xmutil.Pool.set_jobs n;
+  Fun.protect f ~finally:(fun () -> Xmutil.Pool.set_jobs saved)
+
+let contains body s =
+  let n = String.length s and m = String.length body in
+  let rec go i = i + n <= m && (String.sub body i n = s || go (i + 1)) in
+  go 0
+
 let paper_guard = "MORPH author [ name book [ title ] ]"
 
 let widening_guard = "MORPH data [ author [ book ] ]"
@@ -148,12 +158,65 @@ let test_parse_url () =
     "https rejected" true
     (Result.is_error (Xmserve.Http.parse_url "https://x/"))
 
+(* ---------- request parsing over a real fd ---------- *)
+
+(* Feed raw bytes to [read_request] through a socketpair, with EOF after
+   the payload (shutdown, not close, so the fd is never double-closed). *)
+let feed_request ?max_header bytes =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close a;
+      Unix.close b)
+    (fun () ->
+      let n = String.length bytes in
+      if n > 0 then ignore (Unix.write_substring a bytes 0 n);
+      Unix.shutdown a Unix.SHUTDOWN_SEND;
+      Xmserve.Http.read_request ?max_header b)
+
+let expect_parse_error ?max_header ~needle bytes =
+  match feed_request ?max_header bytes with
+  | _ -> Alcotest.failf "expected a parse error mentioning %S" needle
+  | exception Xmserve.Http.Parse_error m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error %S mentions %S" m needle)
+        true (contains m needle)
+
+let test_read_request_well_formed () =
+  match
+    feed_request "POST /query?doc=a.xml HTTP/1.1\r\ncontent-length: 5\r\n\r\nhello"
+  with
+  | Some req ->
+      Alcotest.(check string) "method" "POST" req.Xmserve.Http.meth;
+      Alcotest.(check string) "path" "/query" req.Xmserve.Http.path;
+      Alcotest.(check string) "body" "hello" req.Xmserve.Http.body
+  | None -> Alcotest.fail "request not parsed"
+
+let test_read_request_edge_cases () =
+  (* a connection closed before any bytes is a clean None, not an error *)
+  (match feed_request "" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "request parsed out of nothing");
+  expect_parse_error ~max_header:256 ~needle:"header too large"
+    ("GET / HTTP/1.1\r\nx-junk: " ^ String.make 512 'a' ^ "\r\n");
+  expect_parse_error ~needle:"malformed Content-Length"
+    "POST /query HTTP/1.1\r\ncontent-length: over9000\r\n\r\n";
+  expect_parse_error ~needle:"malformed Content-Length"
+    "POST /query HTTP/1.1\r\ncontent-length: -3\r\n\r\n";
+  expect_parse_error ~needle:"unexpected EOF in body"
+    "POST /query HTTP/1.1\r\ncontent-length: 100\r\n\r\nonly this much";
+  expect_parse_error ~needle:"unexpected EOF in header" "GET / HTTP/1.1\r\nhost: x";
+  expect_parse_error ~needle:"malformed header line"
+    "GET / HTTP/1.1\r\nno colon here\r\n\r\n";
+  expect_parse_error ~needle:"body too large"
+    "POST /query HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n"
+
 (* ---------- the daemon, end to end ---------- *)
 
-let with_server f =
+let with_server ?slow_ms ?slow_log f =
   let store = make_store () in
   let server =
-    Xmserve.Server.create ~port:0 ~workers:2
+    Xmserve.Server.create ~port:0 ~workers:2 ?slow_ms ?slow_log
       ~stores:[ ("data.xml", store) ]
       ()
   in
@@ -166,8 +229,11 @@ let with_server f =
       Xmobs.Metrics.reset ())
     (fun () -> f base store)
 
-let get ?body ~meth base target =
-  match Xmserve.Http.request_url ?body ~timeout_s:10.0 ~meth (base ^ target) with
+let get ?body ?headers ~meth base target =
+  match
+    Xmserve.Http.request_url ?body ?headers ~timeout_s:10.0 ~meth
+      (base ^ target)
+  with
   | Ok r -> r
   | Error m -> Alcotest.fail ("request " ^ target ^ ": " ^ m)
 
@@ -278,12 +344,257 @@ let test_stats_endpoint () =
   | _ -> Alcotest.fail "stats is not a JSON object"
   | exception Xmutil.Json.Parse_error _ -> Alcotest.fail "stats is invalid JSON"
 
+(* ---------- per-request telemetry ---------- *)
+
+let hex32 s =
+  String.length s = 32
+  && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) s
+
+let trace_id_of headers =
+  match List.assoc_opt "x-xmorph-trace-id" headers with
+  | Some id -> id
+  | None -> Alcotest.fail "no x-xmorph-trace-id response header"
+
+let test_traceparent_propagation () =
+  with_server @@ fun base _store ->
+  (* No header: a fresh, valid trace id is minted and echoed both ways. *)
+  let _, headers, _ = get ~meth:"POST" ~body:paper_guard base "/query" in
+  let tid = trace_id_of headers in
+  Alcotest.(check bool) "fresh id is 32 lowercase hex" true (hex32 tid);
+  (match List.assoc_opt "traceparent" headers with
+  | Some tp -> (
+      match Xmobs.Ctx.parse_traceparent tp with
+      | Some (t, _) -> Alcotest.(check string) "traceparent matches id" tid t
+      | None -> Alcotest.fail "response traceparent does not parse")
+  | None -> Alcotest.fail "no traceparent response header");
+  (* A well-formed upstream traceparent is honored. *)
+  let upstream = "4bf92f3577b34da6a3ce929d0e0e4736" in
+  let _, headers, _ =
+    get ~meth:"POST" ~body:paper_guard
+      ~headers:[ ("traceparent", "00-" ^ upstream ^ "-00f067aa0ba902b7-01") ]
+      base "/query"
+  in
+  Alcotest.(check string)
+    "upstream trace id honored" upstream (trace_id_of headers);
+  (* Malformed values never fail the request; a fresh id is minted. *)
+  List.iter
+    (fun bad ->
+      let status, headers, _ =
+        get ~meth:"POST" ~body:paper_guard
+          ~headers:[ ("traceparent", bad) ]
+          base "/query"
+      in
+      Alcotest.(check int) (Printf.sprintf "%S still 200" bad) 200 status;
+      let tid = trace_id_of headers in
+      Alcotest.(check bool)
+        (Printf.sprintf "%S -> fresh valid id" bad)
+        true
+        (hex32 tid && tid <> upstream))
+    [ "garbage";
+      "00-zzzz-yyyy-01";
+      "00-" ^ String.make 32 '0' ^ "-00f067aa0ba902b7-01" ]
+
+let test_debug_endpoints () =
+  Xmobs.Ctx.reset_completed ();
+  with_server @@ fun base _store ->
+  ignore (get ~meth:"POST" ~body:paper_guard base "/query");
+  ignore (get ~meth:"POST" ~body:"MUTATE nosuch" base "/query");
+  let status, headers, body = get ~meth:"GET" base "/debug/requests" in
+  Alcotest.(check int) "200" 200 status;
+  Alcotest.(check (option string))
+    "json content type" (Some "application/json")
+    (List.assoc_opt "content-type" headers);
+  let reqs =
+    match Xmutil.Json.of_string body with
+    | Xmutil.Json.Obj fields -> (
+        match List.assoc_opt "requests" fields with
+        | Some (Xmutil.Json.List reqs) -> reqs
+        | _ -> Alcotest.fail "missing requests list")
+    | _ -> Alcotest.fail "/debug/requests is not a JSON object"
+    | exception Xmutil.Json.Parse_error _ ->
+        Alcotest.fail "/debug/requests is invalid JSON"
+  in
+  Alcotest.(check int) "both queries listed" 2 (List.length reqs);
+  let field name = function
+    | Xmutil.Json.Obj fields -> List.assoc_opt name fields
+    | _ -> None
+  in
+  (* Newest first: the parse error, then the successful query. *)
+  (match reqs with
+  | [ newest; oldest ] ->
+      Alcotest.(check (option bool))
+        "newest is the parse error" (Some true)
+        (Option.map
+           (fun j -> j = Xmutil.Json.String "parse-error")
+           (field "outcome" newest));
+      Alcotest.(check (option bool))
+        "parse error carries status 400" (Some true)
+        (Option.map (fun j -> j = Xmutil.Json.Int 400) (field "status" newest));
+      Alcotest.(check (option bool))
+        "oldest is ok" (Some true)
+        (Option.map (fun j -> j = Xmutil.Json.String "ok") (field "outcome" oldest))
+  | _ -> Alcotest.fail "expected exactly two summaries");
+  let ok_tid =
+    List.find_map
+      (fun r ->
+        if field "outcome" r = Some (Xmutil.Json.String "ok") then
+          match field "trace_id" r with
+          | Some (Xmutil.Json.String id) -> Some id
+          | _ -> None
+        else None)
+      reqs
+  in
+  let tid = match ok_tid with Some id -> id | None -> Alcotest.fail "no ok entry" in
+  let status, _, body = get ~meth:"GET" base ("/debug/trace/" ^ tid) in
+  Alcotest.(check int) "trace retrievable" 200 status;
+  (match Xmutil.Json.of_string body with
+  | Xmutil.Json.Obj fields ->
+      Alcotest.(check (option bool))
+        "trace_id echoed" (Some true)
+        (Option.map
+           (fun j -> j = Xmutil.Json.String tid)
+           (List.assoc_opt "trace_id" fields));
+      (match List.assoc_opt "trace" fields with
+      | Some (Xmutil.Json.Obj trace) -> (
+          match List.assoc_opt "traceEvents" trace with
+          | Some (Xmutil.Json.List evs) ->
+              Alcotest.(check bool)
+                "spans recorded" true
+                (List.length evs > 0)
+          | _ -> Alcotest.fail "traceEvents missing")
+      | _ -> Alcotest.fail "trace missing")
+  | _ -> Alcotest.fail "/debug/trace is not a JSON object"
+  | exception Xmutil.Json.Parse_error _ ->
+      Alcotest.fail "/debug/trace is invalid JSON");
+  let status, _, _ = get ~meth:"GET" base "/debug/trace/deadbeef" in
+  Alcotest.(check int) "unknown trace id -> 404" 404 status
+
+let test_slow_capture () =
+  Xmobs.Ctx.reset_completed ();
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xmorph_slowlog_%d" (Unix.getpid ()))
+  in
+  with_server ~slow_ms:0.0 ~slow_log:dir @@ fun base _store ->
+  let _, headers, _ = get ~meth:"POST" ~body:paper_guard base "/query" in
+  let tid = trace_id_of headers in
+  (* The capture runs before the response returns, so the profile is
+     already attached to the ring entry... *)
+  (match Xmobs.Ctx.find_completed tid with
+  | Some c ->
+      Alcotest.(check bool)
+        "profile attached to the ring entry" true
+        (c.Xmobs.Ctx.c_profile <> None)
+  | None -> Alcotest.fail "request missing from the trace ring");
+  (* ...visible through /debug/trace... *)
+  let status, _, body = get ~meth:"GET" base ("/debug/trace/" ^ tid) in
+  Alcotest.(check int) "200" 200 status;
+  (match Xmutil.Json.of_string body with
+  | Xmutil.Json.Obj fields ->
+      Alcotest.(check bool)
+        "profile in trace JSON" true
+        (List.mem_assoc "profile" fields)
+  | _ -> Alcotest.fail "trace is not a JSON object");
+  (* ...and written as a --slow-log artifact that parses. *)
+  let path = Filename.concat dir (tid ^ ".json") in
+  Alcotest.(check bool) "slow-log artifact exists" true (Sys.file_exists path);
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  (match Xmutil.Json.of_string text with
+  | Xmutil.Json.Obj _ -> ()
+  | _ -> Alcotest.fail "slow-log artifact is not a JSON object"
+  | exception Xmutil.Json.Parse_error _ ->
+      Alcotest.fail "slow-log artifact is invalid JSON");
+  Sys.remove path;
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+
+(* Two concurrent requests: disjoint trace ids and span trees, each
+   retrievable by id, with per-request I/O deltas summing exactly to the
+   store's global counters.  Jobs forced to 1 so charges stay on the
+   request threads (exact attribution). *)
+let test_concurrent_requests_disjoint () =
+  with_jobs 1 @@ fun () ->
+  Xmobs.Ctx.reset_completed ();
+  with_server @@ fun base store ->
+  let io0 = Store.Io_stats.snapshot (Store.Shredded.stats store) in
+  let results = Array.make 2 None in
+  let threads =
+    List.init 2 (fun i ->
+        Thread.create
+          (fun i ->
+            results.(i) <- Some (get ~meth:"POST" ~body:paper_guard base "/query"))
+          i)
+  in
+  List.iter Thread.join threads;
+  let tids =
+    Array.to_list results
+    |> List.map (function
+         | Some (status, headers, _) ->
+             Alcotest.(check int) "200" 200 status;
+             trace_id_of headers
+         | None -> Alcotest.fail "concurrent request failed")
+  in
+  let a, b =
+    match tids with [ a; b ] -> (a, b) | _ -> Alcotest.fail "two responses"
+  in
+  Alcotest.(check bool) "disjoint trace ids" true (a <> b);
+  (* Each trace is retrievable and carries its own non-empty span tree. *)
+  List.iter
+    (fun tid ->
+      let status, _, body = get ~meth:"GET" base ("/debug/trace/" ^ tid) in
+      Alcotest.(check int) (tid ^ " retrievable") 200 status;
+      match Xmutil.Json.of_string body with
+      | Xmutil.Json.Obj fields -> (
+          Alcotest.(check (option bool))
+            "trace_id matches" (Some true)
+            (Option.map
+               (fun j -> j = Xmutil.Json.String tid)
+               (List.assoc_opt "trace_id" fields));
+          match List.assoc_opt "trace" fields with
+          | Some (Xmutil.Json.Obj trace) -> (
+              match List.assoc_opt "traceEvents" trace with
+              | Some (Xmutil.Json.List evs) ->
+                  Alcotest.(check bool) "own span tree" true
+                    (List.length evs > 0)
+              | _ -> Alcotest.fail "traceEvents missing")
+          | _ -> Alcotest.fail "trace missing")
+      | _ -> Alcotest.fail "trace is not a JSON object")
+    tids;
+  (* Per-request I/O sums exactly to the store's global delta (the two
+     /query executions are the only charges in the window). *)
+  let io1 = Store.Io_stats.snapshot (Store.Shredded.stats store) in
+  let delta = Store.Io_stats.diff io1 io0 in
+  let sum f =
+    List.fold_left
+      (fun acc tid ->
+        match Xmobs.Ctx.find_completed tid with
+        | Some c -> acc + f c.Xmobs.Ctx.c_io
+        | None -> Alcotest.fail "trace missing from ring")
+      0 tids
+  in
+  Alcotest.(check int)
+    "bytes read sum to the global delta" delta.Store.Io_stats.bytes_read
+    (sum (fun io -> io.Xmobs.Ctx.bytes_read));
+  Alcotest.(check int)
+    "bytes written sum to the global delta" delta.Store.Io_stats.bytes_written
+    (sum (fun io -> io.Xmobs.Ctx.bytes_written));
+  Alcotest.(check int)
+    "read ops sum" delta.Store.Io_stats.read_ops
+    (sum (fun io -> io.Xmobs.Ctx.read_ops));
+  Alcotest.(check int)
+    "write ops sum" delta.Store.Io_stats.write_ops
+    (sum (fun io -> io.Xmobs.Ctx.write_ops))
+
 (* ---------- the stats analyzer ---------- *)
 
-let mk_entry ~id ~wall ?(outcome = Xmobs.Qlog.Ok) ?(source = "serve") () =
+let mk_entry ~id ~wall ?(outcome = Xmobs.Qlog.Ok) ?(source = "serve")
+    ?trace_id () =
   {
     Xmobs.Qlog.ts = 1754000000.0 +. float_of_int id;
     id;
+    trace_id;
     source;
     doc = "data.xml";
     guard = "MORPH author [ name book [ title ] ]";
@@ -407,6 +718,10 @@ let suite =
     Alcotest.test_case "percent decoding" `Quick test_percent_decode;
     Alcotest.test_case "query string parsing" `Quick test_parse_query;
     Alcotest.test_case "url parsing" `Quick test_parse_url;
+    Alcotest.test_case "read_request parses a well-formed request" `Quick
+      test_read_request_well_formed;
+    Alcotest.test_case "read_request edge cases fail cleanly" `Quick
+      test_read_request_edge_cases;
     Alcotest.test_case "GET /healthz" `Quick test_healthz;
     Alcotest.test_case "GET /metrics is prometheus text" `Quick
       test_metrics_endpoint;
@@ -417,6 +732,14 @@ let suite =
     Alcotest.test_case "error statuses: 400/404/405/422" `Quick
       test_query_errors;
     Alcotest.test_case "GET /stats JSON" `Quick test_stats_endpoint;
+    Alcotest.test_case "traceparent propagation and fallback" `Quick
+      test_traceparent_propagation;
+    Alcotest.test_case "GET /debug/requests and /debug/trace/<id>" `Quick
+      test_debug_endpoints;
+    Alcotest.test_case "slow-query auto-capture attaches a profile" `Quick
+      test_slow_capture;
+    Alcotest.test_case "concurrent requests: disjoint traces, I/O sums"
+      `Quick test_concurrent_requests_disjoint;
     Alcotest.test_case "stats analyzer aggregates" `Quick test_analyze;
     Alcotest.test_case "stats load skips malformed lines" `Quick
       test_load_skips_malformed;
