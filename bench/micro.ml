@@ -55,6 +55,14 @@ let make_tests () =
              (Sys.opaque_identity
                 (Exp_common.compile_guard xmark_store
                    "MORPH person [ person.name ] | TRANSLATE person -> human"))));
+    (* The serve daemon records every request into rolling time-series on
+       the hot path: one bump + one histogram record must stay cheap. *)
+    (let ts_req = Xmobs.Timeseries.create ~window:60 Counter "bench.requests" in
+     let ts_lat = Xmobs.Timeseries.create ~window:60 Histogram "bench.latency" in
+     Test.make ~name:"obs/timeseries-record"
+       (Staged.stage (fun () ->
+            Xmobs.Timeseries.bump ts_req;
+            Xmobs.Timeseries.record ts_lat 0.004)));
   ]
 
 let run () =

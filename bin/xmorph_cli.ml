@@ -71,7 +71,7 @@ let serialize_for_profile () =
    old bare [at_exit] registration) and on SIGTERM/SIGINT, which
    [Xmobs.Shutdown.install] converts into an ordinary [exit].  A killed
    serve daemon therefore still leaves complete, valid telemetry files. *)
-let obs_setup trace metrics profile qlog jobs =
+let obs_setup trace metrics profile qlog qlog_max_mb jobs =
   (match jobs with None -> () | Some j -> Xmutil.Pool.set_jobs j);
   if trace <> None || metrics <> None || profile <> None || qlog <> None then
     Xmobs.Shutdown.install ();
@@ -96,7 +96,11 @@ let obs_setup trace metrics profile qlog jobs =
           write_file path (Xmutil.Json.to_string (Xmobs.Profile.to_json ()))));
   match qlog with
   | None -> ()
-  | Some path -> Xmobs.Qlog.enable path
+  | Some path ->
+      let max_bytes =
+        Option.map (fun mb -> max 1 mb * 1024 * 1024) qlog_max_mb
+      in
+      Xmobs.Qlog.enable ?max_bytes path
 
 let obs_term =
   let trace =
@@ -129,6 +133,14 @@ let obs_term =
                    $(docv) - streams the records to stdout.  Analyze with \
                    $(b,xmorph stats).")
   in
+  let qlog_max_mb =
+    Arg.(value & opt (some int) None
+         & info [ "qlog-max-mb" ] ~docv:"N"
+             ~doc:"Rotate the --qlog file when it reaches $(docv) MiB: the \
+                   current file is renamed to FILE.1 (replacing any previous \
+                   rotation) and a fresh one is opened, so long-running \
+                   daemons keep at most ~2x$(docv) MiB of log on disk.")
+  in
   let jobs =
     Arg.(value & opt (some int) None
          & info [ "j"; "jobs" ] ~docv:"N"
@@ -136,7 +148,7 @@ let obs_term =
                    1..64).  Defaults to the XMORPH_JOBS environment variable, \
                    or 1.  Profiling always runs single-domain.")
   in
-  Term.(const obs_setup $ trace $ metrics $ profile $ qlog $ jobs)
+  Term.(const obs_setup $ trace $ metrics $ profile $ qlog $ qlog_max_mb $ jobs)
 
 (* ---------- shred ---------- *)
 
@@ -745,14 +757,18 @@ let shell_cmd =
 
 let serve_cmd =
   let doc =
-    "Serve one or more stores over HTTP: GET /healthz, GET /metrics \
-     (Prometheus text exposition), GET /stats (JSON), POST /query (the \
-     body is a guard; ?doc= selects a store, ?query= adds a guarded XQuery \
-     query), GET /debug/requests (recent per-request telemetry), and GET \
-     /debug/trace/<id> (one request's span tree).  Every query runs under \
-     a per-request trace context (W3C traceparent honored and returned).  \
-     Combine with --qlog to append one JSONL record per query; \
-     SIGTERM/SIGINT flush every telemetry sink before exiting."
+    "Serve one or more stores over HTTP: GET /healthz (SLO-aware with \
+     --slo-p95-ms / --slo-error-rate), GET /metrics (Prometheus text \
+     exposition with labeled request/query/guard families), GET /stats \
+     (JSON), POST /query (the body is a guard; ?doc= selects a store, \
+     ?query= adds a guarded XQuery query), GET /debug/requests (recent \
+     per-request telemetry), GET /debug/trace/<id> (one request's span \
+     tree), and GET /debug/timeseries (rolling per-second rates and \
+     windowed percentiles; watch live with $(b,xmorph top)).  Every query \
+     runs under a per-request trace context (W3C traceparent honored and \
+     returned).  Combine with --qlog to append one JSONL record per query \
+     (--qlog-max-mb rotates it); SIGTERM/SIGINT flush every telemetry \
+     sink before exiting."
   in
   let inputs =
     Arg.(non_empty & pos_all file []
@@ -796,7 +812,29 @@ let serve_cmd =
                    $(docv)/<trace-id>.json (the directory is created on \
                    first use).  Only meaningful with --slow-ms.")
   in
-  let run () inputs port addr workers port_file slow_ms slow_log =
+  let window =
+    Arg.(value & opt int 60
+         & info [ "window" ] ~docv:"SECONDS"
+             ~doc:"Rolling time-series window behind GET /debug/timeseries \
+                   and the SLO objectives (clamped to 1..3600).")
+  in
+  let slo_p95_ms =
+    Arg.(value & opt (some float) None
+         & info [ "slo-p95-ms" ] ~docv:"MS"
+             ~doc:"Latency objective: GET /healthz degrades to 503 while \
+                   windowed query p95 exceeds $(docv) milliseconds (the \
+                   body names the breach); recovery is held briefly so the \
+                   health signal does not flap.")
+  in
+  let slo_error_rate =
+    Arg.(value & opt (some float) None
+         & info [ "slo-error-rate" ] ~docv:"FRACTION"
+             ~doc:"Error-rate objective: GET /healthz degrades to 503 while \
+                   the windowed query error fraction exceeds $(docv) (for \
+                   example 0.05 for 5%).")
+  in
+  let run () inputs port addr workers port_file slow_ms slow_log window
+      slo_p95_ms slo_error_rate =
     (* The daemon is multi-threaded, so an async [Sys.signal] handler can
        be delivered to a worker or pool domain that never reaches a
        safepoint while the accept loop sits in [accept].  Block the
@@ -824,10 +862,16 @@ let serve_cmd =
       | None ->
           Option.bind (Sys.getenv_opt "XMORPH_SLOW_MS") float_of_string_opt
     in
+    let slo =
+      { Xmserve.Slo.default with
+        p95_ms = slo_p95_ms;
+        max_error_rate = slo_error_rate;
+        window }
+    in
     let server =
       match
-        Xmserve.Server.create ~addr ~port ~workers ?slow_ms ?slow_log ~stores
-          ()
+        Xmserve.Server.create ~addr ~port ~workers ?slow_ms ?slow_log ~window
+          ~slo ~stores ()
       with
       | s -> s
       | exception Unix.Unix_error (e, fn, _) ->
@@ -847,7 +891,7 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ obs_term $ inputs $ port $ addr $ workers $ port_file
-          $ slow_ms $ slow_log)
+          $ slow_ms $ slow_log $ window $ slo_p95_ms $ slo_error_rate)
 
 (* ---------- stats ---------- *)
 
@@ -997,6 +1041,69 @@ let http_cmd =
   Cmd.v (Cmd.info "http" ~doc)
     Term.(const run $ obs_term $ meth $ url $ data $ show_head)
 
+(* ---------- top ---------- *)
+
+let top_cmd =
+  let doc =
+    "Live dashboard for a serve daemon: poll GET /debug/timeseries and \
+     GET /stats and render req/s, error rate, windowed p50/p95/p99 \
+     latency, block I/O rate, RSS, SLO status, and the top guards by \
+     cumulative time.  Refreshes in place until interrupted; --once \
+     prints a single frame, --once --json a machine-readable snapshot."
+  in
+  let url =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"URL"
+             ~doc:"The daemon's base URL, e.g. http://127.0.0.1:7780.")
+  in
+  let interval =
+    Arg.(value & opt float 2.0
+         & info [ "n"; "interval" ] ~docv:"SECONDS"
+             ~doc:"Refresh interval (clamped to 0.1..3600).")
+  in
+  let once =
+    Arg.(value & flag
+         & info [ "once" ] ~doc:"Print one frame and exit (no screen clear).")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"With --once: print the raw snapshot (timeseries + stats) \
+                   as JSON instead of the rendered dashboard.")
+  in
+  let run () url interval once json =
+    let interval = Float.max 0.1 (Float.min 3600.0 interval) in
+    if json && not once then
+      exit_err "xmorph top: --json requires --once";
+    if once then
+      match Xmserve.Top.fetch url with
+      | Error m -> exit_err m
+      | Ok snap ->
+          if json then
+            print_string (Xmutil.Json.to_string (Xmserve.Top.to_json snap) ^ "\n")
+          else print_string (Xmserve.Top.render snap)
+    else begin
+      (* A full-screen refresh loop: clear, draw, sleep.  Fetch errors
+         draw as a frame too (the daemon restarting should not kill the
+         dashboard watching it); Ctrl-C exits via the default handler. *)
+      let rec loop () =
+        let frame =
+          match Xmserve.Top.fetch ~timeout_s:interval url with
+          | Ok snap -> Xmserve.Top.render snap
+          | Error m -> Printf.sprintf "xmorph top - %s\n(unreachable: %s)\n" url m
+        in
+        print_string "\027[2J\027[H";
+        print_string frame;
+        flush Stdlib.stdout;
+        Thread.delay interval;
+        loop ()
+      in
+      loop ()
+    end
+  in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(const run $ obs_term $ url $ interval $ once $ json)
+
 let setup_logs () =
   (* XMORPH_DEBUG=1 turns on per-phase debug timing on stderr. *)
   if Sys.getenv_opt "XMORPH_DEBUG" <> None then begin
@@ -1011,6 +1118,6 @@ let main =
   Cmd.group info
     [ shred_cmd; shape_cmd; shape_diff_cmd; check_cmd; explain_cmd; profile_cmd;
       run_cmd; query_cmd; infer_cmd; view_cmd; shell_cmd; equiv_cmd; fmt_cmd;
-      gen_cmd; serve_cmd; stats_cmd; http_cmd ]
+      gen_cmd; serve_cmd; stats_cmd; http_cmd; top_cmd ]
 
 let () = exit (Cmd.eval main)

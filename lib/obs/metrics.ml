@@ -40,11 +40,26 @@ type histogram = {
   hlock : Mutex.t; (* one observation is several dependent writes *)
 }
 
+(* A labeled family holds one series per distinct label-value combination,
+   interned under the registry lock like plain handles.  Cardinality is
+   bounded: once [fam_max] series exist, new combinations collapse into a
+   single overflow series whose label values are ["_other"], so a
+   high-cardinality label (guard hashes, client-chosen doc names) cannot
+   grow the registry without bound. *)
+type 'a family = {
+  fam_max : int;
+  fam_series : (string, (string * string) list * 'a) Hashtbl.t;
+  (* key = label names and values joined with '\x00', sorted by name *)
+}
+
 type t = {
   counters : (string, counter) Hashtbl.t;
   gauges : (string, gauge) Hashtbl.t;
   histograms : (string, histogram) Hashtbl.t;
-  lock : Mutex.t; (* guards the three intern tables *)
+  lcounters : (string, counter family) Hashtbl.t;
+  lhistograms : (string, histogram family) Hashtbl.t;
+  help : (string, string) Hashtbl.t;
+  lock : Mutex.t; (* guards the intern tables *)
   mutable observers : (int * (unit -> unit)) list;
   mutable next_observer : int;
 }
@@ -54,6 +69,9 @@ let create () : t =
     counters = Hashtbl.create 16;
     gauges = Hashtbl.create 16;
     histograms = Hashtbl.create 16;
+    lcounters = Hashtbl.create 8;
+    lhistograms = Hashtbl.create 8;
+    help = Hashtbl.create 16;
     lock = Mutex.create ();
     observers = [];
     next_observer = 0;
@@ -88,6 +106,9 @@ let reset ?r () =
   Hashtbl.reset r.counters;
   Hashtbl.reset r.gauges;
   Hashtbl.reset r.histograms;
+  Hashtbl.reset r.lcounters;
+  Hashtbl.reset r.lhistograms;
+  Hashtbl.reset r.help;
   Mutex.unlock r.lock
 
 (* ---------- handles ---------- *)
@@ -121,6 +142,75 @@ let histogram ?r name =
   intern r.lock r.histograms name (fun () ->
       { n = 0; sum = 0.0; minv = infinity; maxv = neg_infinity;
         buckets = Array.make hist_buckets 0; hlock = Mutex.create () })
+
+(* ---------- labeled families ---------- *)
+
+let default_max_series = 64
+
+let sort_labels ls =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) ls
+
+let labels_key ls =
+  String.concat "\x00" (List.concat_map (fun (k, v) -> [ k; v ]) ls)
+
+let overflow_labels ls = List.map (fun (k, _) -> (k, "_other")) ls
+
+(* Find-or-create the series for [ls] inside [fam]; at the cardinality cap,
+   fall through to the family's overflow series instead. *)
+let family_series lock fam ls make =
+  let ls = sort_labels ls in
+  let find_or_add ls =
+    let key = labels_key ls in
+    match Hashtbl.find_opt fam.fam_series key with
+    | Some (_, x) -> x
+    | None ->
+        let x = make () in
+        Hashtbl.replace fam.fam_series key (ls, x);
+        x
+  in
+  Mutex.lock lock;
+  let x =
+    let key = labels_key ls in
+    match Hashtbl.find_opt fam.fam_series key with
+    | Some (_, x) -> x
+    | None ->
+        if Hashtbl.length fam.fam_series >= fam.fam_max then
+          find_or_add (overflow_labels ls)
+        else find_or_add ls
+  in
+  Mutex.unlock lock;
+  x
+
+let mk_family max_series () =
+  { fam_max = (match max_series with Some m -> max 1 m | None -> default_max_series);
+    fam_series = Hashtbl.create 8 }
+
+let counter_labeled ?r ?max_series name labels =
+  let r = match r with Some r -> r | None -> !current in
+  let fam = intern r.lock r.lcounters name (mk_family max_series) in
+  family_series r.lock fam labels (fun () -> { count = Atomic.make 0 })
+
+let histogram_labeled ?r ?max_series name labels =
+  let r = match r with Some r -> r | None -> !current in
+  let fam = intern r.lock r.lhistograms name (mk_family max_series) in
+  family_series r.lock fam labels (fun () ->
+      { n = 0; sum = 0.0; minv = infinity; maxv = neg_infinity;
+        buckets = Array.make hist_buckets 0; hlock = Mutex.create () })
+
+(* ---------- help text ---------- *)
+
+let set_help ?r name text =
+  let r = match r with Some r -> r | None -> !current in
+  Mutex.lock r.lock;
+  Hashtbl.replace r.help name text;
+  Mutex.unlock r.lock
+
+(* Every family gets a HELP line; unregistered names fall back to the
+   dotted name with dots spelled as spaces, which reads as a phrase. *)
+let help_text r name =
+  match Hashtbl.find_opt r.help name with
+  | Some s -> s
+  | None -> String.map (fun c -> if c = '.' then ' ' else c) name
 
 let counter_add c by = ignore (Atomic.fetch_and_add c.count by)
 
@@ -190,6 +280,23 @@ let observe name v =
     notify ()
   end
 
+(* Labeled variants are not mirrored into the request context: a request
+   already knows its own route/doc/outcome, so per-request label fan-out
+   would only duplicate what the unlabeled mirror records.  Callers on the
+   disabled path must still pre-intern handles if they need zero
+   allocation — building the label list itself allocates. *)
+let inc_labeled ?(by = 1) name labels =
+  if !enabled then begin
+    counter_add (counter_labeled name labels) by;
+    notify ()
+  end
+
+let observe_labeled name labels v =
+  if !enabled then begin
+    hist_add (histogram_labeled name labels) v;
+    notify ()
+  end
+
 (* ---------- reads ---------- *)
 
 let counter_value ?r name =
@@ -201,6 +308,40 @@ let counter_value ?r name =
 let gauge_value ?r name =
   let r = match r with Some r -> r | None -> !current in
   match Hashtbl.find_opt r.gauges name with Some g -> g.level | None -> 0.0
+
+let family_bindings fam =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k (ls, x) acc -> (k, (ls, x)) :: acc) fam.fam_series [])
+
+let counter_value_labeled ?r name labels =
+  let r = match r with Some r -> r | None -> !current in
+  match Hashtbl.find_opt r.lcounters name with
+  | None -> 0
+  | Some fam -> (
+      match Hashtbl.find_opt fam.fam_series (labels_key (sort_labels labels)) with
+      | Some (_, c) -> Atomic.get c.count
+      | None -> 0)
+
+let counter_series ?r name =
+  let r = match r with Some r -> r | None -> !current in
+  match Hashtbl.find_opt r.lcounters name with
+  | None -> []
+  | Some fam ->
+      List.map (fun (_, (ls, c)) -> (ls, Atomic.get c.count)) (family_bindings fam)
+
+let histogram_series ?r name =
+  let r = match r with Some r -> r | None -> !current in
+  match Hashtbl.find_opt r.lhistograms name with
+  | None -> []
+  | Some fam ->
+      List.map
+        (fun (_, (ls, h)) ->
+          Mutex.lock h.hlock;
+          let n = h.n and sum = h.sum in
+          Mutex.unlock h.hlock;
+          (ls, (n, sum)))
+        (family_bindings fam)
 
 let hist_percentile h q =
   if h.n = 0 then None
@@ -247,9 +388,12 @@ let hist_to_json h =
       ("p50", Xmutil.Json.Float (pct 0.5)); ("p95", Xmutil.Json.Float (pct 0.95));
       ("p99", Xmutil.Json.Float (pct 0.99)) ]
 
+let labels_to_suffix ls =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) ls) ^ "}"
+
 let to_json ?r () =
   let r = match r with Some r -> r | None -> !current in
-  Xmutil.Json.Obj
+  let base =
     [ ("counters",
        Xmutil.Json.Obj
          (List.map (fun (k, c) -> (k, Xmutil.Json.Int (Atomic.get c.count)))
@@ -262,6 +406,38 @@ let to_json ?r () =
        Xmutil.Json.Obj
          (List.map (fun (k, h) -> (k, hist_to_json h))
             (sorted_bindings r.histograms))) ]
+  in
+  (* Labeled families join the dump only once one exists, keeping the
+     unlabeled JSON shape (pinned by tests and baselines) unchanged. *)
+  let labeled =
+    (if Hashtbl.length r.lcounters = 0 then []
+     else
+       [ ("labeled_counters",
+          Xmutil.Json.Obj
+            (List.map
+               (fun (k, fam) ->
+                 ( k,
+                   Xmutil.Json.Obj
+                     (List.map
+                        (fun (_, (ls, c)) ->
+                          (labels_to_suffix ls, Xmutil.Json.Int (Atomic.get c.count)))
+                        (family_bindings fam)) ))
+               (sorted_bindings r.lcounters)) ) ])
+    @
+    if Hashtbl.length r.lhistograms = 0 then []
+    else
+      [ ("labeled_histograms",
+         Xmutil.Json.Obj
+           (List.map
+              (fun (k, fam) ->
+                ( k,
+                  Xmutil.Json.Obj
+                    (List.map
+                       (fun (_, (ls, h)) -> (labels_to_suffix ls, hist_to_json h))
+                       (family_bindings fam)) ))
+              (sorted_bindings r.lhistograms)) ) ]
+  in
+  Xmutil.Json.Obj (base @ labeled)
 
 (* ---------- Prometheus text exposition ---------- *)
 
@@ -306,24 +482,55 @@ let prom_float v =
 let bucket_upper_edge i =
   Float.pow 2.0 ((float_of_int (i - hist_mid) +. 0.5) /. hist_scale)
 
-let hist_to_prometheus b name h =
+(* HELP text escapes only backslash and newline (no quoting). *)
+let prometheus_escape_help v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let add_header b r name kind =
+  let pname = prometheus_name name in
+  Buffer.add_string b
+    (Printf.sprintf "# HELP %s %s\n" pname
+       (prometheus_escape_help (help_text r name)));
+  Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" pname kind)
+
+(* Rendered label pairs without braces, e.g. [doc="x",outcome="ok"]. *)
+let labels_body ls =
+  String.concat ","
+    (List.map
+       (fun (k, v) ->
+         Printf.sprintf "%s=\"%s\"" (prometheus_name k)
+           (prometheus_escape_label v))
+       ls)
+
+(* One histogram series.  [lbl] is the rendered label body ("" when
+   unlabeled); bucket lines put [le] last, per convention. *)
+let hist_samples b name lbl h =
   Mutex.lock h.hlock;
   let n = h.n and sum = h.sum and buckets = Array.copy h.buckets in
   Mutex.unlock h.hlock;
-  Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" name);
+  let le_pre = if lbl = "" then "" else lbl ^ "," in
+  let plain = if lbl = "" then "" else "{" ^ lbl ^ "}" in
   let cum = ref 0 in
   for i = 0 to hist_buckets - 1 do
     if buckets.(i) > 0 then begin
       cum := !cum + buckets.(i);
       Buffer.add_string b
-        (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name
+        (Printf.sprintf "%s_bucket{%sle=\"%s\"} %d\n" name le_pre
            (prom_float (bucket_upper_edge i))
            !cum)
     end
   done;
-  Buffer.add_string b (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name n);
-  Buffer.add_string b (Printf.sprintf "%s_sum %s\n" name (prom_float sum));
-  Buffer.add_string b (Printf.sprintf "%s_count %d\n" name n)
+  Buffer.add_string b (Printf.sprintf "%s_bucket{%sle=\"+Inf\"} %d\n" name le_pre n);
+  Buffer.add_string b (Printf.sprintf "%s_sum%s %s\n" name plain (prom_float sum));
+  Buffer.add_string b (Printf.sprintf "%s_count%s %d\n" name plain n)
 
 let to_prometheus ?r ?(info = []) () =
   let r = match r with Some r -> r | None -> !current in
@@ -331,6 +538,7 @@ let to_prometheus ?r ?(info = []) () =
   (match info with
   | [] -> ()
   | kvs ->
+      Buffer.add_string b "# HELP xmorph_info build and deployment info\n";
       Buffer.add_string b "# TYPE xmorph_info gauge\n";
       Buffer.add_string b "xmorph_info{";
       List.iteri
@@ -343,19 +551,40 @@ let to_prometheus ?r ?(info = []) () =
       Buffer.add_string b "} 1\n");
   List.iter
     (fun (k, c) ->
-      let name = prometheus_name k in
-      Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" name);
-      Buffer.add_string b (Printf.sprintf "%s %d\n" name (Atomic.get c.count)))
+      add_header b r k "counter";
+      Buffer.add_string b
+        (Printf.sprintf "%s %d\n" (prometheus_name k) (Atomic.get c.count)))
     (sorted_bindings r.counters);
   List.iter
-    (fun (k, g) ->
+    (fun (k, fam) ->
+      add_header b r k "counter";
       let name = prometheus_name k in
-      Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" name);
-      Buffer.add_string b (Printf.sprintf "%s %s\n" name (prom_float g.level)))
+      List.iter
+        (fun (_, (ls, c)) ->
+          Buffer.add_string b
+            (Printf.sprintf "%s{%s} %d\n" name (labels_body ls)
+               (Atomic.get c.count)))
+        (family_bindings fam))
+    (sorted_bindings r.lcounters);
+  List.iter
+    (fun (k, g) ->
+      add_header b r k "gauge";
+      Buffer.add_string b
+        (Printf.sprintf "%s %s\n" (prometheus_name k) (prom_float g.level)))
     (sorted_bindings r.gauges);
   List.iter
-    (fun (k, h) -> hist_to_prometheus b (prometheus_name k) h)
+    (fun (k, h) ->
+      add_header b r k "histogram";
+      hist_samples b (prometheus_name k) "" h)
     (sorted_bindings r.histograms);
+  List.iter
+    (fun (k, fam) ->
+      add_header b r k "histogram";
+      let name = prometheus_name k in
+      List.iter
+        (fun (_, (ls, h)) -> hist_samples b name (labels_body ls) h)
+        (family_bindings fam))
+    (sorted_bindings r.lhistograms);
   Buffer.contents b
 
 let to_string ?r () =
@@ -375,4 +604,25 @@ let to_string ?r () =
         (Printf.sprintf "%-40s n=%d sum=%g p50=%g p95=%g p99=%g\n" k h.n h.sum
            (pct 0.5) (pct 0.95) (pct 0.99)))
     (sorted_bindings r.histograms);
+  List.iter
+    (fun (k, fam) ->
+      List.iter
+        (fun (_, (ls, c)) ->
+          Buffer.add_string b
+            (Printf.sprintf "%-40s %d\n"
+               (k ^ labels_to_suffix ls)
+               (Atomic.get c.count)))
+        (family_bindings fam))
+    (sorted_bindings r.lcounters);
+  List.iter
+    (fun (k, fam) ->
+      List.iter
+        (fun (_, (ls, h)) ->
+          let pct q = match hist_percentile h q with Some v -> v | None -> 0.0 in
+          Buffer.add_string b
+            (Printf.sprintf "%-40s n=%d sum=%g p50=%g p95=%g p99=%g\n"
+               (k ^ labels_to_suffix ls)
+               h.n h.sum (pct 0.5) (pct 0.95) (pct 0.99)))
+        (family_bindings fam))
+    (sorted_bindings r.lhistograms);
   Buffer.contents b

@@ -55,6 +55,22 @@ val hist_add : histogram -> float -> unit
 (** Record a value into log-scale buckets (relative quantization error
     under 5%). *)
 
+(** {2 Labeled families} — one series per label-value combination.
+
+    A family interns [(name, sorted label pairs) → handle] under the
+    registry lock.  Cardinality is bounded ([max_series], default 64):
+    once the cap is reached, new label combinations collapse into a
+    single overflow series whose values are ["_other"], so unbounded
+    label domains (guard hashes, client-supplied names) cannot grow the
+    registry without limit.  Label order does not matter — pairs are
+    sorted by label name before interning. *)
+
+val counter_labeled :
+  ?r:t -> ?max_series:int -> string -> (string * string) list -> counter
+
+val histogram_labeled :
+  ?r:t -> ?max_series:int -> string -> (string * string) list -> histogram
+
 (** {2 Observers} *)
 
 val subscribe : ?r:t -> (unit -> unit) -> int
@@ -70,10 +86,31 @@ val inc : ?by:int -> string -> unit
 val set_gauge : string -> float -> unit
 val observe : string -> float -> unit
 
+val inc_labeled : ?by:int -> string -> (string * string) list -> unit
+(** Like {!inc} into a labeled family series.  Not mirrored into the
+    request context; building the label list allocates, so zero-alloc
+    call sites must pre-intern a handle instead. *)
+
+val observe_labeled : string -> (string * string) list -> float -> unit
+
 (** {2 Reads and export} *)
 
 val counter_value : ?r:t -> string -> int
 val gauge_value : ?r:t -> string -> float
+
+val counter_value_labeled : ?r:t -> string -> (string * string) list -> int
+
+val counter_series : ?r:t -> string -> ((string * string) list * int) list
+(** All series of a labeled counter family, sorted by label values. *)
+
+val histogram_series :
+  ?r:t -> string -> ((string * string) list * (int * float)) list
+(** All series of a labeled histogram family as [(labels, (count, sum))],
+    sorted by label values. *)
+
+val set_help : ?r:t -> string -> string -> unit
+(** Register the HELP text exported for a metric family; families without
+    one fall back to the metric name with dots spelled as spaces. *)
 
 val percentile : ?r:t -> string -> float -> float option
 (** [percentile name q] with [q] in [0,1]; [None] if the histogram is empty
@@ -83,12 +120,14 @@ val to_json : ?r:t -> unit -> Xmutil.Json.t
 val to_string : ?r:t -> unit -> string
 
 val to_prometheus : ?r:t -> ?info:(string * string) list -> unit -> string
-(** Prometheus text exposition (format 0.0.4): counters and gauges as
-    single samples, histograms as cumulative [_bucket{le="..."}] series
-    (log-scale upper edges; zero-delta buckets elided) plus [_sum] and
-    [_count], with the [+Inf] bucket always present and equal to
-    [_count].  Dotted metric names map to underscores.  [info] renders an
-    [xmorph_info{k="v",...} 1] gauge with escaped label values. *)
+(** Prometheus text exposition (format 0.0.4): every family gets [# HELP]
+    and [# TYPE] lines; counters and gauges render as single samples,
+    histograms as cumulative [_bucket{le="..."}] series (log-scale upper
+    edges; zero-delta buckets elided) plus [_sum] and [_count], with the
+    [+Inf] bucket always present and equal to [_count].  Labeled families
+    render one sample (or bucket set) per series with escaped label
+    values, [le] last.  Dotted metric names map to underscores.  [info]
+    renders an [xmorph_info{k="v",...} 1] gauge. *)
 
 val prometheus_name : string -> string
 (** Sanitize a metric/label name to [[a-zA-Z_:][a-zA-Z0-9_:]*]. *)

@@ -195,10 +195,12 @@ let entry_of_json j =
 type t = {
   w_path : string;
   cap : int;
-  oc : out_channel;
+  max_bytes : int option; (* size-based rotation threshold *)
+  mutable oc : out_channel; (* replaced on rotation *)
   owns_oc : bool; (* false for "-": stdout is flushed, never closed *)
   buf : Buffer.t;
   lock : Mutex.t;
+  mutable written : int; (* bytes in the current file *)
   mutable closed : bool;
 }
 
@@ -206,23 +208,47 @@ let default_cap = 64 * 1024
 
 (* Path "-" streams records to stdout (containerized deployments ship
    telemetry via pipes); the channel is borrowed, so [close] only
-   flushes it. *)
-let create ?(cap = default_cap) path =
+   flushes it and rotation never applies. *)
+let create ?(cap = default_cap) ?max_bytes path =
   let oc, owns_oc =
     if String.equal path "-" then (Stdlib.stdout, false)
     else (open_out_gen [ Open_append; Open_creat ] 0o644 path, true)
   in
-  { w_path = path; cap = max 1 cap; oc; owns_oc; buf = Buffer.create 4096;
-    lock = Mutex.create (); closed = false }
+  let written =
+    (* Append mode positions at the end, so the channel length is the
+       existing file size — rotation thresholds survive a daemon restart
+       onto an already-large log. *)
+    if owns_oc then try out_channel_length oc with Sys_error _ -> 0 else 0
+  in
+  { w_path = path; cap = max 1 cap;
+    max_bytes = Option.map (fun m -> max 1 m) max_bytes; oc; owns_oc;
+    buf = Buffer.create 4096; lock = Mutex.create (); written; closed = false }
 
 let path t = t.w_path
 
 let spill_unlocked t =
   if Buffer.length t.buf > 0 then begin
+    t.written <- t.written + Buffer.length t.buf;
     Buffer.output_buffer t.oc t.buf;
     Buffer.clear t.buf;
     Stdlib.flush t.oc
   end
+
+(* Size-based rotation, checked at record boundaries only (never from
+   [flush]/[close], so shutdown cannot leave the primary log empty): once
+   the file reaches [max_bytes] it is renamed to [path.1] — replacing any
+   previous rotation — and a fresh file takes its place.  The lock is
+   held, so no concurrent writer can land a record in the closed channel.
+   The file can exceed the threshold by at most one buffered spill. *)
+let maybe_rotate_unlocked t =
+  match t.max_bytes with
+  | Some m when t.owns_oc && t.written >= m -> (
+      spill_unlocked t;
+      close_out_noerr t.oc;
+      (try Sys.rename t.w_path (t.w_path ^ ".1") with Sys_error _ -> ());
+      t.oc <- open_out_gen [ Open_append; Open_creat ] 0o644 t.w_path;
+      t.written <- (try out_channel_length t.oc with Sys_error _ -> 0))
+  | Some _ | None -> ()
 
 let log t e =
   (* Serialize outside the lock: line building is the expensive part and
@@ -232,7 +258,10 @@ let log t e =
   if not t.closed then begin
     Buffer.add_string t.buf line;
     Buffer.add_char t.buf '\n';
-    if Buffer.length t.buf >= t.cap then spill_unlocked t
+    if Buffer.length t.buf >= t.cap then begin
+      spill_unlocked t;
+      maybe_rotate_unlocked t
+    end
   end;
   Mutex.unlock t.lock
 
@@ -263,9 +292,9 @@ let sink : t option ref = ref None
 
 let shutdown_registered = ref false
 
-let enable ?cap p =
+let enable ?cap ?max_bytes p =
   (match !sink with Some t -> close t | None -> ());
-  sink := Some (create ?cap p);
+  sink := Some (create ?cap ?max_bytes p);
   if not !shutdown_registered then begin
     shutdown_registered := true;
     Shutdown.on_exit (fun () -> match !sink with Some t -> close t | None -> ())

@@ -86,10 +86,16 @@ val entry_to_line : entry -> string
 
 type t
 
-val create : ?cap:int -> string -> t
+val create : ?cap:int -> ?max_bytes:int -> string -> t
 (** Open [path] for appending.  [cap] bounds the in-memory buffer in bytes
-    (default 64 KiB); crossing it spills to disk.  Path ["-"] streams to
-    stdout instead (the channel is flushed on {!close}, never closed). *)
+    (default 64 KiB); crossing it spills to disk.  [max_bytes] enables
+    size-based rotation: when the file reaches the threshold (counting
+    pre-existing content — append mode survives restarts) it is renamed
+    to [path.1], replacing any previous rotation, and a fresh file is
+    opened; checked at record boundaries under the writer mutex, so the
+    file may exceed the threshold by at most one buffered spill.  Path
+    ["-"] streams to stdout instead (the channel is flushed on {!close},
+    never closed; rotation does not apply). *)
 
 val path : t -> string
 val log : t -> entry -> unit
@@ -101,7 +107,7 @@ val close : t -> unit
 
 (** {2 Global sink} *)
 
-val enable : ?cap:int -> string -> unit
+val enable : ?cap:int -> ?max_bytes:int -> string -> unit
 (** Install [path] as the process-global sink (closing any previous one)
     and register its flush on the {!Shutdown} path. *)
 

@@ -1,38 +1,42 @@
 (* Process self-metrics, sampled on demand (the serve daemon calls
-   [sample] at every /metrics scrape, so the exported gauges are as fresh
-   as the scrape that reads them — no background sampling thread).
+   [sample] at every /metrics scrape and /stats snapshot, so the exported
+   gauges are as fresh as the read that wants them — no background
+   sampling thread).
 
-   RSS comes from /proc/self/statm (resident pages * page size); on
-   systems without procfs the gauge reads 0 rather than failing the
-   scrape.  The GC gauges are Gc.quick_stat fields — cheap, no heap
-   walk. *)
+   RSS comes from /proc/self/statm (resident pages * page size); when the
+   file is absent or malformed the gauge is simply not set — never a
+   raise, never a bogus 0 sample.  The path is injectable so the
+   degradation is testable on systems that do have procfs.  The GC gauges
+   are Gc.quick_stat fields — cheap, no heap walk. *)
 
 (* Linux's default page size.  OCaml's Unix module does not expose
    getpagesize; 4 KiB is correct on every platform that has
    /proc/self/statm in the first place. *)
 let page_size = 4096
 
-let rss_bytes () =
-  match open_in "/proc/self/statm" with
-  | exception Sys_error _ -> 0
+let statm_path = "/proc/self/statm"
+
+let rss_bytes ?(path = statm_path) () =
+  match open_in path with
+  | exception Sys_error _ -> None
   | ic ->
       let n =
         match input_line ic with
-        | exception End_of_file -> 0
+        | exception End_of_file -> None
         | line -> (
             match String.split_on_char ' ' line with
             | _size :: resident :: _ -> (
                 match int_of_string_opt resident with
-                | Some pages -> pages * page_size
-                | None -> 0)
-            | _ -> 0)
+                | Some pages when pages >= 0 -> Some (pages * page_size)
+                | Some _ | None -> None)
+            | _ -> None)
       in
       close_in_noerr ic;
       n
 
 let started = Unix.gettimeofday ()
 
-let sample ?uptime_s () =
+let sample ?uptime_s ?statm () =
   if Metrics.is_enabled () then begin
     let uptime =
       match uptime_s with
@@ -40,7 +44,9 @@ let sample ?uptime_s () =
       | None -> Unix.gettimeofday () -. started
     in
     Metrics.set_gauge "xmorph_uptime_seconds" uptime;
-    Metrics.set_gauge "xmorph_rss_bytes" (float_of_int (rss_bytes ()));
+    (match rss_bytes ?path:statm () with
+    | Some rss -> Metrics.set_gauge "xmorph_rss_bytes" (float_of_int rss)
+    | None -> ());
     let s = Gc.quick_stat () in
     Metrics.set_gauge "gc_major_collections"
       (float_of_int s.Gc.major_collections);

@@ -1,18 +1,20 @@
 (** Process self-metrics: uptime, resident set size, GC gauges.
 
-    {!sample} sets five gauges in the current {!Metrics} registry —
+    {!sample} sets up to five gauges in the current {!Metrics} registry —
     [xmorph_uptime_seconds], [xmorph_rss_bytes] (from
-    [/proc/self/statm]; 0 when unavailable), [gc_major_collections],
+    [/proc/self/statm]; left unset when procfs is absent or the file is
+    malformed — degradation never raises), [gc_major_collections],
     [gc_heap_words], and [gc_minor_allocated_words] — and is a no-op
     while metrics are disabled.  The serve daemon calls it at every
-    [/metrics] scrape, so the exported values are scrape-fresh without a
-    sampling thread. *)
+    [/metrics] scrape and [/stats] snapshot, so the exported values are
+    read-fresh without a sampling thread. *)
 
-val rss_bytes : unit -> int
-(** Resident set size in bytes ([/proc/self/statm] resident pages × 4096);
-    0 when procfs is unavailable. *)
+val rss_bytes : ?path:string -> unit -> int option
+(** Resident set size in bytes ([path] defaults to [/proc/self/statm];
+    resident pages × 4096); [None] when the file is missing, empty, or
+    malformed. *)
 
-val sample : ?uptime_s:float -> unit -> unit
-(** Set the five self-metric gauges in the current registry.
-    [uptime_s] overrides the process-start-based uptime (the serve
-    daemon passes its own listener uptime). *)
+val sample : ?uptime_s:float -> ?statm:string -> unit -> unit
+(** Set the self-metric gauges in the current registry.  [uptime_s]
+    overrides the process-start-based uptime (the serve daemon passes its
+    own listener uptime); [statm] overrides the procfs path (tests). *)

@@ -1,0 +1,257 @@
+(* Rolling per-second time series over a counter or histogram.
+
+   The cumulative registry (Metrics) answers since-start questions; this
+   module answers the time-resolved ones the paper's own evaluation asks
+   (Figs. 11-13 sample I/O *while* a transformation runs): what is the
+   request rate right now, what is p95 latency over the last window, did
+   the burst decay.
+
+   Representation: a ring of [window] one-second slots indexed by
+   [epoch mod window].  Each slot carries a count, a sum, and (for
+   histogram kind) a coarse log-scale bucket array.  A rolling aggregate
+   over the live slots is maintained incrementally, so writes are O(1):
+   take the series mutex, rotate at most the one slot the write lands in,
+   bump slot + aggregate.  Reads expire every stale slot first (O(window)
+   worst case), which is fine for the handful of /debug and health-check
+   readers.
+
+   The per-slot histogram uses 4 buckets per octave (vs the registry's 8):
+   a windowed percentile feeding a dashboard or an SLO check does not need
+   better than ~20 % resolution, and the slot arrays are what a long
+   window multiplies.
+
+   Clocks are injectable per series so window math is unit-testable
+   against synthetic time; the default is [Unix.gettimeofday]. *)
+
+type kind = Counter | Histogram
+
+let ts_buckets = 192
+
+let ts_mid = 96
+
+let ts_scale = 4.0
+
+let bucket_of v =
+  if v <= 0.0 then 0
+  else
+    let i = ts_mid + int_of_float (Float.round (ts_scale *. Float.log2 v)) in
+    if i < 0 then 0 else if i >= ts_buckets then ts_buckets - 1 else i
+
+let bucket_value i = Float.pow 2.0 (float_of_int (i - ts_mid) /. ts_scale)
+
+type slot = {
+  mutable s_epoch : int; (* the second this slot holds; -1 when empty *)
+  mutable s_n : int;
+  mutable s_sum : float;
+  s_hist : int array; (* [||] for Counter kind *)
+}
+
+type t = {
+  name : string;
+  kind : kind;
+  window : int; (* seconds *)
+  clock : unit -> float;
+  lock : Mutex.t;
+  slots : slot array;
+  (* rolling aggregate over the live slots *)
+  mutable agg_n : int;
+  mutable agg_sum : float;
+  agg_hist : int array;
+  mutable lifetime : int; (* total count since creation, never expired *)
+}
+
+let default_window = 300
+
+let name t = t.name
+
+let kind t = t.kind
+
+let window t = t.window
+
+let create ?(window = default_window) ?clock kind name =
+  let window = if window < 1 then 1 else if window > 86400 then 86400 else window in
+  let clock = match clock with Some c -> c | None -> Unix.gettimeofday in
+  let mk_hist () = if kind = Histogram then Array.make ts_buckets 0 else [||] in
+  {
+    name;
+    kind;
+    window;
+    clock;
+    lock = Mutex.create ();
+    slots =
+      Array.init window (fun _ ->
+          { s_epoch = -1; s_n = 0; s_sum = 0.0; s_hist = mk_hist () });
+    agg_n = 0;
+    agg_sum = 0.0;
+    agg_hist = mk_hist ();
+    lifetime = 0;
+  }
+
+(* ---------- writes (lock held) ---------- *)
+
+let clear_slot t s =
+  if s.s_epoch >= 0 then begin
+    t.agg_n <- t.agg_n - s.s_n;
+    t.agg_sum <- t.agg_sum -. s.s_sum;
+    if t.kind = Histogram then
+      Array.iteri
+        (fun i c -> if c <> 0 then t.agg_hist.(i) <- t.agg_hist.(i) - c)
+        s.s_hist;
+    s.s_epoch <- -1;
+    s.s_n <- 0;
+    s.s_sum <- 0.0;
+    if t.kind = Histogram then Array.fill s.s_hist 0 ts_buckets 0
+  end
+
+let expire t now_s =
+  Array.iter
+    (fun s -> if s.s_epoch >= 0 && s.s_epoch <= now_s - t.window then clear_slot t s)
+    t.slots
+
+let slot_for t now_s =
+  let s = t.slots.(((now_s mod t.window) + t.window) mod t.window) in
+  if s.s_epoch <> now_s then begin
+    clear_slot t s;
+    s.s_epoch <- now_s
+  end;
+  s
+
+let add t n v hist_one =
+  let now_s = int_of_float (t.clock ()) in
+  Mutex.lock t.lock;
+  let s = slot_for t now_s in
+  s.s_n <- s.s_n + n;
+  s.s_sum <- s.s_sum +. v;
+  t.agg_n <- t.agg_n + n;
+  t.agg_sum <- t.agg_sum +. v;
+  if hist_one && t.kind = Histogram then begin
+    let i = bucket_of v in
+    s.s_hist.(i) <- s.s_hist.(i) + 1;
+    t.agg_hist.(i) <- t.agg_hist.(i) + 1
+  end;
+  t.lifetime <- t.lifetime + n;
+  Mutex.unlock t.lock
+
+let bump ?(by = 1) t = add t by (float_of_int by) false
+
+let record t v = add t 1 v true
+
+(* ---------- reads ---------- *)
+
+let with_window t f =
+  let now_s = int_of_float (t.clock ()) in
+  Mutex.lock t.lock;
+  expire t now_s;
+  let x = f now_s in
+  Mutex.unlock t.lock;
+  x
+
+let count_in_window t = with_window t (fun _ -> t.agg_n)
+
+let sum_in_window t = with_window t (fun _ -> t.agg_sum)
+
+let lifetime t = with_window t (fun _ -> t.lifetime)
+
+let rate t =
+  with_window t (fun _ -> float_of_int t.agg_n /. float_of_int t.window)
+
+(* Lock held.  When agg_n > 0 the cumulative count always crosses the
+   rank before the loop ends, so the scan cannot come back empty. *)
+let pct_locked t q =
+  if t.kind <> Histogram || t.agg_n = 0 then None
+  else begin
+    let rank = q *. float_of_int (t.agg_n - 1) in
+    let cum = ref 0 in
+    let found = ref None in
+    (try
+       for i = 0 to ts_buckets - 1 do
+         cum := !cum + t.agg_hist.(i);
+         if float_of_int !cum > rank then begin
+           found := Some (bucket_value i);
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !found
+  end
+
+let percentile t q = with_window t (fun _ -> pct_locked t q)
+
+(* ---------- JSON ---------- *)
+
+(* Per-second counts for the last [min window 60] seconds, oldest first:
+   enough for a dashboard sparkline without dumping an hour-long ring. *)
+let seconds_locked t now_s =
+  let m = min t.window 60 in
+  List.init m (fun i ->
+      let e = now_s - (m - 1 - i) in
+      if e < 0 then Xmutil.Json.Int 0
+      else
+        let s = t.slots.(((e mod t.window) + t.window) mod t.window) in
+        Xmutil.Json.Int (if s.s_epoch = e then s.s_n else 0))
+
+let to_json t =
+  with_window t (fun now_s ->
+      let pct q = match pct_locked t q with Some v -> v | None -> 0.0 in
+      Xmutil.Json.Obj
+        ([ ("kind",
+            Xmutil.Json.String
+              (match t.kind with Counter -> "counter" | Histogram -> "histogram"));
+           ("window_s", Xmutil.Json.Int t.window);
+           ("count", Xmutil.Json.Int t.agg_n);
+           ("rate",
+            Xmutil.Json.Float (float_of_int t.agg_n /. float_of_int t.window));
+           ("sum", Xmutil.Json.Float t.agg_sum);
+           ("lifetime", Xmutil.Json.Int t.lifetime) ]
+        @ (match t.kind with
+          | Counter -> []
+          | Histogram ->
+              [ ("p50", Xmutil.Json.Float (pct 0.5));
+                ("p95", Xmutil.Json.Float (pct 0.95));
+                ("p99", Xmutil.Json.Float (pct 0.99)) ])
+        @ [ ("seconds", Xmutil.Json.List (seconds_locked t now_s)) ]))
+
+(* ---------- named registry, gated like Metrics ---------- *)
+
+let enabled = ref false
+
+let enable () = enabled := true
+
+let disable () = enabled := false
+
+let is_enabled () = !enabled
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 8
+
+let reg_lock = Mutex.create ()
+
+let series ?window ?clock kind name =
+  Mutex.lock reg_lock;
+  let t =
+    match Hashtbl.find_opt registry name with
+    | Some t -> t (* first creation wins; kind/window of later calls ignored *)
+    | None ->
+        let t = create ?window ?clock kind name in
+        Hashtbl.replace registry name t;
+        t
+  in
+  Mutex.unlock reg_lock;
+  t
+
+let all () =
+  Mutex.lock reg_lock;
+  let xs = Hashtbl.fold (fun _ t acc -> t :: acc) registry [] in
+  Mutex.unlock reg_lock;
+  List.sort (fun a b -> String.compare a.name b.name) xs
+
+let reset () =
+  Mutex.lock reg_lock;
+  Hashtbl.reset registry;
+  Mutex.unlock reg_lock
+
+let inc ?(by = 1) name = if !enabled then bump ~by (series Counter name)
+
+let observe name v = if !enabled then record (series Histogram name) v
+
+let to_json_all () =
+  Xmutil.Json.Obj (List.map (fun t -> (t.name, to_json t)) (all ()))

@@ -1,0 +1,80 @@
+(** Rolling per-second time series: rates and windowed percentiles.
+
+    Where {!Metrics} answers cumulative-since-start questions, a
+    [Timeseries.t] answers time-resolved ones — requests per second right
+    now, p95 latency over the last five minutes, whether a burst has
+    decayed.  Each series is a ring of [window] one-second slots plus an
+    incrementally maintained rolling aggregate: writes take the series
+    mutex and touch one slot (lock-cheap, O(1)); reads expire stale slots
+    first.
+
+    Histogram-kind series bucket values on a coarse log scale (4 buckets
+    per octave, ~20 % resolution) — plenty for dashboards and SLO checks,
+    and cheap enough to keep one array per live second.
+
+    Clocks are injectable per series so window math can be unit-tested
+    against synthetic time.
+
+    Like {!Metrics}, the name-based entry points ({!inc}, {!observe}) are
+    gated on {!enable} and cost a single branch when disabled; hot call
+    sites intern a handle once with {!series} and use {!bump}/{!record},
+    which are ungated. *)
+
+type t
+
+type kind = Counter | Histogram
+
+val default_window : int
+(** 300 seconds. *)
+
+val create : ?window:int -> ?clock:(unit -> float) -> kind -> string -> t
+(** A standalone series (not registered).  [window] is clamped to
+    [1, 86400] seconds and defaults to {!default_window}; [clock]
+    defaults to [Unix.gettimeofday]. *)
+
+val name : t -> string
+val kind : t -> kind
+val window : t -> int
+
+val bump : ?by:int -> t -> unit
+(** Count [by] events in the current second. *)
+
+val record : t -> float -> unit
+(** Record one observation of value [v] (histogram kind buckets it). *)
+
+val count_in_window : t -> int
+val sum_in_window : t -> float
+
+val lifetime : t -> int
+(** Total count since creation; never expires. *)
+
+val rate : t -> float
+(** Events per second over the window: window count / window length. *)
+
+val percentile : t -> float -> float option
+(** [percentile t q] with [q] in [0,1] over the window; [None] for
+    counter-kind or empty-window series. *)
+
+val to_json : t -> Xmutil.Json.t
+(** [{kind, window_s, count, rate, sum, lifetime, p50/p95/p99 (histogram
+    kind), seconds}] where [seconds] is the per-second count for the last
+    [min window 60] seconds, oldest first. *)
+
+(** {2 Named registry} — gated on {!enable} like {!Metrics}. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+val series : ?window:int -> ?clock:(unit -> float) -> kind -> string -> t
+(** Intern a series in the global registry (first creation wins —
+    [kind]/[window] of later calls are ignored). *)
+
+val inc : ?by:int -> string -> unit
+(** No-op unless {!is_enabled}; the disabled path is a single branch. *)
+
+val observe : string -> float -> unit
+
+val all : unit -> t list
+val reset : unit -> unit
+val to_json_all : unit -> Xmutil.Json.t

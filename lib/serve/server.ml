@@ -24,15 +24,25 @@ type t = {
   slow_log : string option;
   slow_lock : Mutex.t; (* serializes slow-query captures: the profiler
                           is process-global, single-capture-at-a-time *)
+  (* rolling per-second windows behind GET /debug/timeseries; owned by
+     the server (not the global Timeseries registry) so concurrent
+     daemons — and tests — never share ring state *)
+  ts_window : int;
+  ts_requests : Xmobs.Timeseries.t; (* all HTTP requests, wall seconds *)
+  ts_errors : Xmobs.Timeseries.t; (* responses with status >= 400 *)
+  ts_queries : Xmobs.Timeseries.t; (* executed queries, wall seconds *)
+  ts_blocks : Xmobs.Timeseries.t; (* store blocks touched (4 KiB units) *)
+  slo : Slo.t option;
   mutable thread : Thread.t option;
 }
 
 let outcome_names = [ "ok"; "parse-error"; "type-mismatch"; "internal" ]
 
 let create ?(addr = "127.0.0.1") ?(port = 0) ?(workers = 4) ?slow_ms ?slow_log
-    ~stores () =
+    ?(window = 60) ?slo ~stores () =
   if stores = [] then invalid_arg "Server.create: no stores";
   let workers = max 1 (min 64 workers) in
+  let window = max 1 (min 3600 window) in
   let inet =
     try Unix.inet_addr_of_string addr
     with Failure _ -> Unix.inet_addr_loopback
@@ -49,6 +59,16 @@ let create ?(addr = "127.0.0.1") ?(port = 0) ?(workers = 4) ?slow_ms ?slow_log
   (* The daemon always collects metrics: /metrics is only useful live. *)
   Xmobs.Metrics.enable ();
   Xmobs.Metrics.set_gauge "serve.workers" (float_of_int workers);
+  List.iter
+    (fun (name, text) -> Xmobs.Metrics.set_help name text)
+    [ ("xmorph_requests_total", "HTTP requests by route and status");
+      ("xmorph_query_seconds", "query wall time by document and outcome");
+      ("xmorph_guard_seconds", "query wall time by guard hash");
+      ("serve.requests", "HTTP requests handled since start");
+      ("serve.request.seconds", "HTTP request wall time");
+      ("serve.query.seconds", "executed query wall time");
+      ("serve.workers", "worker thread budget");
+      ("serve.uptime_s", "seconds since the daemon started") ];
   {
     s_addr = addr;
     s_port = actual_port;
@@ -61,6 +81,15 @@ let create ?(addr = "127.0.0.1") ?(port = 0) ?(workers = 4) ?slow_ms ?slow_log
     slow_ms;
     slow_log;
     slow_lock = Mutex.create ();
+    ts_window = window;
+    ts_requests = Xmobs.Timeseries.create ~window Histogram "requests";
+    ts_errors = Xmobs.Timeseries.create ~window Counter "errors";
+    ts_queries = Xmobs.Timeseries.create ~window Histogram "queries";
+    ts_blocks = Xmobs.Timeseries.create ~window Counter "blocks";
+    slo =
+      (match slo with
+      | Some cfg when Slo.enabled cfg -> Some (Slo.create cfg)
+      | Some _ | None -> None);
     thread = None;
   }
 
@@ -80,6 +109,9 @@ let truthy = function
   | Some _ | None -> false
 
 let stats_json t =
+  (* Refresh process gauges (RSS, GC, uptime) so a /stats poller — the
+     xmorph top dashboard — sees them without also scraping /metrics. *)
+  Xmobs.Selfmetrics.sample ~uptime_s:(now () -. t.started) ();
   let queries =
     List.map
       (fun o -> (o, Xmutil.Json.Int (Xmobs.Metrics.counter_value ("serve.queries." ^ o))))
@@ -190,7 +222,8 @@ let handle_query t req =
                 Exec.execute ~source:"serve" ~doc:doc_name ~enforce ?query
                   store guard
               in
-              Xmobs.Metrics.observe "serve.query.seconds" (now () -. tq);
+              let qwall = now () -. tq in
+              Xmobs.Metrics.observe "serve.query.seconds" qwall;
               let resp, name =
                 match outcome with
                 | Exec.Rendered { body; _ } | Exec.Query_result { body; _ }
@@ -216,6 +249,20 @@ let handle_query t req =
                     (Http.response status message,
                      Xmobs.Qlog.outcome_to_string kind)
               in
+              (* Dimension-labeled views of the same execution: by doc
+                 and outcome for capacity questions, by guard hash for
+                 "which query is expensive" — bounded families, excess
+                 guards collapse into the "_other" series. *)
+              Xmobs.Metrics.observe_labeled "xmorph_query_seconds"
+                [ ("doc", doc_name); ("outcome", name) ]
+                qwall;
+              Xmobs.Metrics.observe_labeled "xmorph_guard_seconds"
+                [ ("guard", Xmobs.Qlog.hash_text guard) ]
+                qwall;
+              Xmobs.Timeseries.record t.ts_queries qwall;
+              (match t.slo with
+              | Some s -> Slo.record s ~ok:(name = "ok") ~wall_s:qwall
+              | None -> ());
               (* Keep the on-disk log live for tail -f / xmorph stats
                  while the daemon runs; the Shutdown path covers the
                  final records. *)
@@ -230,6 +277,12 @@ let handle_query t req =
   in
   Xmobs.Ctx.finish ctx ~label ~outcome:outcome_name
     ~status:resp.Http.status ~wall_s;
+  (let io = Xmobs.Ctx.io ctx in
+   let blocks =
+     Xmobs.Ctx.blocks_of io.Xmobs.Ctx.bytes_read
+     + Xmobs.Ctx.blocks_of io.Xmobs.Ctx.bytes_written
+   in
+   if blocks > 0 then Xmobs.Timeseries.bump ~by:blocks t.ts_blocks);
   (match (t.slow_ms, slow) with
   | Some threshold, Some (doc_name, store, enforce, query)
     when wall_s *. 1000. >= threshold ->
@@ -301,9 +354,64 @@ let debug_trace trace_id =
 
 let trace_prefix = "/debug/trace/"
 
+(* Top guards by cumulative window-free time: the labeled family already
+   aggregates per guard hash, so the dashboard ranking is a read. *)
+let top_guards_json ?(limit = 10) () =
+  let rows =
+    List.map
+      (fun (ls, (n, sum)) ->
+        let guard =
+          match List.assoc_opt "guard" ls with Some g -> g | None -> "?"
+        in
+        (guard, n, sum))
+      (Xmobs.Metrics.histogram_series "xmorph_guard_seconds")
+  in
+  let rows =
+    List.sort (fun (_, _, a) (_, _, b) -> Float.compare b a) rows
+  in
+  let rows = List.filteri (fun i _ -> i < limit) rows in
+  Xmutil.Json.List
+    (List.map
+       (fun (g, n, s) ->
+         Xmutil.Json.Obj
+           [ ("guard", Xmutil.Json.String g);
+             ("calls", Xmutil.Json.Int n);
+             ("total_s", Xmutil.Json.Float s) ])
+       rows)
+
+let debug_timeseries t =
+  let body =
+    Xmutil.Json.to_string
+      (Xmutil.Json.Obj
+         ([ ("window_s", Xmutil.Json.Int t.ts_window);
+            ("uptime_s", Xmutil.Json.Float (now () -. t.started));
+            ("series",
+             Xmutil.Json.Obj
+               [ ("requests", Xmobs.Timeseries.to_json t.ts_requests);
+                 ("errors", Xmobs.Timeseries.to_json t.ts_errors);
+                 ("queries", Xmobs.Timeseries.to_json t.ts_queries);
+                 ("blocks", Xmobs.Timeseries.to_json t.ts_blocks) ]) ]
+         @ (match t.slo with
+           | None -> []
+           | Some s -> [ ("slo", Slo.to_json s) ])
+         @ [ ("top_guards", top_guards_json ()) ]))
+    ^ "\n"
+  in
+  Http.response ~content_type:"application/json" 200 body
+
+let healthz t =
+  match t.slo with
+  | None -> Http.response 200 "ok\n"
+  | Some s -> (
+      match Slo.evaluate s with
+      | Slo.Healthy -> Http.response 200 "ok\n"
+      | Slo.Degraded reasons ->
+          Http.response 503 ("degraded\n" ^ String.concat "\n" reasons ^ "\n"))
+
 let route t (req : Http.request) =
   match (req.Http.meth, req.Http.path) with
-  | "GET", "/healthz" -> Http.response 200 "ok\n"
+  | "GET", "/healthz" -> healthz t
+  | "GET", "/debug/timeseries" -> debug_timeseries t
   | "GET", "/metrics" ->
       Xmobs.Metrics.set_gauge "serve.uptime_s" (now () -. t.started);
       Xmobs.Selfmetrics.sample ~uptime_s:(now () -. t.started) ();
@@ -333,6 +441,31 @@ let status_class status =
   else if status < 500 then "4xx"
   else "5xx"
 
+(* Normalized route label for the request family: known routes keep their
+   path, per-id trace lookups collapse to one series, everything else —
+   including client typos — shares "other" so the label set stays small. *)
+let route_label (req : Http.request) =
+  match (req.Http.meth, req.Http.path) with
+  | "GET", (("/healthz" | "/metrics" | "/stats" | "/debug/requests"
+            | "/debug/timeseries") as p) ->
+      p
+  | "GET", p when String.starts_with ~prefix:trace_prefix p ->
+      "/debug/trace/:id"
+  | "POST", "/query" -> "/query"
+  | _ -> "other"
+
+(* Every response — queries and monitoring scrapes alike — lands in the
+   cumulative counters, the labeled route/status family, and the rolling
+   request/error windows; the serving layer is visible to itself. *)
+let record_request t ~route ~status ~wall_s =
+  Xmobs.Metrics.inc "serve.requests";
+  Xmobs.Metrics.inc ("serve.responses." ^ status_class status);
+  Xmobs.Metrics.observe "serve.request.seconds" wall_s;
+  Xmobs.Metrics.inc_labeled "xmorph_requests_total"
+    [ ("route", route); ("status", string_of_int status) ];
+  Xmobs.Timeseries.record t.ts_requests wall_s;
+  if status >= 400 then Xmobs.Timeseries.bump t.ts_errors
+
 let handle_conn t fd =
   let t0 = now () in
   match Http.read_request fd with
@@ -343,13 +476,11 @@ let handle_conn t fd =
         with e ->
           Http.response 500 ("internal error: " ^ Printexc.to_string e ^ "\n")
       in
-      Xmobs.Metrics.inc "serve.requests";
-      Xmobs.Metrics.inc ("serve.responses." ^ status_class resp.Http.status);
-      Xmobs.Metrics.observe "serve.request.seconds" (now () -. t0);
+      record_request t ~route:(route_label req) ~status:resp.Http.status
+        ~wall_s:(now () -. t0);
       Http.write_response fd resp
   | exception Http.Parse_error m ->
-      Xmobs.Metrics.inc "serve.requests";
-      Xmobs.Metrics.inc "serve.responses.4xx";
+      record_request t ~route:"malformed" ~status:400 ~wall_s:(now () -. t0);
       Http.write_response fd (Http.response 400 (m ^ "\n"))
   | exception Unix.Unix_error _ -> ()
 

@@ -2,11 +2,23 @@
     more shredded stores.
 
     Endpoints:
-    - [GET /healthz] — liveness: [ok] plus uptime.
+    - [GET /healthz] — liveness, SLO-aware when objectives are
+      configured: [200 ok] while the rolling windows meet every
+      objective, [503] with a body naming each breached objective (and
+      by how much) otherwise; recovery is held back by {!Slo} hysteresis
+      so the health signal does not flap.
     - [GET /metrics] — Prometheus text exposition rendered from the
       global {!Xmobs.Metrics} registry (the server enables metrics at
-      startup), including per-request serve counters and latency
-      histograms.
+      startup), including per-request serve counters, latency
+      histograms, and the labeled families
+      [xmorph_requests_total{route,status}] (every route, monitoring
+      scrapes included), [xmorph_query_seconds{doc,outcome}], and
+      [xmorph_guard_seconds{guard}] (per guard hash, bounded
+      cardinality).
+    - [GET /debug/timeseries] — JSON dump of the rolling per-second
+      windows: request/error/query/block-I/O series with rates and
+      windowed percentiles, SLO status when configured, and the top
+      guards by cumulative time.
     - [GET /stats] — a JSON snapshot: uptime, request/outcome counts,
       the loaded stores, and the full metrics dump.
     - [POST /query] — body is a guard; the response is the rendered XML,
@@ -44,6 +56,8 @@ val create :
   ?workers:int ->
   ?slow_ms:float ->
   ?slow_log:string ->
+  ?window:int ->
+  ?slo:Slo.config ->
   stores:(string * Store.Shredded.t) list ->
   unit ->
   t
@@ -52,8 +66,12 @@ val create :
     [workers] defaults to 4 (clamped to [1..64]).  [slow_ms] enables
     slow-query auto-capture at the given wall-time threshold in
     milliseconds (0 captures everything); [slow_log] names a directory
-    for per-capture profile artifacts (created on first use).  [stores]
-    must be non-empty; the first store is the default [?doc=] target.
+    for per-capture profile artifacts (created on first use).  [window]
+    (default 60, clamped to [1..3600] seconds) sizes the rolling
+    time-series rings behind [/debug/timeseries]; [slo] configures the
+    health objectives (ignored unless at least one objective is set).
+    [stores] must be non-empty; the first store is the default [?doc=]
+    target.
     @raise Invalid_argument on an empty store list
     @raise Unix.Unix_error when the address cannot be bound. *)
 

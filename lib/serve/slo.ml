@@ -1,0 +1,138 @@
+(* SLO evaluation for /healthz: rolling objectives over the query stream.
+
+   The daemon's health is judged on the workload it serves, not on the
+   monitoring traffic that watches it: every executed query feeds two
+   rolling time-series (latency histogram, error counter), and /healthz
+   evaluates the configured objectives over the window on each probe.
+
+   Hysteresis: a breach degrades immediately (subject to [min_samples], so
+   one slow query out of one cannot flap a fresh daemon), but recovery is
+   held back until the objectives have been continuously met for
+   [recovery_s].  A load balancer polling /healthz therefore sees one
+   clean 503 stretch per incident instead of a flicker at the breach
+   boundary.  While the hold is in force the body still names the cleared
+   breach, marked "recovering".
+
+   The clock is injectable so the window math is unit-testable against
+   synthetic time. *)
+
+type config = {
+  p95_ms : float option; (* degrade when windowed p95 exceeds this *)
+  max_error_rate : float option; (* degrade when error fraction exceeds this *)
+  window : int; (* seconds of history the objectives are judged over *)
+  min_samples : int; (* below this many queries in window, never breach *)
+  recovery_s : float; (* healthy-hold before a degraded daemon recovers *)
+}
+
+let default =
+  { p95_ms = None; max_error_rate = None; window = 60; min_samples = 5;
+    recovery_s = 2.0 }
+
+let enabled cfg = cfg.p95_ms <> None || cfg.max_error_rate <> None
+
+type verdict = Healthy | Degraded of string list
+
+type t = {
+  cfg : config;
+  clock : unit -> float;
+  lat : Xmobs.Timeseries.t; (* query wall seconds, histogram kind *)
+  err : Xmobs.Timeseries.t; (* failed queries, counter kind *)
+  lock : Mutex.t;
+  mutable degraded : bool;
+  mutable last_breach : float; (* clock time of the last observed breach *)
+}
+
+let create ?clock cfg =
+  let clock = match clock with Some c -> c | None -> Unix.gettimeofday in
+  {
+    cfg;
+    clock;
+    lat = Xmobs.Timeseries.create ~window:cfg.window ~clock Histogram "slo.latency";
+    err = Xmobs.Timeseries.create ~window:cfg.window ~clock Counter "slo.errors";
+    lock = Mutex.create ();
+    degraded = false;
+    last_breach = neg_infinity;
+  }
+
+let record t ~ok ~wall_s =
+  Xmobs.Timeseries.record t.lat wall_s;
+  if not ok then Xmobs.Timeseries.bump t.err
+
+(* The objectives, judged over the current window.  Reasons quantify the
+   breach so the 503 body can say by how much. *)
+let breaches t =
+  let n = Xmobs.Timeseries.count_in_window t.lat in
+  if n < t.cfg.min_samples then []
+  else
+    let errs = Xmobs.Timeseries.count_in_window t.err in
+    let err_breach =
+      match t.cfg.max_error_rate with
+      | None -> None
+      | Some limit ->
+          let rate = float_of_int errs /. float_of_int n in
+          if rate > limit then
+            Some
+              (Printf.sprintf
+                 "error-rate %.2f > %.2f (window %ds, %d queries)" rate limit
+                 t.cfg.window n)
+          else None
+    in
+    let p95_breach =
+      match t.cfg.p95_ms with
+      | None -> None
+      | Some limit -> (
+          match Xmobs.Timeseries.percentile t.lat 0.95 with
+          | None -> None
+          | Some p95_s ->
+              let p95 = p95_s *. 1000.0 in
+              if p95 > limit then
+                Some
+                  (Printf.sprintf "p95 %.1fms > %.1fms (window %ds, %d queries)"
+                     p95 limit t.cfg.window n)
+              else None)
+    in
+    List.filter_map Fun.id [ err_breach; p95_breach ]
+
+let evaluate t =
+  let now = t.clock () in
+  Mutex.lock t.lock;
+  let verdict =
+    match breaches t with
+    | _ :: _ as reasons ->
+        t.degraded <- true;
+        t.last_breach <- now;
+        Degraded reasons
+    | [] ->
+        if t.degraded && now -. t.last_breach < t.cfg.recovery_s then
+          Degraded
+            [ Printf.sprintf
+                "recovering (breach cleared %.1fs ago, holding %.1fs)"
+                (now -. t.last_breach) t.cfg.recovery_s ]
+        else begin
+          t.degraded <- false;
+          Healthy
+        end
+  in
+  Mutex.unlock t.lock;
+  verdict
+
+let to_json t =
+  let verdict = evaluate t in
+  let status, reasons =
+    match verdict with
+    | Healthy -> ("ok", [])
+    | Degraded rs -> ("degraded", rs)
+  in
+  Xmutil.Json.Obj
+    [ ("status", Xmutil.Json.String status);
+      ("reasons", Xmutil.Json.List (List.map (fun r -> Xmutil.Json.String r) reasons));
+      ("objectives",
+       Xmutil.Json.Obj
+         ((match t.cfg.p95_ms with
+          | None -> []
+          | Some v -> [ ("p95_ms", Xmutil.Json.Float v) ])
+         @ (match t.cfg.max_error_rate with
+           | None -> []
+           | Some v -> [ ("max_error_rate", Xmutil.Json.Float v) ])
+         @ [ ("window_s", Xmutil.Json.Int t.cfg.window);
+             ("min_samples", Xmutil.Json.Int t.cfg.min_samples) ])) ]

@@ -1,0 +1,42 @@
+(** SLO-aware health: rolling objectives over the served query stream.
+
+    The daemon records every executed query's wall time and outcome into
+    rolling time-series; {!evaluate} judges the configured objectives
+    (windowed p95 latency, windowed error rate) on each /healthz probe.
+    Breaches degrade immediately once [min_samples] queries are in the
+    window; recovery is held back until the objectives have been met
+    continuously for [recovery_s] (hysteresis — one clean 503 stretch per
+    incident, no flapping at the breach boundary).
+
+    The clock is injectable so window math is unit-testable against
+    synthetic time. *)
+
+type config = {
+  p95_ms : float option;
+  max_error_rate : float option; (* fraction in [0,1] *)
+  window : int; (* seconds *)
+  min_samples : int;
+  recovery_s : float;
+}
+
+val default : config
+(** No objectives, window 60 s, min_samples 5, recovery 2 s. *)
+
+val enabled : config -> bool
+(** True when at least one objective is set. *)
+
+type verdict = Healthy | Degraded of string list
+(** [Degraded reasons] — each reason names the breached objective and by
+    how much, ready for the 503 body. *)
+
+type t
+
+val create : ?clock:(unit -> float) -> config -> t
+
+val record : t -> ok:bool -> wall_s:float -> unit
+(** Feed one executed query into the rolling window. *)
+
+val evaluate : t -> verdict
+
+val to_json : t -> Xmutil.Json.t
+(** [{status, reasons, objectives}] for /debug/timeseries. *)

@@ -1,0 +1,218 @@
+(* The data layer of [xmorph top]: fetch a daemon's /debug/timeseries and
+   /stats, and render one dashboard frame (or a JSON snapshot for
+   scripting).
+
+   Rendering is plain-text-to-string: the CLI owns the refresh loop and
+   the ANSI clear, so a frame is testable as a pure function of the two
+   JSON documents.  All JSON navigation is tolerant — a daemon from an
+   older or newer build that lacks a field renders as a dash, never a
+   crash in the operator's monitoring tool. *)
+
+type snapshot = {
+  base : string; (* the daemon's base URL *)
+  timeseries : Xmutil.Json.t;
+  stats : Xmutil.Json.t;
+}
+
+(* ---------- tolerant JSON navigation ---------- *)
+
+let field j name =
+  match j with Xmutil.Json.Obj fs -> List.assoc_opt name fs | _ -> None
+
+let rec path j = function
+  | [] -> Some j
+  | name :: rest -> (
+      match field j name with None -> None | Some j' -> path j' rest)
+
+let num j p =
+  match path j p with
+  | Some (Xmutil.Json.Float f) -> Some f
+  | Some (Xmutil.Json.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let int_at j p =
+  match path j p with
+  | Some (Xmutil.Json.Int i) -> Some i
+  | Some (Xmutil.Json.Float f) -> Some (int_of_float f)
+  | _ -> None
+
+let str_at j p =
+  match path j p with Some (Xmutil.Json.String s) -> Some s | _ -> None
+
+let list_at j p =
+  match path j p with Some (Xmutil.Json.List l) -> l | _ -> []
+
+(* ---------- fetch ---------- *)
+
+let get_json ?timeout_s base target =
+  match Http.request_url ?timeout_s ~meth:"GET" (base ^ target) with
+  | Error m -> Error (Printf.sprintf "%s%s: %s" base target m)
+  | Ok (status, _, body) when status = 200 -> (
+      match Xmutil.Json.of_string body with
+      | j -> Ok j
+      | exception Xmutil.Json.Parse_error { pos; msg } ->
+          Error
+            (Printf.sprintf "%s%s: bad JSON at %d: %s" base target pos msg))
+  | Ok (status, _, _) ->
+      Error (Printf.sprintf "%s%s: HTTP %d" base target status)
+
+let fetch ?timeout_s base =
+  (* Trailing slashes in a pasted URL are harmless. *)
+  let base =
+    if String.length base > 0 && base.[String.length base - 1] = '/' then
+      String.sub base 0 (String.length base - 1)
+    else base
+  in
+  match get_json ?timeout_s base "/debug/timeseries" with
+  | Error m -> Error m
+  | Ok timeseries -> (
+      match get_json ?timeout_s base "/stats" with
+      | Error m -> Error m
+      | Ok stats -> Ok { base; timeseries; stats })
+
+let to_json s =
+  Xmutil.Json.Obj
+    [ ("base", Xmutil.Json.String s.base);
+      ("timeseries", s.timeseries);
+      ("stats", s.stats) ]
+
+(* ---------- one dashboard frame ---------- *)
+
+let dash = "-"
+
+let fmt_num = function
+  | None -> dash
+  | Some v ->
+      if Float.abs v >= 100.0 then Printf.sprintf "%.0f" v
+      else if Float.abs v >= 10.0 then Printf.sprintf "%.1f" v
+      else Printf.sprintf "%.2f" v
+
+let fmt_ms = function
+  | None -> dash
+  | Some s -> Printf.sprintf "%.1fms" (s *. 1000.0)
+
+let fmt_bytes = function
+  | None -> dash
+  | Some b ->
+      if b >= 1073741824.0 then Printf.sprintf "%.2fGiB" (b /. 1073741824.0)
+      else if b >= 1048576.0 then Printf.sprintf "%.1fMiB" (b /. 1048576.0)
+      else if b >= 1024.0 then Printf.sprintf "%.1fKiB" (b /. 1024.0)
+      else Printf.sprintf "%.0fB" b
+
+let fmt_uptime = function
+  | None -> dash
+  | Some s ->
+      let s = int_of_float s in
+      if s >= 86400 then Printf.sprintf "%dd%02dh" (s / 86400) (s mod 86400 / 3600)
+      else if s >= 3600 then Printf.sprintf "%dh%02dm" (s / 3600) (s mod 3600 / 60)
+      else if s >= 60 then Printf.sprintf "%dm%02ds" (s / 60) (s mod 60)
+      else Printf.sprintf "%ds" s
+
+(* A braille-free sparkline over the last seconds of a series: eight
+   levels, scaled to the window maximum. *)
+let sparkline counts =
+  let levels = [| " "; "."; ":"; "-"; "="; "+"; "*"; "#" |] in
+  let hi = List.fold_left max 0 counts in
+  if hi = 0 then String.concat "" (List.map (fun _ -> " ") counts)
+  else
+    String.concat ""
+      (List.map
+         (fun c -> if c = 0 then " " else levels.(min 7 (1 + (c * 6 / hi))))
+         counts)
+
+let seconds_of s series =
+  List.filter_map
+    (function Xmutil.Json.Int i -> Some i | _ -> None)
+    (list_at s.timeseries [ "series"; series; "seconds" ])
+
+let render s =
+  let ts = s.timeseries and st = s.stats in
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b (l ^ "\n")) fmt in
+  let slo_status =
+    match str_at ts [ "slo"; "status" ] with
+    | Some st -> st
+    | None -> "off"
+  in
+  line "xmorph top - %s  up %s  workers %s  slo %s" s.base
+    (fmt_uptime (num ts [ "uptime_s" ]))
+    (match int_at st [ "workers" ] with Some w -> string_of_int w | None -> dash)
+    slo_status;
+  let req_rate = num ts [ "series"; "requests"; "rate" ] in
+  let err_rate = num ts [ "series"; "errors"; "rate" ] in
+  let err_pct =
+    match (req_rate, err_rate) with
+    | Some r, Some e when r > 0.0 -> Printf.sprintf "%.1f%%" (100.0 *. e /. r)
+    | _ -> dash
+  in
+  line "window %ss  req/s %s  err/s %s (%s)  blocks/s %s  rss %s"
+    (match int_at ts [ "window_s" ] with Some w -> string_of_int w | None -> dash)
+    (fmt_num req_rate) (fmt_num err_rate) err_pct
+    (fmt_num (num ts [ "series"; "blocks"; "rate" ]))
+    (fmt_bytes (num st [ "metrics"; "gauges"; "xmorph_rss_bytes" ]));
+  line "query latency  p50 %s  p95 %s  p99 %s  (%s in window, %s lifetime)"
+    (fmt_ms (num ts [ "series"; "queries"; "p50" ]))
+    (fmt_ms (num ts [ "series"; "queries"; "p95" ]))
+    (fmt_ms (num ts [ "series"; "queries"; "p99" ]))
+    (match int_at ts [ "series"; "queries"; "count" ] with
+    | Some n -> string_of_int n
+    | None -> dash)
+    (match int_at ts [ "series"; "queries"; "lifetime" ] with
+    | Some n -> string_of_int n
+    | None -> dash);
+  line "req %s" (sparkline (seconds_of s "requests"));
+  (match
+     List.filter_map
+       (function
+         | Xmutil.Json.String r -> Some r
+         | _ -> None)
+       (list_at ts [ "slo"; "reasons" ])
+   with
+  | [] -> ()
+  | reasons -> List.iter (fun r -> line "slo: %s" r) reasons);
+  let outcomes =
+    match path st [ "queries" ] with
+    | Some (Xmutil.Json.Obj fs) ->
+        List.map
+          (fun (k, v) ->
+            Printf.sprintf "%s %s" k
+              (match v with Xmutil.Json.Int i -> string_of_int i | _ -> dash))
+          fs
+    | _ -> []
+  in
+  if outcomes <> [] then line "queries: %s" (String.concat "  " outcomes);
+  (match list_at ts [ "top_guards" ] with
+  | [] -> ()
+  | guards ->
+      line "top guards by time:";
+      List.iter
+        (fun g ->
+          let name = Option.value ~default:dash (str_at g [ "guard" ]) in
+          let calls =
+            match int_at g [ "calls" ] with
+            | Some c -> string_of_int c
+            | None -> dash
+          in
+          let total = num g [ "total_s" ] in
+          let mean =
+            match (total, int_at g [ "calls" ]) with
+            | Some t, Some c when c > 0 -> fmt_ms (Some (t /. float_of_int c))
+            | _ -> dash
+          in
+          line "  %s  calls %-6s total %ss  mean %s" name calls
+            (fmt_num total) mean)
+        guards);
+  (match list_at st [ "stores" ] with
+  | [] -> ()
+  | stores ->
+      line "stores: %s"
+        (String.concat ", "
+           (List.map
+              (fun st_j ->
+                Printf.sprintf "%s (%s nodes)"
+                  (Option.value ~default:dash (str_at st_j [ "name" ]))
+                  (match int_at st_j [ "nodes" ] with
+                  | Some n -> string_of_int n
+                  | None -> dash))
+              stores)));
+  Buffer.contents b

@@ -1,0 +1,27 @@
+(** The data layer of [xmorph top]: poll a serve daemon and render a
+    dashboard frame.
+
+    {!fetch} pulls [GET /debug/timeseries] and [GET /stats] over the
+    built-in HTTP client; {!render} turns one {!snapshot} into a
+    plain-text frame (req/s, error rate, windowed percentiles, block I/O
+    rate, RSS, SLO status, top guards by time, a request sparkline).  The
+    CLI owns the refresh loop and terminal control, so a frame is a pure
+    function of the two JSON documents — and tolerant of missing fields
+    (older/newer daemons render dashes, never crash the monitor). *)
+
+type snapshot = {
+  base : string;
+  timeseries : Xmutil.Json.t;
+  stats : Xmutil.Json.t;
+}
+
+val fetch : ?timeout_s:float -> string -> (snapshot, string) result
+(** [fetch base] polls [base ^ "/debug/timeseries"] and [base ^ "/stats"];
+    any transport, HTTP, or JSON failure is an [Error] with the failing
+    URL in the message. *)
+
+val to_json : snapshot -> Xmutil.Json.t
+(** [{base, timeseries, stats}] — the [--once --json] scripting output. *)
+
+val render : snapshot -> string
+(** One dashboard frame, trailing newline included. *)

@@ -223,3 +223,10 @@ Diff two shapes (schema evolution at a glance):
   [4]
   $ xmorph shape-diff data.xml data.xml
   shapes are identical
+
+The top dashboard's scripting mode is gated: a JSON snapshot only makes
+sense for a single frame:
+
+  $ xmorph top --json http://127.0.0.1:1
+  xmorph: xmorph top: --json requires --once
+  [1]

@@ -144,3 +144,57 @@ table prints it:
   1
   $ xmorph stats q2.jsonl | grep -c "serve.*trace=$TID"
   1
+
+Rolling time-series, labeled request metrics, and SLO-aware health: a
+third daemon with an error-rate objective:
+
+  $ xmorph serve data.store --port 0 --port-file port3.txt \
+  >   --window 60 --slo-error-rate 0.2 > serve3.out 2>&1 &
+  $ SRV=$!
+  $ for i in $(seq 1 100); do [ -s port3.txt ] && break; sleep 0.1; done
+  $ BASE="http://127.0.0.1:$(cat port3.txt)"
+
+A burst of queries lands in the labeled families — by route and status,
+and by document and outcome:
+
+  $ for i in 1 2 3; do xmorph http POST "$BASE/query" --data "MORPH author [ name ]" > /dev/null; done
+  $ xmorph http GET "$BASE/metrics" | grep -c 'xmorph_requests_total{route="/query",status="200"} 3'
+  1
+  $ xmorph http GET "$BASE/metrics" | grep -c 'xmorph_query_seconds_count{doc="data.store",outcome="ok"} 3'
+  1
+  $ xmorph http GET "$BASE/metrics" | grep -c '# TYPE xmorph_requests_total counter'
+  1
+
+The rolling window reports the burst as valid JSON with a healthy SLO:
+
+  $ xmorph http GET "$BASE/debug/timeseries" > ts.json
+  $ xmorph stats --check-json ts.json
+  ts.json: valid JSON
+  $ grep -c '^  "window_s": 60' ts.json
+  1
+  $ grep -c '"status": "ok"' ts.json
+  1
+
+xmorph top in scripting mode snapshots both endpoints as one JSON
+document:
+
+  $ xmorph top --once --json "$BASE" > top.json
+  $ xmorph stats --check-json top.json
+  top.json: valid JSON
+  $ grep -c '"timeseries"' top.json
+  1
+  $ grep -c '"stats"' top.json
+  1
+
+Failing queries push the error rate past the objective: /healthz flips
+to 503 (client exit 22) and the body names the breach and by how much:
+
+  $ for i in 1 2 3 4 5; do xmorph http POST "$BASE/query" --data "MUTATE nosuch" > /dev/null 2>&1 || true; done
+  $ xmorph http GET "$BASE/healthz"
+  degraded
+  error-rate 0.62 > 0.20 (window 60s, 8 queries)
+  [22]
+
+  $ kill -TERM $SRV
+  $ wait $SRV
+  [143]

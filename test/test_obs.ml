@@ -107,6 +107,94 @@ let test_histogram_percentiles () =
       Alcotest.(check bool) "absent histogram reads as None" true
         (Metrics.percentile ~r "nope" 0.5 = None))
 
+(* Degenerate histograms: the percentile clamp must hand back exact
+   values at the edges, not bucket midpoints or infinities. *)
+let test_percentile_edges () =
+  with_scoped_metrics (fun r ->
+      (* Empty: no histogram under the name at all. *)
+      Alcotest.(check bool) "empty histogram reads as None" true
+        (Metrics.percentile ~r "empty" 0.5 = None);
+      (* Single bucket: every observation identical — the min/max clamp
+         collapses every percentile to the one value. *)
+      for _ = 1 to 50 do
+        Metrics.observe "flat" 3.25
+      done;
+      List.iter
+        (fun q ->
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "p%g of a constant series" (100.0 *. q))
+            3.25
+            (Option.get (Metrics.percentile ~r "flat" q)))
+        [ 0.5; 0.95; 0.99 ];
+      (* All overflow: values past the top bucket clamp to the recorded
+         max, never to a synthetic bucket boundary. *)
+      for _ = 1 to 10 do
+        Metrics.observe "huge" 1e300
+      done;
+      Alcotest.(check (float 0.0)) "overflow clamps to max" 1e300
+        (Option.get (Metrics.percentile ~r "huge" 0.99));
+      (* Negative values land in the zero bucket and clamp to min. *)
+      for _ = 1 to 10 do
+        Metrics.observe "neg" (-2.0)
+      done;
+      Alcotest.(check (float 0.0)) "negatives clamp to min" (-2.0)
+        (Option.get (Metrics.percentile ~r "neg" 0.5)))
+
+let write_file path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+(* /proc/self/statm degradation: missing or malformed files must read as
+   "no sample" — never a raise, never a bogus zero. *)
+let test_selfmetrics_rss_degrades () =
+  Alcotest.(check bool) "missing file" true
+    (Xmobs.Selfmetrics.rss_bytes ~path:"/nonexistent/statm" () = None);
+  let tmp name text =
+    let p =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "xmorph_statm_%d_%s" (Unix.getpid ()) name)
+    in
+    write_file p text;
+    p
+  in
+  let check_none name text =
+    let p = tmp name text in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove p)
+      (fun () ->
+        Alcotest.(check bool) (name ^ " reads as None") true
+          (Xmobs.Selfmetrics.rss_bytes ~path:p () = None))
+  in
+  check_none "empty" "";
+  check_none "one-field" "1234\n";
+  check_none "garbage" "not a statm line at all\n";
+  check_none "non-numeric-resident" "1234 abc 12\n";
+  check_none "negative-resident" "1234 -5 12\n";
+  let good = tmp "good" "9999 123 45 1 0 77 0\n" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove good)
+    (fun () ->
+      Alcotest.(check bool) "well-formed statm: pages x 4096" true
+        (Xmobs.Selfmetrics.rss_bytes ~path:good () = Some (123 * 4096)))
+
+let test_selfmetrics_sample_without_statm () =
+  with_scoped_metrics (fun r ->
+      Xmobs.Selfmetrics.sample ~uptime_s:12.5 ~statm:"/nonexistent/statm" ();
+      Alcotest.(check (float 0.0)) "uptime gauge set" 12.5
+        (Metrics.gauge_value ~r "xmorph_uptime_seconds");
+      (* gauge_value reads 0.0 for unset — distinguish via the export. *)
+      match Metrics.to_json ~r () with
+      | Xmutil.Json.Obj fields -> (
+          match List.assoc "gauges" fields with
+          | Xmutil.Json.Obj gs ->
+              Alcotest.(check bool) "rss gauge left unset" false
+                (List.mem_assoc "xmorph_rss_bytes" gs);
+              Alcotest.(check bool) "gc gauges still sampled" true
+                (List.mem_assoc "gc_heap_words" gs)
+          | _ -> Alcotest.fail "gauges is not an object")
+      | _ -> Alcotest.fail "metrics export is not an object")
+
 let test_counters_gauges_observers () =
   with_scoped_metrics (fun r ->
       let fired = ref 0 in
@@ -262,6 +350,7 @@ let test_disabled_path_no_alloc () =
   Trace.disable ();
   Metrics.disable ();
   Xmobs.Profile.disable ();
+  Xmobs.Timeseries.disable ();
   let f () = 0 in
   (* Warm up so any one-time closure setup is done before measuring. *)
   ignore (Sys.opaque_identity (Trace.with_span "x" f));
@@ -285,6 +374,9 @@ let test_disabled_path_no_alloc () =
     Xmobs.Ctx.charge_write 4096;
     Xmobs.Ctx.bump "x";
     Xmobs.Ctx.observe "x" 1.0;
+    (* The rolling time-series entry points share the same contract. *)
+    Xmobs.Timeseries.inc "x";
+    Xmobs.Timeseries.observe "x" 1.0;
     ignore (Sys.opaque_identity (Xmobs.Ctx.current ()));
     ignore (Sys.opaque_identity (Xmobs.Ctx.current_trace_id ()))
   done;
@@ -301,6 +393,11 @@ let suite =
     Alcotest.test_case "ring buffer is bounded" `Quick test_ring_bound;
     Alcotest.test_case "attrs and events" `Quick test_attrs_and_events;
     Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+    Alcotest.test_case "percentile edge cases" `Quick test_percentile_edges;
+    Alcotest.test_case "selfmetrics rss degrades to None" `Quick
+      test_selfmetrics_rss_degrades;
+    Alcotest.test_case "selfmetrics sample without statm" `Quick
+      test_selfmetrics_sample_without_statm;
     Alcotest.test_case "counters, gauges, observers" `Quick
       test_counters_gauges_observers;
     Alcotest.test_case "phase records span and metrics" `Quick

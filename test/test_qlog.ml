@@ -145,6 +145,70 @@ let test_writer_buffers_under_cap () =
   Xmobs.Qlog.close w;
   Sys.remove path
 
+(* Size-based rotation: once the file reaches max_bytes it moves to
+   [path.1] and a fresh primary takes over — at a record boundary, so
+   every line in both generations stays whole. *)
+let test_writer_rotates_at_max_bytes () =
+  let path = tmp_path () in
+  let line_len = String.length (Xmobs.Qlog.entry_to_line (sample_entry ())) + 1 in
+  (* Threshold under two records: the second log call rotates.  cap 1
+     spills (and so checks rotation) on every record. *)
+  let w = Xmobs.Qlog.create ~cap:1 ~max_bytes:((2 * line_len) - 1) path in
+  for i = 0 to 2 do
+    Xmobs.Qlog.log w (sample_entry ~id:i ())
+  done;
+  Xmobs.Qlog.close w;
+  Alcotest.(check bool) "rotated file exists" true (Sys.file_exists (path ^ ".1"));
+  let rotated = read_lines (path ^ ".1") in
+  let primary = read_lines path in
+  Alcotest.(check int) "first two records rotated out" 2 (List.length rotated);
+  Alcotest.(check int) "third record in the fresh primary" 1
+    (List.length primary);
+  let ids =
+    List.map
+      (fun line ->
+        (Xmobs.Qlog.entry_of_json (Xmutil.Json.of_string line)).Xmobs.Qlog.id)
+      (rotated @ primary)
+  in
+  Alcotest.(check (list int)) "no record lost or torn across rotation"
+    [ 0; 1; 2 ] ids;
+  Sys.remove path;
+  Sys.remove (path ^ ".1")
+
+(* Without max_bytes the writer never rotates, however large the file. *)
+let test_writer_no_rotation_by_default () =
+  let path = tmp_path () in
+  let w = Xmobs.Qlog.create ~cap:1 path in
+  for i = 0 to 19 do
+    Xmobs.Qlog.log w (sample_entry ~id:i ())
+  done;
+  Xmobs.Qlog.close w;
+  Alcotest.(check bool) "no rotated file" false (Sys.file_exists (path ^ ".1"));
+  Alcotest.(check int) "everything in the primary" 20
+    (List.length (read_lines path));
+  Sys.remove path
+
+(* The rotation threshold counts what is already on disk: a writer
+   reopened onto a near-full log rotates on its first spill, not after
+   another full max_bytes of fresh records. *)
+let test_writer_rotation_survives_reopen () =
+  let path = tmp_path () in
+  let line_len = String.length (Xmobs.Qlog.entry_to_line (sample_entry ())) + 1 in
+  let max_bytes = (2 * line_len) - 1 in
+  let w = Xmobs.Qlog.create ~cap:1 ~max_bytes path in
+  Xmobs.Qlog.log w (sample_entry ~id:0 ());
+  Xmobs.Qlog.close w;
+  (* Restart: one record on disk, the next one crosses the threshold. *)
+  let w = Xmobs.Qlog.create ~cap:1 ~max_bytes path in
+  Xmobs.Qlog.log w (sample_entry ~id:1 ());
+  Xmobs.Qlog.close w;
+  Alcotest.(check bool) "reopened writer rotates on carried size" true
+    (Sys.file_exists (path ^ ".1"));
+  Alcotest.(check int) "both generations hold both records" 2
+    (List.length (read_lines (path ^ ".1")) + List.length (read_lines path));
+  Sys.remove (path ^ ".1");
+  if Sys.file_exists path then Sys.remove path
+
 (* The serve daemon logs from concurrent request threads and the render
    pool logs from worker domains; every line must still be whole. *)
 let concurrent_writers ~jobs ~n =
@@ -203,6 +267,12 @@ let suite =
       test_writer_cap_and_flush;
     Alcotest.test_case "writer buffers under the cap until flush" `Quick
       test_writer_buffers_under_cap;
+    Alcotest.test_case "writer rotates at max_bytes" `Quick
+      test_writer_rotates_at_max_bytes;
+    Alcotest.test_case "writer never rotates without max_bytes" `Quick
+      test_writer_no_rotation_by_default;
+    Alcotest.test_case "rotation threshold survives reopen" `Quick
+      test_writer_rotation_survives_reopen;
     Alcotest.test_case "global sink writes and uninstalls" `Quick
       test_global_sink;
     QCheck_alcotest.to_alcotest prop_concurrent_lines;

@@ -54,11 +54,15 @@ let test_prometheus_golden () =
   Xmobs.Metrics.hist_add lat 1.0;
   Xmobs.Metrics.hist_add lat 1.0;
   Xmobs.Metrics.hist_add lat 100.0;
+  Xmobs.Metrics.set_help ~r "lat" "request latency";
   let expected =
-    "# TYPE req_count counter\n\
+    "# HELP req_count req count\n\
+     # TYPE req_count counter\n\
      req_count 3\n\
+     # HELP up up\n\
      # TYPE up gauge\n\
      up 2.5\n\
+     # HELP lat request latency\n\
      # TYPE lat histogram\n\
      lat_bucket{le=\"1.04427378243\"} 3\n\
      lat_bucket{le=\"103.071381245\"} 4\n\
@@ -70,6 +74,62 @@ let test_prometheus_golden () =
     "golden exposition" expected
     (Xmobs.Metrics.to_prometheus ~r ())
 
+(* Labeled families: escaping, sorted label names, bounded cardinality
+   with the "_other" overflow series, and histogram series with [le]
+   rendered after the series labels. *)
+let test_prometheus_labeled_golden () =
+  let r = Xmobs.Metrics.create () in
+  Xmobs.Metrics.set_help ~r "req.total" "requests by route and status";
+  Xmobs.Metrics.counter_add
+    (Xmobs.Metrics.counter_labeled ~r "req.total"
+       [ ("status", "200"); ("route", "/query") ])
+    2;
+  Xmobs.Metrics.counter_add
+    (Xmobs.Metrics.counter_labeled ~r "req.total"
+       [ ("route", "a\"b\\c\nd"); ("status", "400") ])
+    1;
+  let lh =
+    Xmobs.Metrics.histogram_labeled ~r "q.seconds" [ ("outcome", "ok") ]
+  in
+  Xmobs.Metrics.hist_add lh 1.0;
+  Xmobs.Metrics.hist_add lh 1.0;
+  let expected =
+    "# HELP req_total requests by route and status\n\
+     # TYPE req_total counter\n\
+     req_total{route=\"/query\",status=\"200\"} 2\n\
+     req_total{route=\"a\\\"b\\\\c\\nd\",status=\"400\"} 1\n\
+     # HELP q_seconds q seconds\n\
+     # TYPE q_seconds histogram\n\
+     q_seconds_bucket{outcome=\"ok\",le=\"1.04427378243\"} 2\n\
+     q_seconds_bucket{outcome=\"ok\",le=\"+Inf\"} 2\n\
+     q_seconds_sum{outcome=\"ok\"} 2\n\
+     q_seconds_count{outcome=\"ok\"} 2\n"
+  in
+  Alcotest.(check string)
+    "labeled golden exposition" expected
+    (Xmobs.Metrics.to_prometheus ~r ())
+
+let test_labeled_overflow () =
+  let r = Xmobs.Metrics.create () in
+  for i = 1 to 10 do
+    Xmobs.Metrics.counter_add
+      (Xmobs.Metrics.counter_labeled ~r ~max_series:3 "g"
+         [ ("guard", Printf.sprintf "h%02d" i) ])
+      1
+  done;
+  let series = Xmobs.Metrics.counter_series ~r "g" in
+  Alcotest.(check int) "capped at max_series + overflow" 4 (List.length series);
+  Alcotest.(check int)
+    "overflow absorbs the excess" 7
+    (Xmobs.Metrics.counter_value_labeled ~r "g" [ ("guard", "_other") ]);
+  (* interning the same labels again returns the same series *)
+  Xmobs.Metrics.counter_add
+    (Xmobs.Metrics.counter_labeled ~r ~max_series:3 "g" [ ("guard", "h01") ])
+    5;
+  Alcotest.(check int)
+    "existing series still reachable at cap" 6
+    (Xmobs.Metrics.counter_value_labeled ~r "g" [ ("guard", "h01") ])
+
 let test_prometheus_info () =
   let r = Xmobs.Metrics.create () in
   let text =
@@ -79,7 +139,9 @@ let test_prometheus_info () =
   in
   Alcotest.(check string)
     "info gauge with escaped labels"
-    "# TYPE xmorph_info gauge\nxmorph_info{version=\"2.0\",stores=\"a\\\"b\\\\c\"} 1\n"
+    "# HELP xmorph_info build and deployment info\n\
+     # TYPE xmorph_info gauge\n\
+     xmorph_info{version=\"2.0\",stores=\"a\\\"b\\\\c\"} 1\n"
     text
 
 (* +Inf invariant on a busier histogram: cumulative counts are monotone
@@ -213,10 +275,10 @@ let test_read_request_edge_cases () =
 
 (* ---------- the daemon, end to end ---------- *)
 
-let with_server ?slow_ms ?slow_log f =
+let with_server ?slow_ms ?slow_log ?window ?slo f =
   let store = make_store () in
   let server =
-    Xmserve.Server.create ~port:0 ~workers:2 ?slow_ms ?slow_log
+    Xmserve.Server.create ~port:0 ~workers:2 ?slow_ms ?slow_log ?window ?slo
       ~stores:[ ("data.xml", store) ]
       ()
   in
@@ -343,6 +405,143 @@ let test_stats_endpoint () =
         (List.mem_assoc "stores" fields)
   | _ -> Alcotest.fail "stats is not a JSON object"
   | exception Xmutil.Json.Parse_error _ -> Alcotest.fail "stats is invalid JSON"
+
+let contains body s =
+  let n = String.length s and m = String.length body in
+  let rec go i = i + n <= m && (String.sub body i n = s || go (i + 1)) in
+  go 0
+
+(* Every route — monitoring endpoints included — lands in the labeled
+   request family; executed queries land in the doc/outcome and guard
+   families. *)
+let test_labeled_request_metrics () =
+  with_server @@ fun base _store ->
+  ignore (get ~meth:"GET" base "/healthz");
+  ignore (get ~meth:"GET" base "/stats");
+  ignore (get ~meth:"GET" base "/debug/timeseries");
+  ignore (get ~meth:"GET" base "/nope");
+  ignore (get ~meth:"POST" ~body:paper_guard base "/query");
+  ignore (get ~meth:"POST" ~body:"MUTATE nosuch" base "/query");
+  (* First scrape records itself; the second scrape proves it. *)
+  ignore (get ~meth:"GET" base "/metrics");
+  let _, _, body = get ~meth:"GET" base "/metrics" in
+  List.iter
+    (fun series ->
+      Alcotest.(check bool) (series ^ " exposed") true (contains body series))
+    [
+      "xmorph_requests_total{route=\"/healthz\",status=\"200\"} 1";
+      "xmorph_requests_total{route=\"/stats\",status=\"200\"} 1";
+      "xmorph_requests_total{route=\"/debug/timeseries\",status=\"200\"} 1";
+      "xmorph_requests_total{route=\"other\",status=\"404\"} 1";
+      "xmorph_requests_total{route=\"/query\",status=\"200\"} 1";
+      "xmorph_requests_total{route=\"/query\",status=\"400\"} 1";
+      "xmorph_requests_total{route=\"/metrics\",status=\"200\"} 1";
+      "# TYPE xmorph_requests_total counter";
+      "xmorph_query_seconds_count{doc=\"data.xml\",outcome=\"ok\"} 1";
+      "xmorph_query_seconds_count{doc=\"data.xml\",outcome=\"parse-error\"} 1";
+      "# TYPE xmorph_query_seconds histogram";
+      "# TYPE xmorph_guard_seconds histogram";
+    ]
+
+let ts_num json path_parts =
+  let rec go j = function
+    | [] -> (
+        match j with
+        | Xmutil.Json.Int i -> Some (float_of_int i)
+        | Xmutil.Json.Float f -> Some f
+        | _ -> None)
+    | name :: rest -> (
+        match j with
+        | Xmutil.Json.Obj fs -> (
+            match List.assoc_opt name fs with
+            | Some j' -> go j' rest
+            | None -> None)
+        | _ -> None)
+  in
+  go json path_parts
+
+let test_timeseries_endpoint () =
+  (* A one-second window so the decay is observable within a test run. *)
+  with_server ~window:1 @@ fun base _store ->
+  for _ = 1 to 5 do
+    ignore (get ~meth:"POST" ~body:paper_guard base "/query")
+  done;
+  let status, headers, body = get ~meth:"GET" base "/debug/timeseries" in
+  Alcotest.(check int) "200" 200 status;
+  Alcotest.(check (option string))
+    "json content type" (Some "application/json")
+    (List.assoc_opt "content-type" headers);
+  let j = Xmutil.Json.of_string body in
+  Alcotest.(check (option (float 0.0))) "window reported" (Some 1.0)
+    (ts_num j [ "window_s" ]);
+  (match ts_num j [ "series"; "queries"; "count" ] with
+  | Some n when n >= 1.0 -> ()
+  | v ->
+      Alcotest.failf "burst not visible in the window: count %s"
+        (match v with Some f -> string_of_float f | None -> "missing"));
+  (match ts_num j [ "series"; "queries"; "rate" ] with
+  | Some r when r > 0.0 -> ()
+  | _ -> Alcotest.fail "burst rate should be nonzero");
+  (match ts_num j [ "series"; "requests"; "rate" ] with
+  | Some r when r > 0.0 -> ()
+  | _ -> Alcotest.fail "request rate should be nonzero");
+  (* Queries carry windowed percentiles. *)
+  (match ts_num j [ "series"; "queries"; "p95" ] with
+  | Some p when p >= 0.0 -> ()
+  | _ -> Alcotest.fail "windowed p95 missing");
+  (* Let the window slide past the burst: the rate returns to zero (the
+     lifetime total does not). *)
+  Unix.sleepf 1.2;
+  let _, _, body = get ~meth:"GET" base "/debug/timeseries" in
+  let j = Xmutil.Json.of_string body in
+  Alcotest.(check (option (float 0.0))) "burst decayed" (Some 0.0)
+    (ts_num j [ "series"; "queries"; "count" ]);
+  match ts_num j [ "series"; "queries"; "lifetime" ] with
+  | Some n when n >= 5.0 -> ()
+  | _ -> Alcotest.fail "lifetime total must survive the window"
+
+let test_slo_flip_and_recovery () =
+  let slo =
+    {
+      Xmserve.Slo.default with
+      Xmserve.Slo.max_error_rate = Some 0.2;
+      window = 1;
+      min_samples = 2;
+      recovery_s = 0.2;
+    }
+  in
+  with_server ~slo @@ fun base _store ->
+  let status, _, body = get ~meth:"GET" base "/healthz" in
+  Alcotest.(check int) "healthy before traffic" 200 status;
+  Alcotest.(check string) "ok body" "ok\n" body;
+  for _ = 1 to 3 do
+    ignore (get ~meth:"POST" ~body:"MUTATE nosuch" base "/query")
+  done;
+  let status, _, body = get ~meth:"GET" base "/healthz" in
+  Alcotest.(check int) "breach flips healthz to 503" 503 status;
+  Alcotest.(check bool) "body says degraded" true (contains body "degraded");
+  Alcotest.(check bool) "body names the objective" true
+    (contains body "error-rate");
+  Alcotest.(check bool) "body quantifies the breach" true
+    (contains body "> 0.20");
+  (* /debug/timeseries mirrors the verdict. *)
+  let _, _, ts_body = get ~meth:"GET" base "/debug/timeseries" in
+  Alcotest.(check bool) "timeseries reports degraded" true
+    (contains ts_body "\"status\": \"degraded\"");
+  (* The window slides clean and the recovery hold expires: poll until
+     health returns (bounded — a daemon stuck degraded must fail). *)
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec await () =
+    let status, _, _ = get ~meth:"GET" base "/healthz" in
+    if status = 200 then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "healthz still %d after the breach cleared" status
+    else begin
+      Unix.sleepf 0.2;
+      await ()
+    end
+  in
+  await ()
 
 (* ---------- per-request telemetry ---------- *)
 
@@ -711,6 +910,10 @@ let suite =
       test_prometheus_escape;
     Alcotest.test_case "prometheus exposition golden text" `Quick
       test_prometheus_golden;
+    Alcotest.test_case "prometheus labeled families golden text" `Quick
+      test_prometheus_labeled_golden;
+    Alcotest.test_case "labeled family cardinality overflow" `Quick
+      test_labeled_overflow;
     Alcotest.test_case "prometheus info gauge golden text" `Quick
       test_prometheus_info;
     Alcotest.test_case "prometheus +Inf/count invariant" `Quick
@@ -732,6 +935,12 @@ let suite =
     Alcotest.test_case "error statuses: 400/404/405/422" `Quick
       test_query_errors;
     Alcotest.test_case "GET /stats JSON" `Quick test_stats_endpoint;
+    Alcotest.test_case "labeled request metrics cover every route" `Quick
+      test_labeled_request_metrics;
+    Alcotest.test_case "GET /debug/timeseries: burst then decay" `Quick
+      test_timeseries_endpoint;
+    Alcotest.test_case "slo breach flips healthz, then recovers" `Quick
+      test_slo_flip_and_recovery;
     Alcotest.test_case "traceparent propagation and fallback" `Quick
       test_traceparent_propagation;
     Alcotest.test_case "GET /debug/requests and /debug/trace/<id>" `Quick

@@ -1,0 +1,298 @@
+(* Rolling time-series window math and the SLO evaluator, both against
+   synthetic clocks: rates decay as the window slides, the ring evicts on
+   wrap-around, windowed percentiles track only live slots, and health
+   degrades/recovers with hysteresis at the exact instants the config
+   promises. *)
+
+module Ts = Xmobs.Timeseries
+module Slo = Xmserve.Slo
+
+(* A series on a hand-cranked clock. *)
+let fake () =
+  let now = ref 0.0 in
+  (now, fun () -> !now)
+
+let test_counter_rate_and_decay () =
+  let now, clock = fake () in
+  let t = Ts.create ~window:10 ~clock Ts.Counter "req" in
+  Alcotest.(check int) "empty window" 0 (Ts.count_in_window t);
+  Alcotest.(check (float 0.0)) "empty rate" 0.0 (Ts.rate t);
+  for _ = 1 to 5 do
+    Ts.bump t
+  done;
+  Ts.bump ~by:15 t;
+  Alcotest.(check int) "counts accumulate in one second" 20
+    (Ts.count_in_window t);
+  Alcotest.(check (float 1e-9)) "rate = count / window" 2.0 (Ts.rate t);
+  (* Slide half the window: the burst is still live. *)
+  now := 5.0;
+  Ts.bump t;
+  Alcotest.(check int) "burst still in window" 21 (Ts.count_in_window t);
+  (* Slide past the burst's slot but not the second write's. *)
+  now := 12.0;
+  Alcotest.(check int) "old slot expired, newer survives" 1
+    (Ts.count_in_window t);
+  (* Slide past everything: the window drains to zero... *)
+  now := 100.0;
+  Alcotest.(check int) "window fully drained" 0 (Ts.count_in_window t);
+  Alcotest.(check (float 0.0)) "rate back to zero" 0.0 (Ts.rate t);
+  (* ...but the lifetime total never expires. *)
+  Alcotest.(check int) "lifetime survives expiry" 21 (Ts.lifetime t)
+
+(* Wrap-around: writing at t and t + window lands in the same ring slot;
+   the second write must evict the first, not add to it. *)
+let test_ring_wraparound_evicts () =
+  let now, clock = fake () in
+  let t = Ts.create ~window:5 ~clock Ts.Counter "wrap" in
+  Ts.bump ~by:100 t;
+  now := 5.0;
+  (* same slot index (5 mod 5 = 0 mod 5), different epoch *)
+  Ts.bump ~by:3 t;
+  Alcotest.(check int) "stale slot evicted on reuse" 3 (Ts.count_in_window t);
+  Alcotest.(check int) "lifetime keeps both" 103 (Ts.lifetime t)
+
+let test_histogram_percentiles_over_window () =
+  let now, clock = fake () in
+  let t = Ts.create ~window:10 ~clock Ts.Histogram "lat" in
+  Alcotest.(check bool) "empty window has no percentile" true
+    (Ts.percentile t 0.5 = None);
+  (* 100 cheap observations now, one huge outlier... *)
+  for _ = 1 to 100 do
+    Ts.record t 0.010
+  done;
+  now := 4.0;
+  Ts.record t 10.0;
+  let p95 =
+    match Ts.percentile t 0.95 with
+    | Some v -> v
+    | None -> Alcotest.fail "p95 missing"
+  in
+  Alcotest.(check bool) "p95 tracks the cheap majority" true
+    (p95 < 0.050);
+  let p99 =
+    match Ts.percentile t 0.99 with
+    | Some v -> v
+    | None -> Alcotest.fail "p99 missing"
+  in
+  Alcotest.(check bool) "p99 still below the outlier" true (p99 < 1.0);
+  (* ...slide the cheap slot out of the window: only the outlier remains,
+     so the median leaps to it. *)
+  now := 12.0;
+  let p50 =
+    match Ts.percentile t 0.5 with
+    | Some v -> v
+    | None -> Alcotest.fail "p50 missing after expiry"
+  in
+  Alcotest.(check bool) "expiry leaves only the outlier" true (p50 > 5.0);
+  Alcotest.(check (float 1e-9)) "sum follows the window" 10.0
+    (Ts.sum_in_window t);
+  (* Log-scale buckets quantize ~20 %: check the ballpark, not equality. *)
+  Alcotest.(check bool) "p50 within bucket resolution of 10" true
+    (p50 < 13.0)
+
+let test_counter_has_no_percentile () =
+  let _, clock = fake () in
+  let t = Ts.create ~window:5 ~clock Ts.Counter "c" in
+  Ts.bump ~by:9 t;
+  Alcotest.(check bool) "counter kind: percentile is None" true
+    (Ts.percentile t 0.5 = None)
+
+let test_window_clamped () =
+  let _, clock = fake () in
+  let t = Ts.create ~window:0 ~clock Ts.Counter "tiny" in
+  Alcotest.(check int) "window floor is one second" 1 (Ts.window t);
+  let t2 = Ts.create ~window:1_000_000 ~clock Ts.Counter "huge" in
+  Alcotest.(check int) "window ceiling is a day" 86400 (Ts.window t2)
+
+let field j name =
+  match j with Xmutil.Json.Obj fs -> List.assoc_opt name fs | _ -> None
+
+let test_json_roundtrip () =
+  let now, clock = fake () in
+  let t = Ts.create ~window:10 ~clock Ts.Histogram "lat" in
+  Ts.record t 0.002;
+  now := 1.0;
+  Ts.record t 0.004;
+  Ts.record t 0.004;
+  let text = Xmutil.Json.to_string (Ts.to_json t) in
+  let j = Xmutil.Json.of_string text in
+  Alcotest.(check bool) "kind exported" true
+    (field j "kind" = Some (Xmutil.Json.String "histogram"));
+  Alcotest.(check bool) "window exported" true
+    (field j "window_s" = Some (Xmutil.Json.Int 10));
+  Alcotest.(check bool) "count exported" true
+    (field j "count" = Some (Xmutil.Json.Int 3));
+  Alcotest.(check bool) "lifetime exported" true
+    (field j "lifetime" = Some (Xmutil.Json.Int 3));
+  Alcotest.(check bool) "p95 present for histogram kind" true
+    (match field j "p95" with
+    | Some (Xmutil.Json.Float _) | Some (Xmutil.Json.Int _) -> true
+    | _ -> false);
+  (* seconds: last min(window,60) per-second counts, oldest first — the
+     second slot (two records) must come after the first (one). *)
+  match field j "seconds" with
+  | Some (Xmutil.Json.List l) ->
+      Alcotest.(check int) "one entry per window second" 10 (List.length l);
+      let ints =
+        List.filter_map
+          (function Xmutil.Json.Int i -> Some i | _ -> None)
+          l
+      in
+      Alcotest.(check int) "per-second counts sum to the window" 3
+        (List.fold_left ( + ) 0 ints);
+      (match List.rev ints with
+      | newest :: prev :: _ ->
+          Alcotest.(check int) "newest second last" 2 newest;
+          Alcotest.(check int) "previous second before it" 1 prev
+      | _ -> Alcotest.fail "seconds too short")
+  | _ -> Alcotest.fail "seconds missing"
+
+let test_registry_gating () =
+  Ts.reset ();
+  Ts.disable ();
+  (* Disabled: name-based entry points are no-ops and intern nothing. *)
+  Ts.inc "ghost";
+  Ts.observe "ghost" 1.0;
+  Alcotest.(check int) "disabled registry stays empty" 0
+    (List.length (Ts.all ()));
+  Ts.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Ts.disable ();
+      Ts.reset ())
+    (fun () ->
+      Ts.inc ~by:2 "req";
+      Ts.inc "req";
+      Ts.observe "lat" 0.5;
+      let names = List.map Ts.name (Ts.all ()) in
+      Alcotest.(check bool) "both series interned" true
+        (List.mem "req" names && List.mem "lat" names);
+      let req = Ts.series Ts.Counter "req" in
+      Alcotest.(check int) "inc lands in the interned series" 3
+        (Ts.lifetime req);
+      (* First creation wins: re-interning with another kind is ignored. *)
+      let again = Ts.series Ts.Histogram "req" in
+      Alcotest.(check bool) "kind pinned by first creation" true
+        (Ts.kind again = Ts.Counter);
+      match Ts.to_json_all () with
+      | Xmutil.Json.Obj fs ->
+          Alcotest.(check bool) "to_json_all keys by name" true
+            (List.mem_assoc "req" fs && List.mem_assoc "lat" fs)
+      | _ -> Alcotest.fail "to_json_all is not an object")
+
+(* ---------- SLO evaluator ---------- *)
+
+let slo_cfg ?(p95_ms = None) ?(max_error_rate = None) ?(window = 10)
+    ?(min_samples = 3) ?(recovery_s = 2.0) () =
+  { Slo.p95_ms; max_error_rate; window; min_samples; recovery_s }
+
+let degraded_matching t needle =
+  match Slo.evaluate t with
+  | Slo.Degraded reasons ->
+      List.exists
+        (fun r ->
+          let rec find i =
+            i + String.length needle <= String.length r
+            && (String.sub r i (String.length needle) = needle || find (i + 1))
+          in
+          find 0)
+        reasons
+  | Slo.Healthy -> false
+
+let test_slo_error_rate_breach_and_min_samples () =
+  let now, clock = fake () in
+  let t =
+    Slo.create ~clock (slo_cfg ~max_error_rate:(Some 0.2) ~min_samples:3 ())
+  in
+  Alcotest.(check bool) "no traffic: healthy" true (Slo.evaluate t = Slo.Healthy);
+  (* Two failures out of two — 100 % errors, but below min_samples. *)
+  Slo.record t ~ok:false ~wall_s:0.001;
+  Slo.record t ~ok:false ~wall_s:0.001;
+  Alcotest.(check bool) "under min_samples: still healthy" true
+    (Slo.evaluate t = Slo.Healthy);
+  Slo.record t ~ok:false ~wall_s:0.001;
+  Alcotest.(check bool) "third sample trips the objective" true
+    (degraded_matching t "error-rate");
+  (* Observe the breach again just before the window slides clean: the
+     recovery hold is measured from the last *observed* breach. *)
+  now := 9.0;
+  Alcotest.(check bool) "still breached at the window edge" true
+    (degraded_matching t "error-rate");
+  now := 10.5;
+  Alcotest.(check bool) "clean but inside recovery hold" true
+    (degraded_matching t "recovering");
+  now := 11.5;
+  Alcotest.(check bool) "recovered after the hold" true
+    (Slo.evaluate t = Slo.Healthy)
+
+let test_slo_p95_breach () =
+  let now, clock = fake () in
+  let t = Slo.create ~clock (slo_cfg ~p95_ms:(Some 50.0) ~min_samples:3 ()) in
+  for _ = 1 to 10 do
+    Slo.record t ~ok:true ~wall_s:0.005
+  done;
+  Alcotest.(check bool) "fast queries: healthy" true
+    (Slo.evaluate t = Slo.Healthy);
+  for _ = 1 to 10 do
+    Slo.record t ~ok:true ~wall_s:0.500
+  done;
+  Alcotest.(check bool) "slow tail trips p95" true (degraded_matching t "p95");
+  (* All successes — the error-rate objective (unset) never fires. *)
+  Alcotest.(check bool) "only the latency objective fires" false
+    (degraded_matching t "error-rate");
+  now := 60.0;
+  ignore (Slo.evaluate t);
+  now := 63.0;
+  Alcotest.(check bool) "window slides clean, health returns" true
+    (Slo.evaluate t = Slo.Healthy)
+
+let test_slo_both_objectives_listed () =
+  let _, clock = fake () in
+  let t =
+    Slo.create ~clock
+      (slo_cfg ~p95_ms:(Some 1.0) ~max_error_rate:(Some 0.1) ~min_samples:2 ())
+  in
+  for _ = 1 to 5 do
+    Slo.record t ~ok:false ~wall_s:0.5
+  done;
+  match Slo.evaluate t with
+  | Slo.Degraded reasons ->
+      Alcotest.(check int) "both breached objectives reported" 2
+        (List.length reasons)
+  | Slo.Healthy -> Alcotest.fail "both objectives breached but healthy"
+
+let test_slo_json () =
+  let _, clock = fake () in
+  let t =
+    Slo.create ~clock (slo_cfg ~max_error_rate:(Some 0.2) ~min_samples:1 ())
+  in
+  Slo.record t ~ok:false ~wall_s:0.001;
+  let j = Xmutil.Json.of_string (Xmutil.Json.to_string (Slo.to_json t)) in
+  Alcotest.(check bool) "status is degraded" true
+    (field j "status" = Some (Xmutil.Json.String "degraded"));
+  match field j "reasons" with
+  | Some (Xmutil.Json.List (_ :: _)) -> ()
+  | _ -> Alcotest.fail "degraded status must carry reasons"
+
+let suite =
+  [
+    Alcotest.test_case "counter rate and window decay" `Quick
+      test_counter_rate_and_decay;
+    Alcotest.test_case "ring wrap-around evicts the stale slot" `Quick
+      test_ring_wraparound_evicts;
+    Alcotest.test_case "windowed percentiles follow expiry" `Quick
+      test_histogram_percentiles_over_window;
+    Alcotest.test_case "counter kind has no percentile" `Quick
+      test_counter_has_no_percentile;
+    Alcotest.test_case "window is clamped to sane bounds" `Quick
+      test_window_clamped;
+    Alcotest.test_case "json export round-trips" `Quick test_json_roundtrip;
+    Alcotest.test_case "registry gates on enable" `Quick test_registry_gating;
+    Alcotest.test_case "slo error-rate breach and min_samples gate" `Quick
+      test_slo_error_rate_breach_and_min_samples;
+    Alcotest.test_case "slo p95 breach and recovery" `Quick test_slo_p95_breach;
+    Alcotest.test_case "slo reports every breached objective" `Quick
+      test_slo_both_objectives_listed;
+    Alcotest.test_case "slo json carries status and reasons" `Quick
+      test_slo_json;
+  ]
