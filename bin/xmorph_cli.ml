@@ -71,10 +71,20 @@ let serialize_for_profile () =
    old bare [at_exit] registration) and on SIGTERM/SIGINT, which
    [Xmobs.Shutdown.install] converts into an ordinary [exit].  A killed
    serve daemon therefore still leaves complete, valid telemetry files. *)
-let obs_setup trace metrics profile qlog qlog_max_mb jobs =
+let obs_setup trace metrics profile qlog qlog_max_mb stats_db jobs =
   (match jobs with None -> () | Some j -> Xmutil.Pool.set_jobs j);
-  if trace <> None || metrics <> None || profile <> None || qlog <> None then
-    Xmobs.Shutdown.install ();
+  let stats_db =
+    match stats_db with
+    | Some _ as s -> s
+    | None -> (
+        match Sys.getenv_opt "XMORPH_STATS_DB" with
+        | Some "" | None -> None
+        | Some p -> Some p)
+  in
+  if trace <> None || metrics <> None || profile <> None || qlog <> None
+     || stats_db <> None
+  then Xmobs.Shutdown.install ();
+  (match stats_db with None -> () | Some path -> Xmobs.Statdb.enable path);
   (match trace with
   | None -> ()
   | Some path ->
@@ -141,6 +151,19 @@ let obs_term =
                    rotation) and a fresh one is opened, so long-running \
                    daemons keep at most ~2x$(docv) MiB of log on disk.")
   in
+  let stats_db =
+    Arg.(value & opt (some string) None
+         & info [ "stats-db" ] ~docv:"FILE"
+             ~doc:"Record per-operator statistics (calls, wall/self time, \
+                   node counts, closest pairs, block I/O, predicted-vs-actual \
+                   cardinality q-error) into the persistent warehouse at \
+                   $(docv), merging with whatever history is already there.  \
+                   Defaults to the XMORPH_STATS_DB environment variable.  \
+                   Recorded executions run under the profiler and are \
+                   therefore serialized and single-domain.  Inspect with \
+                   $(b,xmorph explain), $(b,xmorph stats --db), or GET \
+                   /debug/opstats on serve.")
+  in
   let jobs =
     Arg.(value & opt (some int) None
          & info [ "j"; "jobs" ] ~docv:"N"
@@ -148,7 +171,8 @@ let obs_term =
                    1..64).  Defaults to the XMORPH_JOBS environment variable, \
                    or 1.  Profiling always runs single-domain.")
   in
-  Term.(const obs_setup $ trace $ metrics $ profile $ qlog $ qlog_max_mb $ jobs)
+  Term.(const obs_setup $ trace $ metrics $ profile $ qlog $ qlog_max_mb
+        $ stats_db $ jobs)
 
 (* ---------- shred ---------- *)
 
@@ -370,24 +394,156 @@ let query_cmd =
 
 (* ---------- explain ---------- *)
 
+(* One warehouse row rendered for humans: exact counts, per-call derived
+   values, q-error when predictions were folded.  Shared by the explain
+   history section and [stats --db]-adjacent output. *)
+let op_history_line (s : Xmobs.Statdb.summary) =
+  let per_call v = v /. float_of_int (max 1 s.Xmobs.Statdb.calls) in
+  Printf.sprintf "%s: calls=%d self/call=%.3fms out/call=%.0f pairs/call=%.0f%s"
+    s.Xmobs.Statdb.s_op s.Xmobs.Statdb.calls
+    (per_call s.Xmobs.Statdb.self_us /. 1000.0)
+    (per_call (float_of_int s.Xmobs.Statdb.out_nodes))
+    (per_call (float_of_int s.Xmobs.Statdb.pairs))
+    (if s.Xmobs.Statdb.qerr_n = 0 then ""
+     else
+       Printf.sprintf " q-err mean=%.2f max=%.2f"
+         (s.Xmobs.Statdb.qerr_sum /. float_of_int s.Xmobs.Statdb.qerr_n)
+         s.Xmobs.Statdb.qerr_max)
+
 let explain_cmd =
   let doc =
-    "Explain how a guard will join this data: per target edge, the type \
-     distance, join level, instance counts, closest-pair count, and any \
-     children left without a closest parent."
+    "Explain a guard against this data: the algebra plan annotated with \
+     predicted cardinalities (and, with --stats-db, historical per-operator \
+     actuals and timings from the warehouse), each closest join's type \
+     distance, join level, instance counts, and predicted-vs-actual pair \
+     count with q-error, and the guard's recorded operator history."
   in
   let input = Arg.(required & pos 1 (some file) None & info [] ~docv:"INPUT" ~doc:"XML document or store.") in
-  let run () guard input =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the explanation as JSON.")
+  in
+  let run () guard input json_out =
     match load_store input with
     | Error m -> exit_err m
     | Ok store -> (
-        match Xmorph.Interp.compile ~enforce:false (Store.Shredded.guide store) guard with
+        let guide = Store.Shredded.guide store in
+        match Xmorph.Interp.compile ~enforce:false guide guard with
         | exception Xmorph.Interp.Error m -> exit_err m
         | compiled ->
-            Format.printf "%a@?" Xmorph.Render.pp_explanation
-              (Xmorph.Render.explain store compiled.Xmorph.Interp.shape))
+            let ghash = Xmobs.Qlog.hash_text guard in
+            let db = Xmobs.Statdb.db () in
+            let hist op =
+              Option.bind db (fun db ->
+                  Xmobs.Statdb.find db ~guard_hash:ghash ~op)
+            in
+            (* Predicted output cardinality of an operator: the instance
+               counts of the source types the analysis resolved it to. *)
+            let pred_nodes (n : Xmorph.Algebra.t) =
+              match n.Xmorph.Algebra.inferred with
+              | [] -> None
+              | tys ->
+                  Some
+                    (List.fold_left
+                       (fun acc ty -> acc + Xml.Dataguide.instance_count guide ty)
+                       0 tys)
+            in
+            let annot n =
+              let pred =
+                match pred_nodes n with
+                | None -> []
+                | Some k -> [ Printf.sprintf "pred=%d nodes" k ]
+              in
+              let actual =
+                match hist (Xmorph.Algebra.op_name n) with
+                | None -> []
+                | Some s ->
+                    let calls = max 1 s.Xmobs.Statdb.calls in
+                    [ Printf.sprintf "hist calls=%d out/call=%.0f self/call=%.3fms"
+                        s.Xmobs.Statdb.calls
+                        (float_of_int s.Xmobs.Statdb.out_nodes
+                         /. float_of_int calls)
+                        (s.Xmobs.Statdb.self_us /. float_of_int calls /. 1000.0) ]
+              in
+              match pred @ actual with
+              | [] -> ""
+              | parts -> "  [" ^ String.concat "; " parts ^ "]"
+            in
+            let edges = Xmorph.Render.explain store compiled.Xmorph.Interp.shape in
+            let history =
+              match db with
+              | None -> []
+              | Some db -> Xmobs.Statdb.guard_ops db ~guard_hash:ghash
+            in
+            if json_out then
+              let plan_text =
+                Format.asprintf "%a" (Xmorph.Algebra.pp_annotated ~annot)
+                  compiled.Xmorph.Interp.algebra
+              in
+              print_endline
+                (Xmutil.Json.to_string ~pretty:true
+                   (Xmutil.Json.Obj
+                      [ ("guard", Xmutil.Json.String guard);
+                        ("guard_hash", Xmutil.Json.String ghash);
+                        ("plan", Xmutil.Json.String plan_text);
+                        ("joins",
+                         Xmutil.Json.List
+                           (List.map
+                              (fun (e : Xmorph.Render.edge_explanation) ->
+                                Xmutil.Json.Obj
+                                  [ ("parent", Xmutil.Json.String e.parent);
+                                    ("child", Xmutil.Json.String e.child);
+                                    ("type_distance",
+                                     Xmutil.Json.Int e.type_distance);
+                                    ("join_level", Xmutil.Json.Int e.join_level);
+                                    ("parents",
+                                     Xmutil.Json.Int e.parent_instances);
+                                    ("children",
+                                     Xmutil.Json.Int e.child_instances);
+                                    ("pairs", Xmutil.Json.Int e.pairs);
+                                    ("orphans", Xmutil.Json.Int e.orphans);
+                                    ("predicted",
+                                     Xmutil.Json.String
+                                       (Xmutil.Card.to_string e.predicted));
+                                    ("qerror",
+                                     Xmutil.Json.Float
+                                       (Xmutil.Card.qerror e.predicted e.pairs))
+                                  ])
+                              edges));
+                        ("history",
+                         Xmutil.Json.List
+                           (List.map
+                              (fun (s : Xmobs.Statdb.summary) ->
+                                Xmutil.Json.Obj
+                                  [ ("op", Xmutil.Json.String s.Xmobs.Statdb.s_op);
+                                    ("calls", Xmutil.Json.Int s.Xmobs.Statdb.calls);
+                                    ("self_us",
+                                     Xmutil.Json.Float s.Xmobs.Statdb.self_us);
+                                    ("out_nodes",
+                                     Xmutil.Json.Int s.Xmobs.Statdb.out_nodes);
+                                    ("pairs", Xmutil.Json.Int s.Xmobs.Statdb.pairs);
+                                    ("qerr_n", Xmutil.Json.Int s.Xmobs.Statdb.qerr_n);
+                                    ("qerr_sum",
+                                     Xmutil.Json.Float s.Xmobs.Statdb.qerr_sum);
+                                    ("qerr_max",
+                                     Xmutil.Json.Float s.Xmobs.Statdb.qerr_max)
+                                  ])
+                              history)) ]))
+            else begin
+              print_endline "== plan ==";
+              Format.printf "%a@?" (Xmorph.Algebra.pp_annotated ~annot)
+                compiled.Xmorph.Interp.algebra;
+              print_endline "== closest joins ==";
+              Format.printf "%a@?" Xmorph.Render.pp_explanation edges;
+              if history <> [] then begin
+                Printf.printf "== history (%s) ==\n"
+                  (Option.value ~default:"" (Xmobs.Statdb.path ()));
+                List.iter (fun s -> print_endline ("  " ^ op_history_line s)) history
+              end
+            end)
   in
-  Cmd.v (Cmd.info "explain" ~doc) Term.(const run $ obs_term $ guard_arg $ input)
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(const run $ obs_term $ guard_arg $ input $ json)
 
 (* ---------- profile ---------- *)
 
@@ -938,7 +1094,16 @@ let stats_cmd =
                    for asserting a killed daemon left complete telemetry \
                    files).  No LOG is needed when only checking.")
   in
-  let run () log json top compare_file out tolerance check_json =
+  let db_file =
+    Arg.(value & opt (some file) None
+         & info [ "db" ] ~docv:"STATSDB"
+             ~doc:"Cross-reference the log with an operator-statistics \
+                   warehouse (written by --stats-db): per guard hash, query \
+                   counts and mean latency from the log joined with the \
+                   warehouse's per-operator calls, self time, and \
+                   cardinality q-error.")
+  in
+  let run () log json top compare_file out tolerance check_json db_file =
     List.iter
       (fun path ->
         match Xmutil.Json.of_string (read_file path) with
@@ -958,6 +1123,14 @@ let stats_cmd =
           | exception Sys_error m -> exit_err m
         in
         let summary = Xmserve.Stats.analyze ~top ~log_path:path ~malformed entries in
+        let cross =
+          match db_file with
+          | None -> None
+          | Some db_path ->
+              Some
+                (Xmserve.Stats.cross_reference
+                   ~db:(Xmobs.Statdb.load db_path) entries)
+        in
         let comparison =
           match compare_file with
           | None -> None
@@ -970,6 +1143,14 @@ let stats_cmd =
         in
         let artifact =
           let base = Xmserve.Stats.to_json summary in
+          let base =
+            match (base, cross) with
+            | Xmutil.Json.Obj fields, Some gs ->
+                Xmutil.Json.Obj
+                  (fields
+                   @ [ ("warehouse", Xmserve.Stats.cross_reference_to_json gs) ])
+            | _ -> base
+          in
           match (base, comparison) with
           | Xmutil.Json.Obj fields, Some c ->
               Xmutil.Json.Obj
@@ -989,6 +1170,9 @@ let stats_cmd =
         else begin
           print_string (Xmserve.Stats.to_text summary);
           Option.iter
+            (fun gs -> print_string (Xmserve.Stats.cross_reference_to_text gs))
+            cross;
+          Option.iter
             (fun c -> print_string (Xmserve.Stats.comparison_to_text c))
             comparison;
           Option.iter (fun f -> Printf.printf "wrote %s\n" f) out_path
@@ -999,7 +1183,7 @@ let stats_cmd =
   in
   Cmd.v (Cmd.info "stats" ~doc)
     Term.(const run $ obs_term $ log $ json $ top $ compare_file $ out
-          $ tolerance $ check_json)
+          $ tolerance $ check_json $ db_file)
 
 (* ---------- http ---------- *)
 

@@ -74,14 +74,9 @@ let op_name n =
   | Cast (Ast.Cast_widening, _) -> "cast-widening"
   | Type_fill _ -> "type-fill"
 
-let pp fmt t =
-  let types_suffix n =
-    match n.inferred with
-    | [] -> ""
-    | tys -> Printf.sprintf "  {types: %s}" (String.concat "," (List.map string_of_int tys))
-  in
+let pp_annotated ~annot fmt t =
   let rec go indent n =
-    Format.fprintf fmt "%s%s%s@." indent (op_name n) (types_suffix n);
+    Format.fprintf fmt "%s%s%s@." indent (op_name n) (annot n);
     let sub = indent ^ "  " in
     match n.desc with
     | Compose (a, b) -> go sub a; go sub b
@@ -95,6 +90,14 @@ let pp fmt t =
         ()
   in
   go "" t
+
+let pp fmt t =
+  let types_suffix n =
+    match n.inferred with
+    | [] -> ""
+    | tys -> Printf.sprintf "  {types: %s}" (String.concat "," (List.map string_of_int tys))
+  in
+  pp_annotated ~annot:types_suffix fmt t
 
 let to_string t = Format.asprintf "%a" pp t
 

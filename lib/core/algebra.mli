@@ -42,6 +42,11 @@ val pp : Format.formatter -> t -> unit
 (** Indented operator-tree rendering à la Fig. 9, including inferred types
     when the analysis has run. *)
 
+val pp_annotated : annot:(t -> string) -> Format.formatter -> t -> unit
+(** {!pp} with a caller-chosen per-node suffix instead of the raw inferred
+    type ids — [xmorph explain] annotates each operator with predicted
+    cardinalities and warehouse history. *)
+
 val to_string : t -> string
 
 val cast_mode : t -> Ast.cast option

@@ -28,6 +28,15 @@ val compile : ?enforce:bool -> Xml.Dataguide.t -> string -> t
 (** @raise Error on parse or semantic failure.
     @raise Loss.Rejected when enforcement rejects the classification. *)
 
+val predicted_joins :
+  Xml.Dataguide.t -> t -> (string * Xmutil.Card.t * int) list
+(** The static cardinality predictions for the compiled shape's closest
+    joins: per sourced parent-child edge, the render profiler's frame name
+    ([closest(parent->child)]), the per-parent path cardinality (Def. 6),
+    and the parent type's instance count.  The predicted total pair count
+    of the edge is the cardinality scaled by the count; the warehouse
+    ({!Xmobs.Statdb}) folds these against observed pairs into q-errors. *)
+
 val render : Store.Shredded.t -> t -> Xml.Tree.t
 (** Render the compiled guard against a store (single root; a forest is
     wrapped in [<result>]). *)

@@ -873,11 +873,13 @@ type edge_explanation = {
   child_instances : int;
   pairs : int;
   orphans : int;
+  predicted : Xmutil.Card.t;
 }
 
 let explain store (shape : Tshape.t) =
   let rctx = make_rctx store in
   let tt = Store_.Shredded.types store in
+  let guide = Store_.Shredded.guide store in
   let out = ref [] in
   let rec walk (tn : Tshape.node) =
     (match tn.source with
@@ -913,6 +915,10 @@ let explain store (shape : Tshape.t) =
                     child_instances = Array.length cc.ids;
                     pairs = !pairs;
                     orphans = Array.length cc.ids - Hashtbl.length matched_children;
+                    predicted =
+                      Xmutil.Card.scale
+                        (Xml.Dataguide.path_card guide pty cty)
+                        (Array.length pc.ids);
                   }
                   :: !out)
           tn.children);
@@ -926,9 +932,11 @@ let pp_explanation fmt entries =
     (fun e ->
       Format.fprintf fmt
         "%s -> %s: typeDistance %d, join at level %d; %d parents x %d \
-         children -> %d closest pairs%s@."
+         children -> %d closest pairs (predicted %s, q-error %.2f)%s@."
         e.parent e.child e.type_distance e.join_level e.parent_instances
         e.child_instances e.pairs
+        (Xmutil.Card.to_string e.predicted)
+        (Xmutil.Card.qerror e.predicted e.pairs)
         (if e.orphans > 0 then
            Printf.sprintf " (%d children have no closest parent)" e.orphans
          else ""))

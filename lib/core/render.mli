@@ -61,6 +61,10 @@ type edge_explanation = {
   pairs : int;  (** closest pairs the edge will produce *)
   orphans : int;  (** child instances with no closest parent — the vertices
                       Theorem 1 warns can be discarded *)
+  predicted : Xmutil.Card.t;
+      (** statically predicted total pairs: the edge's path cardinality
+          (Def. 6) scaled by the parent instance count.  Compare with
+          [pairs] ([Xmutil.Card.qerror]) to judge estimate accuracy. *)
 }
 
 val explain : Store.Shredded.t -> Tshape.t -> edge_explanation list

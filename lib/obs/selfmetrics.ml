@@ -9,10 +9,21 @@
    degradation is testable on systems that do have procfs.  The GC gauges
    are Gc.quick_stat fields — cheap, no heap walk. *)
 
-(* Linux's default page size.  OCaml's Unix module does not expose
-   getpagesize; 4 KiB is correct on every platform that has
-   /proc/self/statm in the first place. *)
-let page_size = 4096
+(* OCaml's Unix module does not expose getpagesize, so ask getconf (which
+   wraps sysconf(_SC_PAGESIZE)) once, lazily; 4 KiB — the Linux default —
+   when the probe fails.  Systems running with 16K/64K pages (arm64,
+   ppc64le) would otherwise under-report RSS by 4x/16x. *)
+let probed_page_size = lazy (
+  match Unix.open_process_in "getconf PAGESIZE 2>/dev/null" with
+  | exception Unix.Unix_error _ -> 4096
+  | ic ->
+      let line = try input_line ic with End_of_file | Sys_error _ -> "" in
+      let status = Unix.close_process_in ic in
+      (match (status, int_of_string_opt (String.trim line)) with
+      | Unix.WEXITED 0, Some n when n > 0 -> n
+      | _ -> 4096))
+
+let page_size () = Lazy.force probed_page_size
 
 let statm_path = "/proc/self/statm"
 
@@ -27,7 +38,7 @@ let rss_bytes ?(path = statm_path) () =
             match String.split_on_char ' ' line with
             | _size :: resident :: _ -> (
                 match int_of_string_opt resident with
-                | Some pages when pages >= 0 -> Some (pages * page_size)
+                | Some pages when pages >= 0 -> Some (pages * page_size ())
                 | Some _ | None -> None)
             | _ -> None)
       in

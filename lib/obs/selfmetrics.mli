@@ -9,10 +9,14 @@
     [/metrics] scrape and [/stats] snapshot, so the exported values are
     read-fresh without a sampling thread. *)
 
+val page_size : unit -> int
+(** The system page size in bytes, probed once via [getconf PAGESIZE]
+    (sysconf); 4096 when the probe fails.  Exposed for tests. *)
+
 val rss_bytes : ?path:string -> unit -> int option
 (** Resident set size in bytes ([path] defaults to [/proc/self/statm];
-    resident pages × 4096); [None] when the file is missing, empty, or
-    malformed. *)
+    resident pages × {!page_size}); [None] when the file is missing,
+    empty, or malformed. *)
 
 val sample : ?uptime_s:float -> ?statm:string -> unit -> unit
 (** Set the self-metric gauges in the current registry.  [uptime_s]

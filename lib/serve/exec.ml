@@ -160,7 +160,52 @@ let execute ~source ?(doc = "") ?(enforce = true) ?(compact = false)
           trees;
         Query_result { body = Buffer.contents b; compiled }
   in
-  match run () with
+  (* Operator-statistics recording (--stats-db): run the execution under
+     the global profiler and fold the frame tree, plus the compiled
+     shape's predicted closest-join cardinalities, into the warehouse.
+     The profiler is a single global frame tree and forces sequential
+     render, so recorded executions are serialized on the shared
+     recording lock — counts are then identical at any --jobs setting.
+     An execution that already runs under the profiler (operator
+     --profile, slow-query capture) owns the frame tree; skip recording
+     rather than clobber it. *)
+  let run_recorded () =
+    if (not (Xmobs.Statdb.enabled ())) || Xmobs.Profile.profiling () then
+      run ()
+    else
+      Xmobs.Statdb.serialized (fun () ->
+          (* Re-check under the lock: --profile may have grabbed the
+             frame tree between the gate and here. *)
+          if Xmobs.Profile.profiling () then run ()
+          else begin
+            Xmobs.Profile.enable ();
+            let harvest () =
+              let frames = Xmobs.Profile.roots () in
+              Xmobs.Profile.disable ();
+              frames
+            in
+            match run () with
+            | outcome ->
+                let frames = harvest () in
+                let predictions =
+                  match outcome with
+                  | Rendered { compiled; _ } | Query_result { compiled; _ } ->
+                      Xmorph.Interp.predicted_joins
+                        (Store.Shredded.guide store) compiled
+                  | Failed _ -> []
+                in
+                Xmobs.Statdb.submit
+                  ~guard_hash:(Xmobs.Qlog.hash_text guard)
+                  ~predictions frames;
+                outcome
+            | exception e ->
+                (* Partial frames from an aborted execution would skew
+                   the history; drop them. *)
+                ignore (harvest ());
+                raise e
+          end)
+  in
+  match run_recorded () with
   | v ->
       submit Xmobs.Qlog.Ok None;
       v

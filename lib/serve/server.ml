@@ -64,6 +64,9 @@ let create ?(addr = "127.0.0.1") ?(port = 0) ?(workers = 4) ?slow_ms ?slow_log
     [ ("xmorph_requests_total", "HTTP requests by route and status");
       ("xmorph_query_seconds", "query wall time by document and outcome");
       ("xmorph_guard_seconds", "query wall time by guard hash");
+      ("xmorph_operator_seconds", "per-operator self time by operator name");
+      ("xmorph_card_qerror",
+       "closest-join cardinality-estimate q-error by operator");
       ("serve.requests", "HTTP requests handled since start");
       ("serve.request.seconds", "HTTP request wall time");
       ("serve.query.seconds", "executed query wall time");
@@ -154,6 +157,10 @@ let capture_slow t ~trace_id ~doc_name ~enforce ?query store guard =
       (fun () ->
         (* Re-check under the lock: an operator --profile enabled between
            the gate and here still owns the frame tree. *)
+        (* Also hold the statdb recording lock: --stats-db executions
+           enable the same global profiler, and two owners of the frame
+           tree would interleave their frames. *)
+        Xmobs.Statdb.serialized @@ fun () ->
         if not (Xmobs.Profile.profiling ()) then begin
           let saved_jobs = Xmutil.Pool.jobs () in
           Xmutil.Pool.set_jobs 1;
@@ -408,9 +415,30 @@ let healthz t =
       | Slo.Degraded reasons ->
           Http.response 503 ("degraded\n" ^ String.concat "\n" reasons ^ "\n"))
 
+(* The operator-statistics warehouse, live: what --stats-db has
+   accumulated so far this process (including whatever it merged from
+   disk at startup).  Off → a one-field JSON so pollers need no special
+   case. *)
+let debug_opstats () =
+  let body =
+    match Xmobs.Statdb.db () with
+    | None -> Xmutil.Json.Obj [ ("enabled", Xmutil.Json.Bool false) ]
+    | Some db ->
+        Xmutil.Json.Obj
+          [ ("enabled", Xmutil.Json.Bool true);
+            ("path",
+             Xmutil.Json.String
+               (Option.value ~default:"" (Xmobs.Statdb.path ())));
+            ("rows", Xmutil.Json.Int (Xmobs.Statdb.size db));
+            ("db", Xmobs.Statdb.to_json db) ]
+  in
+  Http.response ~content_type:"application/json" 200
+    (Xmutil.Json.to_string ~pretty:true body ^ "\n")
+
 let route t (req : Http.request) =
   match (req.Http.meth, req.Http.path) with
   | "GET", "/healthz" -> healthz t
+  | "GET", "/debug/opstats" -> debug_opstats ()
   | "GET", "/debug/timeseries" -> debug_timeseries t
   | "GET", "/metrics" ->
       Xmobs.Metrics.set_gauge "serve.uptime_s" (now () -. t.started);
@@ -447,7 +475,7 @@ let status_class status =
 let route_label (req : Http.request) =
   match (req.Http.meth, req.Http.path) with
   | "GET", (("/healthz" | "/metrics" | "/stats" | "/debug/requests"
-            | "/debug/timeseries") as p) ->
+            | "/debug/timeseries" | "/debug/opstats") as p) ->
       p
   | "GET", p when String.starts_with ~prefix:trace_prefix p ->
       "/debug/trace/:id"

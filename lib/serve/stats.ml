@@ -41,7 +41,7 @@ let percentiles values =
       { p50 = pct 0.5; p95 = pct 0.95; p99 = pct 0.99;
         mean = sum /. float_of_int n; max }
 
-let load path =
+let load_one path =
   let ic = open_in_bin path in
   let entries = ref [] in
   let malformed = ref 0 in
@@ -57,6 +57,28 @@ let load path =
    with End_of_file -> ());
   close_in ic;
   (List.rev !entries, !malformed)
+
+let load path =
+  (* Size rotation (--qlog-max-mb) renames the previous log to FILE.1;
+     analyzing only FILE would silently drop the older half of the
+     history.  Auto-merge the pair in timestamp order (a stable sort, so
+     same-stamp records keep their file order). *)
+  let entries, malformed = load_one path in
+  let rotated = path ^ ".1" in
+  if not (Sys.file_exists rotated) then (entries, malformed)
+  else
+    let old_entries, old_malformed =
+      match load_one rotated with
+      | r -> r
+      | exception Sys_error _ -> ([], 0)
+    in
+    let merged =
+      List.stable_sort
+        (fun (a : Xmobs.Qlog.entry) (b : Xmobs.Qlog.entry) ->
+          Float.compare a.Xmobs.Qlog.ts b.Xmobs.Qlog.ts)
+        (old_entries @ entries)
+    in
+    (merged, malformed + old_malformed)
 
 let outcome_names = [ "ok"; "parse-error"; "type-mismatch"; "internal" ]
 
@@ -219,6 +241,100 @@ let to_json s =
                 | None -> []
                 | Some tid -> [ ("trace_id", Xmutil.Json.String tid) ]))
             s.slowest)) ]
+
+(* ---------- warehouse cross-reference (--db) ---------- *)
+
+type guard_stats = {
+  g_hash : string;
+  g_guard : string;
+  g_count : int;
+  g_mean_wall_ms : float;
+  g_ops : Xmobs.Statdb.summary list;
+}
+
+let cross_reference ~db entries =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (e : Xmobs.Qlog.entry) ->
+      let h = e.Xmobs.Qlog.guard_hash in
+      match Hashtbl.find_opt tbl h with
+      | Some (guard, count, wall) ->
+          Hashtbl.replace tbl h (guard, count + 1, wall +. e.Xmobs.Qlog.wall_s)
+      | None ->
+          order := h :: !order;
+          Hashtbl.replace tbl h (e.Xmobs.Qlog.guard, 1, e.Xmobs.Qlog.wall_s))
+    entries;
+  List.rev_map
+    (fun h ->
+      let guard, count, wall = Hashtbl.find tbl h in
+      {
+        g_hash = h;
+        g_guard = truncate_guard guard;
+        g_count = count;
+        g_mean_wall_ms = 1000.0 *. wall /. float_of_int (max 1 count);
+        g_ops = Xmobs.Statdb.guard_ops db ~guard_hash:h;
+      })
+    !order
+  |> List.sort (fun a b -> compare b.g_count a.g_count)
+
+let op_line (s : Xmobs.Statdb.summary) =
+  let per_call v = v /. float_of_int (max 1 s.Xmobs.Statdb.calls) in
+  Printf.sprintf
+    "    %s: calls=%d self/call=%.3fms out/call=%.0f pairs/call=%.0f%s"
+    s.Xmobs.Statdb.s_op s.Xmobs.Statdb.calls
+    (per_call s.Xmobs.Statdb.self_us /. 1000.0)
+    (per_call (float_of_int s.Xmobs.Statdb.out_nodes))
+    (per_call (float_of_int s.Xmobs.Statdb.pairs))
+    (if s.Xmobs.Statdb.qerr_n = 0 then ""
+     else
+       Printf.sprintf " q-err mean=%.2f max=%.2f"
+         (s.Xmobs.Statdb.qerr_sum /. float_of_int s.Xmobs.Statdb.qerr_n)
+         s.Xmobs.Statdb.qerr_max)
+
+let cross_reference_to_text ?(top_ops = 5) gs =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "warehouse cross-reference: %d guard(s)\n" (List.length gs));
+  List.iter
+    (fun g ->
+      Buffer.add_string b
+        (Printf.sprintf "  %s \"%s\": %d quer%s, mean wall %.2fms%s\n" g.g_hash
+           g.g_guard g.g_count
+           (if g.g_count = 1 then "y" else "ies")
+           g.g_mean_wall_ms
+           (if g.g_ops = [] then " (no warehouse history)" else ""));
+      List.iteri
+        (fun i s -> if i < top_ops then Buffer.add_string b (op_line s ^ "\n"))
+        g.g_ops)
+    gs;
+  Buffer.contents b
+
+let cross_reference_to_json gs =
+  Xmutil.Json.List
+    (List.map
+       (fun g ->
+         Xmutil.Json.Obj
+           [ ("guard_hash", Xmutil.Json.String g.g_hash);
+             ("guard", Xmutil.Json.String g.g_guard);
+             ("queries", Xmutil.Json.Int g.g_count);
+             ("mean_wall_ms", Xmutil.Json.Float g.g_mean_wall_ms);
+             ("ops",
+              Xmutil.Json.List
+                (List.map
+                   (fun (s : Xmobs.Statdb.summary) ->
+                     Xmutil.Json.Obj
+                       [ ("op", Xmutil.Json.String s.Xmobs.Statdb.s_op);
+                         ("calls", Xmutil.Json.Int s.Xmobs.Statdb.calls);
+                         ("self_us", Xmutil.Json.Float s.Xmobs.Statdb.self_us);
+                         ("out_nodes", Xmutil.Json.Int s.Xmobs.Statdb.out_nodes);
+                         ("pairs", Xmutil.Json.Int s.Xmobs.Statdb.pairs);
+                         ("qerr_n", Xmutil.Json.Int s.Xmobs.Statdb.qerr_n);
+                         ("qerr_sum", Xmutil.Json.Float s.Xmobs.Statdb.qerr_sum);
+                         ("qerr_max", Xmutil.Json.Float s.Xmobs.Statdb.qerr_max)
+                       ])
+                   g.g_ops)) ])
+       gs)
 
 type comparison = {
   baseline_path : string;

@@ -30,8 +30,11 @@ val percentiles : float list -> pct
     buckets, <5% relative error on p50/p95/p99; mean and max exact). *)
 
 val load : string -> Xmobs.Qlog.entry list * int
-(** Parse a JSONL file: [(entries, malformed_line_count)].
-    @raise Sys_error when the file cannot be read. *)
+(** Parse a JSONL file: [(entries, malformed_line_count)].  When a
+    rotated sibling [FILE.1] exists (the [--qlog-max-mb] rotation
+    target), both files are read and merged in timestamp order, so the
+    analyzer sees the whole retained history.
+    @raise Sys_error when the primary file cannot be read. *)
 
 val analyze :
   ?top:int -> log_path:string -> malformed:int -> Xmobs.Qlog.entry list ->
@@ -40,6 +43,32 @@ val analyze :
 
 val to_text : summary -> string
 val to_json : summary -> Xmutil.Json.t
+
+(** {2 Warehouse cross-reference} — [xmorph stats --db]
+
+    Joins the query log with an {!Xmobs.Statdb} warehouse by guard hash:
+    per distinct guard in the log, how often and how slowly it ran
+    (qlog side) and what its operators cost historically (warehouse
+    side). *)
+
+type guard_stats = {
+  g_hash : string;  (** FNV-1a guard hash, the join key *)
+  g_guard : string;  (** representative guard text, truncated *)
+  g_count : int;  (** log records with this hash *)
+  g_mean_wall_ms : float;
+  g_ops : Xmobs.Statdb.summary list;
+      (** warehouse rows for the guard, by descending self time; empty
+          when the warehouse has no history for it *)
+}
+
+val cross_reference :
+  db:Xmobs.Statdb.t -> Xmobs.Qlog.entry list -> guard_stats list
+(** Sorted by descending query count. *)
+
+val cross_reference_to_text : ?top_ops:int -> guard_stats list -> string
+(** [top_ops] bounds the operator lines per guard (default 5). *)
+
+val cross_reference_to_json : guard_stats list -> Xmutil.Json.t
 
 type comparison = {
   baseline_path : string;

@@ -23,6 +23,24 @@ let mul_max a b =
 
 let mul a b = { lo = a.lo * b.lo; hi = mul_max a.hi b.hi }
 
+let scale c n =
+  if n < 0 then invalid_arg "Card.scale";
+  mul c { lo = n; hi = Bounded n }
+
+let contains c n =
+  n >= c.lo && (match c.hi with Many -> true | Bounded m -> n <= m)
+
+let qerror c observed =
+  if observed < 0 then invalid_arg "Card.qerror";
+  if contains c observed then 1.0
+  else
+    let o = float_of_int (max 1 observed) in
+    if observed < c.lo then float_of_int (max 1 c.lo) /. o
+    else
+      match c.hi with
+      | Many -> 1.0 (* unreachable: Many contains everything *)
+      | Bounded m -> o /. float_of_int (max 1 m)
+
 let max_join a b =
   match (a, b) with
   | Many, _ | _, Many -> Many

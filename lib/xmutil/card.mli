@@ -28,6 +28,22 @@ val one : t
 val mul : t -> t -> t
 (** Pointwise product of ranges: [n1*n2 .. m1*m2] (Def. 6). *)
 
+val scale : t -> int -> t
+(** [scale c n] is the range for [n] independent draws from [c]:
+    [n*lo .. n*hi] (saturating to [Many] on overflow).  Turns a per-parent
+    path cardinality (Def. 6) into a predicted total over all parent
+    instances; requires [n >= 0]. *)
+
+val contains : t -> int -> bool
+(** Whether an observed count lies inside the range. *)
+
+val qerror : t -> int -> float
+(** The q-error of an observed count against a predicted range: [1.0] when
+    the observation lies inside the range, otherwise the ratio to the
+    nearest violated bound (always [>= 1.0]; zeroes clamp to one so the
+    ratio stays finite).  The standard cardinality-estimation accuracy
+    measure, generalized to intervals. *)
+
 val join : t -> t -> t
 (** Smallest range containing both: [(min lo) .. (max hi)]. Used when folding
     per-parent observed counts into an edge adornment. *)

@@ -78,7 +78,13 @@ Render a guard as an XQuery view:
 Explain the joins:
 
   $ xmorph explain "MORPH author [ name ]" data.xml
-  data.book.author -> data.book.author.name: typeDistance 1, join at level 3; 3 parents x 3 children -> 3 closest pairs
+  == plan ==
+  morph
+    closest  [pred=3 nodes]
+      type(author)  [pred=3 nodes]
+      type(name)  [pred=5 nodes]
+  == closest joins ==
+  data.book.author -> data.book.author.name: typeDistance 1, join at level 3; 3 parents x 3 children -> 3 closest pairs (predicted 3..3, q-error 1.00)
 
 Profile the same guard, EXPLAIN ANALYZE style (times vary run to run;
 call counts, node counts, closest pairs, and block I/O do not):
@@ -162,7 +168,7 @@ The interactive shell works over pipes:
 Explain join diagnostics:
 
   $ printf ':explain MORPH publisher [ name ]\n' | xmorph shell data.xml
-  data.book.publisher -> data.book.publisher.name: typeDistance 1, join at level 3; 2 parents x 2 children -> 2 closest pairs
+  data.book.publisher -> data.book.publisher.name: typeDistance 1, join at level 3; 2 parents x 2 children -> 2 closest pairs (predicted 2..2, q-error 1.00)
 
 Same data, different shapes?  Instance (b) of the paper holds the same book
 facts as data.xml; a guard-level comparison says so:
@@ -223,6 +229,74 @@ Diff two shapes (schema evolution at a glance):
   [4]
   $ xmorph shape-diff data.xml data.xml
   shapes are identical
+
+The operator-statistics warehouse: --stats-db FILE accumulates
+per-operator timing and cardinality history across runs, and explain
+reads it back to annotate the plan with predicted vs. historically
+observed cardinalities (times vary run to run, so they are masked;
+counts, pairs, and q-errors do not):
+
+  $ xmorph gen dblp --seed 7 -o dblp.xml
+  wrote 3410 bytes to dblp.xml
+  $ xmorph run --stats-db w.db --qlog q.jsonl "MORPH dblp [ article [ title [ year ] ] ]" dblp.xml > /dev/null
+  $ xmorph run --stats-db w.db --qlog q.jsonl "MORPH dblp [ article [ title [ year ] ] ]" dblp.xml > /dev/null
+  $ xmorph explain --stats-db w.db "MORPH dblp [ article [ title [ year ] ] ]" dblp.xml | sed -E 's|self/call=[0-9.]+ms|self/call=_|g'
+  == plan ==
+  morph  [hist calls=2 out/call=4 self/call=_]
+    closest  [pred=1 nodes; hist calls=6 out/call=2 self/call=_]
+      type(dblp)  [pred=1 nodes; hist calls=2 out/call=1 self/call=_]
+      closest  [pred=4 nodes; hist calls=6 out/call=2 self/call=_]
+        type(article)  [pred=4 nodes; hist calls=2 out/call=1 self/call=_]
+        closest  [pred=10 nodes; hist calls=6 out/call=2 self/call=_]
+          type(title)  [pred=10 nodes; hist calls=2 out/call=4 self/call=_]
+          type(year)  [pred=10 nodes; hist calls=2 out/call=4 self/call=_]
+  == closest joins ==
+  dblp -> dblp.article: typeDistance 1, join at level 1; 1 parents x 4 children -> 4 closest pairs (predicted 4..4, q-error 1.00)
+  dblp.article -> dblp.article.title: typeDistance 1, join at level 2; 4 parents x 4 children -> 4 closest pairs (predicted 4..4, q-error 1.00)
+  dblp.article.title -> dblp.article.year: typeDistance 2, join at level 2; 4 parents x 4 children -> 4 closest pairs (predicted 4..4, q-error 1.00)
+  == history (w.db) ==
+    closest: calls=6 self/call=_ out/call=2 pairs/call=2
+    closest(dblp->dblp.article): calls=2 self/call=_ out/call=4 pairs/call=4 q-err mean=1.00 max=1.00
+    closest(dblp.article->dblp.article.title): calls=2 self/call=_ out/call=4 pairs/call=4 q-err mean=1.00 max=1.00
+    closest(dblp.article.title->dblp.article.year): calls=2 self/call=_ out/call=4 pairs/call=4 q-err mean=1.00 max=1.00
+    compile: calls=2 self/call=_ out/call=0 pairs/call=0
+    emit: calls=2 self/call=_ out/call=0 pairs/call=0
+    morph: calls=2 self/call=_ out/call=4 pairs/call=0
+    render: calls=2 self/call=_ out/call=0 pairs/call=0
+    type(article): calls=2 self/call=_ out/call=1 pairs/call=0
+    type(dblp): calls=2 self/call=_ out/call=1 pairs/call=0
+    type(title): calls=2 self/call=_ out/call=4 pairs/call=0
+    type(year): calls=2 self/call=_ out/call=4 pairs/call=0
+
+Recorded history is job-count invariant: profiled executions serialize
+the render, so calls, node counts, and closest pairs are identical at
+--jobs 1, 2, and 4 (only the masked timings differ):
+
+  $ for j in 1 2 4; do
+  >   xmorph run --stats-db jobs$j.db --jobs $j "MORPH dblp [ article [ title [ year ] ] ]" dblp.xml > /dev/null
+  >   xmorph explain --stats-db jobs$j.db "MORPH dblp [ article [ title [ year ] ] ]" dblp.xml | sed -E "s|self/call=[0-9.]+ms|self/call=_|g; s|\(jobs$j.db\)|(db)|" > explain.jobs$j
+  > done
+  $ cmp explain.jobs1 explain.jobs2
+  $ cmp explain.jobs1 explain.jobs4
+
+A corrupt warehouse degrades gracefully: one warning on stderr, then an
+empty history — never a crash:
+
+  $ printf 'garbage{' > bad.db
+  $ xmorph explain --stats-db bad.db "MORPH dblp [ article ]" dblp.xml 2>&1 >/dev/null | sed -E 's|unreadable \(.*\);|unreadable (_);|'
+  xmorph: warning: stats db bad.db unreadable (_); starting empty
+
+The stats analyzer cross-references the query log with the warehouse by
+guard hash:
+
+  $ xmorph stats q.jsonl --db w.db | sed -n '/^warehouse/,$p' | sed -E 's|self/call=[0-9.]+ms|self/call=_|g; s|mean wall [0-9.]+ms|mean wall _|'
+  warehouse cross-reference: 1 guard(s)
+    cbc809969c96db16 "MORPH dblp [ article [ title [ year ] ] ]": 2 queries, mean wall _
+      closest: calls=6 self/call=_ out/call=2 pairs/call=2
+      closest(dblp->dblp.article): calls=2 self/call=_ out/call=4 pairs/call=4 q-err mean=1.00 max=1.00
+      closest(dblp.article->dblp.article.title): calls=2 self/call=_ out/call=4 pairs/call=4 q-err mean=1.00 max=1.00
+      closest(dblp.article.title->dblp.article.year): calls=2 self/call=_ out/call=4 pairs/call=4 q-err mean=1.00 max=1.00
+      compile: calls=2 self/call=_ out/call=0 pairs/call=0
 
 The top dashboard's scripting mode is gated: a JSON snapshot only makes
 sense for a single frame:

@@ -145,6 +145,42 @@ table prints it:
   $ xmorph stats q2.jsonl | grep -c "serve.*trace=$TID"
   1
 
+The operator-statistics warehouse rides on the daemon: --stats-db
+records every served query's per-operator history, /debug/opstats
+exposes it live, and the per-operator metric families appear in the
+exposition:
+
+  $ xmorph serve data.store --port 0 --port-file portw.txt \
+  >   --stats-db serve.db > servew.out 2>&1 &
+  $ SRV=$!
+  $ for i in $(seq 1 100); do [ -s portw.txt ] && break; sleep 0.1; done
+  $ BASE="http://127.0.0.1:$(cat portw.txt)"
+  $ xmorph http POST "$BASE/query" --data "MORPH author [ name book [ title ] ]" > /dev/null
+  $ xmorph http POST "$BASE/query" --data "MORPH author [ name book [ title ] ]" > /dev/null
+  $ xmorph http GET "$BASE/debug/opstats" > opstats.json
+  $ xmorph stats --check-json opstats.json
+  opstats.json: valid JSON
+  $ grep -c '"enabled": true' opstats.json
+  1
+  $ grep -c '"op": "render"' opstats.json
+  1
+  $ grep -oE '"rows": [0-9]+' opstats.json | awk '{exit !($2 >= 2)}'
+  $ xmorph http GET "$BASE/metrics" | grep -c 'xmorph_operator_seconds_count{op="render"} 2'
+  1
+  $ xmorph http GET "$BASE/metrics" | grep -c '# TYPE xmorph_card_qerror histogram'
+  1
+
+On shutdown the warehouse is flushed; a fresh explain against the same
+store sees the served history:
+
+  $ kill -TERM $SRV
+  $ wait $SRV
+  [143]
+  $ xmorph explain --stats-db serve.db "MORPH author [ name book [ title ] ]" data.store | sed -n '/== history/,$p' | sed -E 's|self/call=[0-9.]+ms|self/call=_|g' | head -3
+  == history (serve.db) ==
+    closest: calls=4 self/call=_ out/call=1 pairs/call=2
+    closest(data.book->data.book.title): calls=2 self/call=_ out/call=2 pairs/call=2 q-err mean=1.00 max=1.00
+
 Rolling time-series, labeled request metrics, and SLO-aware health: a
 third daemon with an error-rate objective:
 

@@ -92,9 +92,42 @@ let prop_join_idempotent =
   QCheck2.Test.make ~name:"join idempotent" ~count:300 gen_card (fun c ->
       Card.equal (Card.join c c) c)
 
+let test_scale_qerror () =
+  Alcotest.(check bool) "scale bounded" true
+    (Card.equal (Card.scale (Card.v 1 2) 3) (Card.v 3 6));
+  Alcotest.(check bool) "scale zero" true
+    (Card.equal (Card.scale (Card.v 1 2) 0) Card.zero);
+  Alcotest.(check bool) "scale unbounded" true
+    (Card.equal (Card.scale (Card.unbounded 2) 3) (Card.unbounded 6));
+  Alcotest.(check bool) "scale overflow saturates" true
+    ((Card.scale (Card.v 1 max_int) 2).Card.hi = Card.Many);
+  Alcotest.(check bool) "contains inside" true (Card.contains (Card.v 2 4) 3);
+  Alcotest.(check bool) "contains below" false (Card.contains (Card.v 2 4) 1);
+  Alcotest.(check bool) "contains unbounded" true
+    (Card.contains (Card.unbounded 0) max_int);
+  Alcotest.(check (float 1e-9)) "inside: 1.0" 1.0 (Card.qerror (Card.v 2 4) 3);
+  Alcotest.(check (float 1e-9)) "at bounds: 1.0" 1.0 (Card.qerror (Card.v 2 4) 4);
+  Alcotest.(check (float 1e-9)) "underestimate: obs/hi" 2.0
+    (Card.qerror (Card.v 2 4) 8);
+  Alcotest.(check (float 1e-9)) "overestimate: lo/obs" 2.0
+    (Card.qerror (Card.v 4 8) 2);
+  Alcotest.(check (float 1e-9)) "zero observed clamps" 4.0
+    (Card.qerror (Card.v 4 8) 0);
+  Alcotest.(check (float 1e-9)) "unbounded above: 1.0" 1.0
+    (Card.qerror (Card.unbounded 1) 1000000)
+
+let prop_qerror_ge_one =
+  QCheck2.Test.make ~name:"qerror >= 1, and 1 when contained" ~count:500
+    QCheck2.Gen.(pair gen_card (int_bound 10000))
+    (fun (c, n) ->
+      let q = Card.qerror c n in
+      q >= 1.0 && ((not (Card.contains c n)) || q = 1.0))
+
 let suite =
   [
     Alcotest.test_case "constructors" `Quick test_construct;
+    Alcotest.test_case "scale / contains / qerror" `Quick test_scale_qerror;
+    QCheck_alcotest.to_alcotest prop_qerror_ge_one;
     Alcotest.test_case "multiplication (Def. 6)" `Quick test_mul;
     Alcotest.test_case "join" `Quick test_join;
     Alcotest.test_case "observe" `Quick test_observe;

@@ -175,8 +175,18 @@ let test_selfmetrics_rss_degrades () =
   Fun.protect
     ~finally:(fun () -> Sys.remove good)
     (fun () ->
-      Alcotest.(check bool) "well-formed statm: pages x 4096" true
-        (Xmobs.Selfmetrics.rss_bytes ~path:good () = Some (123 * 4096)))
+      Alcotest.(check bool) "well-formed statm: pages x page size" true
+        (Xmobs.Selfmetrics.rss_bytes ~path:good ()
+        = Some (123 * Xmobs.Selfmetrics.page_size ())))
+
+let test_selfmetrics_page_size () =
+  let ps = Xmobs.Selfmetrics.page_size () in
+  (* A real page size: positive, a power of two, in the range any
+     supported system uses (4K..64K); and stable across calls. *)
+  Alcotest.(check bool) "positive" true (ps > 0);
+  Alcotest.(check bool) "power of two" true (ps land (ps - 1) = 0);
+  Alcotest.(check bool) "plausible range" true (ps >= 4096 && ps <= 65536);
+  Alcotest.(check int) "stable" ps (Xmobs.Selfmetrics.page_size ())
 
 let test_selfmetrics_sample_without_statm () =
   with_scoped_metrics (fun r ->
@@ -351,6 +361,7 @@ let test_disabled_path_no_alloc () =
   Metrics.disable ();
   Xmobs.Profile.disable ();
   Xmobs.Timeseries.disable ();
+  Xmobs.Statdb.disable ();
   let f () = 0 in
   (* Warm up so any one-time closure setup is done before measuring. *)
   ignore (Sys.opaque_identity (Trace.with_span "x" f));
@@ -377,6 +388,9 @@ let test_disabled_path_no_alloc () =
     (* The rolling time-series entry points share the same contract. *)
     Xmobs.Timeseries.inc "x";
     Xmobs.Timeseries.observe "x" 1.0;
+    (* The statistics warehouse: a disabled submit is one atomic load. *)
+    ignore (Sys.opaque_identity (Xmobs.Statdb.enabled ()));
+    Xmobs.Statdb.submit ~guard_hash:"x" [];
     ignore (Sys.opaque_identity (Xmobs.Ctx.current ()));
     ignore (Sys.opaque_identity (Xmobs.Ctx.current_trace_id ()))
   done;
@@ -398,6 +412,8 @@ let suite =
       test_selfmetrics_rss_degrades;
     Alcotest.test_case "selfmetrics sample without statm" `Quick
       test_selfmetrics_sample_without_statm;
+    Alcotest.test_case "selfmetrics page size is real" `Quick
+      test_selfmetrics_page_size;
     Alcotest.test_case "counters, gauges, observers" `Quick
       test_counters_gauges_observers;
     Alcotest.test_case "phase records span and metrics" `Quick

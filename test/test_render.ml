@@ -256,6 +256,12 @@ let test_explain () =
   Alcotest.(check int) "author-name distance" 1 name_edge.Render.type_distance;
   Alcotest.(check int) "3 pairs" 3 name_edge.Render.pairs;
   Alcotest.(check int) "no orphans" 0 name_edge.Render.orphans;
+  (* every author has exactly one name in fig_a, so the dataguide-derived
+     prediction pins the pair count and the q-error is exactly 1 *)
+  Alcotest.(check bool) "prediction contains actual" true
+    (Xmutil.Card.contains name_edge.Render.predicted name_edge.Render.pairs);
+  Alcotest.(check (float 1e-9)) "q-error 1.0" 1.0
+    (Xmutil.Card.qerror name_edge.Render.predicted name_edge.Render.pairs);
   (* A guard that strands children reports orphans. *)
   let src = {|<r><g><p/><c>1</c></g><g><c>2</c></g></r>|} in
   let store2 = Store.Shredded.shred (Xml.Doc.of_string src) in

@@ -872,6 +872,91 @@ let test_load_skips_malformed () =
   Alcotest.(check int) "two well-formed" 2 (List.length entries);
   Alcotest.(check int) "two malformed" 2 malformed
 
+let test_load_merges_rotated () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xmorph_rot_%d.jsonl" (Unix.getpid ()))
+  in
+  let rotated = path ^ ".1" in
+  let write p lines =
+    let oc = open_out_bin p in
+    List.iter
+      (fun l ->
+        output_string oc l;
+        output_string oc "\n")
+      lines;
+    close_out oc
+  in
+  (* older generation holds ids 0 and 5, live file 2 and 6: the merge must
+     interleave by timestamp, not concatenate *)
+  write rotated
+    [
+      Xmobs.Qlog.entry_to_line (mk_entry ~id:0 ~wall:0.001 ());
+      "garbage in the rotated file";
+      Xmobs.Qlog.entry_to_line (mk_entry ~id:5 ~wall:0.002 ());
+    ];
+  write path
+    [
+      Xmobs.Qlog.entry_to_line (mk_entry ~id:2 ~wall:0.003 ());
+      Xmobs.Qlog.entry_to_line (mk_entry ~id:6 ~wall:0.004 ());
+    ];
+  let entries, malformed = Xmserve.Stats.load path in
+  Sys.remove path;
+  Sys.remove rotated;
+  Alcotest.(check (list int))
+    "merged in timestamp order" [ 0; 2; 5; 6 ]
+    (List.map (fun e -> e.Xmobs.Qlog.id) entries);
+  Alcotest.(check int) "malformed summed across generations" 1 malformed
+
+let test_cross_reference () =
+  let entries =
+    List.init 4 (fun i -> mk_entry ~id:i ~wall:0.010 ())
+    @ [
+        {
+          (mk_entry ~id:9 ~wall:0.020 ()) with
+          Xmobs.Qlog.guard = "MORPH book [ title ]";
+          guard_hash = Xmobs.Qlog.hash_text "other";
+        };
+      ]
+  in
+  let db = Xmobs.Statdb.create () in
+  Xmobs.Statdb.record db ~guard_hash:(Xmobs.Qlog.hash_text "g")
+    [
+      {
+        Xmobs.Profile.name = "closest(a->b)";
+        calls = 2;
+        total_us = 100.0;
+        child_us = 0.0;
+        in_count = 4;
+        out_count = 8;
+        pairs = 8;
+        blocks_read = 0;
+        blocks_written = 0;
+        children = [];
+      };
+    ];
+  match Xmserve.Stats.cross_reference ~db entries with
+  | [ busy; rare ] ->
+      Alcotest.(check string)
+        "most-queried guard first" (Xmobs.Qlog.hash_text "g")
+        busy.Xmserve.Stats.g_hash;
+      Alcotest.(check int) "query count" 4 busy.Xmserve.Stats.g_count;
+      Alcotest.(check bool)
+        "warehouse rows attached" true
+        (busy.Xmserve.Stats.g_ops <> []);
+      Alcotest.(check bool)
+        "unknown guard has no history" true
+        (rare.Xmserve.Stats.g_ops = []);
+      let text = Xmserve.Stats.cross_reference_to_text [ busy; rare ] in
+      Alcotest.(check bool)
+        "text mentions warehouse" true
+        (String.length text > 0
+        && Xmutil.Json.to_string
+             (Xmserve.Stats.cross_reference_to_json [ busy; rare ])
+           <> "")
+  | other ->
+      Alcotest.failf "expected 2 guard groups, got %d" (List.length other)
+
 let test_compare_baseline () =
   let fast =
     Xmserve.Stats.analyze ~log_path:"a"
@@ -950,6 +1035,10 @@ let suite =
     Alcotest.test_case "concurrent requests: disjoint traces, I/O sums"
       `Quick test_concurrent_requests_disjoint;
     Alcotest.test_case "stats analyzer aggregates" `Quick test_analyze;
+    Alcotest.test_case "stats load merges rotated generations" `Quick
+      test_load_merges_rotated;
+    Alcotest.test_case "stats cross-references the warehouse" `Quick
+      test_cross_reference;
     Alcotest.test_case "stats load skips malformed lines" `Quick
       test_load_skips_malformed;
     Alcotest.test_case "stats --compare regression verdict" `Quick
