@@ -20,6 +20,7 @@ let sections =
     ("micro", Micro.run);
     ("scaling", Scaling.run);
     ("serve", Serve_stats.run);
+    ("cache", Cache.run);
   ]
 
 let () =

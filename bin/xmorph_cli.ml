@@ -989,8 +989,19 @@ let serve_cmd =
                    the windowed query error fraction exceeds $(docv) (for \
                    example 0.05 for 5%).")
   in
+  let cache_mb =
+    Arg.(value & opt (some int) None
+         & info [ "cache-mb" ] ~docv:"MB"
+             ~doc:"Enable the two-tier serve cache (compiled-guard plans \
+                   plus a byte-budgeted LRU of rendered results) with \
+                   $(docv) mebibytes of result budget.  Cached responses \
+                   are byte-identical to cold executions and invalidate on \
+                   POST /update via the store generation.  0 disables.  \
+                   Defaults to the XMORPH_CACHE_MB environment variable \
+                   when set; off otherwise.")
+  in
   let run () inputs port addr workers port_file slow_ms slow_log window
-      slo_p95_ms slo_error_rate =
+      slo_p95_ms slo_error_rate cache_mb =
     (* The daemon is multi-threaded, so an async [Sys.signal] handler can
        be delivered to a worker or pool domain that never reaches a
        safepoint while the accept loop sits in [accept].  Block the
@@ -1018,6 +1029,15 @@ let serve_cmd =
       | None ->
           Option.bind (Sys.getenv_opt "XMORPH_SLOW_MS") float_of_string_opt
     in
+    let cache_mb =
+      match cache_mb with
+      | Some _ as v -> v
+      | None ->
+          Option.bind (Sys.getenv_opt "XMORPH_CACHE_MB") int_of_string_opt
+    in
+    (match cache_mb with
+    | Some mb when mb > 0 -> Xmcache.enable ~budget_bytes:(mb * 1024 * 1024)
+    | Some _ | None -> ());
     let slo =
       { Xmserve.Slo.default with
         p95_ms = slo_p95_ms;
@@ -1047,7 +1067,8 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ obs_term $ inputs $ port $ addr $ workers $ port_file
-          $ slow_ms $ slow_log $ window $ slo_p95_ms $ slo_error_rate)
+          $ slow_ms $ slow_log $ window $ slo_p95_ms $ slo_error_rate
+          $ cache_mb)
 
 (* ---------- stats ---------- *)
 

@@ -56,6 +56,7 @@ type entry = {
   out_nodes : int;
   io : io option;
   jobs : int;
+  cached : bool;
 }
 
 let id_counter = Atomic.make 0
@@ -109,7 +110,10 @@ let entry_to_json (e : entry) =
         ("in_nodes", Xmutil.Json.Int e.in_nodes);
         ("out_nodes", Xmutil.Json.Int e.out_nodes) ]
     @ (match e.io with None -> [] | Some io -> [ ("io", io_to_json io) ])
-    @ [ ("jobs", Xmutil.Json.Int e.jobs) ])
+    @ [ ("jobs", Xmutil.Json.Int e.jobs) ]
+    (* Written only when true, so records from cache-less builds and
+       cache-less runs are byte-identical to the historical format. *)
+    @ (if e.cached then [ ("cached", Xmutil.Json.Bool true) ] else []))
 
 let entry_to_line e = Xmutil.Json.to_string ~pretty:false (entry_to_json e)
 
@@ -188,6 +192,11 @@ let entry_of_json j =
     out_nodes = get_int fields "out_nodes";
     io;
     jobs = get_int fields "jobs";
+    (* Absent in pre-cache logs: missing means uncached. *)
+    cached =
+      (match find fields "cached" with
+      | Some (Xmutil.Json.Bool b) -> b
+      | _ -> false);
   }
 
 (* ---------- the ring-to-disk writer ---------- *)

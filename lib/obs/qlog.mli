@@ -66,6 +66,10 @@ type entry = {
   out_nodes : int;  (** nodes in the rendered/materialized result *)
   io : io option;
   jobs : int;  (** {!Xmutil.Pool.jobs} at execution time *)
+  cached : bool;
+      (** the body was served from the result cache rather than rendered.
+          Serialized only when [true]; records written before this field
+          existed (or by cache-less runs) lack it and parse as [false]. *)
 }
 
 val next_id : unit -> int

@@ -25,6 +25,7 @@ val execute :
   ?enforce:bool ->
   ?compact:bool ->
   ?trace_id:string ->
+  ?guard_hash:string ->
   ?query:string ->
   Store.Shredded.t ->
   string ->
@@ -34,6 +35,17 @@ val execute :
     transformed tree (the physical guarded-query architecture).  Never
     raises: failures come back as [Failed].  [source] and [doc] are
     recorded in the query log verbatim.
+
+    When {!Xmcache} is enabled, the compiled plan and the rendered body
+    are looked up there first and inserted on a miss; both tiers are
+    bypassed entirely while {!Xmobs.Statdb} recording or
+    {!Xmobs.Profile} profiling is active, so warehouse history and
+    profiles always describe real executions.  A result-tier hit is
+    flagged in the query-log record's [cached] field.
+
+    [?guard_hash] is the precomputed {!Xmobs.Qlog.hash_text} of [guard];
+    pass it when the caller already hashed the guard (the server does,
+    for metric labels) so the digest is computed once per request.
 
     The query-log record's [trace_id] defaults to the calling thread's
     installed {!Xmobs.Ctx} (if any); [?trace_id] overrides it — the serve
@@ -55,4 +67,6 @@ val record :
     (the in-situ logical evaluator, the profiler subcommand): times [f],
     classifies its outcome by exception, writes one query-log record, and
     re-raises.  The eval/render breakdown is not available here — the
-    whole duration is charged to [wall_s]/[eval_s]. *)
+    whole duration is charged to [wall_s] only, with [eval_s] and
+    [render_s] reported as [0.0] so the analyzer's phase percentiles are
+    not skewed by records that cannot attribute their time. *)

@@ -15,7 +15,11 @@ type t = {
   s_addr : string;
   s_port : int;
   workers : int;
-  stores : (string * Store.Shredded.t) list;
+  stores : (string * Store.Shredded.t Atomic.t) list;
+      (* The list (names, order) is fixed at create; each cell is
+         swapped atomically by POST /update, so a request reads one
+         coherent store value for its whole execution. *)
+  update_lock : Mutex.t; (* serializes updates: swap = read-modify-write *)
   listen_fd : Unix.file_descr;
   started : float;
   stopping : bool Atomic.t;
@@ -67,7 +71,12 @@ let create ?(addr = "127.0.0.1") ?(port = 0) ?(workers = 4) ?slow_ms ?slow_log
       ("xmorph_operator_seconds", "per-operator self time by operator name");
       ("xmorph_card_qerror",
        "closest-join cardinality-estimate q-error by operator");
+      ("xmorph_cache_hits_total", "cache hits by tier (plan or result)");
+      ("xmorph_cache_misses_total", "cache misses by tier (plan or result)");
+      ("xmorph_cache_evictions_total", "cache evictions by tier (plan or result)");
+      ("xmorph_cache_bytes", "resident bytes in the result cache");
       ("serve.requests", "HTTP requests handled since start");
+      ("serve.updates", "store value updates applied via POST /update");
       ("serve.request.seconds", "HTTP request wall time");
       ("serve.query.seconds", "executed query wall time");
       ("serve.workers", "worker thread budget");
@@ -76,7 +85,8 @@ let create ?(addr = "127.0.0.1") ?(port = 0) ?(workers = 4) ?slow_ms ?slow_log
     s_addr = addr;
     s_port = actual_port;
     workers;
-    stores;
+    stores = List.map (fun (name, store) -> (name, Atomic.make store)) stores;
+    update_lock = Mutex.create ();
     listen_fd = fd;
     started = now ();
     stopping = Atomic.make false;
@@ -100,12 +110,14 @@ let port t = t.s_port
 
 let addr t = t.s_addr
 
-let store_for t req =
+let store_cell_for t req =
   match List.assoc_opt "doc" req.Http.query with
   | None -> Some (List.hd t.stores)
-  | Some name ->
-      List.find_opt (fun (n, _) -> String.equal n name) t.stores
-      |> Option.map (fun (n, s) -> (n, s))
+  | Some name -> List.find_opt (fun (n, _) -> String.equal n name) t.stores
+
+let store_for t req =
+  store_cell_for t req
+  |> Option.map (fun (n, cell) -> (n, Atomic.get cell))
 
 let truthy = function
   | Some ("1" | "true" | "yes") -> true
@@ -127,10 +139,13 @@ let stats_json t =
       ("stores",
        Xmutil.Json.List
          (List.map
-            (fun (name, store) ->
+            (fun (name, cell) ->
+              let store = Atomic.get cell in
               Xmutil.Json.Obj
                 [ ("name", Xmutil.Json.String name);
                   ("nodes", Xmutil.Json.Int (Store.Shredded.node_count store));
+                  ("generation",
+                   Xmutil.Json.Int (Store.Shredded.generation store));
                   ("types",
                    Xmutil.Json.Int
                      (Xml.Type_table.count (Store.Shredded.types store))) ])
@@ -203,6 +218,10 @@ let handle_query t req =
     | None -> Xmobs.Ctx.create ()
   in
   let t0 = now () in
+  (* One FNV-1a digest per request: computed when a guard is executed,
+     reused for the guard-seconds label, the trace label, and (inside
+     Exec) the query-log record, warehouse submit, and cache keys. *)
+  let ghash = ref None in
   (* [slow] carries what a slow-query capture needs to re-execute; None
      when nothing was executed (unknown doc, empty guard). *)
   let resp, outcome_name, slow =
@@ -224,10 +243,12 @@ let handle_query t req =
               let enforce =
                 not (truthy (List.assoc_opt "force" req.Http.query))
               in
+              let guard_hash = Xmobs.Qlog.hash_text guard in
+              ghash := Some guard_hash;
               let tq = now () in
               let outcome =
-                Exec.execute ~source:"serve" ~doc:doc_name ~enforce ?query
-                  store guard
+                Exec.execute ~source:"serve" ~doc:doc_name ~enforce
+                  ~guard_hash ?query store guard
               in
               let qwall = now () -. tq in
               Xmobs.Metrics.observe "serve.query.seconds" qwall;
@@ -264,7 +285,7 @@ let handle_query t req =
                 [ ("doc", doc_name); ("outcome", name) ]
                 qwall;
               Xmobs.Metrics.observe_labeled "xmorph_guard_seconds"
-                [ ("guard", Xmobs.Qlog.hash_text guard) ]
+                [ ("guard", guard_hash) ]
                 qwall;
               Xmobs.Timeseries.record t.ts_queries qwall;
               (match t.slo with
@@ -279,8 +300,12 @@ let handle_query t req =
   in
   let wall_s = now () -. t0 in
   let label =
-    let guard = String.trim req.Http.body in
-    if guard = "" then req.Http.path else Xmobs.Qlog.hash_text req.Http.body
+    match !ghash with
+    | Some h -> h
+    | None ->
+        let guard = String.trim req.Http.body in
+        if guard = "" then req.Http.path
+        else Xmobs.Qlog.hash_text req.Http.body
   in
   Xmobs.Ctx.finish ctx ~label ~outcome:outcome_name
     ~status:resp.Http.status ~wall_s;
@@ -304,7 +329,58 @@ let handle_query t req =
           ("x-xmorph-trace-id", Xmobs.Ctx.trace_id ctx) ];
   }
 
+(* POST /update?doc=NAME&node=ID — body is the node's new text value.
+   The serving half of mapping value updates onto a materialized
+   transformation (Sec. VIII): build the updated store value (functional
+   [update_value]) and swap it into the cell.  The fresh generation
+   orphans every result-cache entry for the old value by key mismatch;
+   compiled plans survive, since the shape is shared.  Serialized by
+   [update_lock] — the swap is a read-modify-write — while queries keep
+   reading whichever value their [Atomic.get] saw. *)
+let handle_update t req =
+  match store_cell_for t req with
+  | None ->
+      Http.response 404
+        (Printf.sprintf "unknown doc %S\n"
+           (Option.value ~default:"" (List.assoc_opt "doc" req.Http.query)))
+  | Some (doc_name, cell) -> (
+      match
+        Option.bind (List.assoc_opt "node" req.Http.query) int_of_string_opt
+      with
+      | None -> Http.response 400 "missing or malformed node id\n"
+      | Some id ->
+          Mutex.lock t.update_lock;
+          let result =
+            match
+              Store.Shredded.update_value (Atomic.get cell) id req.Http.body
+            with
+            | updated ->
+                Atomic.set cell updated;
+                Ok updated
+            | exception Invalid_argument _ -> Error ()
+          in
+          Mutex.unlock t.update_lock;
+          (match result with
+          | Error () ->
+              Http.response 400
+                (Printf.sprintf "no node %d in %s\n" id doc_name)
+          | Ok updated ->
+              Xmobs.Metrics.inc "serve.updates";
+              Http.response ~content_type:"application/json" 200
+                (Xmutil.Json.to_string
+                   (Xmutil.Json.Obj
+                      [ ("doc", Xmutil.Json.String doc_name);
+                        ("node", Xmutil.Json.Int id);
+                        ("generation",
+                         Xmutil.Json.Int
+                           (Store.Shredded.generation updated)) ])
+                ^ "\n")))
+
 (* ---------- /debug endpoints ---------- *)
+
+let debug_cache () =
+  Http.response ~content_type:"application/json" 200
+    (Xmutil.Json.to_string ~pretty:true (Xmcache.to_json ()) ^ "\n")
 
 let completed_summary (c : Xmobs.Ctx.completed) =
   Xmutil.Json.Obj
@@ -439,6 +515,7 @@ let route t (req : Http.request) =
   match (req.Http.meth, req.Http.path) with
   | "GET", "/healthz" -> healthz t
   | "GET", "/debug/opstats" -> debug_opstats ()
+  | "GET", "/debug/cache" -> debug_cache ()
   | "GET", "/debug/timeseries" -> debug_timeseries t
   | "GET", "/metrics" ->
       Xmobs.Metrics.set_gauge "serve.uptime_s" (now () -. t.started);
@@ -459,6 +536,7 @@ let route t (req : Http.request) =
         (String.sub path (String.length trace_prefix)
            (String.length path - String.length trace_prefix))
   | "POST", "/query" -> handle_query t req
+  | "POST", "/update" -> handle_update t req
   | ("GET" | "POST" | "HEAD" | "PUT" | "DELETE"), _ ->
       Http.response 404 (Printf.sprintf "no route %s %s\n" req.Http.meth req.Http.path)
   | m, _ -> Http.response 405 (Printf.sprintf "method %s not allowed\n" m)
@@ -475,11 +553,12 @@ let status_class status =
 let route_label (req : Http.request) =
   match (req.Http.meth, req.Http.path) with
   | "GET", (("/healthz" | "/metrics" | "/stats" | "/debug/requests"
-            | "/debug/timeseries" | "/debug/opstats") as p) ->
+            | "/debug/timeseries" | "/debug/opstats" | "/debug/cache") as p) ->
       p
   | "GET", p when String.starts_with ~prefix:trace_prefix p ->
       "/debug/trace/:id"
   | "POST", "/query" -> "/query"
+  | "POST", "/update" -> "/update"
   | _ -> "other"
 
 (* Every response — queries and monitoring scrapes alike — lands in the

@@ -27,6 +27,15 @@
       [?query=XQUERY] additionally runs a guarded XQuery query against
       the reshaped data ([xmorph query] semantics).  Every request writes
       one {!Xmobs.Qlog} record.
+    - [POST /update] — body is a node's new text value;
+      [?doc=NAME&node=ID] selects the target.  Applies
+      {!Store.Shredded.update_value} and atomically swaps the served
+      store, so later queries see the new value and the old generation's
+      {!Xmcache} result entries die by key mismatch.  Responds with the
+      new store generation as JSON.
+    - [GET /debug/cache] — the {!Xmcache} introspection document:
+      per-tier entries, hits/misses/evictions and hit rate, byte budget
+      and resident bytes; [{"enabled": false}] when serving uncached.
     - [GET /debug/requests] — JSON summaries of recently completed
       [POST /query] requests, newest first ({!Xmobs.Ctx} ring).
     - [GET /debug/trace/<trace-id>] — one completed request's full span

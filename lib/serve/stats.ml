@@ -6,6 +6,13 @@
 
 type pct = { p50 : float; p95 : float; p99 : float; mean : float; max : float }
 
+type lat = {
+  l_count : int;
+  l_wall_ms : pct;
+  l_eval_ms : pct;
+  l_render_ms : pct;
+}
+
 type summary = {
   log_path : string;
   total : int;
@@ -18,6 +25,8 @@ type summary = {
   render_ms : pct;
   blocks : pct;
   blocks_total : int;
+  cached : lat;
+  uncached : lat;
   slowest : Xmobs.Qlog.entry list;
 }
 
@@ -110,10 +119,25 @@ let analyze ?(top = 5) ~log_path ~malformed entries =
   let errors =
     count (fun (e : Xmobs.Qlog.entry) -> e.Xmobs.Qlog.outcome <> Xmobs.Qlog.Ok)
   in
-  let ms f = List.map (fun e -> 1000.0 *. f e) entries in
+  let ms ?(among = entries) f = List.map (fun e -> 1000.0 *. f e) among in
   let wall_ms = percentiles (ms (fun e -> e.Xmobs.Qlog.wall_s)) in
   let eval_ms = percentiles (ms (fun e -> e.Xmobs.Qlog.eval_s)) in
   let render_ms = percentiles (ms (fun e -> e.Xmobs.Qlog.render_s)) in
+  (* The cached/uncached split: result-cache hits versus real
+     executions.  Pre-cache logs have no [cached] field, which parses as
+     false, so the whole history lands in [uncached] and the split
+     degenerates gracefully. *)
+  let lat_of among =
+    {
+      l_count = List.length among;
+      l_wall_ms = percentiles (ms ~among (fun e -> e.Xmobs.Qlog.wall_s));
+      l_eval_ms = percentiles (ms ~among (fun e -> e.Xmobs.Qlog.eval_s));
+      l_render_ms = percentiles (ms ~among (fun e -> e.Xmobs.Qlog.render_s));
+    }
+  in
+  let cached_entries, uncached_entries =
+    List.partition (fun (e : Xmobs.Qlog.entry) -> e.Xmobs.Qlog.cached) entries
+  in
   let blocks_list = List.map (fun e -> float_of_int (entry_blocks e)) entries in
   let blocks = percentiles blocks_list in
   let blocks_total =
@@ -140,6 +164,8 @@ let analyze ?(top = 5) ~log_path ~malformed entries =
     render_ms;
     blocks;
     blocks_total;
+    cached = lat_of cached_entries;
+    uncached = lat_of uncached_entries;
     slowest;
   }
 
@@ -174,6 +200,20 @@ let to_text s =
     Buffer.add_string b
       (Printf.sprintf "blocks: total=%d p50=%.0f p95=%.0f p99=%.0f\n"
          s.blocks_total s.blocks.p50 s.blocks.p95 s.blocks.p99);
+    (* Only worth a table when the log actually has cache hits; a
+       pre-cache (or cache-less) log prints exactly what it always did. *)
+    if s.cached.l_count > 0 then begin
+      Buffer.add_string b
+        (Printf.sprintf "cached: %d of %d (%.1f%%)\n" s.cached.l_count s.total
+           (100.0 *. float_of_int s.cached.l_count /. float_of_int s.total));
+      let lat_block label l =
+        Buffer.add_string b (pct_line (label ^ " wall") l.l_wall_ms ^ "\n");
+        Buffer.add_string b (pct_line (label ^ " eval") l.l_eval_ms ^ "\n");
+        Buffer.add_string b (pct_line (label ^ " render") l.l_render_ms ^ "\n")
+      in
+      lat_block "cached" s.cached;
+      if s.uncached.l_count > 0 then lat_block "uncached" s.uncached
+    end;
     if s.slowest <> [] then begin
       Buffer.add_string b "slowest:\n";
       List.iteri
@@ -200,6 +240,13 @@ let pct_to_json p =
       ("p99", Xmutil.Json.Float p.p99); ("mean", Xmutil.Json.Float p.mean);
       ("max", Xmutil.Json.Float p.max) ]
 
+let lat_to_json l =
+  Xmutil.Json.Obj
+    [ ("queries", Xmutil.Json.Int l.l_count);
+      ("wall_ms", pct_to_json l.l_wall_ms);
+      ("eval_ms", pct_to_json l.l_eval_ms);
+      ("render_ms", pct_to_json l.l_render_ms) ]
+
 let to_json s =
   Xmutil.Json.Obj
     [ ("bench", Xmutil.Json.String "serve");
@@ -216,6 +263,8 @@ let to_json s =
       ("wall_ms", pct_to_json s.wall_ms);
       ("eval_ms", pct_to_json s.eval_ms);
       ("render_ms", pct_to_json s.render_ms);
+      ("cached", lat_to_json s.cached);
+      ("uncached", lat_to_json s.uncached);
       ("blocks",
        Xmutil.Json.Obj
          [ ("total", Xmutil.Json.Int s.blocks_total);

@@ -10,6 +10,15 @@
 (** Percentile summary of one series (milliseconds or blocks). *)
 type pct = { p50 : float; p95 : float; p99 : float; mean : float; max : float }
 
+(** Latency triple over a subset of the records (the cached/uncached
+    split). *)
+type lat = {
+  l_count : int;
+  l_wall_ms : pct;
+  l_eval_ms : pct;
+  l_render_ms : pct;
+}
+
 type summary = {
   log_path : string;
   total : int;  (** well-formed records *)
@@ -22,6 +31,11 @@ type summary = {
   render_ms : pct;
   blocks : pct;
   blocks_total : int;
+  cached : lat;
+      (** records served from the result cache ([cached] flag).  Logs
+          written before the flag existed parse as uncached, so this is
+          empty for pre-cache history. *)
+  uncached : lat;  (** real executions *)
   slowest : Xmobs.Qlog.entry list;  (** top N by wall time, slowest first *)
 }
 

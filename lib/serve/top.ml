@@ -160,6 +160,39 @@ let render s =
     (match int_at ts [ "series"; "queries"; "lifetime" ] with
     | Some n -> string_of_int n
     | None -> dash);
+  (* Serve-cache health, read from the /stats metrics dump (the labeled
+     hit/miss families and the resident-bytes gauge); daemons running
+     without a cache simply have no such series, and the line is
+     omitted — same tolerance as every other field. *)
+  (let tier_counter family tier =
+     int_at st
+       [ "metrics"; "labeled_counters"; family; "{tier=" ^ tier ^ "}" ]
+   in
+   let rate tier =
+     let hits = tier_counter "xmorph_cache_hits_total" tier in
+     let misses = tier_counter "xmorph_cache_misses_total" tier in
+     match (hits, misses) with
+     | None, None -> None
+     | h, m ->
+         let h = Option.value ~default:0 h
+         and m = Option.value ~default:0 m in
+         if h + m = 0 then Some (dash, h, m)
+         else
+           Some
+             ( Printf.sprintf "%.0f%%"
+                 (100.0 *. float_of_int h /. float_of_int (h + m)),
+               h,
+               m )
+   in
+   match (rate "result", rate "plan") with
+   | None, None -> ()
+   | result, plan ->
+       let part name = function
+         | None -> Printf.sprintf "%s %s" name dash
+         | Some (r, h, m) -> Printf.sprintf "%s %s (%d/%d)" name r h (h + m)
+       in
+       line "cache  %s  %s  bytes %s" (part "result" result) (part "plan" plan)
+         (fmt_bytes (num st [ "metrics"; "gauges"; "xmorph_cache_bytes" ])));
   line "req %s" (sparkline (seconds_of s "requests"));
   (match
      List.filter_map

@@ -27,7 +27,19 @@ type t = {
       (* GroupedSequence cache: (type, level) -> runs of the sequence
          sharing a Dewey prefix of that length *)
   lock : Mutex.t; (* guards [groups]: the renderer reads from domains *)
+  generation : int;
+      (* Identity of this store *value* for cache keying.  Drawn from a
+         process-global counter, so any two store values in a process —
+         including the two sides of an [update_value] — always compare
+         unequal.  Caches key on it instead of scanning for staleness. *)
 }
+
+(* Process-global, so generations are unique across every store in the
+   process (update_value is functional: a naive per-store increment
+   would let two divergent branches share a number). *)
+let generations = Atomic.make 0
+
+let next_generation () = Atomic.fetch_and_add generations 1
 
 let encode_record b (n : Xml.Doc.node) =
   Codec.add_int_array b n.dewey;
@@ -106,9 +118,11 @@ let shred doc =
     stats = Io_stats.create ();
     groups = Hashtbl.create 16;
     lock = Mutex.create ();
+    generation = next_generation ();
   }
 
 let stats t = t.stats
+let generation t = t.generation
 let guide t = t.guide
 let types t = Xml.Dataguide.types t.guide
 let node_count t = Array.length t.offsets
@@ -203,7 +217,8 @@ let update_value t id value =
       (Hashtbl.copy g);
     g
   in
-  { t with blob = Buffer.contents b; offsets; groups; lock = Mutex.create () }
+  { t with blob = Buffer.contents b; offsets; groups;
+    lock = Mutex.create (); generation = next_generation () }
 
 let magic = "XMORPH-STORE-2\n"
 
@@ -311,4 +326,4 @@ let load path =
   { blob; offsets; seqs; seq_bytes; dewey_cols;
     dewey_col_bytes = column_bytes dewey_cols; guide;
     stats = Io_stats.create (); groups = Hashtbl.create 16;
-    lock = Mutex.create () }
+    lock = Mutex.create (); generation = next_generation () }

@@ -77,6 +77,13 @@ val node_count : t -> int
 val data_bytes : t -> int
 (** Total size of the Nodes blob — the store's idea of "document size". *)
 
+val generation : t -> int
+(** The identity of this store {e value}, unique across every store built
+    in the process (by {!shred}, {!load}, or {!update_value}).  Result
+    caches key rendered bodies on it: an update produces a store with a
+    fresh generation, so entries for the old value die by key mismatch
+    with no invalidation scan. *)
+
 val update_value : t -> int -> string -> t
 (** [update_value t id v] is a store identical to [t] except node [id]'s
     text value is [v].  Values do not participate in the shape, so the

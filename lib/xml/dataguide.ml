@@ -5,7 +5,14 @@ type t = {
   roots : Type_table.id list;
   cards : Card.t array;
   counts : int array;
+  uid : int;
+      (* Identity of this shape value, unique in the process; plan caches
+         key compiled guards on it so plans never leak across documents. *)
 }
+
+let uids = Atomic.make 0
+
+let next_uid () = Atomic.fetch_and_add uids 1
 
 let of_doc doc =
   let types = Doc.types doc in
@@ -37,10 +44,12 @@ let of_doc doc =
       (List.map (fun (n : Doc.node) -> n.Doc.type_id) (Doc.roots doc))
   in
   List.iter (fun r -> cards.(r) <- Card.one) roots;
-  { types; roots; cards; counts }
+  { types; roots; cards; counts; uid = next_uid () }
 
-let make ~types ~roots ~cards ~counts = { types; roots; cards; counts }
+let make ~types ~roots ~cards ~counts =
+  { types; roots; cards; counts; uid = next_uid () }
 
+let uid s = s.uid
 let types s = s.types
 let root s = List.hd s.roots
 let roots s = s.roots

@@ -25,6 +25,12 @@ val make :
 
 val types : t -> Type_table.t
 
+val uid : t -> int
+(** Identity of this shape value, unique per constructed shape in the
+    process.  Compiled plans are valid exactly as long as the shape is
+    the same value (the paper's data-independence claim: a plan depends
+    only on the shape, not the data), so plan caches key on this. *)
+
 val root : t -> Type_table.id
 (** The first root type (collections can have several). *)
 

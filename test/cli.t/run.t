@@ -298,6 +298,27 @@ guard hash:
       closest(dblp.article.title->dblp.article.year): calls=2 self/call=_ out/call=4 pairs/call=4 q-err mean=1.00 max=1.00
       compile: calls=2 self/call=_ out/call=0 pairs/call=0
 
+The analyzer splits its latency percentiles by the result-cache flag,
+and tolerates logs written before the flag existed — such records parse
+as uncached, so mixed histories aggregate cleanly:
+
+  $ cat > mixed.jsonl <<'EOF'
+  > {"ts_ms":1000,"id":0,"source":"serve","doc":"d","guard":"MORPH a","guard_hash":"h1","outcome":"ok","wall_s":0.004,"eval_s":0.003,"render_s":0.001,"in_nodes":10,"out_nodes":5,"jobs":1}
+  > {"ts_ms":2000,"id":1,"source":"serve","doc":"d","guard":"MORPH a","guard_hash":"h1","outcome":"ok","wall_s":0.0001,"eval_s":0.0,"render_s":0.0,"in_nodes":10,"out_nodes":5,"jobs":1,"cached":true}
+  > {"ts_ms":3000,"id":2,"source":"serve","doc":"d","guard":"MORPH a","guard_hash":"h1","outcome":"ok","wall_s":0.005,"eval_s":0.004,"render_s":0.001,"in_nodes":10,"out_nodes":5,"jobs":1}
+  > EOF
+  $ xmorph stats mixed.jsonl | grep '^cached:'
+  cached: 1 of 3 (33.3%)
+  $ xmorph stats mixed.jsonl --json | grep -c '"cached"'
+  1
+
+A log with only pre-cache records prints no cached section at all:
+
+  $ head -1 mixed.jsonl > old.jsonl
+  $ xmorph stats old.jsonl | grep -c '^cached:'
+  0
+  [1]
+
 The top dashboard's scripting mode is gated: a JSON snapshot only makes
 sense for a single frame:
 

@@ -234,3 +234,72 @@ to 503 (client exit 22) and the body names the breach and by how much:
   $ kill -TERM $SRV
   $ wait $SRV
   [143]
+
+The two-tier cache: a daemon started with --cache-mb answers a repeated
+guard from memory, byte-identical to the cold response, and the labeled
+hit counters show both tiers working:
+
+  $ xmorph serve data.store --port 0 --port-file port4.txt \
+  >   --cache-mb 8 --qlog q4.jsonl > serve4.out 2>&1 &
+  $ SRV=$!
+  $ for i in $(seq 1 100); do [ -s port4.txt ] && break; sleep 0.1; done
+  $ BASE="http://127.0.0.1:$(cat port4.txt)"
+  $ xmorph http POST "$BASE/query" --data "MORPH author [ name book [ title ] ]" > first.xml
+  $ xmorph http POST "$BASE/query" --data "MORPH author [ name book [ title ] ]" > second.xml
+  $ cmp first.xml second.xml
+  $ xmorph http GET "$BASE/metrics" | grep -c 'xmorph_cache_hits_total{tier="result"} 1'
+  1
+  $ xmorph http GET "$BASE/metrics" | grep -c 'xmorph_cache_hits_total{tier="plan"} 1'
+  1
+
+GET /debug/cache is the introspection document:
+
+  $ xmorph http GET "$BASE/debug/cache" > cache.json
+  $ xmorph stats --check-json cache.json
+  cache.json: valid JSON
+  $ grep -c '"enabled": true' cache.json
+  1
+  $ grep -c '"budget_bytes": 8388608' cache.json
+  1
+
+POST /update patches one node's text value and swaps in a store with a
+fresh generation (the number depends on how many store values this
+process has built, so it is masked here):
+
+  $ xmorph http POST "$BASE/update?node=2" --data "Patched" | sed -E 's/"generation": [0-9]+/"generation": _/'
+  {
+    "doc": "data.store",
+    "node": 2,
+    "generation": _
+  }
+
+The next identical query misses (the old generation's entry no longer
+matches), sees the update, and the stats snapshot reports the moved
+generation per store:
+
+  $ xmorph http POST "$BASE/query" --data "MORPH author [ name book [ title ] ]" > third.xml
+  $ cmp -s first.xml third.xml
+  [1]
+  $ grep -c Patched third.xml
+  2
+  $ xmorph http GET "$BASE/metrics" | grep -c 'xmorph_cache_misses_total{tier="result"} 2'
+  1
+  $ xmorph http GET "$BASE/stats" | grep -c '"generation"'
+  1
+
+An unknown node id is a clean 400:
+
+  $ xmorph http POST "$BASE/update?node=99" --data "zzz"
+  no node 99 in data.store
+  [22]
+
+After shutdown, the query log distinguishes the served-from-cache record,
+and the analyzer splits its percentiles by it:
+
+  $ kill -TERM $SRV
+  $ wait $SRV
+  [143]
+  $ grep -c '"cached":true' q4.jsonl
+  1
+  $ xmorph stats q4.jsonl | grep -o 'cached: 1 of 3 (33.3%)'
+  cached: 1 of 3 (33.3%)

@@ -362,7 +362,14 @@ let test_disabled_path_no_alloc () =
   Xmobs.Profile.disable ();
   Xmobs.Timeseries.disable ();
   Xmobs.Statdb.disable ();
+  Xmcache.disable ();
   let f () = 0 in
+  (* A pre-built result entry so the disabled add_result call below has
+     nothing to construct. *)
+  let res_entry =
+    { Xmcache.body = "x"; is_query = false; classification = None;
+      out_nodes = 0 }
+  in
   (* Warm up so any one-time closure setup is done before measuring. *)
   ignore (Sys.opaque_identity (Trace.with_span "x" f));
   ignore (Sys.opaque_identity (Xmobs.Profile.op "x" f));
@@ -391,6 +398,18 @@ let test_disabled_path_no_alloc () =
     (* The statistics warehouse: a disabled submit is one atomic load. *)
     ignore (Sys.opaque_identity (Xmobs.Statdb.enabled ()));
     Xmobs.Statdb.submit ~guard_hash:"x" [];
+    (* The serve cache shares the sink contract: every entry point is one
+       atomic load while disabled. *)
+    ignore (Sys.opaque_identity (Xmcache.enabled ()));
+    ignore
+      (Sys.opaque_identity
+         (Xmcache.find_plan ~guide_uid:0 ~guard_hash:"x" ~enforce:false));
+    ignore
+      (Sys.opaque_identity
+         (Xmcache.find_result ~generation:0 ~guard_hash:"x" ~query_hash:""
+            ~compact:false ~enforce:false));
+    Xmcache.add_result ~generation:0 ~guard_hash:"x" ~query_hash:""
+      ~compact:false ~enforce:false res_entry;
     ignore (Sys.opaque_identity (Xmobs.Ctx.current ()));
     ignore (Sys.opaque_identity (Xmobs.Ctx.current_trace_id ()))
   done;

@@ -15,6 +15,11 @@ let tmp_path =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "xmorph_qlog_%d_%d.jsonl" (Unix.getpid ()) !n)
 
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
 let sample_entry ?(id = 7) ?(outcome = Xmobs.Qlog.Ok) () =
   {
     Xmobs.Qlog.ts = 1754000000.25;
@@ -45,6 +50,7 @@ let sample_entry ?(id = 7) ?(outcome = Xmobs.Qlog.Ok) () =
           write_ops = 0;
         };
     jobs = 2;
+    cached = false;
   }
 
 let test_roundtrip () =
@@ -79,6 +85,30 @@ let test_pre_trace_id_record_parses () =
   let e = Xmobs.Qlog.entry_of_json (Xmutil.Json.of_string line) in
   Alcotest.(check bool) "trace_id absent" true (e.Xmobs.Qlog.trace_id = None);
   Alcotest.(check int) "id parsed" 7 e.Xmobs.Qlog.id
+
+(* Likewise for the cached flag (PR adding the serve cache): pre-cache
+   records lack the field and must parse as uncached, and an uncached
+   record must serialize without the field so cache-less logs keep the
+   historical byte format. *)
+let test_pre_cached_record_parses () =
+  let line =
+    {|{"ts_ms": 1754000000250, "id": 7, "source": "serve", "doc": "doc.xml", "guard": "MUTATE site", "guard_hash": "abc", "outcome": "ok", "wall_s": 0.012, "eval_s": 0.004, "render_s": 0.008, "in_nodes": 42, "out_nodes": 40, "jobs": 2}|}
+  in
+  let e = Xmobs.Qlog.entry_of_json (Xmutil.Json.of_string line) in
+  Alcotest.(check bool) "missing cached parses as false" false
+    e.Xmobs.Qlog.cached;
+  let uncached_line = Xmobs.Qlog.entry_to_line (sample_entry ()) in
+  Alcotest.(check bool) "cached=false is not serialized" false
+    (contains_substring uncached_line "cached")
+
+let test_cached_roundtrip () =
+  let e = { (sample_entry ()) with Xmobs.Qlog.cached = true } in
+  let line = Xmobs.Qlog.entry_to_line e in
+  Alcotest.(check bool) "cached=true is serialized" true
+    (contains_substring line {|"cached":true|});
+  let e' = Xmobs.Qlog.entry_of_json (Xmutil.Json.of_string line) in
+  Alcotest.(check bool) "cached survives the round-trip" true
+    e'.Xmobs.Qlog.cached
 
 let test_outcome_strings () =
   List.iter
@@ -258,6 +288,10 @@ let suite =
       test_roundtrip_minimal;
     Alcotest.test_case "pre-trace_id record still parses" `Quick
       test_pre_trace_id_record_parses;
+    Alcotest.test_case "pre-cached record still parses" `Quick
+      test_pre_cached_record_parses;
+    Alcotest.test_case "cached flag round-trips when set" `Quick
+      test_cached_roundtrip;
     Alcotest.test_case "outcome string round-trip" `Quick test_outcome_strings;
     Alcotest.test_case "guard hash is 64-bit hex, deterministic" `Quick
       test_hash;

@@ -789,7 +789,7 @@ let test_concurrent_requests_disjoint () =
 (* ---------- the stats analyzer ---------- *)
 
 let mk_entry ~id ~wall ?(outcome = Xmobs.Qlog.Ok) ?(source = "serve")
-    ?trace_id () =
+    ?(cached = false) ?trace_id () =
   {
     Xmobs.Qlog.ts = 1754000000.0 +. float_of_int id;
     id;
@@ -818,6 +818,7 @@ let mk_entry ~id ~wall ?(outcome = Xmobs.Qlog.Ok) ?(source = "serve")
           write_ops = 0;
         };
     jobs = 1;
+    cached;
   }
 
 let test_analyze () =
