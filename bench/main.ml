@@ -21,6 +21,7 @@ let sections =
     ("scaling", Scaling.run);
     ("serve", Serve_stats.run);
     ("cache", Cache.run);
+    ("flight", Flight.run);
   ]
 
 let () =

@@ -1000,8 +1000,32 @@ let serve_cmd =
                    Defaults to the XMORPH_CACHE_MB environment variable \
                    when set; off otherwise.")
   in
+  let incident_dir =
+    Arg.(value & opt (some string) None
+         & info [ "incident-dir" ] ~docv:"DIR"
+             ~doc:"Enable the flight recorder: keep bounded rings of recent \
+                   telemetry and write a versioned JSON incident bundle to \
+                   $(docv) (created if missing) on an SLO breach, an \
+                   error-rate spike, a fatal signal, or POST \
+                   /debug/incident.  Inspect bundles with $(b,xmorph \
+                   incident); list and fetch them live via GET \
+                   /debug/incidents.")
+  in
+  let incident_keep =
+    Arg.(value & opt int 16
+         & info [ "incident-keep" ] ~docv:"N"
+             ~doc:"How many incident bundles to retain (oldest deleted \
+                   first; 1..1000).")
+  in
+  let debug_ring =
+    Arg.(value & opt (some int) None
+         & info [ "debug-ring" ] ~docv:"N"
+             ~doc:"Capacity of the completed-request ring behind GET \
+                   /debug/requests (1..65536; default 256).")
+  in
   let run () inputs port addr workers port_file slow_ms slow_log window
-      slo_p95_ms slo_error_rate cache_mb =
+      slo_p95_ms slo_error_rate cache_mb incident_dir incident_keep
+      debug_ring =
     (* The daemon is multi-threaded, so an async [Sys.signal] handler can
        be delivered to a worker or pool domain that never reaches a
        safepoint while the accept loop sits in [accept].  Block the
@@ -1013,8 +1037,20 @@ let serve_cmd =
       (Thread.create
          (fun () ->
            let n = Thread.wait_signal [ Sys.sigterm; Sys.sigint ] in
+           (* Let Shutdown hooks (the flight recorder's signal bundle)
+              see which signal is killing us before [exit] runs them. *)
+           Xmobs.Shutdown.note_signal n;
            Stdlib.exit (Xmobs.Shutdown.signal_exit_code n))
          ());
+    (match incident_keep with
+    | n when n < 1 || n > 1000 ->
+        exit_err "serve: --incident-keep must be in 1..1000"
+    | _ -> ());
+    (match debug_ring with
+    | Some n when n < 1 || n > 65536 ->
+        exit_err "serve: --debug-ring must be in 1..65536"
+    | Some n -> Xmobs.Ctx.set_ring_capacity n
+    | None -> ());
     let stores =
       List.map
         (fun input ->
@@ -1047,7 +1083,7 @@ let serve_cmd =
     let server =
       match
         Xmserve.Server.create ~addr ~port ~workers ?slow_ms ?slow_log ~window
-          ~slo ~stores ()
+          ~slo ?incident_dir ~incident_keep ~stores ()
       with
       | s -> s
       | exception Unix.Unix_error (e, fn, _) ->
@@ -1068,7 +1104,7 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ obs_term $ inputs $ port $ addr $ workers $ port_file
           $ slow_ms $ slow_log $ window $ slo_p95_ms $ slo_error_rate
-          $ cache_mb)
+          $ cache_mb $ incident_dir $ incident_keep $ debug_ring)
 
 (* ---------- stats ---------- *)
 
@@ -1206,6 +1242,64 @@ let stats_cmd =
     Term.(const run $ obs_term $ log $ json $ top $ compare_file $ out
           $ tolerance $ check_json $ db_file)
 
+(* ---------- incident ---------- *)
+
+let incident_cmd =
+  let doc =
+    "Inspect an incident bundle written by the serve flight recorder \
+     (--incident-dir): render the post-mortem report — trigger header, \
+     context summary, recent-query table, span timeline — or validate the \
+     bundle shape with --check (exit 1 on a malformed bundle; used by CI \
+     to gate artifacts).  With --db, cross-reference the bundle's guard \
+     hashes against an operator-statistics warehouse."
+  in
+  let bundle =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"BUNDLE" ~doc:"Incident bundle (JSON).")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Print the validated bundle as pretty JSON.")
+  in
+  let check =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Validate only: print ok/error and exit nonzero on a \
+                   malformed bundle.")
+  in
+  let db_file =
+    Arg.(value & opt (some file) None
+         & info [ "db" ] ~docv:"STATSDB"
+             ~doc:"Cross-reference the bundle's recent queries with an \
+                   operator-statistics warehouse (written by serve \
+                   --stats-db), as $(b,xmorph stats --db) does for logs.")
+  in
+  let run () bundle json check db_file =
+    match Xmserve.Incident.check bundle with
+    | Error m -> exit_err (Printf.sprintf "%s: %s" bundle m)
+    | Ok t ->
+        if check then Printf.printf "%s: ok (%s: %s)\n" bundle t.kind t.reason
+        else if json then
+          print_endline (Xmutil.Json.to_string ~pretty:true t.Xmserve.Incident.json)
+        else begin
+          print_string (Xmserve.Incident.to_text t);
+          match db_file with
+          | None -> ()
+          | Some db_path ->
+              let db =
+                match Xmobs.Statdb.load db_path with
+                | db -> db
+                | exception Sys_error m -> exit_err m
+                | exception Failure m -> exit_err m
+              in
+              print_string
+                (Xmserve.Incident.cross_reference_to_text
+                   (Xmserve.Incident.cross_reference ~db t))
+        end
+  in
+  Cmd.v (Cmd.info "incident" ~doc)
+    Term.(const run $ obs_term $ bundle $ json $ check $ db_file)
+
 (* ---------- http ---------- *)
 
 let http_cmd =
@@ -1323,6 +1417,6 @@ let main =
   Cmd.group info
     [ shred_cmd; shape_cmd; shape_diff_cmd; check_cmd; explain_cmd; profile_cmd;
       run_cmd; query_cmd; infer_cmd; view_cmd; shell_cmd; equiv_cmd; fmt_cmd;
-      gen_cmd; serve_cmd; stats_cmd; http_cmd; top_cmd ]
+      gen_cmd; serve_cmd; stats_cmd; incident_cmd; http_cmd; top_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,313 @@
+(* The flight recorder: an always-on black box for incident forensics.
+
+   While enabled, it keeps bounded rings of recent telemetry — span
+   entries mirrored from [Trace], recent query-log records fed by
+   [Exec.execute], and periodic metric snapshots — and, on a trigger
+   (SLO breach, error-rate threshold, fatal signal, or a manual POST),
+   atomically writes everything as a versioned JSON incident bundle so
+   the evidence survives the moment of failure.
+
+   The standard Xmobs contract holds: [enabled] is one atomic load, and
+   every entry point is a no-op that allocates nothing when the recorder
+   is off.  When on, ring writes take a single mutex held for an array
+   store — cheap enough to leave enabled in production (the bench section
+   [bench/main.exe -- flight] pins the enabled-idle overhead).
+
+   Dependency direction: Flight sits above Trace/Qlog/Metrics inside
+   xmobs and knows nothing about serve, the cache, or stores.  Context
+   that only the server can provide (store generations, cache
+   introspection, config, SLO state, the request ring) arrives through
+   an injected provider callback ([set_context_provider]). *)
+
+let version = 1
+
+type trigger_kind = Slo_breach | Error_rate | Signal | Manual
+
+let kind_to_string = function
+  | Slo_breach -> "slo-breach"
+  | Error_rate -> "error-rate"
+  | Signal -> "signal"
+  | Manual -> "manual"
+
+type state = {
+  dir : string;
+  retention : int;
+  cooldown_s : float;
+  span_ring : Trace.entry option array;
+  mutable span_appended : int;
+  qlog_ring : Qlog.entry option array;
+  mutable qlog_appended : int;
+  snap_ring : (float * Xmutil.Json.t) option array;
+  mutable snap_appended : int;
+  mutable last_snap : float;
+  snap_every_s : float;
+  mutable last_fired : (trigger_kind * float) list; (* per-kind cooldown *)
+  mutable seq : int; (* disambiguates bundles written in the same ms *)
+  mutable owns_tracer : bool;
+  mutable context : (unit -> Xmutil.Json.t) option;
+  lock : Mutex.t;
+}
+
+(* One atomic load gates every entry point; the state ref is only read
+   behind it. *)
+let on = Atomic.make false
+
+let state : state option ref = ref None
+
+let enabled () = Atomic.get on
+
+let default_span_ring = 2048
+
+let default_qlog_ring = 256
+
+let default_retention = 16
+
+let default_cooldown_s = 30.0
+
+let locked st f =
+  Mutex.lock st.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock st.lock) f
+
+(* ---------- ring feeds (hot path when enabled) ---------- *)
+
+let note_entry e =
+  if Atomic.get on then
+    match !state with
+    | None -> ()
+    | Some st ->
+        locked st (fun () ->
+            let cap = Array.length st.span_ring in
+            st.span_ring.(st.span_appended mod cap) <- Some e;
+            st.span_appended <- st.span_appended + 1)
+
+(* Metric snapshots ride on the qlog feed: one per [snap_every_s] at
+   most, taken while the lock is already held.  No sampling thread. *)
+let snapshot_unlocked st now =
+  if now -. st.last_snap >= st.snap_every_s then begin
+    st.last_snap <- now;
+    let cap = Array.length st.snap_ring in
+    st.snap_ring.(st.snap_appended mod cap) <- Some (now, Metrics.to_json ());
+    st.snap_appended <- st.snap_appended + 1
+  end
+
+let note_qlog e =
+  if Atomic.get on then
+    match !state with
+    | None -> ()
+    | Some st ->
+        locked st (fun () ->
+            let cap = Array.length st.qlog_ring in
+            st.qlog_ring.(st.qlog_appended mod cap) <- Some e;
+            st.qlog_appended <- st.qlog_appended + 1;
+            snapshot_unlocked st (Unix.gettimeofday ()))
+
+let set_context_provider f =
+  match !state with None -> () | Some st -> st.context <- Some f
+
+(* ---------- bundle assembly ---------- *)
+
+let ring_contents ring appended =
+  let cap = Array.length ring in
+  let first = max 0 (appended - cap) in
+  List.filter_map
+    (fun k -> ring.((first + k) mod cap))
+    (List.init (appended - first) Fun.id)
+
+let selfmetrics_json () =
+  let opt_int name v rest =
+    match v with None -> rest | Some i -> (name, Xmutil.Json.Int i) :: rest
+  in
+  Xmutil.Json.Obj
+    (opt_int "rss_bytes" (Selfmetrics.rss_bytes ())
+       (opt_int "open_fds" (Selfmetrics.open_fds ())
+          (opt_int "threads_total" (Selfmetrics.threads_total ()) [])))
+
+let bundle_unlocked st ~kind ~reason ~now =
+  let snaps =
+    List.map
+      (fun (ts, m) ->
+        Xmutil.Json.Obj
+          [ ("ts_ms", Xmutil.Json.Int (int_of_float (Float.round (ts *. 1000.))));
+            ("metrics", m) ])
+      (ring_contents st.snap_ring st.snap_appended)
+  in
+  Xmutil.Json.Obj
+    [ ("version", Xmutil.Json.Int version);
+      ("trigger",
+       Xmutil.Json.Obj
+         [ ("kind", Xmutil.Json.String (kind_to_string kind));
+           ("reason", Xmutil.Json.String reason);
+           ("ts_ms", Xmutil.Json.Int (int_of_float (Float.round (now *. 1000.)))) ]);
+      ("trace",
+       Trace.json_of_entries (ring_contents st.span_ring st.span_appended));
+      ("qlog",
+       Xmutil.Json.List
+         (List.map Qlog.entry_to_json (ring_contents st.qlog_ring st.qlog_appended)));
+      ("metrics", Metrics.to_json ());
+      ("snapshots", Xmutil.Json.List snaps);
+      ("selfmetrics", selfmetrics_json ());
+      ("context",
+       match st.context with
+       | Some f -> (try f () with _ -> Xmutil.Json.Null)
+       | None -> Xmutil.Json.Null) ]
+
+(* ---------- incident files ---------- *)
+
+let is_bundle_name n =
+  String.length n > 9
+  && String.sub n 0 9 = "incident-"
+  && Filename.check_suffix n ".json"
+
+let incident_files dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | entries ->
+      let l = List.filter is_bundle_name (Array.to_list entries) in
+      (* The name embeds the millisecond timestamp then a monotonic
+         sequence number, so lexicographic order is chronological. *)
+      List.sort compare l
+
+let incidents () =
+  match !state with
+  | None -> []
+  | Some st ->
+      List.map
+        (fun n ->
+          let size =
+            try (Unix.stat (Filename.concat st.dir n)).Unix.st_size
+            with Unix.Unix_error _ -> 0
+          in
+          (n, size))
+        (incident_files st.dir)
+
+let dir () = match !state with None -> None | Some st -> Some st.dir
+
+let enforce_retention_unlocked st =
+  let files = incident_files st.dir in
+  let excess = List.length files - st.retention in
+  if excess > 0 then
+    List.iteri
+      (fun i n ->
+        if i < excess then
+          try Sys.remove (Filename.concat st.dir n) with Sys_error _ -> ())
+      files
+
+(* Temp-file + rename in the same directory: a reader (the /debug route,
+   the offline viewer, a cram test) never sees a half-written bundle. *)
+let write_bundle_unlocked st ~name json =
+  let path = Filename.concat st.dir name in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc (Xmutil.Json.to_string ~pretty:true json);
+  output_char oc '\n';
+  close_out oc;
+  Sys.rename tmp path
+
+let trigger ?(force = false) ~kind ~reason () =
+  if not (Atomic.get on) then None
+  else
+    match !state with
+    | None -> None
+    | Some st ->
+        locked st (fun () ->
+            let now = Unix.gettimeofday () in
+            let cooled =
+              force
+              || match List.assoc_opt kind st.last_fired with
+                 | Some t -> now -. t >= st.cooldown_s
+                 | None -> true
+            in
+            if not cooled then None
+            else begin
+              st.last_fired <-
+                (kind, now) :: List.remove_assoc kind st.last_fired;
+              st.seq <- st.seq + 1;
+              let name =
+                Printf.sprintf "incident-%013.0f-%03d-%s.json" (now *. 1000.)
+                  st.seq (kind_to_string kind)
+              in
+              match
+                let json = bundle_unlocked st ~kind ~reason ~now in
+                write_bundle_unlocked st ~name json;
+                enforce_retention_unlocked st
+              with
+              | () ->
+                  Metrics.inc_labeled "xmorph_incidents_total"
+                    [ ("trigger", kind_to_string kind) ];
+                  Some name
+              (* A full disk or a removed directory must not take the
+                 serving path down with it. *)
+              | exception (Sys_error _ | Unix.Unix_error _) -> None
+            end)
+
+(* ---------- lifecycle ---------- *)
+
+let shutdown_registered = ref false
+
+let enable ?(span_ring = default_span_ring) ?(qlog_ring = default_qlog_ring)
+    ?(retention = default_retention) ?(cooldown_s = default_cooldown_s)
+    ?(snap_every_s = 1.0) ~dir () =
+  (try Unix.mkdir dir 0o755 with
+  | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  | Unix.Unix_error _ -> ());
+  let owns_tracer = not (Trace.tracing ()) in
+  if owns_tracer then Trace.enable ();
+  let st =
+    {
+      dir;
+      retention = max 1 retention;
+      cooldown_s = Float.max 0.0 cooldown_s;
+      span_ring = Array.make (max 1 span_ring) None;
+      span_appended = 0;
+      qlog_ring = Array.make (max 1 qlog_ring) None;
+      qlog_appended = 0;
+      snap_ring = Array.make 32 None;
+      snap_appended = 0;
+      last_snap = 0.0;
+      snap_every_s = Float.max 0.01 snap_every_s;
+      last_fired = [];
+      seq = 0;
+      owns_tracer;
+      context = None;
+      lock = Mutex.create ();
+    }
+  in
+  state := Some st;
+  Trace.set_mirror (Some note_entry);
+  Atomic.set on true;
+  if not !shutdown_registered then begin
+    shutdown_registered := true;
+    (* Dying on SIGTERM/SIGINT is itself an incident: the bundle captures
+       what the process was doing when it was killed.  Clean exits write
+       nothing.  [force] bypasses the cooldown — a just-fired SLO breach
+       must not suppress the crash bundle. *)
+    Shutdown.on_exit (fun () ->
+        match Shutdown.last_signal () with
+        | None -> ()
+        | Some n ->
+            ignore
+              (trigger ~force:true ~kind:Signal
+                 ~reason:(Printf.sprintf "terminated by signal (exit %d)"
+                            (Shutdown.signal_exit_code n))
+                 ()))
+  end
+
+let disable () =
+  Atomic.set on false;
+  (match !state with
+  | Some st when st.owns_tracer -> Trace.disable ()
+  | _ -> ());
+  Trace.set_mirror None;
+  state := None
+
+(* Test/introspection helpers: current ring occupancy (never exceeds the
+   configured capacity). *)
+let span_count () =
+  match !state with
+  | None -> 0
+  | Some st -> min st.span_appended (Array.length st.span_ring)
+
+let qlog_count () =
+  match !state with
+  | None -> 0
+  | Some st -> min st.qlog_appended (Array.length st.qlog_ring)

@@ -1,0 +1,95 @@
+(** The flight recorder: always-on black-box capture for incident
+    forensics.
+
+    While enabled, bounded rings hold the most recent telemetry — span
+    entries mirrored from {!Trace} (the recorder turns the tracer on if
+    nothing else has), query-log records fed by the execution path, and
+    periodic metric snapshots.  A {!trigger} — SLO breach, error-rate
+    threshold, fatal signal, or a manual request — atomically writes the
+    rings plus injected server context as a versioned JSON incident
+    bundle under the configured directory, with bounded retention.
+
+    The standard [Xmobs] contract: {!enabled} is a single atomic load
+    and every entry point allocates nothing when the recorder is off
+    (pinned by the Gc test); when on, ring writes cost one short
+    mutex-protected array store. *)
+
+val version : int
+(** Bundle format version, written as the top-level ["version"] field. *)
+
+type trigger_kind =
+  | Slo_breach  (** the SLO judge flipped to degraded *)
+  | Error_rate  (** internal/parse-error outcomes crossed the threshold *)
+  | Signal  (** the process is dying on SIGTERM/SIGINT *)
+  | Manual  (** [POST /debug/incident] *)
+
+val kind_to_string : trigger_kind -> string
+(** [slo-breach], [error-rate], [signal], [manual] — the value of the
+    bundle's [trigger.kind] field and of the [trigger] label on
+    [xmorph_incidents_total]. *)
+
+val enable :
+  ?span_ring:int ->
+  ?qlog_ring:int ->
+  ?retention:int ->
+  ?cooldown_s:float ->
+  ?snap_every_s:float ->
+  dir:string ->
+  unit ->
+  unit
+(** Turn the recorder on, writing bundles under [dir] (created if
+    missing).  [span_ring] (default 2048) and [qlog_ring] (default 256)
+    bound the telemetry rings; [retention] (default 16) bounds how many
+    bundles are kept on disk — oldest deleted first; [cooldown_s]
+    (default 30) suppresses repeat triggers of the same kind;
+    [snap_every_s] (default 1) paces the metric snapshots taken on the
+    query feed.  Enables {!Trace} if it is not already on (and turns it
+    back off on {!disable}), and registers a {!Shutdown} hook that
+    writes a [signal] bundle when the process dies on a termination
+    signal. *)
+
+val disable : unit -> unit
+
+val enabled : unit -> bool
+(** One atomic load. *)
+
+val note_entry : Trace.entry -> unit
+(** Feed a span/event into the recorder's span ring.  Registered as the
+    {!Trace} mirror by {!enable}; a no-op (zero allocation) when the
+    recorder is off. *)
+
+val note_qlog : Qlog.entry -> unit
+(** Feed an executed-query record into the recorder's qlog ring (and
+    opportunistically take a metric snapshot).  Called by the execution
+    path alongside [Qlog.submit]; a no-op (zero allocation) when the
+    recorder is off. *)
+
+val set_context_provider : (unit -> Xmutil.Json.t) -> unit
+(** Install the callback whose result becomes the bundle's ["context"]
+    field.  The serve daemon injects store generations, cache
+    introspection, config, SLO state, and the request ring here —
+    keeping [xmobs] below [serve] in the dependency stack.  A provider
+    that raises yields [null]. *)
+
+val trigger :
+  ?force:bool -> kind:trigger_kind -> reason:string -> unit -> string option
+(** Write an incident bundle now.  Returns the bundle file name, or
+    [None] when the recorder is off, the same kind fired within the
+    cooldown ([force] bypasses the cooldown — used for [signal] and
+    [manual]), or the write failed (a full disk must not take the
+    serving path down).  Bumps [xmorph_incidents_total{trigger=...}] and
+    enforces the retention bound. *)
+
+val incidents : unit -> (string * int) list
+(** Bundle files currently retained, oldest first, with sizes in
+    bytes. *)
+
+val dir : unit -> string option
+(** The incident directory, when the recorder is enabled. *)
+
+val span_count : unit -> int
+(** Entries currently held in the span ring (never exceeds its
+    capacity).  For tests and introspection. *)
+
+val qlog_count : unit -> int
+(** Records currently held in the qlog ring. *)

@@ -57,6 +57,7 @@ type entry = {
   io : io option;
   jobs : int;
   cached : bool;
+  generation : int option;
 }
 
 let id_counter = Atomic.make 0
@@ -113,7 +114,13 @@ let entry_to_json (e : entry) =
     @ [ ("jobs", Xmutil.Json.Int e.jobs) ]
     (* Written only when true, so records from cache-less builds and
        cache-less runs are byte-identical to the historical format. *)
-    @ (if e.cached then [ ("cached", Xmutil.Json.Bool true) ] else []))
+    @ (if e.cached then [ ("cached", Xmutil.Json.Bool true) ] else [])
+    (* Store generation, when the execution ran against a shredded store.
+       Optional for the same reason as [cached]: records from before the
+       field existed stay byte-identical. *)
+    @ (match e.generation with
+      | None -> []
+      | Some g -> [ ("generation", Xmutil.Json.Int g) ]))
 
 let entry_to_line e = Xmutil.Json.to_string ~pretty:false (entry_to_json e)
 
@@ -197,6 +204,11 @@ let entry_of_json j =
       (match find fields "cached" with
       | Some (Xmutil.Json.Bool b) -> b
       | _ -> false);
+    (* Absent in pre-flight-recorder logs: missing means unknown. *)
+    generation =
+      (match find fields "generation" with
+      | Some (Xmutil.Json.Int g) -> Some g
+      | _ -> None);
   }
 
 (* ---------- the ring-to-disk writer ---------- *)

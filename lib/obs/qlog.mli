@@ -70,6 +70,12 @@ type entry = {
       (** the body was served from the result cache rather than rendered.
           Serialized only when [true]; records written before this field
           existed (or by cache-less runs) lack it and parse as [false]. *)
+  generation : int option;
+      (** store generation ({!Store.Shredded.generation}) the execution
+          ran against — joins a record (and in particular a result-cache
+          hit) to a document version.  Serialized only when [Some];
+          records written before this field existed lack it and parse as
+          [None]. *)
 }
 
 val next_id : unit -> int

@@ -45,9 +45,56 @@ let rss_bytes ?(path = statm_path) () =
       close_in_noerr ic;
       n
 
+let fd_dir_path = "/proc/self/fd"
+
+(* One entry per open descriptor.  Sys.readdir includes the descriptor
+   opened to read the directory itself; that off-by-one is inherent to
+   the probe (lsof has it too) and not worth correcting against — the
+   gauge is for leak detection, where the trend matters. *)
+let open_fds ?(fd_dir = fd_dir_path) () =
+  match Sys.readdir fd_dir with
+  | entries -> Some (Array.length entries)
+  | exception Sys_error _ -> None
+
+let stat_path = "/proc/self/stat"
+
+(* /proc/self/stat field 20 (1-based) is the thread count, but the second
+   field — comm — is a parenthesized name that may itself contain spaces
+   or parentheses ("(tmux: server)").  Parse from after the *last* ')',
+   which ends comm unambiguously; the thread count is then field 18 of
+   the remainder (state is field 1). *)
+let threads_total ?(stat = stat_path) () =
+  match open_in stat with
+  | exception Sys_error _ -> None
+  | ic ->
+      let n =
+        match input_line ic with
+        | exception End_of_file -> None
+        | line -> (
+            match String.rindex_opt line ')' with
+            | None -> None
+            | Some i ->
+                let rest =
+                  String.sub line (i + 1) (String.length line - i - 1)
+                in
+                let fields =
+                  List.filter
+                    (fun s -> s <> "")
+                    (String.split_on_char ' ' rest)
+                in
+                (match List.nth_opt fields 17 with
+                | Some f -> (
+                    match int_of_string_opt f with
+                    | Some t when t > 0 -> Some t
+                    | Some _ | None -> None)
+                | None -> None))
+      in
+      close_in_noerr ic;
+      n
+
 let started = Unix.gettimeofday ()
 
-let sample ?uptime_s ?statm () =
+let sample ?uptime_s ?statm ?fd_dir ?stat () =
   if Metrics.is_enabled () then begin
     let uptime =
       match uptime_s with
@@ -57,6 +104,12 @@ let sample ?uptime_s ?statm () =
     Metrics.set_gauge "xmorph_uptime_seconds" uptime;
     (match rss_bytes ?path:statm () with
     | Some rss -> Metrics.set_gauge "xmorph_rss_bytes" (float_of_int rss)
+    | None -> ());
+    (match open_fds ?fd_dir () with
+    | Some fds -> Metrics.set_gauge "xmorph_open_fds" (float_of_int fds)
+    | None -> ());
+    (match threads_total ?stat () with
+    | Some t -> Metrics.set_gauge "xmorph_threads_total" (float_of_int t)
     | None -> ());
     let s = Gc.quick_stat () in
     Metrics.set_gauge "gc_major_collections"

@@ -18,7 +18,25 @@ val rss_bytes : ?path:string -> unit -> int option
     resident pages × {!page_size}); [None] when the file is missing,
     empty, or malformed. *)
 
-val sample : ?uptime_s:float -> ?statm:string -> unit -> unit
-(** Set the self-metric gauges in the current registry.  [uptime_s]
-    overrides the process-start-based uptime (the serve daemon passes its
-    own listener uptime); [statm] overrides the procfs path (tests). *)
+val open_fds : ?fd_dir:string -> unit -> int option
+(** Number of open file descriptors ([fd_dir] defaults to
+    [/proc/self/fd]; one directory entry per descriptor, including the
+    one opened for the probe itself); [None] when the directory cannot
+    be read. *)
+
+val threads_total : ?stat:string -> unit -> int option
+(** Thread count of this process ([stat] defaults to [/proc/self/stat];
+    the num_threads field, parsed after the last [')'] so a comm name
+    containing spaces cannot shift the fields); [None] when the file is
+    missing, truncated, or malformed. *)
+
+val sample :
+  ?uptime_s:float -> ?statm:string -> ?fd_dir:string -> ?stat:string ->
+  unit -> unit
+(** Set the self-metric gauges ([xmorph_uptime_seconds],
+    [xmorph_rss_bytes], [xmorph_open_fds], [xmorph_threads_total], and
+    the GC gauges) in the current registry; procfs-backed gauges are left
+    unset when their source is unreadable.  [uptime_s] overrides the
+    process-start-based uptime (the serve daemon passes its own listener
+    uptime); [statm]/[fd_dir]/[stat] override the procfs paths
+    (tests). *)

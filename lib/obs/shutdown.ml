@@ -38,12 +38,26 @@ let signal_exit_code n =
   else if n = Sys.sigint then 128 + 2
   else 128 + abs n
 
+(* Which termination signal (if any) started the exit.  Consumers that
+   want to behave differently when dying on a signal — the flight
+   recorder writes a "signal" incident bundle — check this from their
+   [on_exit] callback.  A plain ref: it is set once, on the single
+   signal-consuming path, before [exit] runs the callbacks. *)
+let last = ref None
+
+let note_signal n = last := Some n
+
+let last_signal () = !last
+
 let installed = ref false
 
 let install () =
   if not !installed then begin
     installed := true;
-    let handle n = Stdlib.exit (signal_exit_code n) in
+    let handle n =
+      note_signal n;
+      Stdlib.exit (signal_exit_code n)
+    in
     List.iter
       (fun s ->
         (* Keep an explicit Signal_ignore (or a handler someone else set

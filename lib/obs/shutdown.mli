@@ -26,3 +26,14 @@ val run_all : unit -> unit
 (** Run the registered callbacks now (once; later calls and the exit-time
     run become no-ops).  For callers that flush explicitly before a
     non-[exit] termination path. *)
+
+val note_signal : int -> unit
+(** Record that the process is exiting because of termination signal [n]
+    (OCaml's [Sys] encoding).  {!install}'s handler calls this; paths
+    that consume signals themselves (e.g. a [Thread.wait_signal] loop)
+    should call it before [exit] so {!last_signal} is visible to
+    {!on_exit} callbacks. *)
+
+val last_signal : unit -> int option
+(** The signal noted by {!note_signal}, if any — [None] on a clean
+    exit. *)

@@ -67,10 +67,21 @@ let reset () = if !on || !state <> None then enable ()
 
 let now_us st = (Unix.gettimeofday () -. st.epoch) *. 1e6
 
+(* Mirror hook: every entry committed to the ring is also handed to this
+   callback.  The flight recorder (Flight) registers itself here to feed
+   its own bounded span ring — a ref-based hook rather than a direct call
+   keeps the dependency pointing from Flight to Trace, not back.  Only
+   consulted on the recording path, which already allocates, so the
+   disabled-tracer zero-allocation contract is untouched. *)
+let mirror : (entry -> unit) option ref = ref None
+
+let set_mirror f = mirror := f
+
 let append st e =
   let cap = Array.length st.ring in
   st.ring.(st.appended mod cap) <- Some e;
-  st.appended <- st.appended + 1
+  st.appended <- st.appended + 1;
+  match !mirror with Some f -> f e | None -> ()
 
 let current_parent st = match st.stack with [] -> -1 | s :: _ -> s.id
 

@@ -66,6 +66,12 @@ val events : unit -> event list
 val entries : unit -> entry list
 (** Ring contents, oldest first. *)
 
+val set_mirror : (entry -> unit) option -> unit
+(** Install (or clear) a callback fed every entry as it is committed to
+    the ring.  Used by the flight recorder ({!Flight}) to maintain its
+    own bounded span ring; consulted only while tracing is enabled, so
+    the disabled path still allocates nothing. *)
+
 val json_of_entries : entry list -> Xmutil.Json.t
 (** Chrome [trace_event]-format JSON over an explicit entry list — the
     exporter behind {!to_json}, shared with per-request contexts

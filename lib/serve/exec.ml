@@ -86,9 +86,14 @@ let execute ~source ?(doc = "") ?(enforce = true) ?(compact = false)
   let classification = ref None in
   let out_nodes = ref 0 in
   let cached = ref false in
+  let generation = Store.Shredded.generation store in
+  (* One record, two sinks: the on-disk query log and the flight
+     recorder's in-memory ring.  The entry is built once behind the
+     combined gate, so the path stays allocation-free when both are
+     off. *)
   let submit outcome error =
-    if Xmobs.Qlog.enabled () then
-      Xmobs.Qlog.submit
+    if Xmobs.Qlog.enabled () || Xmobs.Flight.enabled () then begin
+      let e =
         {
           Xmobs.Qlog.ts;
           id = Xmobs.Qlog.next_id ();
@@ -118,7 +123,12 @@ let execute ~source ?(doc = "") ?(enforce = true) ?(compact = false)
                         io0)));
           jobs = Xmutil.Pool.jobs ();
           cached = !cached;
+          generation = Some generation;
         }
+      in
+      Xmobs.Qlog.submit e;
+      Xmobs.Flight.note_qlog e
+    end
   in
   (* Cache discipline.  Both tiers are bypassed (no lookup, no insert)
      while operator-statistics recording or profiling could observe this
@@ -132,7 +142,6 @@ let execute ~source ?(doc = "") ?(enforce = true) ?(compact = false)
   in
   let guide = Store.Shredded.guide store in
   let guide_uid = Xml.Dataguide.uid guide in
-  let generation = Store.Shredded.generation store in
   let qh = match query_hash with Some h -> h | None -> "" in
   (* Tier-1 consult: compiled plans depend only on the shape (the
      paper's data-independence claim), so they are shared across value
@@ -293,12 +302,12 @@ let execute ~source ?(doc = "") ?(enforce = true) ?(compact = false)
       Failed { kind; message }
 
 let record ~source ?(doc = "") ?(guard = "") ?query store f =
-  if not (Xmobs.Qlog.enabled ()) then f ()
+  if not (Xmobs.Qlog.enabled () || Xmobs.Flight.enabled ()) then f ()
   else begin
     let ts = now () in
     let io0 = Store.Io_stats.snapshot (Store.Shredded.stats store) in
     let submit outcome error =
-      Xmobs.Qlog.submit
+      let e =
         {
           Xmobs.Qlog.ts;
           id = Xmobs.Qlog.next_id ();
@@ -327,7 +336,11 @@ let record ~source ?(doc = "") ?(guard = "") ?query store f =
                     io0));
           jobs = Xmutil.Pool.jobs ();
           cached = false;
+          generation = Some (Store.Shredded.generation store);
         }
+      in
+      Xmobs.Qlog.submit e;
+      Xmobs.Flight.note_qlog e
     in
     match f () with
     | v ->

@@ -36,14 +36,94 @@ type t = {
   ts_errors : Xmobs.Timeseries.t; (* responses with status >= 400 *)
   ts_queries : Xmobs.Timeseries.t; (* executed queries, wall seconds *)
   ts_blocks : Xmobs.Timeseries.t; (* store blocks touched (4 KiB units) *)
+  ts_failures : Xmobs.Timeseries.t;
+      (* internal/parse-error query outcomes — the flight recorder's
+         error-rate trigger judges this window *)
   slo : Slo.t option;
   mutable thread : Thread.t option;
 }
 
+(* Error-rate trigger thresholds: at least this many internal/parse-error
+   outcomes in the window, and they must be the majority of the window's
+   queries.  Deliberately coarser than any sane SLO error-rate objective,
+   so a daemon run with --slo-error-rate hears the breach through the SLO
+   edge first; this trigger is the safety net for daemons without one. *)
+let failure_trigger_min = 10
+
+let failure_trigger_frac = 0.5
+
 let outcome_names = [ "ok"; "parse-error"; "type-mismatch"; "internal" ]
 
+let completed_summary (c : Xmobs.Ctx.completed) =
+  Xmutil.Json.Obj
+    [ ("trace_id", Xmutil.Json.String c.Xmobs.Ctx.c_trace_id);
+      ("label", Xmutil.Json.String c.Xmobs.Ctx.c_label);
+      ("outcome", Xmutil.Json.String c.Xmobs.Ctx.c_outcome);
+      ("status", Xmutil.Json.Int c.Xmobs.Ctx.c_status);
+      ("wall_ms", Xmutil.Json.Float (c.Xmobs.Ctx.c_wall_s *. 1000.));
+      ("ts_ms",
+       Xmutil.Json.Int
+         (int_of_float (Float.round (c.Xmobs.Ctx.c_ts *. 1000.))));
+      ("bytes_read", Xmutil.Json.Int c.Xmobs.Ctx.c_io.Xmobs.Ctx.bytes_read);
+      ("bytes_written",
+       Xmutil.Json.Int c.Xmobs.Ctx.c_io.Xmobs.Ctx.bytes_written);
+      ("blocks_read",
+       Xmutil.Json.Int
+         (Xmobs.Ctx.blocks_of c.Xmobs.Ctx.c_io.Xmobs.Ctx.bytes_read));
+      ("blocks_written",
+       Xmutil.Json.Int
+         (Xmobs.Ctx.blocks_of c.Xmobs.Ctx.c_io.Xmobs.Ctx.bytes_written));
+      ("spans", Xmutil.Json.Int c.Xmobs.Ctx.c_span_count);
+      ("profile",
+       Xmutil.Json.Bool (Option.is_some c.Xmobs.Ctx.c_profile)) ]
+
+(* The server-side half of an incident bundle: everything the recorder
+   cannot see from inside lib/obs — store generations, cache
+   introspection, the daemon's config, SLO state, the rolling windows,
+   and the recently-completed request ring.  Injected into Flight as the
+   context provider; called with the recorder's lock held, so it only
+   reads. *)
+let incident_context t =
+  Xmutil.Json.Obj
+    ([ ("config",
+        Xmutil.Json.Obj
+          [ ("addr", Xmutil.Json.String t.s_addr);
+            ("port", Xmutil.Json.Int t.s_port);
+            ("workers", Xmutil.Json.Int t.workers);
+            ("window_s", Xmutil.Json.Int t.ts_window);
+            ("slow_ms",
+             match t.slow_ms with
+             | None -> Xmutil.Json.Null
+             | Some m -> Xmutil.Json.Float m) ]);
+       ("uptime_s", Xmutil.Json.Float (now () -. t.started));
+       ("stores",
+        Xmutil.Json.List
+          (List.map
+             (fun (name, cell) ->
+               let store = Atomic.get cell in
+               Xmutil.Json.Obj
+                 [ ("name", Xmutil.Json.String name);
+                   ("nodes", Xmutil.Json.Int (Store.Shredded.node_count store));
+                   ("generation",
+                    Xmutil.Json.Int (Store.Shredded.generation store)) ])
+             t.stores));
+       ("cache", Xmcache.to_json ());
+       ("series",
+        Xmutil.Json.Obj
+          [ ("requests", Xmobs.Timeseries.to_json t.ts_requests);
+            ("errors", Xmobs.Timeseries.to_json t.ts_errors);
+            ("queries", Xmobs.Timeseries.to_json t.ts_queries);
+            ("blocks", Xmobs.Timeseries.to_json t.ts_blocks);
+            ("failures", Xmobs.Timeseries.to_json t.ts_failures) ]);
+       ("requests",
+        Xmutil.Json.List
+          (List.map completed_summary (Xmobs.Ctx.completed ()))) ]
+    @ match t.slo with
+      | None -> []
+      | Some s -> [ ("slo", Slo.snapshot_json s) ])
+
 let create ?(addr = "127.0.0.1") ?(port = 0) ?(workers = 4) ?slow_ms ?slow_log
-    ?(window = 60) ?slo ~stores () =
+    ?(window = 60) ?slo ?incident_dir ?(incident_keep = 16) ~stores () =
   if stores = [] then invalid_arg "Server.create: no stores";
   let workers = max 1 (min 64 workers) in
   let window = max 1 (min 3600 window) in
@@ -75,13 +155,17 @@ let create ?(addr = "127.0.0.1") ?(port = 0) ?(workers = 4) ?slow_ms ?slow_log
       ("xmorph_cache_misses_total", "cache misses by tier (plan or result)");
       ("xmorph_cache_evictions_total", "cache evictions by tier (plan or result)");
       ("xmorph_cache_bytes", "resident bytes in the result cache");
+      ("xmorph_incidents_total",
+       "incident bundles written by the flight recorder, by trigger");
+      ("xmorph_open_fds", "open file descriptors, from /proc/self/fd");
+      ("xmorph_threads_total", "threads in the process, from /proc/self/stat");
       ("serve.requests", "HTTP requests handled since start");
       ("serve.updates", "store value updates applied via POST /update");
       ("serve.request.seconds", "HTTP request wall time");
       ("serve.query.seconds", "executed query wall time");
       ("serve.workers", "worker thread budget");
       ("serve.uptime_s", "seconds since the daemon started") ];
-  {
+  let t = {
     s_addr = addr;
     s_port = actual_port;
     workers;
@@ -99,12 +183,30 @@ let create ?(addr = "127.0.0.1") ?(port = 0) ?(workers = 4) ?slow_ms ?slow_log
     ts_errors = Xmobs.Timeseries.create ~window Counter "errors";
     ts_queries = Xmobs.Timeseries.create ~window Histogram "queries";
     ts_blocks = Xmobs.Timeseries.create ~window Counter "blocks";
+    ts_failures = Xmobs.Timeseries.create ~window Counter "failures";
     slo =
       (match slo with
       | Some cfg when Slo.enabled cfg -> Some (Slo.create cfg)
       | Some _ | None -> None);
     thread = None;
   }
+  in
+  (* Flight recorder: --incident-dir turns it on, wires the server-side
+     context into its bundles, and subscribes the SLO healthy->degraded
+     edge as a trigger. *)
+  (match incident_dir with
+  | None -> ()
+  | Some dir ->
+      Xmobs.Flight.enable ~retention:incident_keep ~dir ();
+      Xmobs.Flight.set_context_provider (fun () -> incident_context t);
+      (match t.slo with
+      | Some s ->
+          Slo.set_on_degrade s (fun reasons ->
+              ignore
+                (Xmobs.Flight.trigger ~kind:Xmobs.Flight.Slo_breach
+                   ~reason:(String.concat "; " reasons) ()))
+      | None -> ()));
+  t
 
 let port t = t.s_port
 
@@ -289,8 +391,43 @@ let handle_query t req =
                 qwall;
               Xmobs.Timeseries.record t.ts_queries qwall;
               (match t.slo with
-              | Some s -> Slo.record s ~ok:(name = "ok") ~wall_s:qwall
+              | Some s ->
+                  Slo.record s ~ok:(name = "ok") ~wall_s:qwall;
+                  (* With the flight recorder on, judge the objectives on
+                     the query stream itself rather than waiting for the
+                     next /healthz probe: a breach then captures its
+                     bundle at the moment of the breaching query.  The
+                     evaluation is edge-triggered inside Slo, so this
+                     adds no extra incidents, only timeliness. *)
+                  if Xmobs.Flight.enabled () then ignore (Slo.evaluate s)
               | None -> ());
+              (* Error-rate trigger: a window where failures dominate is
+                 an incident even without an SLO configured. *)
+              (match name with
+              | "internal" | "parse-error" ->
+                  Xmobs.Timeseries.bump t.ts_failures;
+                  if Xmobs.Flight.enabled () then begin
+                    let failures =
+                      Xmobs.Timeseries.count_in_window t.ts_failures
+                    in
+                    let queries =
+                      Xmobs.Timeseries.count_in_window t.ts_queries
+                    in
+                    if
+                      failures >= failure_trigger_min
+                      && float_of_int failures
+                         > failure_trigger_frac *. float_of_int queries
+                    then
+                      ignore
+                        (Xmobs.Flight.trigger ~kind:Xmobs.Flight.Error_rate
+                           ~reason:
+                             (Printf.sprintf
+                                "%d internal/parse-error outcomes of %d \
+                                 queries (window %ds)"
+                                failures queries t.ts_window)
+                           ())
+                  end
+              | _ -> ());
               (* Keep the on-disk log live for tail -f / xmorph stats
                  while the daemon runs; the Shutdown path covers the
                  final records. *)
@@ -382,29 +519,6 @@ let debug_cache () =
   Http.response ~content_type:"application/json" 200
     (Xmutil.Json.to_string ~pretty:true (Xmcache.to_json ()) ^ "\n")
 
-let completed_summary (c : Xmobs.Ctx.completed) =
-  Xmutil.Json.Obj
-    [ ("trace_id", Xmutil.Json.String c.Xmobs.Ctx.c_trace_id);
-      ("label", Xmutil.Json.String c.Xmobs.Ctx.c_label);
-      ("outcome", Xmutil.Json.String c.Xmobs.Ctx.c_outcome);
-      ("status", Xmutil.Json.Int c.Xmobs.Ctx.c_status);
-      ("wall_ms", Xmutil.Json.Float (c.Xmobs.Ctx.c_wall_s *. 1000.));
-      ("ts_ms",
-       Xmutil.Json.Int
-         (int_of_float (Float.round (c.Xmobs.Ctx.c_ts *. 1000.))));
-      ("bytes_read", Xmutil.Json.Int c.Xmobs.Ctx.c_io.Xmobs.Ctx.bytes_read);
-      ("bytes_written",
-       Xmutil.Json.Int c.Xmobs.Ctx.c_io.Xmobs.Ctx.bytes_written);
-      ("blocks_read",
-       Xmutil.Json.Int
-         (Xmobs.Ctx.blocks_of c.Xmobs.Ctx.c_io.Xmobs.Ctx.bytes_read));
-      ("blocks_written",
-       Xmutil.Json.Int
-         (Xmobs.Ctx.blocks_of c.Xmobs.Ctx.c_io.Xmobs.Ctx.bytes_written));
-      ("spans", Xmutil.Json.Int c.Xmobs.Ctx.c_span_count);
-      ("profile",
-       Xmutil.Json.Bool (Option.is_some c.Xmobs.Ctx.c_profile)) ]
-
 let debug_requests () =
   let body =
     Xmutil.Json.to_string
@@ -436,6 +550,75 @@ let debug_trace trace_id =
         (Xmutil.Json.to_string (Xmutil.Json.Obj fields) ^ "\n")
 
 let trace_prefix = "/debug/trace/"
+
+(* ---------- incidents ---------- *)
+
+let debug_incidents () =
+  let body =
+    Xmutil.Json.to_string ~pretty:true
+      (Xmutil.Json.Obj
+         [ ("enabled", Xmutil.Json.Bool (Xmobs.Flight.enabled ()));
+           ("dir",
+            match Xmobs.Flight.dir () with
+            | None -> Xmutil.Json.Null
+            | Some d -> Xmutil.Json.String d);
+           ("incidents",
+            Xmutil.Json.List
+              (List.map
+                 (fun (name, size) ->
+                   Xmutil.Json.Obj
+                     [ ("name", Xmutil.Json.String name);
+                       ("size_bytes", Xmutil.Json.Int size) ])
+                 (Xmobs.Flight.incidents ()))) ])
+    ^ "\n"
+  in
+  Http.response ~content_type:"application/json" 200 body
+
+(* Only names the recorder itself produces are served — a path component
+   or traversal in the request can never escape the incident dir. *)
+let safe_bundle_name n =
+  String.length n > 0
+  && String.starts_with ~prefix:"incident-" n
+  && Filename.check_suffix n ".json"
+  && not (String.contains n '/')
+  && not (String.contains n '\\')
+
+let incidents_prefix = "/debug/incidents/"
+
+let debug_incident_fetch name =
+  if not (safe_bundle_name name) then
+    Http.response 404 (Printf.sprintf "no incident %S\n" name)
+  else
+    match Xmobs.Flight.dir () with
+    | None -> Http.response 503 "flight recorder disabled\n"
+    | Some dir -> (
+        let path = Filename.concat dir name in
+        match open_in_bin path with
+        | exception Sys_error _ ->
+            Http.response 404 (Printf.sprintf "no incident %S\n" name)
+        | ic ->
+            let len = in_channel_length ic in
+            let body = really_input_string ic len in
+            close_in_noerr ic;
+            Http.response ~content_type:"application/json" 200 body)
+
+let debug_incident_trigger (req : Http.request) =
+  if not (Xmobs.Flight.enabled ()) then
+    Http.response 503 "flight recorder disabled\n"
+  else
+    let reason =
+      let b = String.trim req.Http.body in
+      if b = "" then "manual trigger" else b
+    in
+    match
+      Xmobs.Flight.trigger ~force:true ~kind:Xmobs.Flight.Manual ~reason ()
+    with
+    | None -> Http.response 500 "incident bundle write failed\n"
+    | Some name ->
+        Http.response ~content_type:"application/json" 200
+          (Xmutil.Json.to_string
+             (Xmutil.Json.Obj [ ("incident", Xmutil.Json.String name) ])
+          ^ "\n")
 
 (* Top guards by cumulative window-free time: the labeled family already
    aggregates per guard hash, so the dashboard ranking is a read. *)
@@ -531,12 +714,19 @@ let route t (req : Http.request) =
       Http.response ~content_type:"application/json" 200
         (Xmutil.Json.to_string (stats_json t) ^ "\n")
   | "GET", "/debug/requests" -> debug_requests ()
+  | "GET", "/debug/incidents" -> debug_incidents ()
+  | "GET", path when String.starts_with ~prefix:incidents_prefix path ->
+      debug_incident_fetch
+        (String.sub path
+           (String.length incidents_prefix)
+           (String.length path - String.length incidents_prefix))
   | "GET", path when String.starts_with ~prefix:trace_prefix path ->
       debug_trace
         (String.sub path (String.length trace_prefix)
            (String.length path - String.length trace_prefix))
   | "POST", "/query" -> handle_query t req
   | "POST", "/update" -> handle_update t req
+  | "POST", "/debug/incident" -> debug_incident_trigger req
   | ("GET" | "POST" | "HEAD" | "PUT" | "DELETE"), _ ->
       Http.response 404 (Printf.sprintf "no route %s %s\n" req.Http.meth req.Http.path)
   | m, _ -> Http.response 405 (Printf.sprintf "method %s not allowed\n" m)
@@ -553,12 +743,16 @@ let status_class status =
 let route_label (req : Http.request) =
   match (req.Http.meth, req.Http.path) with
   | "GET", (("/healthz" | "/metrics" | "/stats" | "/debug/requests"
-            | "/debug/timeseries" | "/debug/opstats" | "/debug/cache") as p) ->
+            | "/debug/timeseries" | "/debug/opstats" | "/debug/cache"
+            | "/debug/incidents") as p) ->
       p
+  | "GET", p when String.starts_with ~prefix:incidents_prefix p ->
+      "/debug/incidents/:name"
   | "GET", p when String.starts_with ~prefix:trace_prefix p ->
       "/debug/trace/:id"
   | "POST", "/query" -> "/query"
   | "POST", "/update" -> "/update"
+  | "POST", "/debug/incident" -> "/debug/incident"
   | _ -> "other"
 
 (* Every response — queries and monitoring scrapes alike — lands in the

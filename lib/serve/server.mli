@@ -42,6 +42,25 @@
       tree as Chrome [trace_event] JSON (the same exporter as [--trace]),
       its per-request metric increments, and the slow-query profile when
       one was captured.
+    - [GET /debug/incidents] — the flight recorder's retained incident
+      bundles (name and size), plus the incident directory.
+    - [GET /debug/incidents/<name>] — fetch one bundle verbatim (names
+      are validated against the recorder's own naming scheme; no path
+      traversal).
+    - [POST /debug/incident] — force an incident bundle now ([manual]
+      trigger, cooldown bypassed); the body, if any, becomes the
+      recorded reason.  [503] when the recorder is off.
+
+    Flight recorder: [incident_dir] enables {!Xmobs.Flight}, injects the
+    server's context (config, store generations, cache introspection,
+    rolling windows, SLO state, the completed-request ring) into every
+    bundle, and wires the SLO healthy→degraded edge as a trigger.  A
+    window where internal/parse-error outcomes dominate
+    (≥ 10 failures and > 50% of windowed queries) fires an [error-rate]
+    bundle even without SLO objectives.  Bundles are also written when
+    the process dies on SIGTERM/SIGINT ({!Xmobs.Shutdown} hook) and on
+    [POST /debug/incident]; [xmorph_incidents_total{trigger}] counts
+    them.
 
     Per-request telemetry: every [POST /query] runs under a fresh
     {!Xmobs.Ctx} — honoring a well-formed W3C [traceparent] request
@@ -67,6 +86,8 @@ val create :
   ?slow_log:string ->
   ?window:int ->
   ?slo:Slo.config ->
+  ?incident_dir:string ->
+  ?incident_keep:int ->
   stores:(string * Store.Shredded.t) list ->
   unit ->
   t
@@ -79,8 +100,10 @@ val create :
     (default 60, clamped to [1..3600] seconds) sizes the rolling
     time-series rings behind [/debug/timeseries]; [slo] configures the
     health objectives (ignored unless at least one objective is set).
-    [stores] must be non-empty; the first store is the default [?doc=]
-    target.
+    [incident_dir] enables the flight recorder with bundles written
+    there (created if missing); [incident_keep] (default 16) bounds how
+    many are retained.  [stores] must be non-empty; the first store is
+    the default [?doc=] target.
     @raise Invalid_argument on an empty store list
     @raise Unix.Unix_error when the address cannot be bound. *)
 

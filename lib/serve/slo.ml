@@ -40,6 +40,8 @@ type t = {
   lock : Mutex.t;
   mutable degraded : bool;
   mutable last_breach : float; (* clock time of the last observed breach *)
+  mutable on_degrade : (string list -> unit) option;
+      (* fired on the healthy->degraded edge only *)
 }
 
 let create ?clock cfg =
@@ -52,7 +54,10 @@ let create ?clock cfg =
     lock = Mutex.create ();
     degraded = false;
     last_breach = neg_infinity;
+    on_degrade = None;
   }
+
+let set_on_degrade t f = t.on_degrade <- Some f
 
 let record t ~ok ~wall_s =
   Xmobs.Timeseries.record t.lat wall_s;
@@ -96,6 +101,7 @@ let breaches t =
 let evaluate t =
   let now = t.clock () in
   Mutex.lock t.lock;
+  let was_degraded = t.degraded in
   let verdict =
     match breaches t with
     | _ :: _ as reasons ->
@@ -113,11 +119,18 @@ let evaluate t =
           Healthy
         end
   in
+  let fire = t.on_degrade in
   Mutex.unlock t.lock;
+  (* Edge-triggered, outside the lock: the subscriber (the flight
+     recorder) only hears the healthy->degraded flip, never the repeated
+     probes of an ongoing incident or the recovery hold — the existing
+     hysteresis is exactly the flap suppression the recorder wants. *)
+  (match (verdict, was_degraded, fire) with
+  | Degraded reasons, false, Some f -> ( try f reasons with _ -> ())
+  | _ -> ());
   verdict
 
-let to_json t =
-  let verdict = evaluate t in
+let verdict_json t verdict =
   let status, reasons =
     match verdict with
     | Healthy -> ("ok", [])
@@ -136,3 +149,15 @@ let to_json t =
            | Some v -> [ ("max_error_rate", Xmutil.Json.Float v) ])
          @ [ ("window_s", Xmutil.Json.Int t.cfg.window);
              ("min_samples", Xmutil.Json.Int t.cfg.min_samples) ])) ]
+
+let to_json t = verdict_json t (evaluate t)
+
+(* Read-only view: the current degraded flag, without re-judging the
+   objectives — so it can never fire [on_degrade].  Incident bundles use
+   this (their context provider runs under the flight recorder's lock;
+   an evaluation that re-triggered would deadlock). *)
+let snapshot_json t =
+  Mutex.lock t.lock;
+  let degraded = t.degraded in
+  Mutex.unlock t.lock;
+  verdict_json t (if degraded then Degraded [ "degraded" ] else Healthy)

@@ -36,7 +36,21 @@ val create : ?clock:(unit -> float) -> config -> t
 val record : t -> ok:bool -> wall_s:float -> unit
 (** Feed one executed query into the rolling window. *)
 
+val set_on_degrade : t -> (string list -> unit) -> unit
+(** Subscribe to the healthy→degraded edge: the callback fires once per
+    incident, with the breach reasons, from whichever {!evaluate} call
+    observes the flip — never for the repeated probes of an ongoing
+    breach or during the recovery hold, so a flapping SLO cannot spam
+    the subscriber.  Called outside the internal lock; exceptions are
+    swallowed.  The serve daemon wires this to the flight recorder. *)
+
 val evaluate : t -> verdict
 
 val to_json : t -> Xmutil.Json.t
-(** [{status, reasons, objectives}] for /debug/timeseries. *)
+(** [{status, reasons, objectives}] for /debug/timeseries.  Evaluates
+    (and therefore may fire {!set_on_degrade}). *)
+
+val snapshot_json : t -> Xmutil.Json.t
+(** Like {!to_json} but read-only: reports the current degraded flag
+    without re-judging the objectives, so it never fires the degrade
+    callback.  Incident bundles embed this. *)

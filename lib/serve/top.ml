@@ -193,6 +193,32 @@ let render s =
        in
        line "cache  %s  %s  bytes %s" (part "result" result) (part "plan" plan)
          (fmt_bytes (num st [ "metrics"; "gauges"; "xmorph_cache_bytes" ])));
+  (* Incident bundles written by the flight recorder, from the labeled
+     counter family in the /stats metrics dump; daemons running without
+     --incident-dir (or with no incidents yet) have no series and the
+     line is omitted. *)
+  (let trigger_count kind =
+     int_at st
+       [ "metrics"; "labeled_counters"; "xmorph_incidents_total";
+         "{trigger=" ^ kind ^ "}" ]
+   in
+   let kinds = [ "slo-breach"; "error-rate"; "signal"; "manual" ] in
+   let counts = List.map (fun k -> (k, trigger_count k)) kinds in
+   if List.exists (fun (_, c) -> c <> None) counts then begin
+     let total =
+       List.fold_left
+         (fun acc (_, c) -> acc + Option.value ~default:0 c)
+         0 counts
+     in
+     line "incidents: %d (%s)" total
+       (String.concat "  "
+          (List.filter_map
+             (fun (k, c) ->
+               match c with
+               | None | Some 0 -> None
+               | Some n -> Some (Printf.sprintf "%s %d" k n))
+             counts))
+   end);
   line "req %s" (sparkline (seconds_of s "requests"));
   (match
      List.filter_map

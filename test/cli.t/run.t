@@ -325,3 +325,20 @@ sense for a single frame:
   $ xmorph top --json http://127.0.0.1:1
   xmorph: xmorph top: --json requires --once
   [1]
+
+The offline incident viewer rejects anything that is not a bundle with
+a one-line diagnosis — a non-JSON file, a JSON document missing the
+envelope, and a bundle from a future format version all fail cleanly:
+
+  $ printf 'garbage{' > not-json.json
+  $ xmorph incident --check not-json.json
+  xmorph: not-json.json: incident bundle: invalid JSON at byte 0: expected a JSON value
+  [1]
+  $ printf '{}' > not-bundle.json
+  $ xmorph incident --check not-bundle.json
+  xmorph: not-bundle.json: incident bundle: missing field "version"
+  [1]
+  $ printf '{"version": 99, "kind": "manual", "reason": "r", "at_unix": 1.0}' > future.json
+  $ xmorph incident future.json
+  xmorph: future.json: incident bundle: unsupported version 99 (expected 1)
+  [1]

@@ -303,3 +303,79 @@ and the analyzer splits its percentiles by it:
   1
   $ xmorph stats q4.jsonl | grep -o 'cached: 1 of 3 (33.3%)'
   cached: 1 of 3 (33.3%)
+
+The flight recorder: a daemon with an unmeetable p95 objective and an
+incident directory.  The breach is judged on the query stream itself, so
+the bundle is written at the breaching query — and edge-triggering plus
+the cooldown mean exactly one slo-breach bundle however many queries
+follow:
+
+  $ xmorph serve data.store --port 0 --port-file port5.txt \
+  >   --slo-p95-ms 0.0001 --window 60 --incident-dir incidents \
+  >   --debug-ring 64 > serve5.out 2>&1 &
+  $ SRV=$!
+  $ for i in $(seq 1 100); do [ -s port5.txt ] && break; sleep 0.1; done
+  $ BASE="http://127.0.0.1:$(cat port5.txt)"
+  $ for i in 1 2 3 4 5 6 7; do xmorph http POST "$BASE/query" --data "MORPH author [ name ]" > /dev/null; done
+  $ xmorph http GET "$BASE/healthz" 2>/dev/null | head -1
+  degraded
+  $ ls incidents | grep -c 'slo-breach.json$'
+  1
+
+GET /debug/incidents lists the bundle, and fetching it by name returns
+the bundle verbatim as valid JSON:
+
+  $ xmorph http GET "$BASE/debug/incidents" > incidents.json
+  $ xmorph stats --check-json incidents.json
+  incidents.json: valid JSON
+  $ grep -c '"enabled": true' incidents.json
+  1
+  $ NAME=$(ls incidents | head -1)
+  $ xmorph http GET "$BASE/debug/incidents/$NAME" > fetched.json
+  $ xmorph stats --check-json fetched.json
+  fetched.json: valid JSON
+  $ xmorph http GET "$BASE/debug/incidents/../secret" 2>&1 | head -1
+  no incident "../secret"
+
+The offline viewer validates the bundle shape and renders the
+post-mortem: trigger header, context (store generations, SLO state),
+the recent-query table with the stamped store generation, and the span
+timeline:
+
+  $ xmorph incident --check "incidents/$NAME" | grep -o 'ok (slo-breach'
+  ok (slo-breach
+  $ xmorph incident "incidents/$NAME" | head -2 | sed -E 's/reason:   .*/reason:   _/'
+  incident: slo-breach
+  reason:   _
+  $ xmorph incident "incidents/$NAME" | grep -c 'store data.store:'
+  1
+  $ xmorph incident "incidents/$NAME" | grep -q ' gen=' && echo stamped
+  stamped
+  $ xmorph incident "incidents/$NAME" | grep -c 'timeline ('
+  1
+
+The trigger counter lands in /metrics and the top dashboard reports it:
+
+  $ xmorph http GET "$BASE/metrics" | grep -c 'xmorph_incidents_total{trigger="slo-breach"} 1'
+  1
+  $ xmorph top --once "$BASE" | grep -o 'incidents: 1 (slo-breach 1)'
+  incidents: 1 (slo-breach 1)
+
+POST /debug/incident writes a manual bundle on demand:
+
+  $ xmorph http POST "$BASE/debug/incident" --data "ops drill" | grep -c '"incident"'
+  1
+  $ ls incidents | grep -c 'manual.json$'
+  1
+
+Dying on SIGTERM is itself an incident — the shutdown hook writes a
+signal bundle capturing what the daemon was doing when it was killed,
+and the offline viewer accepts it:
+
+  $ kill -TERM $SRV
+  $ wait $SRV
+  [143]
+  $ ls incidents | grep -c 'signal.json$'
+  1
+  $ xmorph incident --check incidents/*-signal.json | grep -o 'ok (signal'
+  ok (signal

@@ -1,0 +1,238 @@
+(* The flight recorder: bounded ring occupancy, bundle write + offline
+   round-trip through the incident viewer, retention, per-kind cooldown,
+   the disabled no-op contract, context-provider injection, and — the
+   concurrency property the recorder's span mirror rides on — Trace ring
+   eviction under concurrent writers never overflows capacity or leaves a
+   malformed survivor. *)
+
+module Flight = Xmobs.Flight
+
+let with_jobs n f =
+  let saved = Xmutil.Pool.jobs () in
+  Xmutil.Pool.set_jobs n;
+  Fun.protect f ~finally:(fun () -> Xmutil.Pool.set_jobs saved)
+
+let tmp_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xmorph_flight_%d_%d" (Unix.getpid ()) !n)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  end
+
+(* Every test leaves the recorder (and the tracer it may have turned on)
+   off, whatever happens inside. *)
+let with_flight ?span_ring ?qlog_ring ?retention ?cooldown_s ?snap_every_s f =
+  let dir = tmp_dir () in
+  Flight.enable ?span_ring ?qlog_ring ?retention ?cooldown_s ?snap_every_s
+    ~dir ();
+  Fun.protect
+    ~finally:(fun () ->
+      Flight.disable ();
+      rm_rf dir)
+    (fun () -> f dir)
+
+let mk_event name =
+  Xmobs.Trace.Event
+    { Xmobs.Trace.ev_name = name; ev_ts_us = 0.0; ev_parent = -1;
+      ev_counter = false; ev_attrs = [] }
+
+let mk_qlog id =
+  { Xmobs.Qlog.ts = 1754000000.0; id; trace_id = None; source = "test";
+    doc = "d"; guard = "MUTATE site"; guard_hash = "abc"; query_hash = None;
+    classification = None; outcome = Xmobs.Qlog.Ok; error = None;
+    wall_s = 0.001; eval_s = 0.0; render_s = 0.0; in_nodes = 1;
+    out_nodes = 1; io = None; jobs = 1; cached = false; generation = Some 3 }
+
+let test_rings_bounded () =
+  with_flight ~span_ring:8 ~qlog_ring:4 (fun _dir ->
+      for i = 1 to 50 do
+        Flight.note_entry (mk_event (Printf.sprintf "e%d" i));
+        Flight.note_qlog (mk_qlog i)
+      done;
+      Alcotest.(check int) "span ring capped" 8 (Flight.span_count ());
+      Alcotest.(check int) "qlog ring capped" 4 (Flight.qlog_count ()))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  text
+
+let test_trigger_writes_roundtrippable_bundle () =
+  with_flight ~span_ring:16 ~qlog_ring:8 (fun dir ->
+      for i = 1 to 20 do
+        Flight.note_entry (mk_event (Printf.sprintf "e%d" i));
+        Flight.note_qlog (mk_qlog i)
+      done;
+      match Flight.trigger ~kind:Flight.Manual ~reason:"unit test" () with
+      | None -> Alcotest.fail "trigger returned no bundle"
+      | Some name ->
+          let path = Filename.concat dir name in
+          Alcotest.(check bool) "bundle file exists" true
+            (Sys.file_exists path);
+          Alcotest.(check bool) "incidents lists it" true
+            (List.mem_assoc name (Flight.incidents ()));
+          (* The acceptance contract: the bundle round-trips the repo's
+             own JSON parser and the offline viewer's validator. *)
+          let json = Xmutil.Json.of_string (read_file path) in
+          let t = Xmserve.Incident.of_json json in
+          Alcotest.(check int) "version" Flight.version
+            t.Xmserve.Incident.version;
+          Alcotest.(check string) "kind" "manual" t.Xmserve.Incident.kind;
+          Alcotest.(check string) "reason" "unit test"
+            t.Xmserve.Incident.reason;
+          Alcotest.(check int) "qlog ring captured (capacity bound)" 8
+            (List.length t.Xmserve.Incident.qlog);
+          Alcotest.(check int) "no malformed qlog record" 0
+            t.Xmserve.Incident.qlog_malformed;
+          Alcotest.(check bool) "generation survives into the bundle" true
+            (List.for_all
+               (fun (e : Xmobs.Qlog.entry) ->
+                 e.Xmobs.Qlog.generation = Some 3)
+               t.Xmserve.Incident.qlog);
+          Alcotest.(check int) "span ring captured (capacity bound)" 16
+            (List.length t.Xmserve.Incident.trace_events);
+          (* And the renderer accepts it. *)
+          Alcotest.(check bool) "report renders" true
+            (String.length (Xmserve.Incident.to_text t) > 0))
+
+let test_retention () =
+  with_flight ~retention:3 ~cooldown_s:0.0 (fun _dir ->
+      let names =
+        List.filter_map
+          (fun i ->
+            Flight.trigger ~kind:Flight.Manual
+              ~reason:(Printf.sprintf "r%d" i) ())
+          (List.init 6 Fun.id)
+      in
+      Alcotest.(check int) "all six triggers fired" 6 (List.length names);
+      let kept = List.map fst (Flight.incidents ()) in
+      Alcotest.(check int) "retention bounds the directory" 3
+        (List.length kept);
+      (* Oldest deleted first: the survivors are the last three written. *)
+      let expected = List.filteri (fun i _ -> i >= 3) names in
+      Alcotest.(check (list string)) "newest bundles survive" expected kept)
+
+let test_cooldown_and_force () =
+  with_flight ~cooldown_s:3600.0 (fun _dir ->
+      Alcotest.(check bool) "first trigger fires" true
+        (Flight.trigger ~kind:Flight.Slo_breach ~reason:"a" () <> None);
+      Alcotest.(check bool) "same kind within cooldown is suppressed" true
+        (Flight.trigger ~kind:Flight.Slo_breach ~reason:"b" () = None);
+      Alcotest.(check bool) "a different kind is independent" true
+        (Flight.trigger ~kind:Flight.Error_rate ~reason:"c" () <> None);
+      Alcotest.(check bool) "force bypasses the cooldown" true
+        (Flight.trigger ~force:true ~kind:Flight.Slo_breach ~reason:"d" ()
+        <> None))
+
+let test_disabled_is_noop () =
+  Flight.disable ();
+  Alcotest.(check bool) "disabled" false (Flight.enabled ());
+  Flight.note_entry (mk_event "e");
+  Flight.note_qlog (mk_qlog 1);
+  Alcotest.(check int) "no span recorded" 0 (Flight.span_count ());
+  Alcotest.(check int) "no qlog recorded" 0 (Flight.qlog_count ());
+  Alcotest.(check bool) "trigger declines" true
+    (Flight.trigger ~kind:Flight.Manual ~reason:"x" () = None);
+  Alcotest.(check bool) "no incident dir" true (Flight.dir () = None)
+
+let test_context_provider () =
+  with_flight (fun dir ->
+      Flight.set_context_provider (fun () ->
+          Xmutil.Json.Obj [ ("marker", Xmutil.Json.String "ctx") ]);
+      (match Flight.trigger ~kind:Flight.Manual ~reason:"ctx" () with
+      | None -> Alcotest.fail "trigger returned no bundle"
+      | Some name -> (
+          match Xmutil.Json.of_string (read_file (Filename.concat dir name)) with
+          | Xmutil.Json.Obj fields -> (
+              match List.assoc_opt "context" fields with
+              | Some (Xmutil.Json.Obj cf) ->
+                  Alcotest.(check bool) "provider output embedded" true
+                    (List.assoc_opt "marker" cf
+                    = Some (Xmutil.Json.String "ctx"))
+              | _ -> Alcotest.fail "context is not the provider's object")
+          | _ -> Alcotest.fail "bundle is not an object"));
+      (* A provider that raises must yield null, not a lost bundle. *)
+      Flight.set_context_provider (fun () -> failwith "boom");
+      match Flight.trigger ~force:true ~kind:Flight.Manual ~reason:"boom" ()
+      with
+      | None -> Alcotest.fail "raising provider lost the bundle"
+      | Some name -> (
+          match Xmutil.Json.of_string (read_file (Filename.concat dir name)) with
+          | Xmutil.Json.Obj fields ->
+              Alcotest.(check bool) "raising provider reads as null" true
+                (List.assoc_opt "context" fields = Some Xmutil.Json.Null)
+          | _ -> Alcotest.fail "bundle is not an object"))
+
+(* Enabling the recorder turns the tracer on (when nothing else has) and
+   mirrors every committed entry into the span ring; disabling hands the
+   tracer back. *)
+let test_trace_mirror () =
+  Xmobs.Trace.disable ();
+  with_flight (fun _dir ->
+      Alcotest.(check bool) "recorder turned the tracer on" true
+        (Xmobs.Trace.tracing ());
+      Xmobs.Trace.with_span "mirrored" (fun () -> ());
+      Alcotest.(check bool) "span mirrored into the flight ring" true
+        (Flight.span_count () > 0));
+  Alcotest.(check bool) "recorder turned the tracer back off" false
+    (Xmobs.Trace.tracing ())
+
+(* The concurrency property under the mirror: however many writers race
+   on the Trace ring, at every job count, the ring never exceeds its
+   capacity and every surviving entry is whole and well-formed. *)
+let trace_ring_survives ~jobs ~capacity ~writers =
+  with_jobs jobs @@ fun () ->
+  Xmobs.Trace.enable ~capacity ();
+  Fun.protect ~finally:Xmobs.Trace.disable @@ fun () ->
+  ignore
+    (Xmutil.Pool.parallel
+       (List.init writers (fun i () ->
+            Xmobs.Trace.with_span (Printf.sprintf "w%d" i) (fun () ->
+                Xmobs.Trace.instant (Printf.sprintf "i%d" i)))));
+  let entries = Xmobs.Trace.entries () in
+  let well_formed = function
+    | Xmobs.Trace.Span s ->
+        String.length s.Xmobs.Trace.name > 1
+        && s.Xmobs.Trace.name.[0] = 'w'
+        && s.Xmobs.Trace.dur_us >= 0.0
+    | Xmobs.Trace.Event e ->
+        String.length e.Xmobs.Trace.ev_name > 1
+        && e.Xmobs.Trace.ev_name.[0] = 'i'
+  in
+  List.length entries <= capacity && List.for_all well_formed entries
+
+let prop_trace_ring_concurrent =
+  QCheck2.Test.make
+    ~name:"trace ring eviction under concurrent writers stays bounded"
+    ~count:20
+    QCheck2.Gen.(pair (int_range 1 16) (int_range 1 40))
+    (fun (capacity, writers) ->
+      List.for_all
+        (fun jobs -> trace_ring_survives ~jobs ~capacity ~writers)
+        [ 1; 2; 4 ])
+
+let suite =
+  [
+    Alcotest.test_case "rings are bounded" `Quick test_rings_bounded;
+    Alcotest.test_case "trigger writes a round-trippable bundle" `Quick
+      test_trigger_writes_roundtrippable_bundle;
+    Alcotest.test_case "retention deletes oldest first" `Quick test_retention;
+    Alcotest.test_case "per-kind cooldown, force bypass" `Quick
+      test_cooldown_and_force;
+    Alcotest.test_case "disabled recorder is a no-op" `Quick
+      test_disabled_is_noop;
+    Alcotest.test_case "context provider is embedded (null on raise)" `Quick
+      test_context_provider;
+    Alcotest.test_case "trace mirror feeds the span ring" `Quick
+      test_trace_mirror;
+    QCheck_alcotest.to_alcotest prop_trace_ring_concurrent;
+  ]

@@ -179,6 +179,81 @@ let test_selfmetrics_rss_degrades () =
         (Xmobs.Selfmetrics.rss_bytes ~path:good ()
         = Some (123 * Xmobs.Selfmetrics.page_size ())))
 
+(* /proc/self/fd and /proc/self/stat degradation: a system without
+   procfs (or a truncated/garbled stat line) must read as "no sample",
+   never a raise and never a fabricated count. *)
+let test_selfmetrics_fds_threads_degrade () =
+  Alcotest.(check bool) "missing fd dir" true
+    (Xmobs.Selfmetrics.open_fds ~fd_dir:"/nonexistent/fd" () = None);
+  let tmp name text =
+    let p =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "xmorph_stat_%d_%s" (Unix.getpid ()) name)
+    in
+    write_file p text;
+    p
+  in
+  let threads_none name text =
+    let p = tmp name text in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove p)
+      (fun () ->
+        Alcotest.(check bool) (name ^ " reads as None") true
+          (Xmobs.Selfmetrics.threads_total ~stat:p () = None))
+  in
+  Alcotest.(check bool) "missing stat file" true
+    (Xmobs.Selfmetrics.threads_total ~stat:"/nonexistent/stat" () = None);
+  threads_none "empty" "";
+  threads_none "no-paren" "1234 comm R 1\n";
+  threads_none "truncated" "1234 (comm) R 1 2 3\n";
+  threads_none "non-numeric-threads"
+    "1 (c) R 0 1 1 0 -1 4194560 233 0 0 0 0 0 0 0 20 0 abc 0 4 10000 100\n";
+  threads_none "zero-threads"
+    "1 (c) R 0 1 1 0 -1 4194560 233 0 0 0 0 0 0 0 20 0 0 0 4 10000 100\n";
+  (* A well-formed line, including a comm with spaces and parens — the
+     parse must anchor on the LAST ')'. *)
+  let good =
+    tmp "good"
+      "1 (tricky ) comm) R 0 1 1 0 -1 4194560 233 0 0 0 0 0 0 0 20 0 7 0 4 \
+       10000 100\n"
+  in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove good)
+    (fun () ->
+      Alcotest.(check bool) "well-formed stat: field 20 is num_threads" true
+        (Xmobs.Selfmetrics.threads_total ~stat:good () = Some 7));
+  (* The real procfs, when present, must agree with plain readdir. *)
+  if Sys.file_exists "/proc/self/fd" then
+    Alcotest.(check bool) "live fd count is positive" true
+      (match Xmobs.Selfmetrics.open_fds () with
+      | Some n -> n > 0
+      | None -> false)
+
+let test_selfmetrics_sample_sets_fd_thread_gauges () =
+  with_scoped_metrics (fun r ->
+      (* Degraded sources: both gauges stay unset in the export. *)
+      Xmobs.Selfmetrics.sample ~statm:"/nonexistent/statm"
+        ~fd_dir:"/nonexistent/fd" ~stat:"/nonexistent/stat" ();
+      (match Metrics.to_json ~r () with
+      | Xmutil.Json.Obj fields -> (
+          match List.assoc "gauges" fields with
+          | Xmutil.Json.Obj gs ->
+              Alcotest.(check bool) "fd gauge left unset" false
+                (List.mem_assoc "xmorph_open_fds" gs);
+              Alcotest.(check bool) "threads gauge left unset" false
+                (List.mem_assoc "xmorph_threads_total" gs)
+          | _ -> Alcotest.fail "gauges is not an object")
+      | _ -> Alcotest.fail "metrics export is not an object");
+      (* Healthy sources set both. *)
+      if Sys.file_exists "/proc/self/fd" && Sys.file_exists "/proc/self/stat"
+      then begin
+        Xmobs.Selfmetrics.sample ~statm:"/nonexistent/statm" ();
+        Alcotest.(check bool) "fd gauge set from procfs" true
+          (Metrics.gauge_value ~r "xmorph_open_fds" > 0.0);
+        Alcotest.(check bool) "threads gauge set from procfs" true
+          (Metrics.gauge_value ~r "xmorph_threads_total" > 0.0)
+      end)
+
 let test_selfmetrics_page_size () =
   let ps = Xmobs.Selfmetrics.page_size () in
   (* A real page size: positive, a power of two, in the range any
@@ -362,6 +437,7 @@ let test_disabled_path_no_alloc () =
   Xmobs.Profile.disable ();
   Xmobs.Timeseries.disable ();
   Xmobs.Statdb.disable ();
+  Xmobs.Flight.disable ();
   Xmcache.disable ();
   let f () = 0 in
   (* A pre-built result entry so the disabled add_result call below has
@@ -369,6 +445,21 @@ let test_disabled_path_no_alloc () =
   let res_entry =
     { Xmcache.body = "x"; is_query = false; classification = None;
       out_nodes = 0 }
+  in
+  (* Pre-built telemetry records so the disabled flight-recorder mirror
+     calls below have nothing to construct. *)
+  let trace_entry =
+    Trace.Event
+      { Trace.ev_name = "x"; ev_ts_us = 0.0; ev_parent = -1;
+        ev_counter = false; ev_attrs = [] }
+  in
+  let qlog_entry =
+    { Xmobs.Qlog.ts = 0.0; id = 0; trace_id = None; source = "test";
+      doc = ""; guard = "x"; guard_hash = "x"; query_hash = None;
+      classification = None; outcome = Xmobs.Qlog.Ok; error = None;
+      wall_s = 0.0; eval_s = 0.0; render_s = 0.0; in_nodes = 0;
+      out_nodes = 0; io = None; jobs = 1; cached = false;
+      generation = None }
   in
   (* Warm up so any one-time closure setup is done before measuring. *)
   ignore (Sys.opaque_identity (Trace.with_span "x" f));
@@ -411,7 +502,12 @@ let test_disabled_path_no_alloc () =
     Xmcache.add_result ~generation:0 ~guard_hash:"x" ~query_hash:""
       ~compact:false ~enforce:false res_entry;
     ignore (Sys.opaque_identity (Xmobs.Ctx.current ()));
-    ignore (Sys.opaque_identity (Xmobs.Ctx.current_trace_id ()))
+    ignore (Sys.opaque_identity (Xmobs.Ctx.current_trace_id ()));
+    (* The flight recorder: each disabled mirror entry point is one
+       atomic load, never a ring write or an allocation. *)
+    ignore (Sys.opaque_identity (Xmobs.Flight.enabled ()));
+    Xmobs.Flight.note_entry trace_entry;
+    Xmobs.Flight.note_qlog qlog_entry
   done;
   let w1 = Gc.minor_words () in
   let delta = w1 -. w0 in
@@ -431,6 +527,10 @@ let suite =
       test_selfmetrics_rss_degrades;
     Alcotest.test_case "selfmetrics sample without statm" `Quick
       test_selfmetrics_sample_without_statm;
+    Alcotest.test_case "selfmetrics fds/threads degrade to None" `Quick
+      test_selfmetrics_fds_threads_degrade;
+    Alcotest.test_case "selfmetrics sample sets fd/thread gauges" `Quick
+      test_selfmetrics_sample_sets_fd_thread_gauges;
     Alcotest.test_case "selfmetrics page size is real" `Quick
       test_selfmetrics_page_size;
     Alcotest.test_case "counters, gauges, observers" `Quick

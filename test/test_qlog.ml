@@ -51,6 +51,7 @@ let sample_entry ?(id = 7) ?(outcome = Xmobs.Qlog.Ok) () =
         };
     jobs = 2;
     cached = false;
+    generation = None;
   }
 
 let test_roundtrip () =
@@ -109,6 +110,29 @@ let test_cached_roundtrip () =
   let e' = Xmobs.Qlog.entry_of_json (Xmutil.Json.of_string line) in
   Alcotest.(check bool) "cached survives the round-trip" true
     e'.Xmobs.Qlog.cached
+
+(* And for the generation field (PR adding the flight recorder): pre-9
+   records lack it and must parse as None, a record without one must
+   serialize without the field, and a stamped record round-trips. *)
+let test_pre_generation_record_parses () =
+  let line =
+    {|{"ts_ms": 1754000000250, "id": 7, "source": "serve", "doc": "doc.xml", "guard": "MUTATE site", "guard_hash": "abc", "outcome": "ok", "wall_s": 0.012, "eval_s": 0.004, "render_s": 0.008, "in_nodes": 42, "out_nodes": 40, "jobs": 2}|}
+  in
+  let e = Xmobs.Qlog.entry_of_json (Xmutil.Json.of_string line) in
+  Alcotest.(check bool) "missing generation parses as None" true
+    (e.Xmobs.Qlog.generation = None);
+  let bare_line = Xmobs.Qlog.entry_to_line (sample_entry ()) in
+  Alcotest.(check bool) "generation=None is not serialized" false
+    (contains_substring bare_line "generation")
+
+let test_generation_roundtrip () =
+  let e = { (sample_entry ()) with Xmobs.Qlog.generation = Some 5 } in
+  let line = Xmobs.Qlog.entry_to_line e in
+  Alcotest.(check bool) "generation is serialized" true
+    (contains_substring line {|"generation":5|});
+  let e' = Xmobs.Qlog.entry_of_json (Xmutil.Json.of_string line) in
+  Alcotest.(check bool) "generation survives the round-trip" true
+    (e'.Xmobs.Qlog.generation = Some 5)
 
 let test_outcome_strings () =
   List.iter
@@ -292,6 +316,10 @@ let suite =
       test_pre_cached_record_parses;
     Alcotest.test_case "cached flag round-trips when set" `Quick
       test_cached_roundtrip;
+    Alcotest.test_case "pre-generation record still parses" `Quick
+      test_pre_generation_record_parses;
+    Alcotest.test_case "generation round-trips when set" `Quick
+      test_generation_roundtrip;
     Alcotest.test_case "outcome string round-trip" `Quick test_outcome_strings;
     Alcotest.test_case "guard hash is 64-bit hex, deterministic" `Quick
       test_hash;

@@ -819,6 +819,7 @@ let mk_entry ~id ~wall ?(outcome = Xmobs.Qlog.Ok) ?(source = "serve")
         };
     jobs = 1;
     cached;
+    generation = None;
   }
 
 let test_analyze () =
