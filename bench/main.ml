@@ -22,6 +22,7 @@ let sections =
     ("serve", Serve_stats.run);
     ("cache", Cache.run);
     ("flight", Flight.run);
+    ("alerts", Alerts.run);
   ]
 
 let () =

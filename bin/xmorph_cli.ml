@@ -112,7 +112,14 @@ let obs_setup trace metrics profile qlog qlog_max_mb stats_db jobs =
       in
       Xmobs.Qlog.enable ?max_bytes path
 
-let obs_term =
+(* [stats_db_flag] lets offline analyzers (stats, incident) drop the
+   global --stats-db recording flag from their term: they take their own
+   --stats-db meaning "the warehouse file to cross-reference", and
+   cmdliner rejects a command whose term defines the same option name
+   twice.  (PR 9 shipped those subcommands with --db to dodge the
+   collision; the collision itself is fixed here and --db survives as a
+   hidden alias.) *)
+let obs_term_gen ~stats_db_flag =
   let trace =
     Arg.(value & opt (some string) None
          & info [ "trace" ] ~docv:"FILE"
@@ -152,17 +159,20 @@ let obs_term =
                    daemons keep at most ~2x$(docv) MiB of log on disk.")
   in
   let stats_db =
-    Arg.(value & opt (some string) None
-         & info [ "stats-db" ] ~docv:"FILE"
-             ~doc:"Record per-operator statistics (calls, wall/self time, \
-                   node counts, closest pairs, block I/O, predicted-vs-actual \
-                   cardinality q-error) into the persistent warehouse at \
-                   $(docv), merging with whatever history is already there.  \
-                   Defaults to the XMORPH_STATS_DB environment variable.  \
-                   Recorded executions run under the profiler and are \
-                   therefore serialized and single-domain.  Inspect with \
-                   $(b,xmorph explain), $(b,xmorph stats --db), or GET \
-                   /debug/opstats on serve.")
+    if not stats_db_flag then Term.const None
+    else
+      Arg.(value & opt (some string) None
+           & info [ "stats-db" ] ~docv:"FILE"
+               ~doc:"Record per-operator statistics (calls, wall/self time, \
+                     node counts, closest pairs, block I/O, \
+                     predicted-vs-actual cardinality q-error) into the \
+                     persistent warehouse at $(docv), merging with whatever \
+                     history is already there.  Defaults to the \
+                     XMORPH_STATS_DB environment variable.  Recorded \
+                     executions run under the profiler and are therefore \
+                     serialized and single-domain.  Inspect with \
+                     $(b,xmorph explain), $(b,xmorph stats --stats-db), or \
+                     GET /debug/opstats on serve.")
   in
   let jobs =
     Arg.(value & opt (some int) None
@@ -173,6 +183,26 @@ let obs_term =
   in
   Term.(const obs_setup $ trace $ metrics $ profile $ qlog $ qlog_max_mb
         $ stats_db $ jobs)
+
+let obs_term = obs_term_gen ~stats_db_flag:true
+
+(* For subcommands whose own --stats-db names a warehouse to *read*. *)
+let obs_term_no_stats_db = obs_term_gen ~stats_db_flag:false
+
+(* A warehouse-to-read argument: --stats-db is the documented name,
+   --db stays accepted as a hidden alias (what PR 9 shipped). *)
+let warehouse_arg ~doc =
+  let named =
+    Arg.(value & opt (some file) None
+         & info [ "stats-db" ] ~docv:"STATSDB" ~doc)
+  in
+  let alias =
+    Arg.(value & opt (some file) None
+         & info [ "db" ] ~docv:"STATSDB" ~docs:Manpage.s_none
+             ~doc:"Hidden alias for $(b,--stats-db).")
+  in
+  Term.(const (fun a b -> match a with Some _ -> a | None -> b)
+        $ named $ alias)
 
 (* ---------- shred ---------- *)
 
@@ -396,7 +426,7 @@ let query_cmd =
 
 (* One warehouse row rendered for humans: exact counts, per-call derived
    values, q-error when predictions were folded.  Shared by the explain
-   history section and [stats --db]-adjacent output. *)
+   history section and [stats --stats-db]-adjacent output. *)
 let op_history_line (s : Xmobs.Statdb.summary) =
   let per_call v = v /. float_of_int (max 1 s.Xmobs.Statdb.calls) in
   Printf.sprintf "%s: calls=%d self/call=%.3fms out/call=%.0f pairs/call=%.0f%s"
@@ -1023,9 +1053,23 @@ let serve_cmd =
              ~doc:"Capacity of the completed-request ring behind GET \
                    /debug/requests (1..65536; default 256).")
   in
+  let alert_rules =
+    Arg.(value & opt (some string) None
+         & info [ "alert-rules" ] ~docv:"FILE"
+             ~doc:"Enable the alerting evaluator: load threshold and \
+                   burn-rate rules from the versioned JSON file $(docv) and \
+                   evaluate them on a paced timer over the rolling query \
+                   windows.  Firing/resolved transitions land in the rule \
+                   file's JSONL alert log and webhook sinks, trip an \
+                   $(b,alert)-kind incident bundle when --incident-dir is \
+                   on, and surface via GET /debug/alerts, /metrics, and \
+                   $(b,xmorph top).  A corrupt file warns once on stderr \
+                   and disables alerting; the daemon still serves.  Replay \
+                   rules offline with $(b,xmorph alerts).")
+  in
   let run () inputs port addr workers port_file slow_ms slow_log window
       slo_p95_ms slo_error_rate cache_mb incident_dir incident_keep
-      debug_ring =
+      debug_ring alert_rules =
     (* The daemon is multi-threaded, so an async [Sys.signal] handler can
        be delivered to a worker or pool domain that never reaches a
        safepoint while the accept loop sits in [accept].  Block the
@@ -1080,10 +1124,25 @@ let serve_cmd =
         max_error_rate = slo_error_rate;
         window }
     in
+    let alerts =
+      (* Same failure policy as a corrupt --stats-db warehouse: the daemon
+         must come up even when an operator fat-fingers the rules file, so
+         warn once and serve without alerting rather than refuse to start. *)
+      match alert_rules with
+      | None -> None
+      | Some file -> (
+          match Xmobs.Alerts.load file with
+          | Ok cfg -> Some cfg
+          | Error m ->
+              Printf.eprintf
+                "xmorph: serve: --alert-rules %s: %s (alerting disabled)\n%!"
+                file m;
+              None)
+    in
     let server =
       match
         Xmserve.Server.create ~addr ~port ~workers ?slow_ms ?slow_log ~window
-          ~slo ?incident_dir ~incident_keep ~stores ()
+          ~slo ?incident_dir ~incident_keep ?alerts ~stores ()
       with
       | s -> s
       | exception Unix.Unix_error (e, fn, _) ->
@@ -1104,7 +1163,8 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ obs_term $ inputs $ port $ addr $ workers $ port_file
           $ slow_ms $ slow_log $ window $ slo_p95_ms $ slo_error_rate
-          $ cache_mb $ incident_dir $ incident_keep $ debug_ring)
+          $ cache_mb $ incident_dir $ incident_keep $ debug_ring
+          $ alert_rules)
 
 (* ---------- stats ---------- *)
 
@@ -1152,13 +1212,12 @@ let stats_cmd =
                    files).  No LOG is needed when only checking.")
   in
   let db_file =
-    Arg.(value & opt (some file) None
-         & info [ "db" ] ~docv:"STATSDB"
-             ~doc:"Cross-reference the log with an operator-statistics \
-                   warehouse (written by --stats-db): per guard hash, query \
-                   counts and mean latency from the log joined with the \
-                   warehouse's per-operator calls, self time, and \
-                   cardinality q-error.")
+    warehouse_arg
+      ~doc:"Cross-reference the log with an operator-statistics \
+            warehouse (written by serve --stats-db): per guard hash, query \
+            counts and mean latency from the log joined with the \
+            warehouse's per-operator calls, self time, and \
+            cardinality q-error."
   in
   let run () log json top compare_file out tolerance check_json db_file =
     List.iter
@@ -1239,8 +1298,8 @@ let stats_cmd =
         | _ -> ()
   in
   Cmd.v (Cmd.info "stats" ~doc)
-    Term.(const run $ obs_term $ log $ json $ top $ compare_file $ out
-          $ tolerance $ check_json $ db_file)
+    Term.(const run $ obs_term_no_stats_db $ log $ json $ top $ compare_file
+          $ out $ tolerance $ check_json $ db_file)
 
 (* ---------- incident ---------- *)
 
@@ -1250,8 +1309,8 @@ let incident_cmd =
      (--incident-dir): render the post-mortem report — trigger header, \
      context summary, recent-query table, span timeline — or validate the \
      bundle shape with --check (exit 1 on a malformed bundle; used by CI \
-     to gate artifacts).  With --db, cross-reference the bundle's guard \
-     hashes against an operator-statistics warehouse."
+     to gate artifacts).  With --stats-db, cross-reference the bundle's \
+     guard hashes against an operator-statistics warehouse."
   in
   let bundle =
     Arg.(required & pos 0 (some file) None
@@ -1268,11 +1327,10 @@ let incident_cmd =
                    malformed bundle.")
   in
   let db_file =
-    Arg.(value & opt (some file) None
-         & info [ "db" ] ~docv:"STATSDB"
-             ~doc:"Cross-reference the bundle's recent queries with an \
-                   operator-statistics warehouse (written by serve \
-                   --stats-db), as $(b,xmorph stats --db) does for logs.")
+    warehouse_arg
+      ~doc:"Cross-reference the bundle's recent queries with an \
+            operator-statistics warehouse (written by serve \
+            --stats-db), as $(b,xmorph stats --stats-db) does for logs."
   in
   let run () bundle json check db_file =
     match Xmserve.Incident.check bundle with
@@ -1298,7 +1356,153 @@ let incident_cmd =
         end
   in
   Cmd.v (Cmd.info "incident" ~doc)
-    Term.(const run $ obs_term $ bundle $ json $ check $ db_file)
+    Term.(const run $ obs_term_no_stats_db $ bundle $ json $ check $ db_file)
+
+(* ---------- alerts (offline backtester) ---------- *)
+
+let alerts_cmd =
+  let doc =
+    "Backtest an alert rules file against a recorded query log: replay \
+     the JSONL log (from serve or --qlog) through the same evaluator \
+     that powers serve --alert-rules, stepping a synthetic clock one \
+     second at a time, and report every firing/resolved transition plus \
+     each rule's final state.  Tune thresholds, $(b,for) durations, and \
+     burn-rate factors against yesterday's traffic before deploying \
+     them; a corrupt rules file is a hard error here (the daemon merely \
+     warns and disables)."
+  in
+  let rules_file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"RULES" ~doc:"Alert rules file (versioned JSON).")
+  in
+  let log_file =
+    Arg.(required & pos 1 (some file) None
+         & info [] ~docv:"LOG" ~doc:"Query log to replay (JSONL).")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Machine-readable report: transitions, per-rule final \
+                   states, and replay counts as one JSON object.")
+  in
+  let run () rules_file log_file json_out =
+    let cfg =
+      match Xmobs.Alerts.load rules_file with
+      | Ok cfg -> cfg
+      | Error m -> exit_err (Printf.sprintf "alerts: %s" m)
+    in
+    let entries, malformed = Xmserve.Stats.load log_file in
+    if entries = [] then
+      exit_err (Printf.sprintf "alerts: %s: no parsable records" log_file);
+    let entries =
+      List.sort
+        (fun (a : Xmobs.Qlog.entry) (b : Xmobs.Qlog.entry) ->
+          Float.compare a.Xmobs.Qlog.ts b.Xmobs.Qlog.ts)
+        entries
+    in
+    let t0 = (List.hd entries).Xmobs.Qlog.ts in
+    let now = ref t0 in
+    let eng = Xmobs.Alerts.engine ~clock:(fun () -> !now) cfg.rules in
+    let transitions = ref [] in
+    (* Advance the synthetic clock to [target], running one evaluation
+       pass per elapsed second on the way — the offline stand-in for the
+       live evaluator's paced ticker. *)
+    let step_to target =
+      while target -. !now >= 1.0 do
+        now := !now +. 1.0;
+        List.iter (fun t -> transitions := t :: !transitions)
+          (Xmobs.Alerts.tick eng)
+      done;
+      if target > !now then now := target
+    in
+    List.iter
+      (fun (e : Xmobs.Qlog.entry) ->
+        step_to e.Xmobs.Qlog.ts;
+        Xmobs.Alerts.feed eng
+          ~ok:(e.Xmobs.Qlog.outcome = Xmobs.Qlog.Ok)
+          ~wall_s:e.Xmobs.Qlog.wall_s)
+      entries;
+    (* Drain: keep ticking until every rule's window has slid past the
+       last record, so breaches still in flight get their resolved edge. *)
+    let tail_s =
+      let rule_span (r : Xmobs.Alerts.rule) =
+        (match r.Xmobs.Alerts.cond with
+        | Xmobs.Alerts.Err_rate { window_s; _ }
+        | Xmobs.Alerts.P95_ms { window_s; _ } -> window_s
+        | Xmobs.Alerts.Burn_rate { slow_s; _ } -> slow_s)
+        + int_of_float (Float.ceil r.Xmobs.Alerts.for_s)
+      in
+      5 + List.fold_left (fun acc r -> max acc (rule_span r)) 0 cfg.rules
+    in
+    step_to (!now +. float_of_int tail_s);
+    let transitions = List.rev !transitions in
+    let states = Xmobs.Alerts.states eng in
+    if json_out then
+      print_endline
+        (Xmutil.Json.to_string ~pretty:true
+           (Xmutil.Json.Obj
+              [ ("rules", Xmutil.Json.String rules_file);
+                ("log", Xmutil.Json.String log_file);
+                ("records", Xmutil.Json.Int (List.length entries));
+                ("malformed", Xmutil.Json.Int malformed);
+                ("replayed_s",
+                 Xmutil.Json.Float (Float.round ((!now -. t0) *. 1000.) /. 1000.));
+                ("transitions",
+                 Xmutil.Json.List
+                   (List.map
+                      (fun (t : Xmobs.Alerts.transition) ->
+                        match Xmobs.Alerts.transition_to_json t with
+                        | Xmutil.Json.Obj fs ->
+                            (* Absolute engine time means nothing offline;
+                               report the offset into the log instead. *)
+                            Xmutil.Json.Obj
+                              (List.map
+                                 (function
+                                   | ("at", _) ->
+                                       ("at_s",
+                                        Xmutil.Json.Float
+                                          (Float.round
+                                             ((t.Xmobs.Alerts.at -. t0)
+                                             *. 10.) /. 10.))
+                                   | f -> f)
+                                 fs)
+                        | j -> j)
+                      transitions));
+                ("final",
+                 Xmutil.Json.Obj
+                   (List.map (fun (n, s) -> (n, Xmutil.Json.String s)) states))
+              ]))
+    else begin
+      Printf.printf "replayed %d record%s (%d malformed) through %d rule%s over %.0fs\n"
+        (List.length entries)
+        (if List.length entries = 1 then "" else "s")
+        malformed (List.length cfg.rules)
+        (if List.length cfg.rules = 1 then "" else "s")
+        (!now -. t0);
+      List.iter
+        (fun (t : Xmobs.Alerts.transition) ->
+          Printf.printf "  +%7.1fs  %-9s %-24s %s\n"
+            (t.Xmobs.Alerts.at -. t0)
+            (Xmobs.Alerts.edge_to_string t.Xmobs.Alerts.edge)
+            t.Xmobs.Alerts.rule t.Xmobs.Alerts.reason)
+        transitions;
+      if transitions = [] then print_endline "  (no transitions)";
+      List.iter
+        (fun (name, st) ->
+          let count e =
+            List.length
+              (List.filter
+                 (fun (t : Xmobs.Alerts.transition) ->
+                   t.Xmobs.Alerts.rule = name && t.Xmobs.Alerts.edge = e)
+                 transitions)
+          in
+          Printf.printf "rule %s: %d firing, %d resolved, final state %s\n"
+            name (count Xmobs.Alerts.Firing) (count Xmobs.Alerts.Resolved) st)
+        states
+    end
+  in
+  Cmd.v (Cmd.info "alerts" ~doc)
+    Term.(const run $ obs_term $ rules_file $ log_file $ json)
 
 (* ---------- http ---------- *)
 
@@ -1417,6 +1621,7 @@ let main =
   Cmd.group info
     [ shred_cmd; shape_cmd; shape_diff_cmd; check_cmd; explain_cmd; profile_cmd;
       run_cmd; query_cmd; infer_cmd; view_cmd; shell_cmd; equiv_cmd; fmt_cmd;
-      gen_cmd; serve_cmd; stats_cmd; incident_cmd; http_cmd; top_cmd ]
+      gen_cmd; serve_cmd; stats_cmd; incident_cmd; alerts_cmd; http_cmd;
+      top_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,567 @@
+(* Alerting: burn-rate and threshold rules over the time-series layer.
+
+   The engine owns three per-second series fed from the query path —
+   total volume, errors, and a latency histogram — and judges a
+   declarative rule set against them on each [tick]: simple thresholds
+   (error fraction, p95 milliseconds, each over its own trailing
+   window) and SRE-style multi-window burn-rate rules (the error budget
+   of an SLO objective burning more than [factor] times too fast over
+   both a fast and a slow window — the fast window reacts in minutes,
+   the slow window keeps a blip from paging).
+
+   Each rule runs a small state machine: ok → pending (condition true
+   but younger than [for_s]) → firing → back to ok on recovery.  Only
+   the edges — firing, resolved — are events; they land in a bounded
+   transitions ring and are returned from [tick] so the caller can
+   deliver them to sinks *after* the engine lock is released.  That
+   ordering is load-bearing: the Flight sink snapshots alert state into
+   the incident bundle via the server's context provider, which calls
+   back into [to_json] — a sink invoked under the engine lock would
+   deadlock on itself.
+
+   The process-global evaluator wraps one engine with a ticker thread
+   and the sink fan-out: a JSONL alert log, an outbound webhook
+   (injected by the serve layer so xmobs stays below serve; bounded
+   retry, failures counted and dropped — never allowed to block or
+   crash serving), a Flight.trigger per firing rule, and the metrics
+   families.  The standard Xmobs contract holds: [enabled] is one
+   atomic load and [note_query] allocates nothing when alerting is off.
+
+   Clocks are injectable so state-machine timing is unit-testable in
+   synthetic time and so the offline backtester (xmorph alerts) can
+   replay a qlog through this very evaluator. *)
+
+module J = Xmutil.Json
+
+let version = 1
+
+(* ---------- rules ---------- *)
+
+type condition =
+  | Err_rate of { above : float; window_s : int }
+  | P95_ms of { above : float; window_s : int }
+  | Burn_rate of {
+      objective : float;
+      factor : float;
+      fast_s : int;
+      slow_s : int;
+    }
+
+type rule = { name : string; cond : condition; for_s : float; min_count : int }
+
+type edge = Firing | Resolved
+
+let edge_to_string = function Firing -> "firing" | Resolved -> "resolved"
+
+type transition = {
+  rule : string;
+  at : float;
+  edge : edge;
+  value : float;
+  reason : string;
+}
+
+let transition_to_json t =
+  J.Obj
+    [ ("rule", J.String t.rule);
+      ("ts_ms", J.Int (int_of_float (Float.round (t.at *. 1000.))));
+      ("state", J.String (edge_to_string t.edge));
+      ("value", J.Float t.value);
+      ("reason", J.String t.reason) ]
+
+(* ---------- rule files ---------- *)
+
+type config = {
+  interval_s : float;
+  log : string option;
+  webhook : string option;
+  webhook_timeout_s : float;
+  webhook_retries : int;
+  rules : rule list;
+}
+
+let ( let* ) = Result.bind
+
+let field fs n = List.assoc_opt n fs
+
+let num = function
+  | Some (J.Int i) -> Some (float_of_int i)
+  | Some (J.Float f) -> Some f
+  | _ -> None
+
+let str fs n = match field fs n with Some (J.String s) -> Some s | _ -> None
+
+let clamp_w w = if w < 1 then 1 else if w > 3600 then 3600 else w
+
+let parse_rule j =
+  match j with
+  | J.Obj fs -> (
+      let numf n = num (field fs n) in
+      let inum n = Option.map (fun f -> int_of_float (Float.round f)) (numf n) in
+      let* name =
+        match str fs "name" with
+        | Some s when s <> "" -> Ok s
+        | _ -> Error "rule missing a non-empty \"name\""
+      in
+      let window () = clamp_w (Option.value ~default:60 (inum "window_s")) in
+      let* cond =
+        match str fs "signal" with
+        | Some "err_rate" -> (
+            match numf "above" with
+            | Some a when a >= 0.0 && a < 1.0 ->
+                Ok (Err_rate { above = a; window_s = window () })
+            | _ -> Error (name ^ ": err_rate needs \"above\" in [0,1)"))
+        | Some "p95_ms" -> (
+            match numf "above" with
+            | Some a when a > 0.0 -> Ok (P95_ms { above = a; window_s = window () })
+            | _ -> Error (name ^ ": p95_ms needs a positive \"above\""))
+        | Some "burn_rate" -> (
+            match numf "objective" with
+            | Some o when o > 0.0 && o <= 1.0 ->
+                let fast_s = clamp_w (Option.value ~default:60 (inum "fast_s")) in
+                let slow_s =
+                  clamp_w (Option.value ~default:1800 (inum "slow_s"))
+                in
+                let factor = Option.value ~default:14.4 (numf "factor") in
+                if fast_s > slow_s then
+                  Error (name ^ ": burn_rate fast_s must not exceed slow_s")
+                else if factor <= 0.0 then
+                  Error (name ^ ": burn_rate factor must be positive")
+                else Ok (Burn_rate { objective = o; factor; fast_s; slow_s })
+            | _ -> Error (name ^ ": burn_rate needs \"objective\" in (0,1]"))
+        | Some s -> Error (name ^ ": unknown signal \"" ^ s ^ "\"")
+        | None -> Error (name ^ ": missing \"signal\"")
+      in
+      Ok
+        {
+          name;
+          cond;
+          for_s = Float.max 0.0 (Option.value ~default:0.0 (numf "for_s"));
+          min_count = max 0 (Option.value ~default:1 (inum "min_count"));
+        })
+  | _ -> Error "rule is not an object"
+
+let config_of_json j =
+  match j with
+  | J.Obj fs ->
+      let* () =
+        match field fs "xmorph_alerts" with
+        | Some (J.Int v) when v = version -> Ok ()
+        | Some _ ->
+            Error
+              (Printf.sprintf "unsupported rules version (want xmorph_alerts %d)"
+                 version)
+        | None -> Error "missing \"xmorph_alerts\" version field"
+      in
+      let* rules =
+        match field fs "rules" with
+        | Some (J.List (_ :: _ as l)) ->
+            List.fold_left
+              (fun acc j ->
+                let* acc = acc in
+                let* r = parse_rule j in
+                Ok (r :: acc))
+              (Ok []) l
+            |> Result.map List.rev
+        | Some (J.List []) -> Error "\"rules\" is empty"
+        | _ -> Error "missing \"rules\" list"
+      in
+      let* () =
+        let seen = Hashtbl.create 8 in
+        List.fold_left
+          (fun acc r ->
+            let* () = acc in
+            if Hashtbl.mem seen r.name then
+              Error ("duplicate rule name \"" ^ r.name ^ "\"")
+            else begin
+              Hashtbl.add seen r.name ();
+              Ok ()
+            end)
+          (Ok ()) rules
+      in
+      Ok
+        {
+          interval_s =
+            Float.max 0.01 (Option.value ~default:1.0 (num (field fs "interval_s")));
+          log = str fs "log";
+          webhook = str fs "webhook";
+          webhook_timeout_s =
+            Float.max 0.01
+              (Option.value ~default:2.0 (num (field fs "webhook_timeout_s")));
+          webhook_retries =
+            max 0
+              (Option.value ~default:2
+                 (Option.map
+                    (fun f -> int_of_float (Float.round f))
+                    (num (field fs "webhook_retries"))));
+          rules;
+        }
+  | _ -> Error "rules file is not a JSON object"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path =
+  match read_file path with
+  | exception Sys_error e -> Error e
+  | text -> (
+      match J.of_string text with
+      | exception J.Parse_error { pos; msg } ->
+          Error (Printf.sprintf "%s: parse error at %d: %s" path pos msg)
+      | j -> config_of_json j)
+
+(* ---------- the engine ---------- *)
+
+type rstate = Rs_ok | Rs_pending of float | Rs_firing
+
+let rstate_to_string = function
+  | Rs_ok -> "ok"
+  | Rs_pending _ -> "pending"
+  | Rs_firing -> "firing"
+
+type rt = {
+  rule : rule;
+  mutable st : rstate;
+  mutable last_value : float;
+  mutable last_reason : string;
+}
+
+type engine = {
+  clock : unit -> float;
+  total : Timeseries.t;
+  errs : Timeseries.t;
+  lat : Timeseries.t;
+  rts : rt array;
+  lock : Mutex.t; (* state machines + transitions ring *)
+  ring : transition option array;
+  mutable appended : int;
+  mutable firing_n : int;
+}
+
+let rule_window r =
+  match r.cond with
+  | Err_rate { window_s; _ } | P95_ms { window_s; _ } -> window_s
+  | Burn_rate { slow_s; _ } -> slow_s
+
+let engine ?clock ?(ring = 64) rules =
+  (* One ring sized to the largest window any rule needs, plus slack so
+     the newest slot never evicts a second a rule still reads. *)
+  let window =
+    clamp_w (List.fold_left (fun acc r -> max acc (rule_window r)) 10 rules + 5)
+  in
+  {
+    clock = (match clock with Some c -> c | None -> Unix.gettimeofday);
+    total = Timeseries.create ~window ?clock Timeseries.Counter "alert.total";
+    errs = Timeseries.create ~window ?clock Timeseries.Counter "alert.errs";
+    lat = Timeseries.create ~window ?clock Timeseries.Histogram "alert.lat";
+    rts =
+      Array.of_list
+        (List.map
+           (fun rule -> { rule; st = Rs_ok; last_value = 0.0; last_reason = "" })
+           rules);
+    lock = Mutex.create ();
+    ring = Array.make (max 1 ring) None;
+    appended = 0;
+    firing_n = 0;
+  }
+
+let feed eng ~ok ~wall_s =
+  Timeseries.bump eng.total;
+  if not ok then Timeseries.bump eng.errs;
+  Timeseries.record eng.lat wall_s
+
+(* Judge one rule against the series: (condition holds, observed value,
+   reason).  Reads take only the per-series locks, never the engine
+   lock. *)
+let judge eng r =
+  match r.cond with
+  | Err_rate { above; window_s } ->
+      let n = Timeseries.count_last eng.total window_s in
+      if n < r.min_count then (false, 0.0, "")
+      else
+        let e = Timeseries.count_last eng.errs window_s in
+        let v = float_of_int e /. float_of_int n in
+        ( v > above,
+          v,
+          Printf.sprintf "err_rate %.3f > %.3f over %ds" v above window_s )
+  | P95_ms { above; window_s } -> (
+      let n = Timeseries.count_last eng.total window_s in
+      if n < r.min_count then (false, 0.0, "")
+      else
+        match Timeseries.percentile_last eng.lat window_s 0.95 with
+        | None -> (false, 0.0, "")
+        | Some p ->
+            let v = p *. 1000.0 in
+            ( v > above,
+              v,
+              Printf.sprintf "p95 %.1fms > %.1fms over %ds" v above window_s ))
+  | Burn_rate { objective; factor; fast_s; slow_s } -> (
+      if Timeseries.count_last eng.total fast_s < r.min_count then
+        (false, 0.0, "")
+      else
+        let burn w =
+          Timeseries.error_budget_burn ~objective ~window_s:w eng.errs eng.total
+        in
+        match (burn fast_s, burn slow_s) with
+        | Some bf, Some bs ->
+            ( bf > factor && bs > factor,
+              bf,
+              Printf.sprintf "burn %.1fx/%.1fx > %.1fx (objective %g)" bf bs
+                factor objective )
+        | _ -> (false, 0.0, ""))
+
+let ring_contents ring appended =
+  let cap = Array.length ring in
+  let first = max 0 (appended - cap) in
+  List.filter_map
+    (fun k -> ring.((first + k) mod cap))
+    (List.init (appended - first) Fun.id)
+
+let locked eng f =
+  Mutex.lock eng.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock eng.lock) f
+
+let tick eng =
+  (* Judge outside the lock (series have their own), step inside it. *)
+  let judged = Array.map (fun rt -> judge eng rt.rule) eng.rts in
+  let now = eng.clock () in
+  locked eng (fun () ->
+      let out = ref [] in
+      let emit t =
+        eng.ring.(eng.appended mod Array.length eng.ring) <- Some t;
+        eng.appended <- eng.appended + 1;
+        out := t :: !out
+      in
+      Array.iteri
+        (fun i rt ->
+          let cond, value, reason = judged.(i) in
+          rt.last_value <- value;
+          if reason <> "" then rt.last_reason <- reason;
+          let fire () =
+            rt.st <- Rs_firing;
+            eng.firing_n <- eng.firing_n + 1;
+            emit { rule = rt.rule.name; at = now; edge = Firing; value; reason }
+          in
+          match (rt.st, cond) with
+          | Rs_ok, true ->
+              if rt.rule.for_s <= 0.0 then fire ()
+              else rt.st <- Rs_pending now
+          | Rs_pending since, true ->
+              if now -. since >= rt.rule.for_s then fire ()
+          | Rs_pending _, false -> rt.st <- Rs_ok
+          | Rs_firing, false ->
+              rt.st <- Rs_ok;
+              eng.firing_n <- eng.firing_n - 1;
+              emit
+                {
+                  rule = rt.rule.name;
+                  at = now;
+                  edge = Resolved;
+                  value;
+                  reason = "recovered";
+                }
+          | Rs_ok, false | Rs_firing, true -> ())
+        eng.rts;
+      List.rev !out)
+
+let states eng =
+  locked eng (fun () ->
+      Array.to_list
+        (Array.map (fun rt -> (rt.rule.name, rstate_to_string rt.st)) eng.rts))
+
+let recent eng = locked eng (fun () -> ring_contents eng.ring eng.appended)
+
+let engine_firing eng = locked eng (fun () -> eng.firing_n)
+
+let engine_to_json eng =
+  locked eng (fun () ->
+      J.Obj
+        [ ("rules",
+           J.List
+             (Array.to_list
+                (Array.map
+                   (fun rt ->
+                     J.Obj
+                       [ ("name", J.String rt.rule.name);
+                         ("state", J.String (rstate_to_string rt.st));
+                         ("value", J.Float rt.last_value);
+                         ("reason", J.String rt.last_reason) ])
+                   eng.rts)));
+          ("firing", J.Int eng.firing_n);
+          ("transitions",
+           J.List
+             (List.map transition_to_json (ring_contents eng.ring eng.appended)))
+        ])
+
+(* ---------- the process-global evaluator ---------- *)
+
+type gstate = {
+  cfg : config;
+  eng : engine;
+  stop : bool Atomic.t;
+  mutable thread : Thread.t option;
+  tick_lock : Mutex.t; (* serializes evaluate-and-deliver passes *)
+  mutable drops : int;
+  mutable delivered : int;
+}
+
+let on = Atomic.make false
+
+let gstate : gstate option ref = ref None
+
+type sender =
+  url:string -> timeout_s:float -> body:string -> (unit, string) result
+
+let sender : sender option ref = ref None
+
+let set_webhook_sender f = sender := Some f
+
+let enabled () = Atomic.get on
+
+let note_query ~ok ~wall_s =
+  if Atomic.get on then
+    match !gstate with None -> () | Some g -> feed g.eng ~ok ~wall_s
+
+let firing () = match !gstate with None -> 0 | Some g -> engine_firing g.eng
+
+let webhook_drops () = match !gstate with None -> 0 | Some g -> g.drops
+
+(* Append the batch to the JSONL alert log.  One line per transition;
+   open/append/close per batch — edges are rare.  A failed write (full
+   disk, removed directory) is swallowed: the log is evidence, not a
+   dependency of the serving path. *)
+let log_transitions path trs =
+  try
+    let oc =
+      open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+    in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        List.iter
+          (fun t ->
+            output_string oc (J.to_string ~pretty:false (transition_to_json t));
+            output_char oc '\n')
+          trs)
+  with Sys_error _ -> ()
+
+let post_webhook g url trs =
+  match !sender with
+  | None -> ()
+  | Some send ->
+      List.iter
+        (fun t ->
+          let body = J.to_string ~pretty:false (transition_to_json t) in
+          let rec attempt k =
+            match
+              try send ~url ~timeout_s:g.cfg.webhook_timeout_s ~body
+              with _ -> Error "sender raised"
+            with
+            | Ok () -> g.delivered <- g.delivered + 1
+            | Error _ when k < g.cfg.webhook_retries -> attempt (k + 1)
+            | Error _ ->
+                g.drops <- g.drops + 1;
+                Metrics.inc "xmorph_alert_webhook_drops_total"
+          in
+          attempt 0)
+        trs
+
+(* Deliver a tick's transitions.  Runs with no engine lock held: the
+   Flight trigger re-enters alert state through the server's context
+   provider (the bundle snapshots [to_json]). *)
+let dispatch g trs =
+  if trs <> [] then begin
+    List.iter
+      (fun (t : transition) ->
+        Metrics.inc_labeled "xmorph_alerts_total"
+          [ ("rule", t.rule); ("state", edge_to_string t.edge) ])
+      trs;
+    (match g.cfg.log with Some path -> log_transitions path trs | None -> ());
+    List.iter
+      (fun (t : transition) ->
+        if t.edge = Firing then
+          ignore
+            (Flight.trigger ~kind:Flight.Alert
+               ~reason:(Printf.sprintf "alert %s: %s" t.rule t.reason)
+               ()))
+      trs;
+    match g.cfg.webhook with
+    | Some url -> post_webhook g url trs
+    | None -> ()
+  end;
+  Metrics.set_gauge "xmorph_alerts_firing" (float_of_int (engine_firing g.eng))
+
+let run_tick g =
+  Mutex.lock g.tick_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock g.tick_lock)
+    (fun () -> dispatch g (tick g.eng))
+
+let ticker g =
+  (* Nap in short slices so [disable] joins promptly even with a slow
+     evaluation interval. *)
+  let nap () =
+    let left = ref g.cfg.interval_s in
+    while !left > 0.0 && not (Atomic.get g.stop) do
+      let d = Float.min 0.05 !left in
+      Thread.delay d;
+      left := !left -. d
+    done
+  in
+  while not (Atomic.get g.stop) do
+    nap ();
+    if not (Atomic.get g.stop) then
+      try run_tick g with _ -> () (* the evaluator must outlive any sink *)
+  done
+
+let disable () =
+  Atomic.set on false;
+  match !gstate with
+  | None -> ()
+  | Some g ->
+      Atomic.set g.stop true;
+      (match g.thread with Some t -> (try Thread.join t with _ -> ()) | None -> ());
+      g.thread <- None;
+      gstate := None
+
+let enable cfg =
+  disable ();
+  let g =
+    {
+      cfg;
+      eng = engine cfg.rules;
+      stop = Atomic.make false;
+      thread = None;
+      tick_lock = Mutex.create ();
+      drops = 0;
+      delivered = 0;
+    }
+  in
+  gstate := Some g;
+  Atomic.set on true;
+  g.thread <- Some (Thread.create ticker g)
+
+let tick_now () =
+  if Atomic.get on then
+    match !gstate with None -> () | Some g -> run_tick g
+
+let to_json () =
+  match !gstate with
+  | None -> J.Obj [ ("enabled", J.Bool false) ]
+  | Some g ->
+      let core =
+        match engine_to_json g.eng with J.Obj fs -> fs | _ -> []
+      in
+      J.Obj
+        (( "enabled", J.Bool (Atomic.get on) )
+         :: ("interval_s", J.Float g.cfg.interval_s)
+         :: ("log",
+             match g.cfg.log with Some p -> J.String p | None -> J.Null)
+         :: ("webhook",
+             match g.cfg.webhook with Some u -> J.String u | None -> J.Null)
+         :: ("webhook_delivered", J.Int g.delivered)
+         :: ("webhook_drops", J.Int g.drops)
+         :: core)

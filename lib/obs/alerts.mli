@@ -1,0 +1,170 @@
+(** Alerting: declarative rules over the time-series layer, with
+    pending→firing→resolved state machines and pluggable delivery.
+
+    The serving stack is fully instrumented but pull-based — someone must
+    already be watching [/metrics] or [xmorph top].  This module is the
+    push half: a rule {!engine} samples its own error/latency/volume
+    series (fed from the query path) on a paced timer, evaluates
+    threshold rules ([err_rate > X], [p95_ms > Y]) and SRE-style
+    multi-window burn-rate rules against an SLO error budget, and drives
+    one hysteresis state machine per rule.  Edge events — a rule starts
+    {e firing}, a firing rule {e resolves} — fan out to sinks: a JSONL
+    alert log, an outbound webhook (injected by the serve layer, with
+    bounded retry and a drop counter — delivery failure never blocks
+    serving), a {!Flight.trigger} so every firing alert lands an incident
+    bundle, and the metrics registry
+    ([xmorph_alerts_total{rule,state}], [xmorph_alerts_firing]).
+
+    The standard [Xmobs] contract: {!enabled} is one atomic load and
+    {!note_query} allocates nothing when alerting is off (pinned by the
+    Gc test).  Engines take injectable clocks so the state-machine
+    timing is unit-testable in synthetic time, and so the offline
+    backtester ([xmorph alerts RULES LOG.jsonl]) can replay a qlog
+    through the very same evaluator. *)
+
+(** {2 Rules} *)
+
+type condition =
+  | Err_rate of { above : float; window_s : int }
+      (** error fraction over the last [window_s] seconds exceeds
+          [above] (a ratio in [0,1]). *)
+  | P95_ms of { above : float; window_s : int }
+      (** p95 latency in milliseconds over the last [window_s] seconds
+          exceeds [above]. *)
+  | Burn_rate of {
+      objective : float;  (** budgeted error fraction, e.g. 0.001 *)
+      factor : float;  (** burn multiple both windows must exceed *)
+      fast_s : int;  (** fast window, canonically 60 *)
+      slow_s : int;  (** slow window, canonically 1800 *)
+    }
+      (** multi-window burn rate: the error budget is burning more than
+          [factor] times too fast over {e both} the fast and the slow
+          window.  The fast window makes the alert react in minutes; the
+          slow window keeps a brief blip from paging. *)
+
+type rule = {
+  name : string;  (** unique, non-empty; the [rule] metric label *)
+  cond : condition;
+  for_s : float;
+      (** hysteresis: the condition must hold this long before the rule
+          fires (0 = fire on first true evaluation). *)
+  min_count : int;
+      (** minimum traffic in the rule's (fast) window before it is
+          judged at all — no-traffic seconds never fire. *)
+}
+
+(** {2 Transitions} *)
+
+type edge = Firing | Resolved
+
+val edge_to_string : edge -> string
+(** [firing] / [resolved] — the [state] label on
+    [xmorph_alerts_total]. *)
+
+type transition = {
+  rule : string;
+  at : float;  (** engine-clock time of the edge *)
+  edge : edge;
+  value : float;  (** observed value at the edge (ratio, ms, or burn) *)
+  reason : string;  (** human-readable, e.g. ["err_rate 0.50 > 0.10"] *)
+}
+
+val transition_to_json : transition -> Xmutil.Json.t
+
+(** {2 Rule files} *)
+
+type config = {
+  interval_s : float;  (** evaluator pacing (default 1.0) *)
+  log : string option;  (** JSONL alert-log path *)
+  webhook : string option;  (** POST each transition here *)
+  webhook_timeout_s : float;  (** per-attempt timeout (default 2.0) *)
+  webhook_retries : int;  (** attempts after the first (default 2) *)
+  rules : rule list;
+}
+
+val version : int
+(** Rule-file format version; the file's [xmorph_alerts] field must
+    match. *)
+
+val config_of_json : Xmutil.Json.t -> (config, string) result
+
+val load : string -> (config, string) result
+(** Read and validate a rules file.  Callers pick the failure policy:
+    the serve daemon warns once on stderr and runs with alerting
+    disabled (like a corrupt stats warehouse); the offline backtester
+    treats it as a hard error. *)
+
+(** {2 The engine} — shared by the live evaluator and the backtester. *)
+
+type engine
+
+val engine : ?clock:(unit -> float) -> ?ring:int -> rule list -> engine
+(** A fresh evaluator: per-second error/latency/volume series sized to
+    the largest window any rule needs, one state machine per rule, and a
+    bounded ring ([ring], default 64) of recent transitions.  [clock]
+    defaults to [Unix.gettimeofday]. *)
+
+val feed : engine -> ok:bool -> wall_s:float -> unit
+(** Count one executed query at the engine clock's current second.
+    Thread-safe; O(1). *)
+
+val tick : engine -> transition list
+(** Run one evaluation pass: judge every rule against the series, step
+    the state machines, and return the edges this pass produced (in rule
+    order).  Callers deliver the returned transitions to sinks {e after}
+    [tick] returns — no sink runs under an engine lock, so a sink that
+    re-enters (e.g. [Flight.trigger] snapshotting alert state for the
+    bundle) cannot deadlock. *)
+
+val states : engine -> (string * string) list
+(** Per-rule live state, in rule order: [ok], [pending], or
+    [firing]. *)
+
+val recent : engine -> transition list
+(** The transitions ring, oldest first. *)
+
+val engine_to_json : engine -> Xmutil.Json.t
+(** [{rules: [{name, state, value, reason}], transitions: [...]}] —
+    the core of [GET /debug/alerts]. *)
+
+(** {2 The process-global evaluator} *)
+
+val enable : config -> unit
+(** Build an engine from [config.rules] and start a ticker thread pacing
+    {!tick} every [config.interval_s] seconds, delivering transitions to
+    the configured sinks.  Idempotent ({!disable} first to
+    reconfigure). *)
+
+val disable : unit -> unit
+(** Stop the ticker (joins it) and drop the engine. *)
+
+val enabled : unit -> bool
+(** One atomic load. *)
+
+val note_query : ok:bool -> wall_s:float -> unit
+(** Feed one executed query into the global engine.  A no-op (zero
+    allocation) when alerting is off. *)
+
+val set_webhook_sender :
+  (url:string -> timeout_s:float -> body:string -> (unit, string) result) ->
+  unit
+(** Install the outbound-POST primitive.  The serve layer injects one
+    built on its own HTTP client — keeping [xmobs] below [serve] in the
+    dependency stack.  The sender makes {e one} attempt; the evaluator
+    handles bounded retry and counts exhausted deliveries in
+    {!webhook_drops} (and [xmorph_alert_webhook_drops_total]). *)
+
+val tick_now : unit -> unit
+(** Force one evaluation-and-delivery pass outside the timer.  For
+    tests; a no-op when disabled. *)
+
+val firing : unit -> int
+(** Rules currently in the firing state (the [xmorph_alerts_firing]
+    gauge). *)
+
+val webhook_drops : unit -> int
+(** Webhook deliveries dropped after exhausting retries. *)
+
+val to_json : unit -> Xmutil.Json.t
+(** {!engine_to_json} plus sink state (log path, webhook URL, drop
+    counter).  [{"enabled": false}] when off. *)

@@ -21,13 +21,14 @@
 
 let version = 1
 
-type trigger_kind = Slo_breach | Error_rate | Signal | Manual
+type trigger_kind = Slo_breach | Error_rate | Signal | Manual | Alert
 
 let kind_to_string = function
   | Slo_breach -> "slo-breach"
   | Error_rate -> "error-rate"
   | Signal -> "signal"
   | Manual -> "manual"
+  | Alert -> "alert"
 
 type state = {
   dir : string;

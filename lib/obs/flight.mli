@@ -22,10 +22,11 @@ type trigger_kind =
   | Error_rate  (** internal/parse-error outcomes crossed the threshold *)
   | Signal  (** the process is dying on SIGTERM/SIGINT *)
   | Manual  (** [POST /debug/incident] *)
+  | Alert  (** an {!Alerts} rule started firing *)
 
 val kind_to_string : trigger_kind -> string
-(** [slo-breach], [error-rate], [signal], [manual] — the value of the
-    bundle's [trigger.kind] field and of the [trigger] label on
+(** [slo-breach], [error-rate], [signal], [manual], [alert] — the value
+    of the bundle's [trigger.kind] field and of the [trigger] label on
     [xmorph_incidents_total]. *)
 
 val enable :

@@ -103,9 +103,16 @@ let clear_slot t s =
     if t.kind = Histogram then Array.fill s.s_hist 0 ts_buckets 0
   end
 
+(* A slot is stale when it fell off the back of the window — or when it
+   sits in the *future*, which happens after a backward wall-clock jump
+   (NTP step, VM resume).  Future slots would otherwise linger in the
+   aggregate until the clock caught back up to them, polluting every
+   windowed read in between. *)
 let expire t now_s =
   Array.iter
-    (fun s -> if s.s_epoch >= 0 && s.s_epoch <= now_s - t.window then clear_slot t s)
+    (fun s ->
+      if s.s_epoch >= 0 && (s.s_epoch <= now_s - t.window || s.s_epoch > now_s)
+      then clear_slot t s)
     t.slots
 
 let slot_for t now_s =
@@ -155,17 +162,17 @@ let lifetime t = with_window t (fun _ -> t.lifetime)
 let rate t =
   with_window t (fun _ -> float_of_int t.agg_n /. float_of_int t.window)
 
-(* Lock held.  When agg_n > 0 the cumulative count always crosses the
-   rank before the loop ends, so the scan cannot come back empty. *)
-let pct_locked t q =
-  if t.kind <> Histogram || t.agg_n = 0 then None
+(* When n > 0 the cumulative count always crosses the rank before the
+   loop ends, so the scan cannot come back empty. *)
+let pct_of_hist hist n q =
+  if n = 0 then None
   else begin
-    let rank = q *. float_of_int (t.agg_n - 1) in
+    let rank = q *. float_of_int (n - 1) in
     let cum = ref 0 in
     let found = ref None in
     (try
        for i = 0 to ts_buckets - 1 do
-         cum := !cum + t.agg_hist.(i);
+         cum := !cum + hist.(i);
          if float_of_int !cum > rank then begin
            found := Some (bucket_value i);
            raise Exit
@@ -175,7 +182,71 @@ let pct_locked t q =
     !found
   end
 
+(* Lock held. *)
+let pct_locked t q =
+  if t.kind <> Histogram then None else pct_of_hist t.agg_hist t.agg_n q
+
 let percentile t q = with_window t (fun _ -> pct_locked t q)
+
+(* ---------- sub-window reads ----------
+
+   The rolling aggregate covers the whole window; alert rules want the
+   last k <= window seconds.  These walk the k live slots directly — the
+   lock is held, expiry has run, so a slot counts iff its epoch matches
+   exactly. *)
+
+let last_locked t now_s k f =
+  let k = if k < 1 then 1 else if k > t.window then t.window else k in
+  for off = 0 to k - 1 do
+    let e = now_s - off in
+    if e >= 0 then begin
+      let s = t.slots.(((e mod t.window) + t.window) mod t.window) in
+      if s.s_epoch = e then f s
+    end
+  done
+
+let count_last t k =
+  with_window t (fun now_s ->
+      let n = ref 0 in
+      last_locked t now_s k (fun s -> n := !n + s.s_n);
+      !n)
+
+let sum_last t k =
+  with_window t (fun now_s ->
+      let v = ref 0.0 in
+      last_locked t now_s k (fun s -> v := !v +. s.s_sum);
+      !v)
+
+let percentile_last t k q =
+  if t.kind <> Histogram then None
+  else
+    with_window t (fun now_s ->
+        let hist = Array.make ts_buckets 0 in
+        let n = ref 0 in
+        last_locked t now_s k (fun s ->
+            n := !n + s.s_n;
+            Array.iteri
+              (fun i c -> if c <> 0 then hist.(i) <- hist.(i) + c)
+              s.s_hist);
+        pct_of_hist hist !n q)
+
+(* Two-series ratio, e.g. errors / requests.  Each series is read in its
+   own lock scope, never both at once — holding two series locks in
+   caller-chosen order is how deadlocks are born.  The reads are a few
+   microseconds apart; for per-second slot math that skew is noise. *)
+let ratio ?last_s num den =
+  let count t =
+    match last_s with None -> count_in_window t | Some k -> count_last t k
+  in
+  let d = count den in
+  if d = 0 then None else Some (float_of_int (count num) /. float_of_int d)
+
+let error_budget_burn ~objective ?window_s err total =
+  if objective <= 0.0 then None
+  else
+    match ratio ?last_s:window_s err total with
+    | None -> None
+    | Some r -> Some (r /. objective)
 
 (* ---------- JSON ---------- *)
 

@@ -55,6 +55,34 @@ val percentile : t -> float -> float option
 (** [percentile t q] with [q] in [0,1] over the window; [None] for
     counter-kind or empty-window series. *)
 
+val count_last : t -> int -> int
+(** [count_last t k]: events in the last [k] seconds ([k] clamped to
+    [1, window t]). *)
+
+val sum_last : t -> int -> float
+(** Sum of values recorded in the last [k] seconds. *)
+
+val percentile_last : t -> int -> float -> float option
+(** [percentile_last t k q]: percentile over only the last [k] seconds
+    of the window; [None] for counter-kind or when those seconds are
+    empty. *)
+
+val ratio : ?last_s:int -> t -> t -> float option
+(** [ratio ?last_s num den]: windowed count of [num] divided by windowed
+    count of [den] (each restricted to the last [last_s] seconds when
+    given).  [None] when the denominator count is zero.  The two series
+    are read sequentially, never with both locks held. *)
+
+val error_budget_burn :
+  objective:float -> ?window_s:int -> t -> t -> float option
+(** [error_budget_burn ~objective ?window_s err total]: the burn rate of
+    an SLO error budget — (observed error ratio) / [objective], where
+    [objective] is the budgeted error fraction (e.g. [0.001] for a
+    99.9 % SLO).  A value of 1.0 consumes the budget exactly on
+    schedule; multi-window burn-rate alerts fire when both a fast and a
+    slow window exceed a factor like 14.4.  [None] when [total] saw no
+    traffic in the window or [objective <= 0]. *)
+
 val to_json : t -> Xmutil.Json.t
 (** [{kind, window_s, count, rate, sum, lifetime, p50/p95/p99 (histogram
     kind), seconds}] where [seconds] is the per-second count for the last

@@ -101,7 +101,7 @@ let load path =
 
 (* ---------- check ---------- *)
 
-let known_kinds = [ "slo-breach"; "error-rate"; "signal"; "manual" ]
+let known_kinds = [ "slo-breach"; "error-rate"; "signal"; "manual"; "alert" ]
 
 let check path =
   match load path with

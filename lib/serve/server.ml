@@ -40,6 +40,7 @@ type t = {
       (* internal/parse-error query outcomes — the flight recorder's
          error-rate trigger judges this window *)
   slo : Slo.t option;
+  alerts_on : bool; (* this daemon enabled the global alert evaluator *)
   mutable thread : Thread.t option;
 }
 
@@ -108,6 +109,10 @@ let incident_context t =
                     Xmutil.Json.Int (Store.Shredded.generation store)) ])
              t.stores));
        ("cache", Xmcache.to_json ());
+       (* Alert-rule states at the moment of the trigger: for an
+          alert-kind bundle this shows which rule fired; for any other
+          kind it shows whether alerting agreed something was wrong. *)
+       ("alerts", Xmobs.Alerts.to_json ());
        ("series",
         Xmutil.Json.Obj
           [ ("requests", Xmobs.Timeseries.to_json t.ts_requests);
@@ -123,7 +128,7 @@ let incident_context t =
       | Some s -> [ ("slo", Slo.snapshot_json s) ])
 
 let create ?(addr = "127.0.0.1") ?(port = 0) ?(workers = 4) ?slow_ms ?slow_log
-    ?(window = 60) ?slo ?incident_dir ?(incident_keep = 16) ~stores () =
+    ?(window = 60) ?slo ?incident_dir ?(incident_keep = 16) ?alerts ~stores () =
   if stores = [] then invalid_arg "Server.create: no stores";
   let workers = max 1 (min 64 workers) in
   let window = max 1 (min 3600 window) in
@@ -157,6 +162,10 @@ let create ?(addr = "127.0.0.1") ?(port = 0) ?(workers = 4) ?slow_ms ?slow_log
       ("xmorph_cache_bytes", "resident bytes in the result cache");
       ("xmorph_incidents_total",
        "incident bundles written by the flight recorder, by trigger");
+      ("xmorph_alerts_total", "alert transitions by rule and state");
+      ("xmorph_alerts_firing", "alert rules currently in the firing state");
+      ("xmorph_alert_webhook_drops_total",
+       "alert webhook deliveries dropped after exhausting retries");
       ("xmorph_open_fds", "open file descriptors, from /proc/self/fd");
       ("xmorph_threads_total", "threads in the process, from /proc/self/stat");
       ("serve.requests", "HTTP requests handled since start");
@@ -188,6 +197,7 @@ let create ?(addr = "127.0.0.1") ?(port = 0) ?(workers = 4) ?slow_ms ?slow_log
       (match slo with
       | Some cfg when Slo.enabled cfg -> Some (Slo.create cfg)
       | Some _ | None -> None);
+    alerts_on = Option.is_some alerts;
     thread = None;
   }
   in
@@ -206,6 +216,24 @@ let create ?(addr = "127.0.0.1") ?(port = 0) ?(workers = 4) ?slow_ms ?slow_log
                 (Xmobs.Flight.trigger ~kind:Xmobs.Flight.Slo_breach
                    ~reason:(String.concat "; " reasons) ()))
       | None -> ()));
+  (* Alert evaluator: --alert-rules starts the rule engine after the
+     flight recorder, so a firing rule's Flight.trigger finds the
+     recorder already wired with this server's context.  The webhook
+     primitive is injected here — xmobs stays below serve — and makes
+     one attempt; the evaluator owns retry and the drop counter. *)
+  (match alerts with
+  | None -> ()
+  | Some cfg ->
+      Xmobs.Alerts.set_webhook_sender (fun ~url ~timeout_s ~body ->
+          match
+            Http.request_url ~body
+              ~headers:[ ("content-type", "application/json") ]
+              ~timeout_s ~meth:"POST" url
+          with
+          | Ok (status, _, _) when status >= 200 && status < 300 -> Ok ()
+          | Ok (status, _, _) -> Error (Printf.sprintf "status %d" status)
+          | Error e -> Error e);
+      Xmobs.Alerts.enable cfg);
   t
 
 let port t = t.s_port
@@ -390,6 +418,7 @@ let handle_query t req =
                 [ ("guard", guard_hash) ]
                 qwall;
               Xmobs.Timeseries.record t.ts_queries qwall;
+              Xmobs.Alerts.note_query ~ok:(name = "ok") ~wall_s:qwall;
               (match t.slo with
               | Some s ->
                   Slo.record s ~ok:(name = "ok") ~wall_s:qwall;
@@ -694,9 +723,17 @@ let debug_opstats () =
   Http.response ~content_type:"application/json" 200
     (Xmutil.Json.to_string ~pretty:true body ^ "\n")
 
+(* Live alert-rule states plus the recent-transitions ring; a one-field
+   object when no --alert-rules file was given, so pollers need no
+   special case. *)
+let debug_alerts () =
+  Http.response ~content_type:"application/json" 200
+    (Xmutil.Json.to_string ~pretty:true (Xmobs.Alerts.to_json ()) ^ "\n")
+
 let route t (req : Http.request) =
   match (req.Http.meth, req.Http.path) with
   | "GET", "/healthz" -> healthz t
+  | "GET", "/debug/alerts" -> debug_alerts ()
   | "GET", "/debug/opstats" -> debug_opstats ()
   | "GET", "/debug/cache" -> debug_cache ()
   | "GET", "/debug/timeseries" -> debug_timeseries t
@@ -744,7 +781,7 @@ let route_label (req : Http.request) =
   match (req.Http.meth, req.Http.path) with
   | "GET", (("/healthz" | "/metrics" | "/stats" | "/debug/requests"
             | "/debug/timeseries" | "/debug/opstats" | "/debug/cache"
-            | "/debug/incidents") as p) ->
+            | "/debug/incidents" | "/debug/alerts") as p) ->
       p
   | "GET", p when String.starts_with ~prefix:incidents_prefix p ->
       "/debug/incidents/:name"
@@ -818,6 +855,9 @@ let start t =
 let stop t =
   if not (Atomic.get t.stopping) then begin
     Atomic.set t.stopping true;
+    (* Join the alert ticker before tearing the listener down: a tick
+       mid-shutdown would race the sinks against process exit. *)
+    if t.alerts_on then Xmobs.Alerts.disable ();
     (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
      with Unix.Unix_error _ -> ());
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());

@@ -50,6 +50,10 @@
     - [POST /debug/incident] — force an incident bundle now ([manual]
       trigger, cooldown bypassed); the body, if any, becomes the
       recorded reason.  [503] when the recorder is off.
+    - [GET /debug/alerts] — live {!Xmobs.Alerts} state: per-rule state
+      machine positions, last observed values, the recent-transitions
+      ring, and webhook delivery/drop counters;
+      [{"enabled": false}] when no rules file was given.
 
     Flight recorder: [incident_dir] enables {!Xmobs.Flight}, injects the
     server's context (config, store generations, cache introspection,
@@ -88,6 +92,7 @@ val create :
   ?slo:Slo.config ->
   ?incident_dir:string ->
   ?incident_keep:int ->
+  ?alerts:Xmobs.Alerts.config ->
   stores:(string * Store.Shredded.t) list ->
   unit ->
   t
@@ -102,8 +107,12 @@ val create :
     health objectives (ignored unless at least one objective is set).
     [incident_dir] enables the flight recorder with bundles written
     there (created if missing); [incident_keep] (default 16) bounds how
-    many are retained.  [stores] must be non-empty; the first store is
-    the default [?doc=] target.
+    many are retained.  [alerts] starts the {!Xmobs.Alerts} evaluator
+    over the query stream (rules, pacing, and sinks come from the
+    config; the outbound-webhook primitive is injected here and each
+    firing rule lands an [alert]-kind incident bundle when the recorder
+    is on); {!stop} shuts the evaluator down.  [stores] must be
+    non-empty; the first store is the default [?doc=] target.
     @raise Invalid_argument on an empty store list
     @raise Unix.Unix_error when the address cannot be bound. *)
 

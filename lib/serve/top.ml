@@ -219,6 +219,31 @@ let render s =
                | Some n -> Some (Printf.sprintf "%s %d" k n))
              counts))
    end);
+  (* Alerting evaluator state, from the firing gauge plus the labeled
+     transition family ([{rule=...,state=...}], labels alphabetical);
+     daemons running without --alert-rules export neither and the line
+     is omitted. *)
+  (let firing = num st [ "metrics"; "gauges"; "xmorph_alerts_firing" ] in
+   let per_state state =
+     match
+       path st [ "metrics"; "labeled_counters"; "xmorph_alerts_total" ]
+     with
+     | Some (Xmutil.Json.Obj fs) ->
+         List.fold_left
+           (fun acc (k, v) ->
+             match v with
+             | Xmutil.Json.Int n
+               when String.ends_with ~suffix:("state=" ^ state ^ "}") k ->
+                 acc + n
+             | _ -> acc)
+           0 fs
+     | _ -> 0
+   in
+   match firing with
+   | None -> ()
+   | Some f ->
+       line "alerts: %.0f firing  (%d fired, %d resolved lifetime)" f
+         (per_state "firing") (per_state "resolved"));
   line "req %s" (sparkline (seconds_of s "requests"));
   (match
      List.filter_map

@@ -289,7 +289,7 @@ empty history — never a crash:
 The stats analyzer cross-references the query log with the warehouse by
 guard hash:
 
-  $ xmorph stats q.jsonl --db w.db | sed -n '/^warehouse/,$p' | sed -E 's|self/call=[0-9.]+ms|self/call=_|g; s|mean wall [0-9.]+ms|mean wall _|'
+  $ xmorph stats q.jsonl --stats-db w.db | sed -n '/^warehouse/,$p' | sed -E 's|self/call=[0-9.]+ms|self/call=_|g; s|mean wall [0-9.]+ms|mean wall _|'
   warehouse cross-reference: 1 guard(s)
     cbc809969c96db16 "MORPH dblp [ article [ title [ year ] ] ]": 2 queries, mean wall _
       closest: calls=6 self/call=_ out/call=2 pairs/call=2
@@ -297,6 +297,16 @@ guard hash:
       closest(dblp.article->dblp.article.title): calls=2 self/call=_ out/call=4 pairs/call=4 q-err mean=1.00 max=1.00
       closest(dblp.article.title->dblp.article.year): calls=2 self/call=_ out/call=4 pairs/call=4 q-err mean=1.00 max=1.00
       compile: calls=2 self/call=_ out/call=0 pairs/call=0
+
+--db remains a hidden alias for the same option, for scripts written
+against the old spelling; both names read the same warehouse:
+
+  $ xmorph stats q.jsonl --stats-db w.db > natural.out
+  $ xmorph stats q.jsonl --db w.db > alias.out
+  $ cmp natural.out alias.out
+  $ xmorph incident --help=plain 2>/dev/null | grep -c '\-\-db'
+  0
+  [1]
 
 The analyzer splits its latency percentiles by the result-cache flag,
 and tolerates logs written before the flag existed — such records parse
@@ -341,4 +351,50 @@ envelope, and a bundle from a future format version all fail cleanly:
   $ printf '{"version": 99, "kind": "manual", "reason": "r", "at_unix": 1.0}' > future.json
   $ xmorph incident future.json
   xmorph: future.json: incident bundle: unsupported version 99 (expected 1)
+  [1]
+
+The alert backtester replays a recorded query log through the same
+evaluator that powers serve --alert-rules, in synthetic time.  A
+hand-written log with a known error burst and known timestamps makes
+the transitions deterministic — the burst at t=+4s breaches a 5-second
+error-rate window, and the rule resolves once the window slides clear:
+
+  $ cat > replay.jsonl <<'EOF'
+  > {"ts_ms":1000,"id":0,"source":"serve","doc":"d","guard":"MORPH a","guard_hash":"h1","outcome":"ok","wall_s":0.004,"eval_s":0.003,"render_s":0.001,"in_nodes":10,"out_nodes":5,"jobs":1}
+  > {"ts_ms":2000,"id":1,"source":"serve","doc":"d","guard":"MORPH a","guard_hash":"h1","outcome":"ok","wall_s":0.004,"eval_s":0.003,"render_s":0.001,"in_nodes":10,"out_nodes":5,"jobs":1}
+  > {"ts_ms":5000,"id":2,"source":"serve","doc":"d","guard":"MORPH a","guard_hash":"h1","outcome":"internal","error":"boom","wall_s":0.004,"eval_s":0.003,"render_s":0.001,"in_nodes":10,"out_nodes":0,"jobs":1}
+  > {"ts_ms":5500,"id":3,"source":"serve","doc":"d","guard":"MORPH a","guard_hash":"h1","outcome":"internal","error":"boom","wall_s":0.004,"eval_s":0.003,"render_s":0.001,"in_nodes":10,"out_nodes":0,"jobs":1}
+  > {"ts_ms":6000,"id":4,"source":"serve","doc":"d","guard":"MORPH a","guard_hash":"h1","outcome":"ok","wall_s":0.004,"eval_s":0.003,"render_s":0.001,"in_nodes":10,"out_nodes":5,"jobs":1}
+  > EOF
+  $ cat > replay-rules.json <<'EOF'
+  > {"xmorph_alerts": 1,
+  >  "rules": [{"name": "errs", "signal": "err_rate",
+  >             "above": 0.4, "window_s": 5}]}
+  > EOF
+  $ xmorph alerts replay-rules.json replay.jsonl
+  replayed 5 records (0 malformed) through 1 rule over 15s
+    +    6.0s  firing    errs                     err_rate 0.667 > 0.400 over 5s
+    +    9.0s  resolved  errs                     recovered
+  rule errs: 1 firing, 1 resolved, final state ok
+
+The same replay as JSON, for scripting threshold sweeps:
+
+  $ xmorph alerts replay-rules.json replay.jsonl --json > replay.json
+  $ xmorph stats --check-json replay.json
+  replay.json: valid JSON
+  $ grep -c '"state": "firing"' replay.json
+  1
+  $ grep -c '"final"' replay.json
+  1
+
+A corrupt rules file is a hard error offline (the daemon merely warns
+and serves without alerting):
+
+  $ printf '{"xmorph_alerts": 99, "rules": [{"name": "x", "signal": "err_rate", "above": 0.5}]}' > stale-rules.json
+  $ xmorph alerts stale-rules.json replay.jsonl
+  xmorph: alerts: unsupported rules version (want xmorph_alerts 1)
+  [1]
+  $ printf '{"xmorph_alerts": 1, "rules": [{"name": "x", "signal": "teapot"}]}' > odd-rules.json
+  $ xmorph alerts odd-rules.json replay.jsonl
+  xmorph: alerts: x: unknown signal "teapot"
   [1]

@@ -379,3 +379,135 @@ and the offline viewer accepts it:
   1
   $ xmorph incident --check incidents/*-signal.json | grep -o 'ok (signal'
   ok (signal
+
+The alerting engine.  First a webhook receiver: any daemon with an
+incident directory accepts POST /debug/incident, so a second daemon's
+inbox is the delivery evidence.  Then the monitored daemon, with a
+hair-trigger error-rate rule wired to a JSONL alert log, the webhook,
+and the flight recorder:
+
+  $ xmorph serve data.store --port 0 --port-file rport.txt \
+  >   --incident-dir hook-inbox > recv.out 2>&1 &
+  $ RECV=$!
+  $ for i in $(seq 1 100); do [ -s rport.txt ] && break; sleep 0.1; done
+  $ HOOK="http://127.0.0.1:$(cat rport.txt)/debug/incident"
+  $ cat > rules.json <<EOF
+  > {"xmorph_alerts": 1,
+  >  "interval_s": 0.2,
+  >  "log": "alerts.jsonl",
+  >  "webhook": "$HOOK",
+  >  "rules": [{"name": "error-blast", "signal": "err_rate",
+  >             "above": 0.4, "window_s": 60, "min_count": 3}]}
+  > EOF
+  $ xmorph serve data.store --port 0 --port-file porta.txt \
+  >   --alert-rules rules.json --incident-dir incidents2 > servea.out 2>&1 &
+  $ SRV=$!
+  $ for i in $(seq 1 100); do [ -s porta.txt ] && break; sleep 0.1; done
+  $ BASE="http://127.0.0.1:$(cat porta.txt)"
+
+Alert state is live on GET /debug/alerts — one rule, ok, nothing firing:
+
+  $ xmorph http GET "$BASE/debug/alerts" > alerts0.json
+  $ xmorph stats --check-json alerts0.json
+  alerts0.json: valid JSON
+  $ grep -c '"enabled": true' alerts0.json
+  1
+  $ grep -c '"state": "ok"' alerts0.json
+  1
+
+A burst of failing queries breaches the rule; the evaluator notices
+within its pacing interval and the rule starts firing — exactly once,
+however long the breach lasts:
+
+  $ for i in 1 2; do xmorph http POST "$BASE/query" --data "MORPH author [ name ]" > /dev/null; done
+  $ for i in 1 2 3 4 5; do xmorph http POST "$BASE/query" --data "MUTATE nosuch" > /dev/null 2>&1 || true; done
+  $ for i in $(seq 1 100); do
+  >   xmorph http GET "$BASE/debug/alerts" | grep -q '"firing": 1' && break
+  >   sleep 0.1
+  > done
+  $ for i in $(seq 1 100); do ls hook-inbox 2>/dev/null | grep -q 'manual.json$' && break; sleep 0.1; done
+  $ xmorph http GET "$BASE/debug/alerts" | grep -c '"firing": 1'
+  1
+  $ grep -c '"state":"firing"' alerts.jsonl
+  1
+
+The transition lands in the metric families, and the top dashboard
+reports the evaluator's state:
+
+  $ xmorph http GET "$BASE/metrics" | grep -c 'xmorph_alerts_total{rule="error-blast",state="firing"} 1'
+  1
+  $ xmorph http GET "$BASE/metrics" | grep -c 'xmorph_alerts_firing 1'
+  1
+  $ xmorph top --once "$BASE" | grep -o 'alerts: 1 firing  (1 fired, 0 resolved lifetime)'
+  alerts: 1 firing  (1 fired, 0 resolved lifetime)
+
+The firing rule tripped the flight recorder — exactly one alert-kind
+bundle, which the offline viewer accepts and attributes to the rule:
+
+  $ ls incidents2 | grep -c 'alert.json$'
+  1
+  $ xmorph incident --check incidents2/*-alert.json | grep -o 'ok (alert'
+  ok (alert
+  $ xmorph incident incidents2/*-alert.json | grep -c 'error-blast'
+  1
+
+The webhook delivered the firing transition to the receiver's inbox —
+one bundle, whose recorded reason is the transition JSON:
+
+  $ ls hook-inbox | grep -c 'manual.json$'
+  1
+  $ xmorph incident "hook-inbox/$(ls hook-inbox | grep 'manual.json$')" | grep -c 'error-blast'
+  1
+
+Clean traffic dilutes the error rate below the threshold: the rule
+resolves — exactly once — the gauge drops, and the alert log carries
+one firing/resolved pair:
+
+  $ for i in $(seq 1 8); do xmorph http POST "$BASE/query" --data "MORPH author [ name ]" > /dev/null; done
+  $ for i in $(seq 1 100); do
+  >   xmorph http GET "$BASE/debug/alerts" | grep -q '"firing": 0' && break
+  >   sleep 0.1
+  > done
+  $ for i in $(seq 1 100); do [ "$(ls hook-inbox | grep -c 'manual.json$')" -ge 2 ] && break; sleep 0.1; done
+  $ grep -c '"state":"resolved"' alerts.jsonl
+  1
+  $ grep -c '"state":"firing"' alerts.jsonl
+  1
+  $ xmorph top --once "$BASE" | grep -o 'alerts: 0 firing  (1 fired, 1 resolved lifetime)'
+  alerts: 0 firing  (1 fired, 1 resolved lifetime)
+
+Resolution notifies the webhook but does not trip the recorder: two
+deliveries in the inbox, still exactly one alert bundle:
+
+  $ ls hook-inbox | grep -c 'manual.json$'
+  2
+  $ ls incidents2 | grep -c 'alert.json$'
+  1
+
+  $ kill -TERM $SRV
+  $ wait $SRV
+  [143]
+  $ kill -TERM $RECV
+  $ wait $RECV
+  [143]
+
+A corrupt rules file never stops the daemon: one stderr warning,
+alerting disabled, serving unaffected:
+
+  $ printf '{"xmorph_alerts": 1, "rules": []}' > bad-rules.json
+  $ xmorph serve data.store --port 0 --port-file portb.txt \
+  >   --alert-rules bad-rules.json > serveb.out 2>&1 &
+  $ SRV=$!
+  $ for i in $(seq 1 100); do [ -s portb.txt ] && break; sleep 0.1; done
+  $ BASE="http://127.0.0.1:$(cat portb.txt)"
+  $ xmorph http GET "$BASE/debug/alerts"
+  {
+    "enabled": false
+  }
+  $ xmorph http GET "$BASE/healthz"
+  ok
+  $ kill -TERM $SRV
+  $ wait $SRV
+  [143]
+  $ grep -c 'alerting disabled' serveb.out
+  1

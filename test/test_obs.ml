@@ -438,6 +438,7 @@ let test_disabled_path_no_alloc () =
   Xmobs.Timeseries.disable ();
   Xmobs.Statdb.disable ();
   Xmobs.Flight.disable ();
+  Xmobs.Alerts.disable ();
   Xmcache.disable ();
   let f () = 0 in
   (* A pre-built result entry so the disabled add_result call below has
@@ -507,7 +508,11 @@ let test_disabled_path_no_alloc () =
        atomic load, never a ring write or an allocation. *)
     ignore (Sys.opaque_identity (Xmobs.Flight.enabled ()));
     Xmobs.Flight.note_entry trace_entry;
-    Xmobs.Flight.note_qlog qlog_entry
+    Xmobs.Flight.note_qlog qlog_entry;
+    (* The alerting evaluator: a disabled note_query is one atomic load
+       (the constant float argument is static data, not a boxing site). *)
+    ignore (Sys.opaque_identity (Xmobs.Alerts.enabled ()));
+    Xmobs.Alerts.note_query ~ok:true ~wall_s:0.001
   done;
   let w1 = Gc.minor_words () in
   let delta = w1 -. w0 in

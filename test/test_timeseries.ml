@@ -90,6 +90,96 @@ let test_histogram_percentiles_over_window () =
   Alcotest.(check bool) "p50 within bucket resolution of 10" true
     (p50 < 13.0)
 
+(* Backward clock jump: writes land at t=50, then the clock steps back to
+   t=10.  The future-epoch slots must be evicted at the next read, not
+   linger in the aggregate until the clock catches back up. *)
+let test_backward_clock_jump_evicts_future () =
+  let now, clock = fake () in
+  let t = Ts.create ~window:30 ~clock Ts.Counter "jump" in
+  now := 50.0;
+  Ts.bump ~by:7 t;
+  Alcotest.(check int) "write visible at its own time" 7 (Ts.count_in_window t);
+  now := 10.0;
+  Alcotest.(check int) "future slots evicted after backward jump" 0
+    (Ts.count_in_window t);
+  (* A write at the stepped-back time starts a clean window. *)
+  Ts.bump ~by:2 t;
+  Alcotest.(check int) "fresh write after the jump counts alone" 2
+    (Ts.count_in_window t);
+  Alcotest.(check int) "lifetime keeps both sides of the jump" 9
+    (Ts.lifetime t)
+
+(* Idle wraparound: an idle gap of several whole windows brings the clock
+   back to the same ring index.  The stale slot's epoch no longer matches,
+   so neither whole-window nor last-k reads may count it. *)
+let test_idle_wraparound_reads_clean () =
+  let now, clock = fake () in
+  let t = Ts.create ~window:5 ~clock Ts.Counter "idle" in
+  Ts.bump ~by:100 t;
+  (* 15 mod 5 = 0 mod 5: same slot index, three windows later. *)
+  now := 15.0;
+  Alcotest.(check int) "count_last sees nothing after idle wrap" 0
+    (Ts.count_last t 5);
+  Alcotest.(check int) "window count agrees" 0 (Ts.count_in_window t)
+
+let test_sub_window_reads () =
+  let now, clock = fake () in
+  let t = Ts.create ~window:60 ~clock Ts.Histogram "sub" in
+  (* Old burst of slow queries, then a recent run of fast ones. *)
+  for _ = 1 to 10 do
+    Ts.record t 1.0
+  done;
+  now := 30.0;
+  for _ = 1 to 10 do
+    Ts.record t 0.010
+  done;
+  Alcotest.(check int) "whole window sees both bursts" 20
+    (Ts.count_in_window t);
+  Alcotest.(check int) "last 5s sees only the recent burst" 10
+    (Ts.count_last t 5);
+  Alcotest.(check bool) "last-5s sum tracks the recent burst" true
+    (Ts.sum_last t 5 < 1.0);
+  (* Whole-window p95 is dominated by the slow half; the last-5s p95 must
+     track only the fast burst. *)
+  (match Ts.percentile_last t 5 0.95 with
+  | Some v -> Alcotest.(check bool) "last-5s p95 is fast" true (v < 0.1)
+  | None -> Alcotest.fail "last-5s p95 missing");
+  (match Ts.percentile t 0.95 with
+  | Some v -> Alcotest.(check bool) "window p95 is slow" true (v > 0.5)
+  | None -> Alcotest.fail "window p95 missing");
+  (* k larger than the window clamps instead of reading wild slots. *)
+  Alcotest.(check int) "k clamps to the window" 20 (Ts.count_last t 1000);
+  (* Empty span: percentile over seconds with no data is None. *)
+  now := 300.0;
+  Alcotest.(check bool) "empty span has no percentile" true
+    (Ts.percentile_last t 5 0.95 = None)
+
+let test_ratio_and_burn () =
+  let now, clock = fake () in
+  let err = Ts.create ~window:60 ~clock Ts.Counter "err" in
+  let total = Ts.create ~window:60 ~clock Ts.Counter "total" in
+  Alcotest.(check bool) "no traffic: ratio is None" true
+    (Ts.ratio err total = None);
+  Alcotest.(check bool) "no traffic: burn is None" true
+    (Ts.error_budget_burn ~objective:0.01 err total = None);
+  Ts.bump ~by:100 total;
+  Ts.bump ~by:10 err;
+  (match Ts.ratio err total with
+  | Some r -> Alcotest.(check (float 1e-9)) "ratio = err/total" 0.1 r
+  | None -> Alcotest.fail "ratio missing");
+  (* 10 % observed errors against a 1 % budget burns 10x. *)
+  (match Ts.error_budget_burn ~objective:0.01 err total with
+  | Some b -> Alcotest.(check (float 1e-9)) "burn = ratio/objective" 10.0 b
+  | None -> Alcotest.fail "burn missing");
+  Alcotest.(check bool) "non-positive objective is None" true
+    (Ts.error_budget_burn ~objective:0.0 err total = None);
+  (* Restricting to a recent sub-window excludes the old errors. *)
+  now := 30.0;
+  Ts.bump ~by:50 total;
+  match Ts.error_budget_burn ~objective:0.01 ~window_s:5 err total with
+  | Some b -> Alcotest.(check (float 1e-9)) "recent window burns clean" 0.0 b
+  | None -> Alcotest.fail "recent burn missing"
+
 let test_counter_has_no_percentile () =
   let _, clock = fake () in
   let t = Ts.create ~window:5 ~clock Ts.Counter "c" in
@@ -280,6 +370,14 @@ let suite =
       test_counter_rate_and_decay;
     Alcotest.test_case "ring wrap-around evicts the stale slot" `Quick
       test_ring_wraparound_evicts;
+    Alcotest.test_case "backward clock jump evicts future slots" `Quick
+      test_backward_clock_jump_evicts_future;
+    Alcotest.test_case "idle wraparound reads clean" `Quick
+      test_idle_wraparound_reads_clean;
+    Alcotest.test_case "sub-window count/sum/percentile" `Quick
+      test_sub_window_reads;
+    Alcotest.test_case "ratio and error-budget burn" `Quick
+      test_ratio_and_burn;
     Alcotest.test_case "windowed percentiles follow expiry" `Quick
       test_histogram_percentiles_over_window;
     Alcotest.test_case "counter kind has no percentile" `Quick
